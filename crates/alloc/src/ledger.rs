@@ -1,0 +1,182 @@
+//! The contribution ledger: every peer's local record of received bandwidth.
+//!
+//! `cumulative(i, j)` is `Σ_{k<t} μ_ij(k)` — the total bandwidth peer `i`
+//! has uploaded to user `j` so far, in kbps-slots (= kilobits when slots are
+//! seconds). Peer `i`'s Eq.-2 weight for user `j` is the *transpose* entry
+//! `cumulative(j, i)`: what `j` has given `i`. Each peer can measure its
+//! row's incoming transfers locally, which is exactly why the rule needs no
+//! control traffic and cannot be lied to.
+
+/// Dense `n × n` cumulative-contribution matrix.
+///
+/// # Example
+///
+/// ```rust
+/// use asymshare_alloc::ContributionLedger;
+///
+/// let mut ledger = ContributionLedger::new(2, 0.0);
+/// ledger.credit(0, 1, 256.0);
+/// assert_eq!(ledger.cumulative(0, 1), 256.0);
+/// assert_eq!(ledger.received_by(1), 256.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContributionLedger {
+    n: usize,
+    /// Row-major: `cum[i * n + j]` = total i → j transfer.
+    cum: Vec<f64>,
+}
+
+impl ContributionLedger {
+    /// A ledger for `n` peers, every pair seeded with `initial_credit`
+    /// (the paper's "arbitrary small positive initial values for μ_ji(0)").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_credit` is negative or not finite.
+    pub fn new(n: usize, initial_credit: f64) -> Self {
+        assert!(
+            initial_credit >= 0.0 && initial_credit.is_finite(),
+            "initial credit must be a finite non-negative value"
+        );
+        ContributionLedger {
+            n,
+            cum: vec![initial_credit; n * n],
+        }
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the ledger tracks zero peers.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Total bandwidth peer `from` has uploaded to user `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn cumulative(&self, from: usize, to: usize) -> f64 {
+        assert!(from < self.n && to < self.n, "peer index out of range");
+        self.cum[from * self.n + to]
+    }
+
+    /// Records `amount` of `from` → `to` transfer during one slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or a negative/non-finite amount.
+    #[inline]
+    pub fn credit(&mut self, from: usize, to: usize, amount: f64) {
+        assert!(from < self.n && to < self.n, "peer index out of range");
+        assert!(
+            amount >= 0.0 && amount.is_finite(),
+            "credit must be finite and non-negative"
+        );
+        self.cum[from * self.n + to] += amount;
+    }
+
+    /// Peer `i`'s Eq.-2 weight vector: `weight[j] = cumulative(j, i)`, what
+    /// each peer `j` has contributed *to* `i` historically.
+    pub fn weights_for_allocator(&self, i: usize) -> Vec<f64> {
+        (0..self.n).map(|j| self.cumulative(j, i)).collect()
+    }
+
+    /// Total bandwidth user `j` has received from everyone.
+    pub fn received_by(&self, j: usize) -> f64 {
+        (0..self.n).map(|i| self.cumulative(i, j)).sum()
+    }
+
+    /// Total bandwidth peer `i` has contributed to everyone.
+    pub fn contributed_by(&self, i: usize) -> f64 {
+        (0..self.n).map(|j| self.cumulative(i, j)).sum()
+    }
+
+    /// Applies exponential discounting to all history (the "disproportionately
+    /// weighing newer contributions over older ones" speed-up the paper
+    /// suggests for its slow dynamics, §V-A): every entry is multiplied by
+    /// `factor ∈ (0, 1]` once per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn discount(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "discount factor must be in (0, 1]"
+        );
+        if factor == 1.0 {
+            return;
+        }
+        for v in &mut self.cum {
+            *v *= factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_credit_fills_all_pairs() {
+        let ledger = ContributionLedger::new(3, 0.5);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(ledger.cumulative(i, j), 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn credit_accumulates() {
+        let mut ledger = ContributionLedger::new(2, 0.0);
+        ledger.credit(0, 1, 100.0);
+        ledger.credit(0, 1, 28.0);
+        assert_eq!(ledger.cumulative(0, 1), 128.0);
+        assert_eq!(ledger.cumulative(1, 0), 0.0);
+    }
+
+    #[test]
+    fn weights_are_the_transpose_row() {
+        let mut ledger = ContributionLedger::new(3, 0.0);
+        ledger.credit(1, 0, 7.0); // peer 1 gave user 0
+        ledger.credit(2, 0, 3.0); // peer 2 gave user 0
+        assert_eq!(ledger.weights_for_allocator(0), vec![0.0, 7.0, 3.0]);
+    }
+
+    #[test]
+    fn totals_are_row_and_column_sums() {
+        let mut ledger = ContributionLedger::new(3, 0.0);
+        ledger.credit(0, 1, 4.0);
+        ledger.credit(0, 2, 6.0);
+        ledger.credit(1, 2, 1.0);
+        assert_eq!(ledger.contributed_by(0), 10.0);
+        assert_eq!(ledger.received_by(2), 7.0);
+    }
+
+    #[test]
+    fn discount_scales_everything() {
+        let mut ledger = ContributionLedger::new(2, 1.0);
+        ledger.credit(0, 1, 1.0);
+        ledger.discount(0.5);
+        assert_eq!(ledger.cumulative(0, 1), 1.0);
+        assert_eq!(ledger.cumulative(1, 0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        ContributionLedger::new(2, 0.0).cumulative(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_credit_panics() {
+        ContributionLedger::new(2, 0.0).credit(0, 1, -1.0);
+    }
+}

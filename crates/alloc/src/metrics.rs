@@ -1,0 +1,128 @@
+//! Fairness and performance metrics used by the evaluation figures.
+
+use crate::ledger::ContributionLedger;
+
+/// Trailing running average with the given window (the paper smooths all
+/// plots with a 10-second window).
+///
+/// Entry `t` averages `series[t.saturating_sub(window-1) ..= t]`, so the
+/// output has the same length as the input and no look-ahead.
+pub fn smooth(series: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    let mut out = Vec::with_capacity(series.len());
+    let mut sum = 0.0f64;
+    for (t, &v) in series.iter().enumerate() {
+        sum += v;
+        if t >= window {
+            sum -= series[t - window];
+        }
+        let len = (t + 1).min(window);
+        out.push(sum / len as f64);
+    }
+    out
+}
+
+/// Jain's fairness index of a non-negative allocation vector:
+/// `(Σx)² / (n · Σx²)`, in `(0, 1]` with 1 = perfectly equal.
+///
+/// Returns 1.0 for an all-zero vector (vacuously fair).
+pub fn jain_index(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "jain index of an empty vector");
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (values.len() as f64 * sq)
+}
+
+/// Pairwise-fairness residue of a ledger: the largest relative imbalance
+/// `|μ̄_ij − μ̄_ji| / max(μ̄_ij, μ̄_ji)` over all pairs with any transfer.
+///
+/// Corollary 1 says this tends to 0 in the saturated regime.
+pub fn pairwise_unfairness(ledger: &ContributionLedger) -> f64 {
+    let n = ledger.len();
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let a = ledger.cumulative(i, j);
+            let b = ledger.cumulative(j, i);
+            let m = a.max(b);
+            if m > 0.0 {
+                worst = worst.max((a - b).abs() / m);
+            }
+        }
+    }
+    worst
+}
+
+/// Gain of participating over operating in isolation: the ratio of the
+/// user's achieved long-run rate to its isolated baseline `γ_j · μ_j`
+/// (Theorem 1 guarantees this is ≥ 1 asymptotically).
+pub fn gain_over_isolation(long_run_rate: f64, gamma: f64, capacity: f64) -> f64 {
+    let baseline = gamma * capacity;
+    if baseline <= 0.0 {
+        return f64::INFINITY;
+    }
+    long_run_rate / baseline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_is_identity_for_window_one() {
+        let s = [1.0, 5.0, 3.0];
+        assert_eq!(smooth(&s, 1), s.to_vec());
+    }
+
+    #[test]
+    fn smooth_averages_trailing_window() {
+        let s = [2.0, 4.0, 6.0, 8.0];
+        let out = smooth(&s, 2);
+        assert_eq!(out, vec![2.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn smooth_handles_window_longer_than_series() {
+        let s = [3.0, 5.0];
+        assert_eq!(smooth(&s, 10), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // All bandwidth to one of n users → 1/n.
+        assert!((jain_index(&[9.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn pairwise_residue_zero_for_symmetric() {
+        let mut ledger = ContributionLedger::new(2, 0.0);
+        ledger.credit(0, 1, 7.0);
+        ledger.credit(1, 0, 7.0);
+        assert_eq!(pairwise_unfairness(&ledger), 0.0);
+    }
+
+    #[test]
+    fn pairwise_residue_detects_imbalance() {
+        let mut ledger = ContributionLedger::new(2, 0.0);
+        ledger.credit(0, 1, 10.0);
+        ledger.credit(1, 0, 5.0);
+        assert!((pairwise_unfairness(&ledger) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_ratios() {
+        assert!((gain_over_isolation(512.0, 0.5, 512.0) - 2.0).abs() < 1e-12);
+        assert_eq!(gain_over_isolation(100.0, 0.0, 512.0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        smooth(&[1.0], 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The allocation rules: Eq. 2 (peer-wise proportional), Eq. 3 (global
+//! proportional) and an equal-split baseline.
+
+use crate::ledger::ContributionLedger;
+
+/// Which allocation rule a peer runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleKind {
+    /// The paper's Equation (2): proportional to cumulative bandwidth
+    /// *received from* each requesting peer — local, unforgeable history.
+    PeerWise,
+    /// The motivating baseline, Equation (3): proportional to requesters'
+    /// *declared* upload capacities. Gameable by over-declaring.
+    GlobalProportional,
+    /// Equal split among requesters (credit-blind).
+    EqualSplit,
+}
+
+/// Per-slot inputs an allocator sees when dividing peer `i`'s uplink.
+#[derive(Debug, Clone)]
+pub struct AllocationInputs<'a> {
+    /// Index of the allocating peer.
+    pub allocator: usize,
+    /// The allocator's available upload capacity this slot (kbps).
+    pub capacity: f64,
+    /// `requesting[j]` — whether user `j` has a request this slot (`I_j(t)`).
+    pub requesting: &'a [bool],
+    /// Every peer's *declared* capacity (used by Eq. 3 only; honest peers
+    /// declare their true μ, adversaries may inflate).
+    pub declared: &'a [f64],
+    /// The global contribution ledger (each peer only ever reads the column
+    /// of transfers it received, preserving the locality property).
+    pub ledger: &'a ContributionLedger,
+}
+
+/// Computes peer `i`'s allocation vector for one slot: `out[j]` is the
+/// bandwidth devoted to user `j`, with `Σ_j out[j] ≤ capacity` and equality
+/// whenever at least one requester has positive weight.
+///
+/// Returns all-zeros when nobody requests (the bandwidth is simply unused
+/// that slot — the "use it or lose it" the system exists to recycle).
+pub fn allocate(rule: RuleKind, inputs: &AllocationInputs<'_>) -> Vec<f64> {
+    let n = inputs.requesting.len();
+    assert_eq!(
+        inputs.declared.len(),
+        n,
+        "declared capacities length mismatch"
+    );
+    assert_eq!(inputs.ledger.len(), n, "ledger size mismatch");
+    let mut weights = vec![0.0f64; n];
+    match rule {
+        RuleKind::PeerWise => {
+            for (j, w) in weights.iter_mut().enumerate() {
+                if inputs.requesting[j] {
+                    // Σ_{k<t} μ_ji(k): what j has given this allocator.
+                    *w = inputs.ledger.cumulative(j, inputs.allocator);
+                }
+            }
+        }
+        RuleKind::GlobalProportional => {
+            for (j, w) in weights.iter_mut().enumerate() {
+                if inputs.requesting[j] {
+                    *w = inputs.declared[j].max(0.0);
+                }
+            }
+        }
+        RuleKind::EqualSplit => {
+            for (j, w) in weights.iter_mut().enumerate() {
+                if inputs.requesting[j] {
+                    *w = 1.0;
+                }
+            }
+        }
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || inputs.capacity <= 0.0 {
+        return vec![0.0; n];
+    }
+    let scale = inputs.capacity / total;
+    for w in &mut weights {
+        *w *= scale;
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger_3() -> ContributionLedger {
+        let mut ledger = ContributionLedger::new(3, 0.0);
+        // Peer 1 has given peer 0 a total of 300; peer 2 has given 100.
+        ledger.credit(1, 0, 300.0);
+        ledger.credit(2, 0, 100.0);
+        ledger
+    }
+
+    #[test]
+    fn peer_wise_splits_by_received_history() {
+        let ledger = ledger_3();
+        let requesting = [false, true, true];
+        let declared = [100.0, 100.0, 100.0];
+        let out = allocate(
+            RuleKind::PeerWise,
+            &AllocationInputs {
+                allocator: 0,
+                capacity: 400.0,
+                requesting: &requesting,
+                declared: &declared,
+                ledger: &ledger,
+            },
+        );
+        assert_eq!(out, vec![0.0, 300.0, 100.0]);
+    }
+
+    #[test]
+    fn peer_wise_ignores_non_requesters() {
+        let ledger = ledger_3();
+        let requesting = [false, false, true];
+        let declared = [100.0; 3];
+        let out = allocate(
+            RuleKind::PeerWise,
+            &AllocationInputs {
+                allocator: 0,
+                capacity: 400.0,
+                requesting: &requesting,
+                declared: &declared,
+                ledger: &ledger,
+            },
+        );
+        assert_eq!(
+            out,
+            vec![0.0, 0.0, 400.0],
+            "entire capacity to the sole requester"
+        );
+    }
+
+    #[test]
+    fn global_proportional_uses_declared() {
+        let ledger = ContributionLedger::new(3, 0.0);
+        let requesting = [true, true, false];
+        let declared = [100.0, 300.0, 999.0];
+        let out = allocate(
+            RuleKind::GlobalProportional,
+            &AllocationInputs {
+                allocator: 2,
+                capacity: 800.0,
+                requesting: &requesting,
+                declared: &declared,
+                ledger: &ledger,
+            },
+        );
+        assert_eq!(out, vec![200.0, 600.0, 0.0]);
+    }
+
+    #[test]
+    fn equal_split_is_uniform() {
+        let ledger = ContributionLedger::new(4, 0.0);
+        let requesting = [true, false, true, true];
+        let declared = [1.0; 4];
+        let out = allocate(
+            RuleKind::EqualSplit,
+            &AllocationInputs {
+                allocator: 1,
+                capacity: 300.0,
+                requesting: &requesting,
+                declared: &declared,
+                ledger: &ledger,
+            },
+        );
+        assert_eq!(out, vec![100.0, 0.0, 100.0, 100.0]);
+    }
+
+    #[test]
+    fn no_requesters_no_allocation() {
+        let ledger = ledger_3();
+        let requesting = [false; 3];
+        let declared = [100.0; 3];
+        for rule in [
+            RuleKind::PeerWise,
+            RuleKind::GlobalProportional,
+            RuleKind::EqualSplit,
+        ] {
+            let out = allocate(
+                rule,
+                &AllocationInputs {
+                    allocator: 0,
+                    capacity: 500.0,
+                    requesting: &requesting,
+                    declared: &declared,
+                    ledger: &ledger,
+                },
+            );
+            assert_eq!(out, vec![0.0; 3]);
+        }
+    }
+
+    #[test]
+    fn zero_weight_requesters_get_nothing_even_alone() {
+        // A free-rider with zero accumulated credit gets nothing under Eq. 2
+        // once its initial credit is exhausted.
+        let ledger = ContributionLedger::new(2, 0.0);
+        let requesting = [false, true];
+        let declared = [100.0; 2];
+        let out = allocate(
+            RuleKind::PeerWise,
+            &AllocationInputs {
+                allocator: 0,
+                capacity: 100.0,
+                requesting: &requesting,
+                declared: &declared,
+                ledger: &ledger,
+            },
+        );
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn allocation_conserves_capacity() {
+        let ledger = ledger_3();
+        let requesting = [true, true, true];
+        let declared = [10.0, 20.0, 30.0];
+        for rule in [
+            RuleKind::PeerWise,
+            RuleKind::GlobalProportional,
+            RuleKind::EqualSplit,
+        ] {
+            let out = allocate(
+                rule,
+                &AllocationInputs {
+                    allocator: 0,
+                    capacity: 123.0,
+                    requesting: &requesting,
+                    declared: &declared,
+                    ledger: &ledger,
+                },
+            );
+            let total: f64 = out.iter().sum();
+            assert!((total - 123.0).abs() < 1e-9, "{rule:?} total {total}");
+            assert!(out.iter().all(|&v| v >= 0.0));
+        }
+    }
+}

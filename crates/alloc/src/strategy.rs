@@ -1,0 +1,199 @@
+//! Peer behaviours: honest rule-followers and the adversarial strategies the
+//! paper's evaluation (and Theorem 1's robustness claim) exercises.
+
+use crate::demand::Demand;
+use crate::rules::RuleKind;
+
+/// A peer's upload capacity over time (kbps).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CapacityProfile {
+    /// Fixed capacity.
+    Constant(f64),
+    /// Piecewise-constant capacity: `(from_slot, kbps)` breakpoints in
+    /// ascending slot order; capacity before the first breakpoint is the
+    /// first value. Models Fig. 8(b)'s 1024 → 512 → 1024 drop/recovery.
+    Piecewise(Vec<(u64, f64)>),
+}
+
+impl CapacityProfile {
+    /// Capacity at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a piecewise profile is empty.
+    pub fn at(&self, slot: u64) -> f64 {
+        match self {
+            CapacityProfile::Constant(c) => *c,
+            CapacityProfile::Piecewise(points) => {
+                assert!(!points.is_empty(), "piecewise profile must have points");
+                let mut current = points[0].1;
+                for &(from, value) in points {
+                    if slot >= from {
+                        current = value;
+                    } else {
+                        break;
+                    }
+                }
+                current
+            }
+        }
+    }
+}
+
+/// How a peer divides (or withholds) its uplink.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Follows an allocation rule from slot 0.
+    Honest(RuleKind),
+    /// Contributes nothing, ever — the pure free-rider.
+    FreeRider,
+    /// Contributes nothing before `start`, honest afterwards (Figs. 7/8(a)).
+    JoinAt {
+        /// First contributing slot.
+        start: u64,
+        /// Rule followed once joined.
+        then: RuleKind,
+    },
+    /// Serves only its own user's requests (operating "in isolation" while
+    /// still occupying the network — a defection strategy).
+    SelfOnly,
+    /// Splits capacity equally among requesters regardless of credit
+    /// (a non-conforming but benign peer).
+    Uniform,
+}
+
+impl Strategy {
+    /// The rule effectively in force at `slot`, or `None` when the peer
+    /// contributes nothing to others.
+    pub fn rule_at(&self, slot: u64) -> Option<EffectiveRule> {
+        match self {
+            Strategy::Honest(rule) => Some(EffectiveRule::Rule(*rule)),
+            Strategy::FreeRider => None,
+            Strategy::JoinAt { start, then } => {
+                if slot >= *start {
+                    Some(EffectiveRule::Rule(*then))
+                } else {
+                    None
+                }
+            }
+            Strategy::SelfOnly => Some(EffectiveRule::SelfOnly),
+            Strategy::Uniform => Some(EffectiveRule::Rule(RuleKind::EqualSplit)),
+        }
+    }
+}
+
+/// Resolved behaviour for one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffectiveRule {
+    /// Allocate by this rule.
+    Rule(RuleKind),
+    /// Give everything to the peer's own user (if requesting).
+    SelfOnly,
+}
+
+/// Full configuration of one peer and its user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerConfig {
+    /// Actual upload capacity over time (kbps).
+    pub capacity: CapacityProfile,
+    /// The user's demand process.
+    pub demand: Demand,
+    /// The peer's allocation behaviour.
+    pub strategy: Strategy,
+    /// Multiplier applied to the capacity this peer *declares* to others
+    /// (only observable through Eq. 3; `1.0` = honest, `>1` = the
+    /// inflated-claim attack the paper uses to motivate Eq. 2).
+    pub declared_factor: f64,
+    /// Optional cap on the user's download rate λ_d (kbps). The paper
+    /// assumes downlinks are never the bottleneck; set this to model one.
+    pub download_cap: Option<f64>,
+}
+
+impl PeerConfig {
+    /// An honest constant-capacity peer running Eq. 2.
+    pub fn honest(capacity_kbps: f64, demand: Demand) -> Self {
+        PeerConfig {
+            capacity: CapacityProfile::Constant(capacity_kbps),
+            demand,
+            strategy: Strategy::Honest(RuleKind::PeerWise),
+            declared_factor: 1.0,
+            download_cap: None,
+        }
+    }
+
+    /// Same peer with a different strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Same peer declaring `factor ×` its true capacity (Eq. 3 gaming).
+    pub fn with_declared_factor(mut self, factor: f64) -> Self {
+        self.declared_factor = factor;
+        self
+    }
+
+    /// Same peer with a download-rate cap (kbps).
+    pub fn with_download_cap(mut self, cap_kbps: f64) -> Self {
+        self.download_cap = Some(cap_kbps);
+        self
+    }
+
+    /// Same peer with a time-varying capacity profile.
+    pub fn with_capacity_profile(mut self, profile: CapacityProfile) -> Self {
+        self.capacity = profile;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_profile() {
+        assert_eq!(CapacityProfile::Constant(512.0).at(0), 512.0);
+        assert_eq!(CapacityProfile::Constant(512.0).at(1_000_000), 512.0);
+    }
+
+    #[test]
+    fn piecewise_profile_steps() {
+        // Fig. 8(b): 1024 kbps, drop to 512 at t=1000, recover at t=3000.
+        let p = CapacityProfile::Piecewise(vec![(0, 1024.0), (1000, 512.0), (3000, 1024.0)]);
+        assert_eq!(p.at(0), 1024.0);
+        assert_eq!(p.at(999), 1024.0);
+        assert_eq!(p.at(1000), 512.0);
+        assert_eq!(p.at(2999), 512.0);
+        assert_eq!(p.at(3000), 1024.0);
+    }
+
+    #[test]
+    fn join_at_switches_on() {
+        let s = Strategy::JoinAt {
+            start: 100,
+            then: RuleKind::PeerWise,
+        };
+        assert_eq!(s.rule_at(99), None);
+        assert_eq!(
+            s.rule_at(100),
+            Some(EffectiveRule::Rule(RuleKind::PeerWise))
+        );
+    }
+
+    #[test]
+    fn free_rider_never_contributes() {
+        assert_eq!(Strategy::FreeRider.rule_at(0), None);
+        assert_eq!(Strategy::FreeRider.rule_at(u64::MAX), None);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let p = PeerConfig::honest(256.0, Demand::Saturated)
+            .with_declared_factor(10.0)
+            .with_download_cap(3000.0)
+            .with_strategy(Strategy::Uniform);
+        assert_eq!(p.declared_factor, 10.0);
+        assert_eq!(p.download_cap, Some(3000.0));
+        assert_eq!(p.strategy, Strategy::Uniform);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the allocation engine under randomized
+//! populations: conservation, non-negativity, rule invariance, and the
+//! Theorem-1 inequality on random instances.
+
+use asymshare_alloc::{
+    theorem1_lower_bound, Demand, PeerConfig, RuleKind, SimConfig, SlotSimulator,
+    Strategy as PeerStrategy,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Population {
+    caps: Vec<f64>,
+    gammas: Vec<f64>,
+    free_riders: Vec<bool>,
+}
+
+fn arb_population() -> impl Strategy<Value = Population> {
+    (2usize..8).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(50.0f64..1500.0, n),
+            proptest::collection::vec(0.05f64..1.0, n),
+            proptest::collection::vec(any::<bool>(), n),
+        )
+            .prop_map(|(caps, gammas, mut free_riders)| {
+                // Keep at least one honest contributor so the system is live.
+                free_riders[0] = false;
+                Population {
+                    caps,
+                    gammas,
+                    free_riders,
+                }
+            })
+    })
+}
+
+fn build(p: &Population, rule: RuleKind, seed: u64) -> SlotSimulator {
+    let peers: Vec<PeerConfig> = p
+        .caps
+        .iter()
+        .zip(&p.gammas)
+        .zip(&p.free_riders)
+        .map(|((&c, &gamma), &rider)| {
+            let cfg = PeerConfig::honest(c, Demand::Bernoulli { gamma });
+            if rider {
+                cfg.with_strategy(PeerStrategy::FreeRider)
+            } else {
+                cfg
+            }
+        })
+        .collect();
+    SlotSimulator::new(SimConfig::new(peers, rule).with_seed(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Per-slot conservation under every rule: total download equals total
+    /// contributed upload, and no peer uploads beyond its capacity.
+    #[test]
+    fn bandwidth_conserved_per_slot(p in arb_population(), seed in any::<u64>()) {
+        for rule in [RuleKind::PeerWise, RuleKind::GlobalProportional, RuleKind::EqualSplit] {
+            let trace = build(&p, rule, seed).run(200);
+            for t in 0..200usize {
+                let down: f64 = (0..p.caps.len()).map(|j| trace.download_series(j)[t]).sum();
+                let up: f64 = (0..p.caps.len()).map(|i| trace.upload_series(i)[t]).sum();
+                prop_assert!((down - up).abs() < 1e-6, "{rule:?} slot {t}: {down} vs {up}");
+                for (i, &cap) in p.caps.iter().enumerate() {
+                    let u = trace.upload_series(i)[t];
+                    prop_assert!(u <= cap + 1e-9, "{rule:?} peer {i} over capacity");
+                    prop_assert!(u >= 0.0);
+                    prop_assert!(trace.download_series(i)[t] >= 0.0);
+                }
+            }
+        }
+    }
+
+    /// Nobody downloads in a slot where they did not request.
+    #[test]
+    fn no_unrequested_service(p in arb_population(), seed in any::<u64>()) {
+        let trace = build(&p, RuleKind::PeerWise, seed).run(300);
+        for j in 0..p.caps.len() {
+            for t in 0..300usize {
+                if !trace.was_requesting(j, t) {
+                    prop_assert_eq!(trace.download_series(j)[t], 0.0, "peer {} slot {}", j, t);
+                }
+            }
+        }
+    }
+
+    /// Theorem 1's inequality holds on random honest populations.
+    #[test]
+    fn theorem1_holds_on_random_instances(p in arb_population(), seed in any::<u64>()) {
+        // Honest version of the population (the theorem assumes the user in
+        // question cooperates; we check it for all-honest networks here).
+        let honest = Population { free_riders: vec![false; p.caps.len()], ..p.clone() };
+        let slots = 8_000u64;
+        let trace = build(&honest, RuleKind::PeerWise, seed).run(slots);
+        let bound = theorem1_lower_bound(&honest.gammas, &honest.caps, trace.ledger(), slots);
+        for i in 0..honest.caps.len() {
+            let rate = trace.long_run_rate(i);
+            // 10% slack for finite-horizon noise at small gamma.
+            prop_assert!(
+                rate >= bound[i] * 0.9 - 2.0,
+                "user {i}: rate {rate:.1} vs bound {:.1}", bound[i]
+            );
+        }
+    }
+
+    /// Free-riders never do better than the honest peer with the smallest
+    /// capacity under the peer-wise rule (asymptotically they starve; even
+    /// at finite horizons they must not lead).
+    #[test]
+    fn free_riders_never_lead_under_peer_wise(p in arb_population(), seed in any::<u64>()) {
+        prop_assume!(p.free_riders.iter().any(|&r| r));
+        let trace = build(&p, RuleKind::PeerWise, seed).run(6_000);
+        let honest_best = p
+            .free_riders
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| !r)
+            .map(|(i, _)| trace.mean_download_rate(i, 4_000..6_000) / p.gammas[i].max(1e-9))
+            .fold(f64::NEG_INFINITY, f64::max);
+        for (i, &rider) in p.free_riders.iter().enumerate() {
+            if rider {
+                let rate = trace.mean_download_rate(i, 4_000..6_000) / p.gammas[i].max(1e-9);
+                prop_assert!(
+                    rate <= honest_best + 1.0,
+                    "rider {i} ({rate:.1}) leads honest best ({honest_best:.1})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Allocation-engine throughput: simulated slots per second as the network
+//! grows (the per-slot cost is O(n²) ledger reads per peer pair).
+
+use asymshare_alloc::{Demand, PeerConfig, RuleKind, SimConfig, SlotSimulator};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn peers(n: usize) -> Vec<PeerConfig> {
+    (0..n)
+        .map(|i| PeerConfig::honest(100.0 + (i as f64) * 10.0, Demand::Bernoulli { gamma: 0.5 }))
+        .collect()
+}
+
+fn benches(c: &mut Criterion) {
+    for n in [10usize, 50, 100] {
+        let mut group = c.benchmark_group(format!("alloc/slots/{n}_peers"));
+        group.throughput(Throughput::Elements(1000));
+        for rule in [RuleKind::PeerWise, RuleKind::GlobalProportional] {
+            group.bench_function(format!("{rule:?}"), |b| {
+                b.iter(|| {
+                    let sim = SlotSimulator::new(SimConfig::new(peers(n), rule).with_seed(1));
+                    black_box(sim.run(1000))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(alloc_step, benches);
+criterion_main!(alloc_step);

@@ -1,0 +1,44 @@
+//! Flow-simulator throughput: completed flows per second with many
+//! concurrent flows contending (each completion triggers a full max-min
+//! re-rate, so this measures the engine's O(flows × resources) core).
+
+use asymshare_netsim::{LinkSpeed, SimNet};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn run_mesh(nodes: usize, flows_per_node: usize) -> usize {
+    let mut net = SimNet::new();
+    let ids: Vec<_> = (0..nodes)
+        .map(|i| net.add_node(LinkSpeed::kbps(256.0 + i as f64), LinkSpeed::kbps(3000.0)))
+        .collect();
+    let mut tag = 0u64;
+    for (i, &src) in ids.iter().enumerate() {
+        for f in 0..flows_per_node {
+            let dst = ids[(i + f + 1) % nodes];
+            if src != dst {
+                net.start_flow(src, dst, 10_000 + (tag % 7) * 1000, tag);
+                tag += 1;
+            }
+        }
+    }
+    let mut completed = 0;
+    while net.step().is_some() {
+        completed += 1;
+    }
+    completed
+}
+
+fn benches(c: &mut Criterion) {
+    for (nodes, fpn) in [(10usize, 4usize), (50, 4), (100, 2)] {
+        let total = run_mesh(nodes, fpn);
+        let mut group = c.benchmark_group(format!("netsim/{nodes}_nodes"));
+        group.sample_size(20);
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_function(format!("{fpn}_flows_each"), |b| {
+            b.iter(|| black_box(run_mesh(nodes, fpn)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(netsim_engine, benches);
+criterion_main!(netsim_engine);

@@ -1,0 +1,55 @@
+//! Criterion version of Table II: 1 MB encode/decode at the paper's
+//! recommended parameters, plus the GF(2³²) column sweep. The `table2`
+//! binary prints the full 24-cell grid; this bench gives statistically
+//! solid numbers for the headline cells.
+
+use asymshare_crypto::rng::SecretKey;
+use asymshare_gf::{Field, Gf16, Gf256, Gf2p32, Gf65536};
+use asymshare_rlnc::{BlockDecoder, CodingParams, Encoder, FileId, MEGABYTE};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn data_1mb() -> Vec<u8> {
+    (0..MEGABYTE).map(|i| (i * 131 % 251) as u8).collect()
+}
+
+fn bench_cell<F: Field>(c: &mut Criterion, m: usize) {
+    let params = CodingParams::for_1mb(F::KIND, m).expect("valid cell");
+    let k = params.k();
+    let name = format!("rlnc/1MB/{}/m2e{}", F::KIND, m.trailing_zeros());
+    let data = data_1mb();
+    let secret = SecretKey::from_passphrase("bench");
+    let encoder = Encoder::<F>::new(params, secret.clone(), FileId(1), &data).expect("encoder");
+    let batch = encoder.encode_batch(0, k).expect("batch");
+
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(MEGABYTE as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(encoder.encode_batch(0, k).expect("batch")))
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut dec = BlockDecoder::<F>::new(params, secret.clone(), FileId(1), data.len());
+            for msg in batch.clone() {
+                dec.add_message(msg).expect("accept");
+            }
+            black_box(dec.decode().expect("decode"))
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    // The paper's recommended operating point: q = 2^32, m = 2^15, k = 8.
+    bench_cell::<Gf2p32>(c, 1 << 15);
+    // One representative cell per field at m = 2^15 (Table II column 3).
+    bench_cell::<Gf65536>(c, 1 << 15);
+    bench_cell::<Gf256>(c, 1 << 15);
+    bench_cell::<Gf16>(c, 1 << 15);
+    // GF(2^32) fast corner and slow corner.
+    bench_cell::<Gf2p32>(c, 1 << 18);
+    bench_cell::<Gf2p32>(c, 1 << 13);
+}
+
+criterion_group!(rlnc_codec, benches);
+criterion_main!(rlnc_codec);

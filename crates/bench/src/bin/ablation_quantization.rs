@@ -1,0 +1,79 @@
+//! Ablation: message size vs. fairness quantization (§III-D).
+//!
+//! The paper bounds message sizes because "large message sizes m … dilute
+//! our notion of fairness by introducing quantization errors when nodes
+//! divide up their upload bandwidth". We measure exactly that on the full
+//! stack: one peer serves two users whose Eq.-2 credits stand at 3 : 1, and
+//! we compare the *realized* byte split against the ideal over a short
+//! window, as the per-message payload grows from 1 KB to 64 KB.
+
+use asymshare::{Identity, RuntimeConfig, SimRuntime};
+use asymshare_netsim::LinkSpeed;
+use asymshare_rlnc::FileId;
+
+/// Realized A:B byte ratio after `window` slots with the given chunk size
+/// (message payload = chunk_size / k).
+fn realized_ratio(chunk_size: usize, window: u64) -> (f64, f64) {
+    let k = 8usize;
+    let mut rt = SimRuntime::new(RuntimeConfig {
+        k,
+        chunk_size,
+        feedback_every_slots: u64::MAX, // freeze credits at the preset 3:1
+        ..RuntimeConfig::default()
+    });
+    let up = LinkSpeed::kbps(1024.0);
+    let down = LinkSpeed::kbps(10_000.0);
+    let a = rt.add_participant(Identity::from_seed(b"qa"), up, down);
+    let b = rt.add_participant(Identity::from_seed(b"qb"), up, down);
+    let x = rt.add_participant(Identity::from_seed(b"qx"), up, down);
+
+    // Large enough that neither download finishes inside the window.
+    let file_a: Vec<u8> = (0..4 << 20).map(|i| (i % 251) as u8).collect();
+    let file_b: Vec<u8> = (0..4 << 20).map(|i| (i % 241) as u8).collect();
+    let (man_a, _) = rt.disseminate(a, FileId(1), &file_a, &[x]).unwrap();
+    let (man_b, _) = rt.disseminate(b, FileId(2), &file_b, &[x]).unwrap();
+
+    let a_key = rt.peer_mut(a).identity().public_key().to_bytes();
+    let b_key = rt.peer_mut(b).identity().public_key().to_bytes();
+    rt.peer_mut(x).credit_direct(a_key, 3_000_000.0);
+    rt.peer_mut(x).credit_direct(b_key, 1_000_000.0);
+
+    let s_a = rt.start_download(a, man_a, up, down, &[x]).unwrap();
+    let s_b = rt.start_download(b, man_b, up, down, &[x]).unwrap();
+    rt.run_slots(window);
+    let bytes_a = rt.progress(s_a) * file_a.len() as f64;
+    let bytes_b = rt.progress(s_b) * file_b.len() as f64;
+    (bytes_a, bytes_b)
+}
+
+fn main() {
+    println!("== ablation: per-message payload size vs short-window fairness");
+    println!("   one 1024 kbps peer, two users credited 3:1, window = 20 slots\n");
+    println!(
+        "{:<16}{:>14}{:>14}{:>16}",
+        "msg payload", "A bytes", "B bytes", "ratio (ideal 3.0)"
+    );
+    let mut rows = Vec::new();
+    for chunk_kb in [8usize, 32, 128, 512] {
+        let (a, b) = realized_ratio(chunk_kb * 1024, 20);
+        let ratio = if b > 0.0 { a / b } else { f64::INFINITY };
+        println!(
+            "{:<16}{:>14.0}{:>14.0}{:>16.2}",
+            format!("{} KB", chunk_kb / 8),
+            a,
+            b,
+            ratio
+        );
+        rows.push((chunk_kb, ratio));
+    }
+    println!("\n   expected shape: small messages track the 3:1 ideal closely;");
+    println!("   64 KB messages quantize the short-window split visibly —");
+    println!("   the paper's reason for capping chunks at 1 MB (=> 128 KB messages at k=8).");
+
+    let small_err = (rows[0].1 - 3.0).abs();
+    let large_err = (rows[3].1 - 3.0).abs();
+    println!(
+        "\n   short-window deviation from ideal: {:.2} (1 KB msgs) vs {:.2} (64 KB msgs)",
+        small_err, large_err
+    );
+}

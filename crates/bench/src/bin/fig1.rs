@@ -1,0 +1,90 @@
+//! Figure 1: transmission time vs. size for asymmetric link directions,
+//! with the paper's annotated payload examples — computed analytically and
+//! cross-checked against the flow simulator.
+
+use asymshare_netsim::{LinkSpeed, SimNet};
+use asymshare_workloads::catalog::{transfer_secs, CABLE, DIALUP, FIG1_PAYLOADS};
+use std::fs;
+use std::io::Write;
+
+fn main() {
+    println!("== fig1: upload vs download transmission times (log-log sweep)");
+    let curves = [
+        ("dialup up @28kbps", DIALUP.up_kbps),
+        ("dialup down @56kbps", DIALUP.down_kbps),
+        ("cable up @256kbps", CABLE.up_kbps),
+        ("cable down @3Mbps", CABLE.down_kbps),
+    ];
+
+    fs::create_dir_all(asymshare_bench::RESULTS_DIR).expect("results dir");
+    let mut csv = fs::File::create("results/fig1.csv").expect("create csv");
+    write!(csv, "size_mb").unwrap();
+    for (name, _) in &curves {
+        write!(csv, ",{name}").unwrap();
+    }
+    writeln!(csv).unwrap();
+
+    // x-axis: 10^0 .. 10^5 MB, log-spaced like the paper's plot.
+    for exp10 in 0..=50 {
+        let size_mb = 10f64.powf(exp10 as f64 / 10.0);
+        let bytes = (size_mb * 1048576.0) as u64;
+        write!(csv, "{size_mb:.3}").unwrap();
+        for (_, kbps) in &curves {
+            write!(csv, ",{:.1}", transfer_secs(bytes, *kbps)).unwrap();
+        }
+        writeln!(csv).unwrap();
+    }
+    println!("   wrote results/fig1.csv (51 log-spaced sizes x 4 curves)");
+
+    println!("\n   annotated payloads (paper's markers):");
+    println!(
+        "   {:<45}{:>12}{:>16}{:>16}",
+        "payload", "size", "cable up", "cable down"
+    );
+    for p in FIG1_PAYLOADS {
+        let up = transfer_secs(p.bytes, CABLE.up_kbps);
+        let down = transfer_secs(p.bytes, CABLE.down_kbps);
+        println!(
+            "   {:<45}{:>9} MB{:>16}{:>16}",
+            p.name,
+            p.bytes >> 20,
+            pretty(up),
+            pretty(down)
+        );
+    }
+
+    // Cross-check one point end-to-end in the flow simulator.
+    let gb = 1u64 << 30;
+    let mut net = SimNet::new();
+    let home = net.add_node(
+        LinkSpeed::kbps(CABLE.up_kbps),
+        LinkSpeed::kbps(CABLE.down_kbps),
+    );
+    let remote = net.add_node(LinkSpeed::mbps(100.0), LinkSpeed::mbps(100.0));
+    net.start_flow(home, remote, gb, 0);
+    let simulated = net.step().expect("flow completes").at.as_secs();
+    let analytic = transfer_secs(gb, CABLE.up_kbps);
+    println!(
+        "\n   cross-check (1 GB up a cable modem): analytic {} vs simulated {} (delta {:.2e}s)",
+        pretty(analytic),
+        pretty(simulated),
+        (analytic - simulated).abs()
+    );
+    println!(
+        "   paper's headline: 1-hour MPEG-2 home video ~{} up vs ~{} down",
+        pretty(transfer_secs(gb, CABLE.up_kbps)),
+        pretty(transfer_secs(gb, CABLE.down_kbps))
+    );
+}
+
+fn pretty(secs: f64) -> String {
+    if secs >= 86_400.0 {
+        format!("{:.1} days", secs / 86_400.0)
+    } else if secs >= 3_600.0 {
+        format!("{:.1} hours", secs / 3_600.0)
+    } else if secs >= 60.0 {
+        format!("{:.1} min", secs / 60.0)
+    } else {
+        format!("{secs:.1} s")
+    }
+}

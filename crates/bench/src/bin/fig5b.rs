@@ -1,0 +1,13 @@
+//! Figure 5b: see `asymshare_workloads::scenarios::fig5b` for the exact
+//! parameters. Prints tail-mean rates and writes `results/fig5b.csv`.
+
+use asymshare_bench::run_and_emit;
+use asymshare_workloads::scenarios;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    run_and_emit(scenarios::fig5b(seed), 10);
+}

@@ -1,0 +1,13 @@
+//! Figure 8a: see `asymshare_workloads::scenarios::fig8a` for the exact
+//! parameters. Prints tail-mean rates and writes `results/fig8a.csv`.
+
+use asymshare_bench::run_and_emit;
+use asymshare_workloads::scenarios;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    run_and_emit(scenarios::fig8a(seed), 10);
+}

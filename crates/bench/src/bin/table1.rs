@@ -1,0 +1,47 @@
+//! Table I: the number of messages `k` required to encode 1 MB of data for
+//! every (field size q, message length m) combination — computed from the
+//! implementation's own parameter derivation and checked against the
+//! paper's published values.
+
+use asymshare_bench::print_grid_table;
+use asymshare_gf::FieldKind;
+use asymshare_rlnc::table_one_entry;
+
+/// The paper's Table I, verbatim, for the check column.
+const PAPER: [(FieldKind, [usize; 6]); 4] = [
+    (FieldKind::Gf16, [256, 128, 64, 32, 16, 8]),
+    (FieldKind::Gf256, [128, 64, 32, 16, 8, 4]),
+    (FieldKind::Gf65536, [64, 32, 16, 8, 4, 2]),
+    (FieldKind::Gf2p32, [32, 16, 8, 4, 2, 1]),
+];
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut mismatches = 0;
+    for (field, paper_row) in PAPER {
+        let mut cells = Vec::new();
+        for (col, expect) in paper_row.iter().enumerate() {
+            let m = 1usize << (13 + col);
+            let k = table_one_entry(field, m)
+                .expect("power-of-two m divides 1MB")
+                .k;
+            if k != *expect {
+                mismatches += 1;
+                cells.push(format!("{k}!={expect}"));
+            } else {
+                cells.push(k.to_string());
+            }
+        }
+        rows.push((field.to_string(), cells));
+    }
+    print_grid_table(
+        "Table I: number of messages k to encode 1MB (rows: q, cols: m)",
+        &rows,
+    );
+    if mismatches == 0 {
+        println!("   all 24 cells match the paper exactly");
+    } else {
+        println!("   WARNING: {mismatches} cells disagree with the paper");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Shared harness code for the figure/table regeneration binaries.
+//!
+//! Each `src/bin/*.rs` binary regenerates one table or figure from the
+//! paper: it runs the corresponding scenario, prints a human-readable
+//! summary to stdout, and writes the full data series as CSV under
+//! `results/` (created on demand, relative to the working directory).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use asymshare_alloc::SlotSimulator;
+use asymshare_workloads::scenarios::Scenario;
+use asymshare_workloads::series::{decimate, decimated_times, write_csv};
+use std::fs;
+use std::path::PathBuf;
+
+/// Where figure CSVs land.
+pub const RESULTS_DIR: &str = "results";
+
+/// Runs a figure scenario, writes `results/<id>.csv` (smoothed, decimated
+/// download-rate series per peer) and returns the per-peer tail means for
+/// the summary printout.
+///
+/// # Panics
+///
+/// Panics on I/O errors (these binaries are leaf tools; failing loudly is
+/// the right behaviour).
+pub fn run_and_emit(scenario: Scenario, decimation: usize) -> Vec<f64> {
+    let Scenario {
+        id,
+        title,
+        config,
+        slots,
+        labels,
+        smoothing,
+    } = scenario;
+    println!("== {id}: {title}");
+    let n = labels.len();
+    let trace = SlotSimulator::new(config).run(slots);
+
+    let mut columns = Vec::with_capacity(n);
+    for (j, label) in labels.iter().enumerate() {
+        let smoothed = trace.smoothed_download(j, smoothing);
+        columns.push((label.clone(), decimate(&smoothed, decimation)));
+    }
+    let times = decimated_times(slots as usize, decimation);
+
+    fs::create_dir_all(RESULTS_DIR).expect("create results dir");
+    let path: PathBuf = [RESULTS_DIR, &format!("{id}.csv")].iter().collect();
+    let mut file = fs::File::create(&path).expect("create csv");
+    write_csv(&mut file, "time_s", &times, &columns).expect("write csv");
+    println!(
+        "   wrote {} ({} samples x {} series)",
+        path.display(),
+        times.len(),
+        n
+    );
+
+    // Tail means (last 10% of the run) for the console summary.
+    let tail_start = (slots as usize) * 9 / 10;
+    let tails: Vec<f64> = (0..n)
+        .map(|j| trace.mean_download_rate(j, tail_start..slots as usize))
+        .collect();
+    for (label, tail) in labels.iter().zip(&tails) {
+        println!("   {label:<55} tail mean = {tail:8.1} kbps");
+    }
+    tails
+}
+
+/// Renders a numeric table in the paper's layout: rows = fields, columns =
+/// message lengths m = 2^13 … 2^18.
+pub fn print_grid_table(caption: &str, rows: &[(String, Vec<String>)]) {
+    println!("== {caption}");
+    print!("{:<10}", "q \\ m");
+    for e in 13..=18 {
+        print!("{:>10}", format!("2^{e}"));
+    }
+    println!();
+    for (name, cells) in rows {
+        print!("{name:<10}");
+        for c in cells {
+            print!("{c:>10}");
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_table_prints_without_panicking() {
+        print_grid_table(
+            "demo",
+            &[(
+                "GF(2^8)".to_owned(),
+                (0..6).map(|i| i.to_string()).collect(),
+            )],
+        );
+    }
+}

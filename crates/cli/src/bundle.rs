@@ -1,0 +1,77 @@
+//! The on-disk bundle format: a magic header followed by length-prefixed
+//! wire messages.
+
+use asymshare_rlnc::{CodecError, EncodedMessage};
+
+const MAGIC: &[u8; 8] = b"ASYMBND1";
+
+/// Serializes a batch of messages into one bundle buffer.
+pub fn write_bundle(messages: &[EncodedMessage]) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(8 + 4 + messages.iter().map(|m| 4 + m.wire_len()).sum::<usize>());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(messages.len() as u32).to_le_bytes());
+    for m in messages {
+        let wire = m.to_wire();
+        out.extend_from_slice(&(wire.len() as u32).to_le_bytes());
+        out.extend_from_slice(&wire);
+    }
+    out
+}
+
+/// Parses a bundle buffer back into messages.
+pub fn read_bundle(buf: &[u8]) -> Result<Vec<EncodedMessage>, CodecError> {
+    fn take<'a>(buf: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8], CodecError> {
+        if buf.len() < n {
+            return Err(CodecError::Malformed {
+                reason: format!("truncated bundle: {what}"),
+            });
+        }
+        let (head, tail) = buf.split_at(n);
+        *buf = tail;
+        Ok(head)
+    }
+    let mut buf = buf;
+    if take(&mut buf, 8, "magic")? != MAGIC {
+        return Err(CodecError::Malformed {
+            reason: "bad bundle magic".to_owned(),
+        });
+    }
+    let count = u32::from_le_bytes(take(&mut buf, 4, "count")?.try_into().expect("4 bytes"));
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let len = u32::from_le_bytes(
+            take(&mut buf, 4, "message length")?
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        out.push(EncodedMessage::from_wire(take(&mut buf, len, "message")?)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asymshare_rlnc::{FileId, MessageId};
+
+    #[test]
+    fn round_trips() {
+        let msgs = vec![
+            EncodedMessage::new(FileId(1), MessageId(0), vec![1, 2, 3]),
+            EncodedMessage::new(FileId(1), MessageId(1), vec![4; 100]),
+        ];
+        assert_eq!(read_bundle(&write_bundle(&msgs)).unwrap(), msgs);
+        assert_eq!(read_bundle(&write_bundle(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let msgs = vec![EncodedMessage::new(FileId(1), MessageId(0), vec![1, 2, 3])];
+        let buf = write_bundle(&msgs);
+        assert!(read_bundle(&buf[..buf.len() - 1]).is_err());
+        let mut bad = buf.clone();
+        bad[0] ^= 1;
+        assert!(read_bundle(&bad).is_err());
+    }
+}

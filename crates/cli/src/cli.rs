@@ -1,0 +1,352 @@
+//! Argument parsing and command implementations.
+
+use crate::bundle;
+use asymshare_crypto::rng::SecretKey;
+use asymshare_gf::{FieldKind, Gf2p32};
+use asymshare_rlnc::{ChunkedDecoder, ChunkedEncoder, DigestKind, FileId, FileManifest};
+use std::fs;
+use std::path::Path;
+
+/// Usage text shown on errors.
+pub const USAGE: &str = "usage:
+  asymshare keygen  <keyfile>
+  asymshare encode  --key <keyfile> --input <file> [--peers N] [--k K] [--file-id ID] [--out DIR]
+  asymshare decode  --key <keyfile> --manifest <path> --output <file> <bundle>...
+  asymshare inspect --manifest <path>";
+
+/// Entry point; returns a user-facing error string on failure.
+pub fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("keygen") => keygen(&args[1..]),
+        Some("encode") => encode(&args[1..]),
+        Some("decode") => decode(&args[1..]),
+        Some("inspect") => inspect(&args[1..]),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("no command given".to_owned()),
+    }
+}
+
+/// Fetches the value following `--flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Positional arguments: everything not a flag or a flag's value.
+fn positionals(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+        } else {
+            out.push(a.as_str());
+        }
+    }
+    out
+}
+
+fn load_key(path: &str) -> Result<SecretKey, String> {
+    let hex = fs::read_to_string(path).map_err(|e| format!("reading key file {path}: {e}"))?;
+    let hex = hex.trim();
+    if hex.len() != 64 {
+        return Err(format!(
+            "key file must hold 64 hex chars, found {}",
+            hex.len()
+        ));
+    }
+    let mut bytes = [0u8; 32];
+    for (i, b) in bytes.iter_mut().enumerate() {
+        *b = u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16)
+            .map_err(|e| format!("bad hex in key file: {e}"))?;
+    }
+    Ok(SecretKey::from_bytes(bytes))
+}
+
+fn keygen(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("keygen needs an output path")?;
+    if Path::new(path).exists() {
+        return Err(format!(
+            "{path} already exists; refusing to overwrite a key"
+        ));
+    }
+    // OS entropy; /dev/urandom exists on every platform this tool targets.
+    // The device is an infinite stream — read exactly 32 bytes.
+    let raw = (|| -> std::io::Result<[u8; 32]> {
+        use std::io::Read;
+        let mut f = fs::File::open("/dev/urandom")?;
+        let mut buf = [0u8; 32];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    })()
+    .ok();
+    let entropy: Vec<u8> = match raw {
+        Some(v) => v.to_vec(),
+        None => {
+            // Fallback: hash the current time (documented as weaker).
+            let t = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_err(|e| e.to_string())?;
+            asymshare_crypto::sha256::Sha256::digest_parts(&[
+                b"asymshare.keygen.fallback",
+                &t.as_nanos().to_le_bytes(),
+            ])
+            .0
+            .to_vec()
+        }
+    };
+    let hex: String = entropy.iter().map(|b| format!("{b:02x}")).collect();
+    fs::write(path, format!("{hex}\n")).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("wrote secret key to {path} — keep it private; it is the file privacy");
+    Ok(())
+}
+
+fn encode(args: &[String]) -> Result<(), String> {
+    let key = load_key(flag_value(args, "--key").ok_or("--key is required")?)?;
+    let input = flag_value(args, "--input").ok_or("--input is required")?;
+    let peers: usize = flag_value(args, "--peers")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "--peers must be a number")?;
+    let k: usize = flag_value(args, "--k")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|_| "--k must be a number")?;
+    let file_id: u64 = flag_value(args, "--file-id")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "--file-id must be a number")?;
+    let out_dir = flag_value(args, "--out").unwrap_or("asymshare-out");
+    if peers == 0 {
+        return Err("--peers must be at least 1".to_owned());
+    }
+
+    let data = fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let mut enc = ChunkedEncoder::<Gf2p32>::new(
+        FieldKind::Gf2p32,
+        k,
+        DigestKind::Md5,
+        key,
+        FileId(file_id),
+        &data,
+    )
+    .map_err(|e| e.to_string())?;
+    let batches = enc.encode_for_peers(peers).map_err(|e| e.to_string())?;
+
+    fs::create_dir_all(out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
+    let mut total = 0usize;
+    for (i, batch) in batches.iter().enumerate() {
+        let path = format!("{out_dir}/peer{i}.bundle");
+        let bytes = bundle::write_bundle(batch);
+        total += bytes.len();
+        fs::write(&path, bytes).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    let manifest_path = format!("{out_dir}/manifest.asym");
+    fs::write(&manifest_path, enc.manifest().to_bytes())
+        .map_err(|e| format!("writing {manifest_path}: {e}"))?;
+    println!(
+        "encoded {} bytes into {} bundles ({} coded bytes, {} chunks, k={k}) under {out_dir}/",
+        data.len(),
+        peers,
+        total,
+        enc.chunk_count(),
+    );
+    println!(
+        "manifest: {manifest_path} ({} bytes — carry this with you)",
+        enc.manifest().to_bytes().len()
+    );
+    Ok(())
+}
+
+fn decode(args: &[String]) -> Result<(), String> {
+    let key = load_key(flag_value(args, "--key").ok_or("--key is required")?)?;
+    let manifest_path = flag_value(args, "--manifest").ok_or("--manifest is required")?;
+    let output = flag_value(args, "--output").ok_or("--output is required")?;
+    let bundles = positionals(args);
+    if bundles.is_empty() {
+        return Err("at least one bundle file is required".to_owned());
+    }
+
+    let manifest_bytes =
+        fs::read(manifest_path).map_err(|e| format!("reading {manifest_path}: {e}"))?;
+    let manifest = FileManifest::from_bytes(&manifest_bytes).map_err(|e| e.to_string())?;
+    let mut dec = ChunkedDecoder::<Gf2p32>::new(manifest, key).map_err(|e| e.to_string())?;
+
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    for path in &bundles {
+        let buf = fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+        for msg in bundle::read_bundle(&buf).map_err(|e| format!("{path}: {e}"))? {
+            match dec.add_message(msg) {
+                Ok(true) => accepted += 1,
+                Ok(false) => {}
+                Err(_) => rejected += 1,
+            }
+            if dec.is_complete() {
+                break;
+            }
+        }
+        if dec.is_complete() {
+            break;
+        }
+    }
+    if !dec.is_complete() {
+        return Err(format!(
+            "not enough independent messages: {:.0}% decoded ({} accepted, {} failed authentication)",
+            dec.progress() * 100.0,
+            accepted,
+            rejected
+        ));
+    }
+    let data = dec.decode().map_err(|e| e.to_string())?;
+    fs::write(output, &data).map_err(|e| format!("writing {output}: {e}"))?;
+    println!(
+        "decoded {} bytes to {output} ({accepted} innovative messages{})",
+        data.len(),
+        if rejected > 0 {
+            format!(", {rejected} rejected by digest authentication")
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
+fn inspect(args: &[String]) -> Result<(), String> {
+    let manifest_path = flag_value(args, "--manifest").ok_or("--manifest is required")?;
+    let bytes = fs::read(manifest_path).map_err(|e| format!("reading {manifest_path}: {e}"))?;
+    let manifest = FileManifest::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    println!("file id:        {}", manifest.file_id());
+    println!("plaintext size: {} bytes", manifest.total_len());
+    println!("chunks:         {}", manifest.chunk_count());
+    println!(
+        "k per chunk:    {}",
+        manifest.messages_needed() / manifest.chunk_count() as usize
+    );
+    println!(
+        "digest list:    {} entries, {} bytes ({:?})",
+        manifest.auth().len(),
+        manifest.auth().overhead_bytes(),
+        manifest.auth().kind()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir =
+            std::env::temp_dir().join(format!("asymshare-cli-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.to_str().unwrap().to_owned()
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn full_cli_round_trip() {
+        let dir = tmp("round");
+        let keyfile = format!("{dir}/me.key");
+        let input = format!("{dir}/input.bin");
+        let out = format!("{dir}/out");
+        let restored = format!("{dir}/restored.bin");
+        let payload: Vec<u8> = (0..50_000).map(|i| (i % 251) as u8).collect();
+        fs::write(&input, &payload).unwrap();
+
+        run(&s(&["keygen", &keyfile])).unwrap();
+        run(&s(&[
+            "encode", "--key", &keyfile, "--input", &input, "--peers", "3", "--k", "4", "--out",
+            &out,
+        ]))
+        .unwrap();
+        // Decode from a single bundle (each is independently sufficient).
+        run(&s(&[
+            "decode",
+            "--key",
+            &keyfile,
+            "--manifest",
+            &format!("{out}/manifest.asym"),
+            "--output",
+            &restored,
+            &format!("{out}/peer1.bundle"),
+        ]))
+        .unwrap();
+        assert_eq!(fs::read(&restored).unwrap(), payload);
+
+        run(&s(&[
+            "inspect",
+            "--manifest",
+            &format!("{out}/manifest.asym"),
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn wrong_key_fails_decode() {
+        let dir = tmp("wrongkey");
+        let keyfile = format!("{dir}/a.key");
+        let otherkey = format!("{dir}/b.key");
+        let input = format!("{dir}/input.bin");
+        let out = format!("{dir}/out");
+        fs::write(&input, vec![7u8; 10_000]).unwrap();
+        run(&s(&["keygen", &keyfile])).unwrap();
+        run(&s(&["keygen", &otherkey])).unwrap();
+        run(&s(&[
+            "encode", "--key", &keyfile, "--input", &input, "--peers", "1", "--k", "4", "--out",
+            &out,
+        ]))
+        .unwrap();
+        let result = run(&s(&[
+            "decode",
+            "--key",
+            &otherkey,
+            "--manifest",
+            &format!("{out}/manifest.asym"),
+            "--output",
+            &format!("{dir}/x.bin"),
+            &format!("{out}/peer0.bundle"),
+        ]));
+        // With the wrong key either rank never completes or the output is
+        // garbage; the CLI must not silently "succeed" with correct bytes.
+        match result {
+            Err(_) => {}
+            Ok(()) => {
+                assert_ne!(fs::read(format!("{dir}/x.bin")).unwrap(), vec![7u8; 10_000]);
+            }
+        }
+    }
+
+    #[test]
+    fn keygen_refuses_overwrite() {
+        let dir = tmp("nooverwrite");
+        let keyfile = format!("{dir}/k.key");
+        run(&s(&["keygen", &keyfile])).unwrap();
+        assert!(run(&s(&["keygen", &keyfile])).is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args = s(&["--key", "k", "pos1", "--out", "o", "pos2"]);
+        assert_eq!(flag_value(&args, "--key"), Some("k"));
+        assert_eq!(flag_value(&args, "--out"), Some("o"));
+        assert_eq!(flag_value(&args, "--missing"), None);
+        assert_eq!(positionals(&args), vec!["pos1", "pos2"]);
+    }
+}

@@ -1,0 +1,32 @@
+//! `asymshare` — command-line encoder/decoder for secret-keyed random
+//! linear coded file bundles.
+//!
+//! ```text
+//! asymshare keygen  <keyfile>
+//! asymshare encode  --key <keyfile> --input <file> [--peers N] [--k K] [--file-id ID] [--out DIR]
+//! asymshare decode  --key <keyfile> --manifest <path> --output <file> <bundle>...
+//! asymshare inspect --manifest <path>
+//! ```
+//!
+//! `encode` produces one *bundle* per peer (each independently sufficient to
+//! decode) plus a manifest; `decode` reconstructs the file from any
+//! combination of bundles that reaches `k` messages per chunk, verifying
+//! every message against the manifest's digest list on the way in.
+
+mod bundle;
+mod cli;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{}", cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

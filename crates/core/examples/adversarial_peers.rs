@@ -1,0 +1,96 @@
+//! Adversarial peers vs. the Eq.-2 allocation rule.
+//!
+//! Demonstrates the paper's robustness claims (§IV-C) in the allocation
+//! engine: free-riders, capacity inflaters and late joiners against honest
+//! peers, under the paper's peer-wise rule and the gameable global
+//! baseline — plus a protocol-level attack (forged feedback) against the
+//! full peer implementation.
+//!
+//! Run with: `cargo run --release --example adversarial_peers`
+
+use asymshare::{FeedbackEntry, FeedbackReport, Identity, Peer, Wire};
+use asymshare_alloc::{Demand, PeerConfig, RuleKind, SimConfig, SlotSimulator, Strategy};
+use asymshare_crypto::chacha20::ChaChaRng;
+
+fn main() {
+    // --- Attack 1: free-riding with inflated declarations. ---
+    println!("== free-riders declaring 100x their (withheld) capacity ==");
+    for rule in [RuleKind::PeerWise, RuleKind::GlobalProportional] {
+        let mut peers = vec![
+            PeerConfig::honest(500.0, Demand::Saturated),
+            PeerConfig::honest(500.0, Demand::Saturated),
+        ];
+        for _ in 0..3 {
+            peers.push(
+                PeerConfig::honest(500.0, Demand::Saturated)
+                    .with_strategy(Strategy::FreeRider)
+                    .with_declared_factor(100.0),
+            );
+        }
+        let trace = SlotSimulator::new(SimConfig::new(peers, rule).with_seed(1)).run(8_000);
+        let honest = trace.mean_download_rate(0, 6_000..8_000);
+        let rider = trace.mean_download_rate(2, 6_000..8_000);
+        println!(
+            "  {rule:?}: honest peer gets {honest:6.1} kbps, each rider gets {rider:6.1} kbps"
+        );
+    }
+    println!("  => Eq.2 starves the riders; the Eq.3 baseline rewards them.\n");
+
+    // --- Attack 2: a coalition trying to depress one honest user. ---
+    println!("== 7-peer coalition defecting to self-only service ==");
+    let mut peers = vec![PeerConfig::honest(400.0, Demand::Saturated)];
+    for _ in 0..7 {
+        peers.push(PeerConfig::honest(400.0, Demand::Saturated).with_strategy(Strategy::SelfOnly));
+    }
+    let trace =
+        SlotSimulator::new(SimConfig::new(peers, RuleKind::PeerWise).with_seed(2)).run(8_000);
+    let honest = trace.mean_download_rate(0, 6_000..8_000);
+    println!(
+        "  honest user still gets {honest:.1} kbps >= its isolated 400 kbps \
+         (Theorem 1's guarantee)\n"
+    );
+
+    // --- Attack 3: forged feedback against the peer protocol. ---
+    println!("== protocol level: forged feedback reports ==");
+    let mut rng = ChaChaRng::new([9u8; 32], [0u8; 12]);
+    let home = Identity::from_seed(b"home");
+    let user = Identity::from_seed(b"user");
+    let attacker = Identity::from_seed(b"attacker");
+    let mut peer = Peer::new(home, 1_000.0);
+    peer.add_subscriber(user.public_key().to_bytes());
+
+    // 3a: attacker signs a report with its own key, claiming to be the user.
+    let mut forged = FeedbackReport::sign(
+        attacker.auth_keys(),
+        60,
+        vec![FeedbackEntry {
+            contributor: attacker.public_key().to_bytes(),
+            bytes: u64::MAX / 2,
+        }],
+        &mut rng,
+    );
+    forged.reporter = user.public_key().to_bytes(); // identity theft attempt
+    let rejected = peer
+        .on_message(1, Wire::Feedback(forged), &mut rng)
+        .is_err();
+    println!("  identity-theft feedback rejected: {rejected}");
+
+    // 3b: genuine report tampered in flight.
+    let mut report = FeedbackReport::sign(
+        user.auth_keys(),
+        60,
+        vec![FeedbackEntry {
+            contributor: attacker.public_key().to_bytes(),
+            bytes: 10,
+        }],
+        &mut rng,
+    );
+    report.entries[0].bytes = u64::MAX / 2; // inflate after signing
+    let rejected = peer
+        .on_message(1, Wire::Feedback(report), &mut rng)
+        .is_err();
+    println!("  tampered feedback rejected:       {rejected}");
+    let weight = peer.upload_weight(&attacker.public_key().to_bytes());
+    println!("  attacker's credit after both attacks: {weight} bytes (initial credit only)");
+    assert_eq!(weight, 1_000.0);
+}

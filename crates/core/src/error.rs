@@ -1,0 +1,86 @@
+//! System-level error type.
+
+use asymshare_rlnc::CodecError;
+
+/// Errors surfaced by the peer/user protocol machinery and runtimes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemError {
+    /// A codec-level failure (decoding, authentication, parameters).
+    Codec(CodecError),
+    /// The challenge–response identification failed.
+    AuthenticationRejected {
+        /// Human-readable context.
+        context: String,
+    },
+    /// A protocol message could not be parsed.
+    BadMessage {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A protocol message arrived in a state that does not expect it.
+    UnexpectedMessage {
+        /// What arrived.
+        got: String,
+        /// What the state machine was waiting for.
+        expected: String,
+    },
+    /// The requested file is not stored on this peer.
+    UnknownFile {
+        /// The file in question.
+        file_id: u64,
+    },
+    /// Referenced an unknown peer or session.
+    UnknownParty {
+        /// Human-readable identifier.
+        who: String,
+    },
+    /// A feedback report carried an invalid signature.
+    BadFeedbackSignature,
+}
+
+impl core::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SystemError::Codec(e) => write!(f, "codec error: {e}"),
+            SystemError::AuthenticationRejected { context } => {
+                write!(f, "authentication rejected: {context}")
+            }
+            SystemError::BadMessage { reason } => write!(f, "malformed protocol message: {reason}"),
+            SystemError::UnexpectedMessage { got, expected } => {
+                write!(f, "unexpected message {got} while waiting for {expected}")
+            }
+            SystemError::UnknownFile { file_id } => {
+                write!(f, "file {file_id:#x} is not stored here")
+            }
+            SystemError::UnknownParty { who } => write!(f, "unknown party: {who}"),
+            SystemError::BadFeedbackSignature => write!(f, "feedback report signature invalid"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<CodecError> for SystemError {
+    fn from(e: CodecError) -> Self {
+        SystemError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: SystemError = CodecError::SingularCoefficients.into();
+        assert!(e.to_string().contains("codec error"));
+        let e = SystemError::UnknownFile { file_id: 255 };
+        assert_eq!(e.to_string(), "file 0xff is not stored here");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes(SystemError::BadFeedbackSignature);
+    }
+}

@@ -1,0 +1,102 @@
+//! Peer/user identity: the Schnorr key pair for authentication plus the
+//! coding secret for the owner's files.
+
+use asymshare_crypto::chacha20::ChaChaRng;
+use asymshare_crypto::rng::SecretKey;
+use asymshare_crypto::schnorr::{KeyPair, PublicKey};
+use asymshare_crypto::sha256::Sha256;
+
+/// A participant's full key material.
+///
+/// One identity backs both roles a participant plays: as a *peer* it
+/// authenticates incoming users and stores others' messages; as a *user* it
+/// proves itself to remote peers and decodes its own files with the coding
+/// secret.
+///
+/// # Example
+///
+/// ```rust
+/// use asymshare::Identity;
+///
+/// let alice = Identity::from_seed(b"alice");
+/// let again = Identity::from_seed(b"alice");
+/// assert_eq!(alice.public_key(), again.public_key());
+/// ```
+#[derive(Clone)]
+pub struct Identity {
+    auth_keys: KeyPair,
+    coding_secret: SecretKey,
+}
+
+impl core::fmt::Debug for Identity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Identity")
+            .field("public_key", &"..")
+            .finish()
+    }
+}
+
+impl Identity {
+    /// Derives a deterministic identity from a seed (tests, simulations).
+    pub fn from_seed(seed: &[u8]) -> Identity {
+        let digest = Sha256::digest_parts(&[b"asymshare.identity.v1", seed]);
+        let mut entropy = ChaChaRng::new(digest.0, *b"identity\0\0\0\0");
+        let auth_keys = KeyPair::generate(&mut entropy);
+        let coding_secret = SecretKey::generate(&mut entropy);
+        Identity {
+            auth_keys,
+            coding_secret,
+        }
+    }
+
+    /// Generates a fresh identity from an entropy source.
+    pub fn generate(entropy: &mut ChaChaRng) -> Identity {
+        Identity {
+            auth_keys: KeyPair::generate(entropy),
+            coding_secret: SecretKey::generate(entropy),
+        }
+    }
+
+    /// The authentication key pair.
+    pub fn auth_keys(&self) -> &KeyPair {
+        &self.auth_keys
+    }
+
+    /// The public authentication key (safe to publish).
+    pub fn public_key(&self) -> PublicKey {
+        self.auth_keys.public_key()
+    }
+
+    /// The coding secret (never leaves the owner).
+    pub fn coding_secret(&self) -> &SecretKey {
+        &self.coding_secret
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = Identity::from_seed(b"x");
+        let b = Identity::from_seed(b"x");
+        assert_eq!(a.public_key(), b.public_key());
+        assert_eq!(a.coding_secret().as_bytes(), b.coding_secret().as_bytes());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Identity::from_seed(b"x");
+        let b = Identity::from_seed(b"y");
+        assert_ne!(a.public_key(), b.public_key());
+    }
+
+    #[test]
+    fn debug_hides_material() {
+        let a = Identity::from_seed(b"x");
+        let s = format!("{a:?}");
+        assert!(!s.contains("secret"));
+        assert!(s.contains("Identity"));
+    }
+}

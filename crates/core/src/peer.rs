@@ -1,0 +1,516 @@
+//! The peer node: stores other users' encoded messages, authenticates
+//! connecting users, and serves stored messages with Eq.-2 upload weights
+//! derived from locally observed contributions.
+
+use crate::error::SystemError;
+use crate::identity::Identity;
+use crate::protocol::Wire;
+use crate::session::Verifier;
+use crate::store::MessageStore;
+use asymshare_crypto::chacha20::ChaChaRng;
+use asymshare_crypto::schnorr::PublicKey;
+use asymshare_rlnc::{EncodedMessage, FileId};
+use std::collections::{HashMap, HashSet};
+
+/// Chunk index encoded in a message id (high 32 bits; see
+/// `asymshare_rlnc::FileManifest::message_id`).
+fn chunk_of(id: u64) -> u32 {
+    (id >> 32) as u32
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Serialized public key bytes (the peer's notion of "who").
+pub type KeyBytes = [u8; 64];
+
+/// A peer node's full serving state.
+///
+/// The peer is a pure message-driven state machine: the runtime (simulated
+/// or threaded) feeds it [`Wire`] messages per connection and transports
+/// whatever it returns. All of its allocation inputs are local: the credit
+/// map is built from its own user's signed feedback plus directly observed
+/// receipts, never from peers' claims — the property that makes Eq. 2
+/// robust.
+#[derive(Debug)]
+pub struct Peer {
+    identity: Identity,
+    store: MessageStore,
+    subscribers: HashSet<KeyBytes>,
+    credit_bytes: HashMap<KeyBytes, f64>,
+    initial_credit: f64,
+    sessions: HashMap<u64, PeerSession>,
+}
+
+#[derive(Debug)]
+struct PeerSession {
+    verifier: Verifier,
+    verified: Option<PublicKey>,
+    serving: Option<FileId>,
+    /// Store indices in serving order: chunks permuted by a per-peer offset
+    /// and stride so concurrent peers sweep the file in decorrelated orders
+    /// (minimizing cross-peer redundancy at the user), messages in stored
+    /// order within each chunk.
+    order: Vec<usize>,
+    /// Position within `order`.
+    served: usize,
+    /// Chunks the user has declared complete — their messages are skipped.
+    stopped_chunks: HashSet<u32>,
+}
+
+impl Peer {
+    /// A peer with unbounded storage and the paper's small equal initial
+    /// credit (in bytes) for every party.
+    pub fn new(identity: Identity, initial_credit: f64) -> Peer {
+        Peer {
+            identity,
+            store: MessageStore::unbounded(),
+            subscribers: HashSet::new(),
+            credit_bytes: HashMap::new(),
+            initial_credit,
+            sessions: HashMap::new(),
+        }
+    }
+
+    /// Replaces the message store (e.g. one with a `k'` cap).
+    pub fn with_store(mut self, store: MessageStore) -> Peer {
+        self.store = store;
+        self
+    }
+
+    /// This peer's identity.
+    pub fn identity(&self) -> &Identity {
+        &self.identity
+    }
+
+    /// Grants `key` the right to authenticate and download.
+    pub fn add_subscriber(&mut self, key: KeyBytes) {
+        self.subscribers.insert(key);
+    }
+
+    /// Mutable access to the message store (dissemination deposits go here).
+    pub fn store_mut(&mut self) -> &mut MessageStore {
+        &mut self.store
+    }
+
+    /// The message store.
+    pub fn store(&self) -> &MessageStore {
+        &self.store
+    }
+
+    /// Eq.-2 upload weight for a user: initial credit plus everything that
+    /// user's peer has verifiably contributed to this peer's user.
+    pub fn upload_weight(&self, user: &KeyBytes) -> f64 {
+        self.initial_credit + self.credit_bytes.get(user).copied().unwrap_or(0.0)
+    }
+
+    /// Records directly observed receipt of `bytes` from `contributor`.
+    pub fn credit_direct(&mut self, contributor: KeyBytes, bytes: f64) {
+        *self.credit_bytes.entry(contributor).or_insert(0.0) += bytes;
+    }
+
+    /// Whether a connection has completed authentication.
+    pub fn is_authenticated(&self, conn: u64) -> bool {
+        self.sessions
+            .get(&conn)
+            .is_some_and(|s| s.verified.is_some())
+    }
+
+    /// The file a connection is currently being served, if any.
+    pub fn serving(&self, conn: u64) -> Option<FileId> {
+        self.sessions.get(&conn).and_then(|s| s.serving)
+    }
+
+    /// The verified user key of a connection.
+    pub fn session_user(&self, conn: u64) -> Option<KeyBytes> {
+        self.sessions
+            .get(&conn)
+            .and_then(|s| s.verified.map(|k| k.to_bytes()))
+    }
+
+    /// Handles one protocol message on `conn`, returning replies to send
+    /// back on the same connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates authentication, state-machine and feedback errors; the
+    /// runtime decides whether to drop the connection.
+    pub fn on_message(
+        &mut self,
+        conn: u64,
+        wire: Wire,
+        rng: &mut ChaChaRng,
+    ) -> Result<Vec<Wire>, SystemError> {
+        match wire {
+            Wire::AuthCommit { .. } => {
+                let commit = wire;
+                let Wire::AuthCommit { claimed_key, .. } = &commit else {
+                    unreachable!()
+                };
+                if !self.subscribers.contains(claimed_key) {
+                    return Ok(vec![Wire::AuthResult {
+                        ok: false,
+                        ack: [0u8; 96],
+                    }]);
+                }
+                let session = self.sessions.entry(conn).or_insert_with(|| PeerSession {
+                    verifier: Verifier::new(),
+                    verified: None,
+                    serving: None,
+                    order: Vec::new(),
+                    served: 0,
+                    stopped_chunks: HashSet::new(),
+                });
+                let challenge = session.verifier.on_commit(&commit, rng)?;
+                Ok(vec![challenge])
+            }
+            Wire::AuthResponse { s: response_s } => {
+                let Some(session) = self.sessions.get_mut(&conn) else {
+                    return Err(SystemError::UnknownParty {
+                        who: format!("connection {conn}"),
+                    });
+                };
+                match session.verifier.on_response(&wire) {
+                    Ok(key) => {
+                        session.verified = Some(key);
+                        // Countersign the transcript: mutual authentication
+                        // (the user checks this against our known key).
+                        let transcript = crate::protocol::auth_ack_transcript(&response_s, true);
+                        let ack = self.identity.auth_keys().sign(&transcript, rng);
+                        Ok(vec![Wire::AuthResult {
+                            ok: true,
+                            ack: ack.to_bytes(),
+                        }])
+                    }
+                    Err(SystemError::AuthenticationRejected { .. }) => {
+                        self.sessions.remove(&conn);
+                        Ok(vec![Wire::AuthResult {
+                            ok: false,
+                            ack: [0u8; 96],
+                        }])
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Wire::FileRequest { file_id } => {
+                let Some(session) = self.sessions.get_mut(&conn) else {
+                    return Err(SystemError::UnknownParty {
+                        who: format!("connection {conn}"),
+                    });
+                };
+                if session.verified.is_none() {
+                    return Err(SystemError::AuthenticationRejected {
+                        context: "file request before authentication".to_owned(),
+                    });
+                }
+                if !self.store.has_file(FileId(file_id)) {
+                    return Err(SystemError::UnknownFile { file_id });
+                }
+                session.serving = Some(FileId(file_id));
+                session.served = 0;
+                session.stopped_chunks.clear();
+                let order = self.serving_order(FileId(file_id), conn);
+                let session = self.sessions.get_mut(&conn).expect("session exists");
+                session.order = order;
+                Ok(vec![])
+            }
+            Wire::StopChunk { file_id, chunk } => {
+                if let Some(session) = self.sessions.get_mut(&conn) {
+                    if session.serving == Some(FileId(file_id)) {
+                        session.stopped_chunks.insert(chunk);
+                    }
+                }
+                Ok(vec![])
+            }
+            Wire::StopTransmission { file_id } => {
+                if let Some(session) = self.sessions.get_mut(&conn) {
+                    if session.serving == Some(FileId(file_id)) {
+                        session.serving = None;
+                    }
+                }
+                Ok(vec![])
+            }
+            Wire::Feedback(report) => {
+                report.verify()?;
+                if !self.subscribers.contains(&report.reporter) {
+                    return Err(SystemError::UnknownParty {
+                        who: "feedback from non-subscriber".to_owned(),
+                    });
+                }
+                let own = self.identity.public_key().to_bytes();
+                for entry in &report.entries {
+                    if entry.contributor != own {
+                        self.credit_direct(entry.contributor, entry.bytes as f64);
+                    }
+                }
+                Ok(vec![])
+            }
+            other => Err(SystemError::UnexpectedMessage {
+                got: format!("{other:?}"),
+                expected: "client-to-peer message".to_owned(),
+            }),
+        }
+    }
+
+    /// The next stored message to send on `conn`, advancing the cursor, or
+    /// `None` when the session is idle or this peer's stock is exhausted.
+    pub fn next_message(&mut self, conn: u64) -> Option<EncodedMessage> {
+        let session = self.sessions.get_mut(&conn)?;
+        let file = session.serving?;
+        let msgs = self.store.messages(file);
+        while session.served < session.order.len() {
+            let idx = session.order[session.served];
+            session.served += 1;
+            let msg = &msgs[idx];
+            if !session
+                .stopped_chunks
+                .contains(&chunk_of(msg.message_id().0))
+            {
+                return Some(msg.clone());
+            }
+        }
+        None
+    }
+
+    /// Builds the serving order for a session: chunks visited starting at a
+    /// per-peer pseudo-random offset with a pseudo-random odd stride
+    /// (coprime behaviour for typical chunk counts), messages in stored
+    /// order within each chunk.
+    fn serving_order(&self, file: FileId, conn: u64) -> Vec<usize> {
+        let msgs = self.store.messages(file);
+        if msgs.is_empty() {
+            return Vec::new();
+        }
+        // Group message indices by chunk, preserving store order.
+        let mut chunk_groups: Vec<(u32, Vec<usize>)> = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            let c = chunk_of(m.message_id().0);
+            match chunk_groups.last_mut() {
+                Some((last, group)) if *last == c => group.push(i),
+                _ => chunk_groups.push((c, vec![i])),
+            }
+        }
+        let n = chunk_groups.len();
+        let own = self.identity.public_key().to_bytes();
+        let seed = own.iter().fold(conn.wrapping_mul(0x9E37_79B9), |a, &b| {
+            a.wrapping_mul(31).wrapping_add(b as u64)
+        }) as usize;
+        let offset = seed % n;
+        // An odd stride hits every chunk when n is a power of two and most
+        // other n; fall back to 1 only when it would cycle early.
+        let mut stride = (seed / n) % n | 1;
+        if n > 0 && gcd(stride, n) != 1 {
+            stride = 1;
+        }
+        let mut order = Vec::with_capacity(msgs.len());
+        let mut visited = 0usize;
+        let mut pos = offset;
+        while visited < n {
+            order.extend_from_slice(&chunk_groups[pos].1);
+            pos = (pos + stride) % n;
+            visited += 1;
+        }
+        order
+    }
+
+    /// Whether `conn` has more stored messages to send.
+    pub fn has_pending(&self, conn: u64) -> bool {
+        let Some(session) = self.sessions.get(&conn) else {
+            return false;
+        };
+        let Some(file) = session.serving else {
+            return false;
+        };
+        let msgs = self.store.messages(file);
+        session.order[session.served.min(session.order.len())..]
+            .iter()
+            .any(|&idx| {
+                !session
+                    .stopped_chunks
+                    .contains(&chunk_of(msgs[idx].message_id().0))
+            })
+    }
+
+    /// Connections that are authenticated, serving a file, and still have
+    /// messages to send (the real-time host's scheduling set).
+    pub fn active_conns(&self) -> Vec<u64> {
+        let mut conns: Vec<u64> = self
+            .sessions
+            .keys()
+            .copied()
+            .filter(|&c| self.is_authenticated(c) && self.has_pending(c))
+            .collect();
+        conns.sort_unstable();
+        conns
+    }
+
+    /// Drops a connection's session state.
+    pub fn disconnect(&mut self, conn: u64) {
+        self.sessions.remove(&conn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Prover;
+    use asymshare_rlnc::MessageId;
+
+    fn rng(seed: u8) -> ChaChaRng {
+        ChaChaRng::new([seed; 32], [0u8; 12])
+    }
+
+    fn authed_peer_and_conn(seed: u8) -> (Peer, u64, Identity, ChaChaRng) {
+        let mut r = rng(seed);
+        let peer_id = Identity::from_seed(b"peer");
+        let user_id = Identity::from_seed(b"user");
+        let mut peer = Peer::new(peer_id, 1.0);
+        peer.add_subscriber(user_id.public_key().to_bytes());
+        let conn = 1u64;
+        let mut prover = Prover::new(user_id.auth_keys().clone());
+        let commit = prover.start(&mut r);
+        let challenge = peer.on_message(conn, commit, &mut r).unwrap().remove(0);
+        let response = prover.on_challenge(&challenge).unwrap();
+        let result = peer.on_message(conn, response, &mut r).unwrap().remove(0);
+        assert!(matches!(result, Wire::AuthResult { ok: true, .. }));
+        (peer, conn, user_id, r)
+    }
+
+    fn stock(peer: &mut Peer, file: u64, count: u64) {
+        for id in 0..count {
+            peer.store_mut().insert(EncodedMessage::new(
+                FileId(file),
+                MessageId(id),
+                vec![1; 64],
+            ));
+        }
+    }
+
+    #[test]
+    fn full_handshake_then_serving() {
+        let (mut peer, conn, _, mut r) = authed_peer_and_conn(1);
+        assert!(peer.is_authenticated(conn));
+        stock(&mut peer, 9, 3);
+        let out = peer
+            .on_message(conn, Wire::FileRequest { file_id: 9 }, &mut r)
+            .unwrap();
+        assert!(out.is_empty());
+        assert!(peer.has_pending(conn));
+        let mut served = 0;
+        while let Some(m) = peer.next_message(conn) {
+            assert_eq!(m.file_id(), FileId(9));
+            served += 1;
+        }
+        assert_eq!(served, 3);
+        assert!(!peer.has_pending(conn));
+    }
+
+    #[test]
+    fn unknown_subscriber_refused() {
+        let mut r = rng(2);
+        let mut peer = Peer::new(Identity::from_seed(b"peer"), 1.0);
+        let stranger = Identity::from_seed(b"stranger");
+        let mut prover = Prover::new(stranger.auth_keys().clone());
+        let commit = prover.start(&mut r);
+        let out = peer.on_message(5, commit, &mut r).unwrap();
+        assert!(matches!(out[0], Wire::AuthResult { ok: false, .. }));
+        assert!(!peer.is_authenticated(5));
+    }
+
+    #[test]
+    fn request_before_auth_rejected() {
+        let mut r = rng(3);
+        let user = Identity::from_seed(b"user");
+        let mut peer = Peer::new(Identity::from_seed(b"peer"), 1.0);
+        peer.add_subscriber(user.public_key().to_bytes());
+        // Open a session with just the commit, then request early.
+        let mut prover = Prover::new(user.auth_keys().clone());
+        let commit = prover.start(&mut r);
+        peer.on_message(7, commit, &mut r).unwrap();
+        let err = peer
+            .on_message(7, Wire::FileRequest { file_id: 1 }, &mut r)
+            .unwrap_err();
+        assert!(matches!(err, SystemError::AuthenticationRejected { .. }));
+    }
+
+    #[test]
+    fn missing_file_reported() {
+        let (mut peer, conn, _, mut r) = authed_peer_and_conn(4);
+        let err = peer
+            .on_message(conn, Wire::FileRequest { file_id: 404 }, &mut r)
+            .unwrap_err();
+        assert_eq!(err, SystemError::UnknownFile { file_id: 404 });
+    }
+
+    #[test]
+    fn stop_halts_serving() {
+        let (mut peer, conn, _, mut r) = authed_peer_and_conn(5);
+        stock(&mut peer, 9, 5);
+        peer.on_message(conn, Wire::FileRequest { file_id: 9 }, &mut r)
+            .unwrap();
+        let _ = peer.next_message(conn);
+        peer.on_message(conn, Wire::StopTransmission { file_id: 9 }, &mut r)
+            .unwrap();
+        assert!(peer.next_message(conn).is_none());
+        assert!(!peer.has_pending(conn));
+    }
+
+    #[test]
+    fn feedback_credits_other_contributors_only() {
+        use crate::protocol::{FeedbackEntry, FeedbackReport};
+        let (mut peer, _conn, user, mut r) = authed_peer_and_conn(6);
+        let own_key = peer.identity().public_key().to_bytes();
+        let other = [9u8; 64];
+        let report = FeedbackReport::sign(
+            user.auth_keys(),
+            60,
+            vec![
+                FeedbackEntry {
+                    contributor: other,
+                    bytes: 1000,
+                },
+                FeedbackEntry {
+                    contributor: own_key,
+                    bytes: 5000,
+                },
+            ],
+            &mut r,
+        );
+        peer.on_message(2, Wire::Feedback(report), &mut r).unwrap();
+        assert_eq!(peer.upload_weight(&other), 1.0 + 1000.0);
+        assert_eq!(peer.upload_weight(&own_key), 1.0, "self-reports ignored");
+    }
+
+    #[test]
+    fn forged_feedback_rejected() {
+        use crate::protocol::{FeedbackEntry, FeedbackReport};
+        let (mut peer, _conn, user, mut r) = authed_peer_and_conn(7);
+        let mut report = FeedbackReport::sign(
+            user.auth_keys(),
+            60,
+            vec![FeedbackEntry {
+                contributor: [9u8; 64],
+                bytes: 10,
+            }],
+            &mut r,
+        );
+        report.entries[0].bytes = 1_000_000; // inflate after signing
+        let err = peer
+            .on_message(2, Wire::Feedback(report), &mut r)
+            .unwrap_err();
+        assert_eq!(err, SystemError::BadFeedbackSignature);
+        assert_eq!(peer.upload_weight(&[9u8; 64]), 1.0);
+    }
+
+    #[test]
+    fn per_file_cap_store_integrates() {
+        let peer = Peer::new(Identity::from_seed(b"peer"), 1.0)
+            .with_store(MessageStore::with_per_file_cap(2));
+        assert_eq!(peer.store().message_count(FileId(1)), 0);
+    }
+}

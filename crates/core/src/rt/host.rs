@@ -1,0 +1,155 @@
+//! The peer host thread: runs a [`Peer`] as a real-time server.
+
+use super::limiter::TokenBucket;
+use super::transport::RtNetwork;
+use crate::peer::Peer;
+use crate::protocol::Wire;
+use asymshare_crypto::chacha20::ChaChaRng;
+use crossbeam::channel::{bounded, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A peer running on its own OS thread, serving its message store to
+/// authenticated users with token-bucket-shaped uplink and Eq.-2 weighted
+/// scheduling across concurrent downloads.
+#[derive(Debug)]
+pub struct PeerHost {
+    addr: u64,
+    network: RtNetwork,
+    shutdown_tx: Sender<()>,
+    handle: Option<JoinHandle<Peer>>,
+}
+
+impl PeerHost {
+    /// Spawns the host thread.
+    ///
+    /// `upload_bytes_per_sec` shapes the uplink; `tick` bounds scheduling
+    /// latency (a few milliseconds is typical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is already registered on the network.
+    pub fn spawn(
+        network: &RtNetwork,
+        addr: u64,
+        peer: Peer,
+        upload_bytes_per_sec: u64,
+        tick: Duration,
+    ) -> PeerHost {
+        let inbox = network.register(addr);
+        let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
+        let net = network.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("asymshare-peer-{addr}"))
+            .spawn(move || {
+                let mut peer = peer;
+                let mut rng = ChaChaRng::new([0x7F; 32], {
+                    let mut nonce = [0u8; 12];
+                    nonce[..8].copy_from_slice(&addr.to_le_bytes());
+                    nonce
+                });
+                let rate = upload_bytes_per_sec as f64;
+                let mut bucket = TokenBucket::new(rate, (rate * 0.1).max(65_536.0), Instant::now());
+                loop {
+                    if shutdown_rx.try_recv().is_ok() {
+                        break;
+                    }
+                    // Inbound protocol handling.
+                    if let Some(envelope) = inbox.recv_timeout(tick) {
+                        let Ok(wire) = envelope.decode() else {
+                            continue;
+                        };
+                        match peer.on_message(envelope.from, wire, &mut rng) {
+                            Ok(replies) => {
+                                for reply in replies {
+                                    net.send(addr, envelope.from, &reply);
+                                }
+                            }
+                            Err(_) => {
+                                // Protocol violation: drop the session.
+                                peer.disconnect(envelope.from);
+                            }
+                        }
+                    }
+                    // Serving phase: divide the tick's uplink budget among
+                    // active connections per Eq.-2 weights.
+                    let conns = peer.active_conns();
+                    if conns.is_empty() {
+                        continue;
+                    }
+                    let now = Instant::now();
+                    let available = bucket.available(now);
+                    if available <= 0.0 {
+                        continue;
+                    }
+                    let weights: Vec<f64> = conns
+                        .iter()
+                        .map(|&c| {
+                            peer.session_user(c)
+                                .map(|key| peer.upload_weight(&key))
+                                .unwrap_or(0.0)
+                        })
+                        .collect();
+                    let total: f64 = weights.iter().sum();
+                    if total <= 0.0 {
+                        continue;
+                    }
+                    for (&conn, &w) in conns.iter().zip(&weights) {
+                        // Message granularity means the last send of a
+                        // quota may overdraw slightly; the bucket carries
+                        // the debt and the next ticks repay it, so the
+                        // long-run rate is exactly the configured uplink.
+                        let mut quota = available * w / total;
+                        while quota > 0.0 {
+                            let Some(msg) = peer.next_message(conn) else {
+                                break;
+                            };
+                            let wire = Wire::MessageData(msg);
+                            let size = wire.encoded_len() as f64;
+                            bucket.take_with_debt(size, now);
+                            quota -= size;
+                            net.send(addr, conn, &wire);
+                        }
+                    }
+                }
+                peer
+            })
+            .expect("spawn peer host thread");
+        PeerHost {
+            addr,
+            network: network.clone(),
+            shutdown_tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// The host's network address.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Stops the thread and returns the peer (with its final ledger/store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host thread panicked.
+    pub fn shutdown(mut self) -> Peer {
+        let _ = self.shutdown_tx.send(());
+        self.network.unregister(self.addr);
+        self.handle
+            .take()
+            .expect("handle present until shutdown")
+            .join()
+            .expect("peer host thread panicked")
+    }
+}
+
+impl Drop for PeerHost {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = self.shutdown_tx.send(());
+            self.network.unregister(self.addr);
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Token-bucket uplink shaping for the real-time runtime.
+
+use std::time::Instant;
+
+/// A classic token bucket: `rate` bytes/second refill, `burst` bytes cap.
+///
+/// Time is passed in explicitly so tests can drive it deterministically.
+///
+/// # Example
+///
+/// ```rust
+/// use asymshare::rt::TokenBucket;
+/// use std::time::{Duration, Instant};
+///
+/// let t0 = Instant::now();
+/// let mut bucket = TokenBucket::new(1000.0, 500.0, t0);
+/// assert!(bucket.try_take(400.0, t0));
+/// assert!(!bucket.try_take(400.0, t0)); // only 100 left
+/// assert!(bucket.try_take(400.0, t0 + Duration::from_secs(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate` bytes/s, holding at most `burst` bytes,
+    /// starting full.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive rate or burst.
+    pub fn new(rate: f64, burst: f64, now: Instant) -> TokenBucket {
+        assert!(rate > 0.0 && burst > 0.0, "rate and burst must be positive");
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            last: now,
+        }
+    }
+
+    fn refill(&mut self, now: Instant) {
+        let dt = now.saturating_duration_since(self.last).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+        self.last = now;
+    }
+
+    /// Attempts to spend `amount` tokens; returns whether it succeeded.
+    pub fn try_take(&mut self, amount: f64, now: Instant) -> bool {
+        self.refill(now);
+        if self.tokens >= amount {
+            self.tokens -= amount;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Spends `amount` tokens unconditionally, allowing the balance to go
+    /// negative (packet-granularity overdraft; future refills repay the
+    /// debt, so the long-run rate still converges to `rate`).
+    pub fn take_with_debt(&mut self, amount: f64, now: Instant) {
+        self.refill(now);
+        self.tokens -= amount;
+    }
+
+    /// Tokens currently available (may be negative while in debt).
+    pub fn available(&mut self, now: Instant) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn spends_and_refills() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(100.0, 100.0, t0);
+        assert!(b.try_take(100.0, t0));
+        assert!(!b.try_take(1.0, t0));
+        let t1 = t0 + Duration::from_millis(500);
+        assert!((b.available(t1) - 50.0).abs() < 1e-9);
+        assert!(b.try_take(50.0, t1));
+    }
+
+    #[test]
+    fn burst_caps_accumulation() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(100.0, 150.0, t0);
+        let later = t0 + Duration::from_secs(60);
+        assert!((b.available(later) - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn debt_is_repaid_over_time() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(100.0, 100.0, t0);
+        b.take_with_debt(250.0, t0); // 150 in debt
+        assert!(b.available(t0) < 0.0);
+        assert!(!b.try_take(1.0, t0));
+        let t1 = t0 + Duration::from_secs(2);
+        assert!((b.available(t1) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        TokenBucket::new(0.0, 1.0, Instant::now());
+    }
+}

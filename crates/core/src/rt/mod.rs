@@ -1,0 +1,235 @@
+//! The threaded real-time runtime — the paper's §VI-A future work
+//! ("implement the proposed system in a dynamic real-time environment").
+//!
+//! Peers run as OS threads exchanging *serialized* wire messages over an
+//! in-process transport, with token-bucket uplink shaping standing in for
+//! the physical link. This exercises everything the simulated runtime does
+//! — handshakes, Eq.-2 serving, chunk stops, feedback — plus real
+//! concurrency, real (de)serialization on every hop, and wall-clock rate
+//! limiting.
+//!
+//! # Example
+//!
+//! ```rust,no_run
+//! use asymshare::rt::{download_file, PeerHost, RtNetwork};
+//! use asymshare::{Identity, Peer};
+//! use std::time::Duration;
+//!
+//! let network = RtNetwork::new();
+//! let identity = Identity::from_seed(b"peer");
+//! let peer = Peer::new(identity, 1000.0);
+//! let _host = PeerHost::spawn(&network, 1, peer, 1 << 20, Duration::from_millis(20));
+//! // ... disseminate, then download_file(...) from a user thread.
+//! ```
+
+mod host;
+mod limiter;
+mod transport;
+
+pub use host::PeerHost;
+pub use limiter::TokenBucket;
+pub use transport::{Envelope, RtNetwork};
+
+use crate::error::SystemError;
+use crate::user::{ConnStage, User};
+use asymshare_crypto::chacha20::ChaChaRng;
+use asymshare_gf::Gf2p32;
+use std::time::{Duration, Instant};
+
+/// Downloads the user's file by contacting `peers` in parallel over the
+/// real-time transport, blocking the calling thread until the file decodes
+/// or `timeout` elapses. Sends the final signed feedback report to
+/// `home_peer` before returning.
+///
+/// # Errors
+///
+/// Times out with [`SystemError::Codec`] (not-enough-messages) or surfaces
+/// protocol errors.
+pub fn download_file(
+    network: &RtNetwork,
+    my_addr: u64,
+    user: &mut User<Gf2p32>,
+    peers: &[(u64, [u8; 64])],
+    home_peer: u64,
+    timeout: Duration,
+) -> Result<Vec<u8>, SystemError> {
+    let inbox = network.register(my_addr);
+    let mut rng = ChaChaRng::new([0x5D; 32], *b"rt-download!");
+    // Connect to every peer; the connection id is our address so the peer
+    // can key its session consistently.
+    for &(addr, key) in peers {
+        let commit = user.connect(addr, key, &mut rng);
+        network.send(my_addr, addr, &commit);
+    }
+    let deadline = Instant::now() + timeout;
+    while !user.is_complete() {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(SystemError::Codec(
+                asymshare_rlnc::CodecError::NotEnoughMessages {
+                    have: (user.progress() * 100.0) as usize,
+                    need: 100,
+                },
+            ));
+        }
+        let Some(envelope) = inbox.recv_timeout(remaining.min(Duration::from_millis(50))) else {
+            continue;
+        };
+        let wire = envelope.decode()?;
+        let replies = match user.on_message(envelope.from, wire, &mut rng) {
+            Ok(replies) => replies,
+            // A tampered message fails digest auth; skip it, keep going.
+            Err(SystemError::Codec(_)) => continue,
+            Err(e) => return Err(e),
+        };
+        for (conn, reply) in replies {
+            network.send(my_addr, conn, &reply);
+        }
+        if peers
+            .iter()
+            .all(|(addr, _)| user.stage(*addr) == Some(ConnStage::Refused))
+        {
+            return Err(SystemError::AuthenticationRejected {
+                context: "all peers refused".to_owned(),
+            });
+        }
+    }
+    // Final feedback to the home peer (the off-line informational update).
+    let now_secs = Instant::now().elapsed().as_secs();
+    let report = user.make_feedback(now_secs, &mut rng);
+    network.send(my_addr, home_peer, &crate::protocol::Wire::Feedback(report));
+    user.decode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::Identity;
+    use crate::peer::Peer;
+    use asymshare_gf::FieldKind;
+    use asymshare_rlnc::{ChunkedEncoder, DigestKind, FileId};
+
+    fn build_file(
+        owner: &Identity,
+        n_peers: usize,
+        len: usize,
+    ) -> (
+        Vec<Vec<asymshare_rlnc::EncodedMessage>>,
+        asymshare_rlnc::FileManifest,
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| (i * 41 % 251) as u8).collect();
+        let mut enc = ChunkedEncoder::<Gf2p32>::with_chunk_size(
+            FieldKind::Gf2p32,
+            4,
+            DigestKind::Md5,
+            owner.coding_secret().clone(),
+            FileId(5),
+            &data,
+            16 * 1024,
+        )
+        .unwrap();
+        let batches = enc.encode_for_peers(n_peers).unwrap();
+        (batches, enc.manifest().clone())
+    }
+
+    #[test]
+    fn threaded_download_from_three_peers() {
+        let network = RtNetwork::new();
+        let owner = Identity::from_seed(b"rt-owner");
+        let (batches, manifest) = build_file(&owner, 3, 96 * 1024);
+
+        let mut hosts = Vec::new();
+        let mut peer_addrs = Vec::new();
+        for (i, batch) in batches.into_iter().enumerate() {
+            let identity = Identity::from_seed(&[b'r', b't', i as u8]);
+            let key = identity.public_key().to_bytes();
+            let mut peer = Peer::new(identity, 1_000.0);
+            peer.add_subscriber(owner.public_key().to_bytes());
+            for m in batch {
+                peer.store_mut().insert(m);
+            }
+            let addr = 100 + i as u64;
+            hosts.push(PeerHost::spawn(
+                &network,
+                addr,
+                peer,
+                4 << 20, // 4 MB/s uplink so the test is fast
+                Duration::from_millis(5),
+            ));
+            peer_addrs.push((addr, key));
+        }
+
+        let mut user = User::<Gf2p32>::new(owner, manifest).unwrap();
+        let data = download_file(
+            &network,
+            1,
+            &mut user,
+            &peer_addrs,
+            peer_addrs[0].0,
+            Duration::from_secs(30),
+        )
+        .expect("download completes");
+        let expect: Vec<u8> = (0..96 * 1024).map(|i| (i * 41 % 251) as u8).collect();
+        assert_eq!(data, expect);
+        for host in hosts {
+            host.shutdown();
+        }
+    }
+
+    #[test]
+    fn download_times_out_when_peers_lack_messages() {
+        let network = RtNetwork::new();
+        let owner = Identity::from_seed(b"rt-owner2");
+        let (batches, manifest) = build_file(&owner, 1, 32 * 1024);
+        // The peer stores only half of one batch: not enough to decode.
+        let identity = Identity::from_seed(b"rt-partial");
+        let key = identity.public_key().to_bytes();
+        let mut peer = Peer::new(identity, 1_000.0);
+        peer.add_subscriber(owner.public_key().to_bytes());
+        for m in batches.into_iter().next().unwrap().into_iter().take(2) {
+            peer.store_mut().insert(m);
+        }
+        let host = PeerHost::spawn(&network, 200, peer, 4 << 20, Duration::from_millis(5));
+        let mut user = User::<Gf2p32>::new(owner, manifest).unwrap();
+        let err = download_file(
+            &network,
+            2,
+            &mut user,
+            &[(200, key)],
+            200,
+            Duration::from_millis(600),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SystemError::Codec(_)));
+        assert!(user.progress() > 0.0, "partial progress was made");
+        host.shutdown();
+    }
+
+    #[test]
+    fn unauthorized_user_is_refused_by_all() {
+        let network = RtNetwork::new();
+        let owner = Identity::from_seed(b"rt-owner3");
+        let stranger = Identity::from_seed(b"rt-stranger");
+        let (batches, manifest) = build_file(&owner, 1, 16 * 1024);
+        let identity = Identity::from_seed(b"rt-strict");
+        let key = identity.public_key().to_bytes();
+        let mut peer = Peer::new(identity, 1_000.0);
+        peer.add_subscriber(owner.public_key().to_bytes()); // not the stranger
+        for m in batches.into_iter().next().unwrap() {
+            peer.store_mut().insert(m);
+        }
+        let host = PeerHost::spawn(&network, 300, peer, 1 << 20, Duration::from_millis(5));
+        let mut user = User::<Gf2p32>::new(stranger, manifest).unwrap();
+        let err = download_file(
+            &network,
+            3,
+            &mut user,
+            &[(300, key)],
+            300,
+            Duration::from_secs(5),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SystemError::AuthenticationRejected { .. }));
+        host.shutdown();
+    }
+}

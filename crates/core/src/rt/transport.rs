@@ -1,0 +1,157 @@
+//! In-process datagram transport: addressed inboxes over crossbeam
+//! channels, with every message crossing as serialized wire bytes.
+
+use crate::error::SystemError;
+use crate::protocol::Wire;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A delivered message: sender address plus serialized wire bytes.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sender address.
+    pub from: u64,
+    /// Serialized [`Wire`] bytes.
+    pub bytes: Bytes,
+}
+
+impl Envelope {
+    /// Decodes the carried protocol message.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::BadMessage`] on malformed bytes.
+    pub fn decode(&self) -> Result<Wire, SystemError> {
+        Wire::decode(&self.bytes)
+    }
+}
+
+/// A mailbox handle for one address.
+#[derive(Debug)]
+pub struct Inbox {
+    rx: Receiver<Envelope>,
+}
+
+impl Inbox {
+    /// Receives the next message, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Receives without blocking.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// The in-process network: a registry of address → inbox senders.
+///
+/// Cloning shares the registry (it is an `Arc` internally), so hosts and
+/// clients can hold their own handles.
+#[derive(Debug, Clone, Default)]
+pub struct RtNetwork {
+    registry: Arc<RwLock<HashMap<u64, Sender<Envelope>>>>,
+}
+
+impl RtNetwork {
+    /// An empty network.
+    pub fn new() -> RtNetwork {
+        RtNetwork::default()
+    }
+
+    /// Registers `addr` and returns its inbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is already registered.
+    pub fn register(&self, addr: u64) -> Inbox {
+        let (tx, rx) = unbounded();
+        let previous = self.registry.write().insert(addr, tx);
+        assert!(previous.is_none(), "address {addr} already registered");
+        Inbox { rx }
+    }
+
+    /// Removes an address (its inbox stops receiving).
+    pub fn unregister(&self, addr: u64) {
+        self.registry.write().remove(&addr);
+    }
+
+    /// Sends a wire message from `from` to `to`; silently dropped if the
+    /// destination is gone (mirrors UDP semantics).
+    pub fn send(&self, from: u64, to: u64, wire: &Wire) {
+        self.send_bytes(from, to, wire.encode());
+    }
+
+    /// Sends pre-serialized bytes.
+    pub fn send_bytes(&self, from: u64, to: u64, bytes: Bytes) {
+        let guard = self.registry.read();
+        if let Some(tx) = guard.get(&to) {
+            let _ = tx.send(Envelope { from, bytes });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_between_addresses() {
+        let net = RtNetwork::new();
+        let inbox = net.register(7);
+        net.send(1, 7, &Wire::FileRequest { file_id: 42 });
+        let e = inbox.try_recv().expect("delivered");
+        assert_eq!(e.from, 1);
+        assert_eq!(e.decode().unwrap(), Wire::FileRequest { file_id: 42 });
+    }
+
+    #[test]
+    fn send_to_unknown_address_is_dropped() {
+        let net = RtNetwork::new();
+        net.send(
+            1,
+            999,
+            &Wire::AuthResult {
+                ok: true,
+                ack: [0u8; 96],
+            },
+        ); // no panic
+    }
+
+    #[test]
+    fn unregister_stops_delivery() {
+        let net = RtNetwork::new();
+        let inbox = net.register(5);
+        net.unregister(5);
+        net.send(
+            1,
+            5,
+            &Wire::AuthResult {
+                ok: true,
+                ack: [0u8; 96],
+            },
+        );
+        assert!(inbox.try_recv().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn double_register_panics() {
+        let net = RtNetwork::new();
+        let _a = net.register(5);
+        let _b = net.register(5);
+    }
+
+    #[test]
+    fn handles_share_one_registry() {
+        let net = RtNetwork::new();
+        let clone = net.clone();
+        let inbox = net.register(3);
+        clone.send(2, 3, &Wire::StopTransmission { file_id: 1 });
+        assert!(inbox.try_recv().is_some());
+    }
+}

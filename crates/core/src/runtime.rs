@@ -1,0 +1,789 @@
+//! The end-to-end simulated deployment: peers and users exchanging the real
+//! wire protocol over the [`asymshare_netsim`] flow simulator.
+//!
+//! Every protocol byte rides a simulated flow: handshakes, file requests,
+//! coded messages, stop-transmissions and signed feedback all contend for
+//! the same asymmetric links, so download durations, init-phase costs and
+//! allocation dynamics come out of one consistent model. Peers re-divide
+//! their uplinks once per slot (1 s, like the paper's simulator) using the
+//! Eq.-2 weights accumulated from their users' signed feedback.
+
+use crate::error::SystemError;
+use crate::identity::Identity;
+use crate::peer::{KeyBytes, Peer};
+use crate::protocol::Wire;
+use crate::user::User;
+use asymshare_crypto::chacha20::ChaChaRng;
+use asymshare_gf::{FieldKind, Gf2p32};
+use asymshare_netsim::{LinkSpeed, NodeId, SimNet, SimTime};
+use asymshare_rlnc::{ChunkedEncoder, DigestKind, FileId, FileManifest};
+use std::collections::HashMap;
+
+/// Runtime tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Allocation slot length in seconds (paper: 1 s).
+    pub slot_secs: f64,
+    /// Slots between the user's feedback reports to its home peer.
+    pub feedback_every_slots: u64,
+    /// Initial Eq.-2 credit per party, bytes.
+    pub initial_credit_bytes: f64,
+    /// Pieces per chunk (`k`) used when encoding.
+    pub k: usize,
+    /// Chunk size in bytes (1 MB in the paper; tests use smaller).
+    pub chunk_size: usize,
+    /// One-way propagation delay on every transfer, seconds (default 0;
+    /// set ~0.02–0.1 to model WAN RTTs — it mostly taxes the handshake).
+    pub latency_secs: f64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            slot_secs: 1.0,
+            feedback_every_slots: 10,
+            initial_credit_bytes: 1_000.0,
+            k: 8,
+            chunk_size: asymshare_rlnc::CHUNK_SIZE,
+            latency_secs: 0.0,
+        }
+    }
+}
+
+/// Handle to a registered participant (home peer + its user identity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParticipantId(pub usize);
+
+/// Handle to a download session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(pub usize);
+
+/// Outcome of a completed download.
+#[derive(Debug, Clone)]
+pub struct DownloadReport {
+    /// The decoded file contents.
+    pub data: Vec<u8>,
+    /// Wall-clock duration in simulated seconds.
+    pub duration_secs: f64,
+    /// Mean goodput in kbps over the download.
+    pub mean_rate_kbps: f64,
+    /// Innovative messages absorbed.
+    pub innovative: u64,
+    /// Redundant messages received (parallelism overhead).
+    pub redundant: u64,
+    /// Bytes received per serving participant.
+    pub per_peer_bytes: HashMap<usize, u64>,
+}
+
+struct Participant {
+    peer: Peer,
+    node: NodeId,
+    up_kbps: f64,
+    /// Per-connection bulk-send deficit (bytes available to burst).
+    deficits: HashMap<u64, f64>,
+    /// Number of bulk flows currently in flight per connection.
+    inflight: HashMap<u64, usize>,
+}
+
+struct Session {
+    user: User<Gf2p32>,
+    home: usize,
+    remote_node: NodeId,
+    conns: HashMap<u64, usize>, // conn id -> participant index
+    started_at: SimTime,
+    finished_at: Option<SimTime>,
+    bytes_by_peer: HashMap<usize, u64>,
+}
+
+enum Endpoint {
+    ToPeer { participant: usize, conn: u64 },
+    ToUser { session: usize, conn: u64 },
+    StoreDeposit { participant: usize },
+}
+
+struct Pending {
+    endpoint: Endpoint,
+    wire: Option<Wire>,
+    msg: Option<asymshare_rlnc::EncodedMessage>,
+    /// Marks a bulk data flow so completion clears the in-flight flag.
+    bulk_from: Option<(usize, u64)>,
+}
+
+/// The simulated deployment.
+pub struct SimRuntime {
+    cfg: RuntimeConfig,
+    net: SimNet,
+    participants: Vec<Participant>,
+    sessions: Vec<Session>,
+    pending: HashMap<u64, Pending>,
+    next_tag: u64,
+    next_conn: u64,
+    slot: u64,
+    rng: ChaChaRng,
+}
+
+impl SimRuntime {
+    /// A fresh deployment with the given configuration.
+    pub fn new(cfg: RuntimeConfig) -> SimRuntime {
+        let mut net = SimNet::new();
+        net.set_propagation_delay(cfg.latency_secs);
+        SimRuntime {
+            cfg,
+            net,
+            participants: Vec::new(),
+            sessions: Vec::new(),
+            pending: HashMap::new(),
+            next_tag: 0,
+            next_conn: 0,
+            slot: 0,
+            rng: ChaChaRng::new([0xE7; 32], *b"sim-runtime!"),
+        }
+    }
+
+    /// Registers a participant: a home peer with the given identity and
+    /// asymmetric link.
+    pub fn add_participant(
+        &mut self,
+        identity: Identity,
+        up: LinkSpeed,
+        down: LinkSpeed,
+    ) -> ParticipantId {
+        let node = self.net.add_node(up, down);
+        let peer = Peer::new(identity, self.cfg.initial_credit_bytes);
+        self.participants.push(Participant {
+            peer,
+            node,
+            up_kbps: up.as_kbps(),
+            deficits: HashMap::new(),
+            inflight: HashMap::new(),
+        });
+        let id = ParticipantId(self.participants.len() - 1);
+        // Everyone subscribes everyone registered so far (the "system
+        // subscribers" set); callers can add more via `peer_mut`.
+        let keys: Vec<KeyBytes> = self
+            .participants
+            .iter()
+            .map(|p| p.peer.identity().public_key().to_bytes())
+            .collect();
+        for p in &mut self.participants {
+            for k in &keys {
+                p.peer.add_subscriber(*k);
+            }
+        }
+        id
+    }
+
+    /// Direct access to a participant's peer (e.g. to cap its store).
+    pub fn peer_mut(&mut self, id: ParticipantId) -> &mut Peer {
+        &mut self.participants[id.0].peer
+    }
+
+    /// Changes a participant's access link mid-simulation (the Fig. 8(b)
+    /// capacity drop, or a full outage with a zero uplink). Takes effect on
+    /// in-flight flows immediately and on allocation from the next slot.
+    pub fn set_participant_link(&mut self, id: ParticipantId, up: LinkSpeed, down: LinkSpeed) {
+        let node = self.participants[id.0].node;
+        self.net.set_link(node, up, down);
+        self.participants[id.0].up_kbps = up.as_kbps();
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Runs the paper's initialization phase: encodes `data` under the
+    /// owner's secret and uploads one decodable batch per target peer over
+    /// the owner's (slow) uplink. Returns the manifest and the simulated
+    /// seconds the dissemination took.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors from encoding.
+    pub fn disseminate(
+        &mut self,
+        owner: ParticipantId,
+        file_id: FileId,
+        data: &[u8],
+        targets: &[ParticipantId],
+    ) -> Result<(FileManifest, f64), SystemError> {
+        let secret = self.participants[owner.0]
+            .peer
+            .identity()
+            .coding_secret()
+            .clone();
+        let mut enc = ChunkedEncoder::<Gf2p32>::with_chunk_size(
+            FieldKind::Gf2p32,
+            self.cfg.k,
+            DigestKind::Md5,
+            secret,
+            file_id,
+            data,
+            self.cfg.chunk_size,
+        )?;
+        let start = self.net.now();
+        let batches = enc.encode_for_peers(targets.len())?;
+        for (target, batch) in targets.iter().zip(batches) {
+            if target.0 == owner.0 {
+                // Local deposit: no network transfer needed.
+                for m in batch {
+                    self.participants[target.0].peer.store_mut().insert(m);
+                }
+                continue;
+            }
+            for m in batch {
+                let tag = self.alloc_tag(Pending {
+                    endpoint: Endpoint::StoreDeposit {
+                        participant: target.0,
+                    },
+                    wire: None,
+                    msg: Some(m.clone()),
+                    bulk_from: None,
+                });
+                let size = Wire::MessageData(m).encoded_len() as u64;
+                self.net.start_flow(
+                    self.participants[owner.0].node,
+                    self.participants[target.0].node,
+                    size,
+                    tag,
+                );
+            }
+        }
+        // Drain the upload phase to completion.
+        while let Some(event) = self.net.step() {
+            self.deliver(event.tag);
+        }
+        let duration = (self.net.now() - start).as_secs();
+        Ok((enc.manifest().clone(), duration))
+    }
+
+    /// Starts a remote download: the owner's user appears at a fresh remote
+    /// node with the given link and contacts `peers` in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Manifest/decoder errors.
+    pub fn start_download(
+        &mut self,
+        owner: ParticipantId,
+        manifest: FileManifest,
+        remote_up: LinkSpeed,
+        remote_down: LinkSpeed,
+        peers: &[ParticipantId],
+    ) -> Result<SessionId, SystemError> {
+        let identity = self.participants[owner.0].peer.identity().clone();
+        let mut user = User::<Gf2p32>::new(identity, manifest)?;
+        let remote_node = self.net.add_node(remote_up, remote_down);
+        let mut conns = HashMap::new();
+        let session_idx = self.sessions.len();
+        for &pid in peers {
+            let conn = self.next_conn;
+            self.next_conn += 1;
+            conns.insert(conn, pid.0);
+            let peer_key = self.participants[pid.0]
+                .peer
+                .identity()
+                .public_key()
+                .to_bytes();
+            let commit = user.connect(conn, peer_key, &mut self.rng);
+            self.send_control(
+                remote_node,
+                self.participants[pid.0].node,
+                Pending {
+                    endpoint: Endpoint::ToPeer {
+                        participant: pid.0,
+                        conn,
+                    },
+                    wire: Some(commit),
+                    msg: None,
+                    bulk_from: None,
+                },
+            );
+        }
+        self.sessions.push(Session {
+            user,
+            home: owner.0,
+            remote_node,
+            conns,
+            started_at: self.net.now(),
+            finished_at: None,
+            bytes_by_peer: HashMap::new(),
+        });
+        Ok(SessionId(session_idx))
+    }
+
+    /// Advances the deployment by `slots` allocation slots.
+    pub fn run_slots(&mut self, slots: u64) {
+        for _ in 0..slots {
+            self.slot += 1;
+            self.start_bulk_bursts();
+            if self.slot % self.cfg.feedback_every_slots == 0 {
+                self.send_feedback_reports();
+            }
+            let deadline = self.net.now().advance(self.cfg.slot_secs);
+            while let Some(event) = self.net.step_until(deadline) {
+                self.deliver(event.tag);
+            }
+        }
+    }
+
+    /// Runs until the session completes or `max_slots` elapse.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Codec`] if the deadline passes before completion.
+    pub fn run_to_completion(
+        &mut self,
+        session: SessionId,
+        max_slots: u64,
+    ) -> Result<DownloadReport, SystemError> {
+        for _ in 0..max_slots {
+            self.run_slots(1);
+            if self.sessions[session.0].user.is_complete() {
+                return self.report(session);
+            }
+        }
+        Err(SystemError::Codec(
+            asymshare_rlnc::CodecError::NotEnoughMessages {
+                have: (self.sessions[session.0].user.progress() * 100.0) as usize,
+                need: 100,
+            },
+        ))
+    }
+
+    /// Builds the report for a completed session.
+    ///
+    /// # Errors
+    ///
+    /// Decoder errors when the session is incomplete.
+    pub fn report(&mut self, session: SessionId) -> Result<DownloadReport, SystemError> {
+        let now = self.net.now();
+        let s = &mut self.sessions[session.0];
+        let data = s.user.decode()?;
+        let finished = *s.finished_at.get_or_insert(now);
+        let duration = (finished - s.started_at).as_secs().max(1e-9);
+        let total_bytes: u64 = s.bytes_by_peer.values().sum();
+        Ok(DownloadReport {
+            duration_secs: duration,
+            mean_rate_kbps: total_bytes as f64 * 8.0 / duration / 1_000.0,
+            innovative: s.user.innovative_count(),
+            redundant: s.user.redundant_count(),
+            per_peer_bytes: s.bytes_by_peer.clone(),
+            data,
+        })
+    }
+
+    /// A session's download progress in `[0, 1]`.
+    pub fn progress(&self, session: SessionId) -> f64 {
+        self.sessions[session.0].user.progress()
+    }
+
+    fn alloc_tag(&mut self, pending: Pending) -> u64 {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.pending.insert(tag, pending);
+        tag
+    }
+
+    fn send_control(&mut self, src: NodeId, dst: NodeId, pending: Pending) {
+        let size = pending
+            .wire
+            .as_ref()
+            .map(|w| w.encoded_len() as u64)
+            .unwrap_or(1);
+        let tag = self.alloc_tag(pending);
+        self.net.start_flow(src, dst, size.max(1), tag);
+    }
+
+    /// Slot phase 1: every peer re-divides its uplink per Eq. 2 and starts
+    /// bulk message flows within the accumulated per-connection deficits.
+    fn start_bulk_bursts(&mut self) {
+        for p_idx in 0..self.participants.len() {
+            // Gather this peer's active serving connections and weights.
+            let mut conns: Vec<(u64, usize, f64)> = Vec::new(); // (conn, session, weight)
+            for (s_idx, session) in self.sessions.iter().enumerate() {
+                if session.finished_at.is_some() {
+                    continue;
+                }
+                for (&conn, &pid) in &session.conns {
+                    if pid != p_idx {
+                        continue;
+                    }
+                    let peer = &self.participants[p_idx].peer;
+                    if peer.serving(conn).is_none() || !peer.has_pending(conn) {
+                        continue;
+                    }
+                    let user_key = self.participants[session.home]
+                        .peer
+                        .identity()
+                        .public_key()
+                        .to_bytes();
+                    let w = self.participants[p_idx].peer.upload_weight(&user_key);
+                    conns.push((conn, s_idx, w));
+                }
+            }
+            if conns.is_empty() {
+                continue;
+            }
+            let total_w: f64 = conns.iter().map(|c| c.2).sum();
+            let cap_bytes_per_slot =
+                self.participants[p_idx].up_kbps * 1_000.0 / 8.0 * self.cfg.slot_secs;
+            for (conn, s_idx, w) in conns {
+                let share = if total_w > 0.0 { w / total_w } else { 0.0 };
+                let budget = cap_bytes_per_slot * share;
+                let deficit = self.participants[p_idx].deficits.entry(conn).or_insert(0.0);
+                *deficit = (*deficit + budget).min(cap_bytes_per_slot.max(budget) * 4.0);
+                self.pump(p_idx, s_idx, conn);
+            }
+        }
+    }
+
+    /// Starts bulk message flows on one connection while the accumulated
+    /// deficit covers them, keeping a bounded number in flight so downlink
+    /// congestion applies back-pressure instead of piling up flows. Called
+    /// at slot boundaries (after deficit refill) and on each bulk-flow
+    /// completion (so the pipe never idles mid-slot).
+    fn pump(&mut self, p_idx: usize, s_idx: usize, conn: u64) {
+        const MAX_INFLIGHT: usize = 2;
+        if self.sessions[s_idx].finished_at.is_some() {
+            return;
+        }
+        loop {
+            if *self.participants[p_idx].inflight.entry(conn).or_insert(0) >= MAX_INFLIGHT {
+                break;
+            }
+            let deficit_now = self.participants[p_idx]
+                .deficits
+                .get(&conn)
+                .copied()
+                .unwrap_or(0.0);
+            let Some(msg) = self.peek_next_size(p_idx, conn) else {
+                break;
+            };
+            if deficit_now < msg as f64 {
+                break;
+            }
+            let Some(message) = self.participants[p_idx].peer.next_message(conn) else {
+                break;
+            };
+            *self.participants[p_idx].deficits.get_mut(&conn).unwrap() -= msg as f64;
+            *self.participants[p_idx].inflight.get_mut(&conn).unwrap() += 1;
+            let tag = self.alloc_tag(Pending {
+                endpoint: Endpoint::ToUser {
+                    session: s_idx,
+                    conn,
+                },
+                wire: Some(Wire::MessageData(message)),
+                msg: None,
+                bulk_from: Some((p_idx, conn)),
+            });
+            self.net.start_flow(
+                self.participants[p_idx].node,
+                self.sessions[s_idx].remote_node,
+                msg as u64,
+                tag,
+            );
+        }
+    }
+
+    fn peek_next_size(&self, p_idx: usize, conn: u64) -> Option<usize> {
+        let peer = &self.participants[p_idx].peer;
+        let file = peer.serving(conn)?;
+        if !peer.has_pending(conn) {
+            return None;
+        }
+        // All data messages of a chunked file share the per-chunk payload
+        // size; approximate with the first pending message's wire size.
+        let msgs = peer.store().messages(file);
+        msgs.first()
+            .map(|m| Wire::MessageData(m.clone()).encoded_len())
+    }
+
+    /// Slot phase 2: users send signed feedback to their home peers.
+    fn send_feedback_reports(&mut self) {
+        let now_secs = self.net.now().as_secs() as u64;
+        for s_idx in 0..self.sessions.len() {
+            if self.sessions[s_idx].user.window_bytes().is_empty() {
+                continue;
+            }
+            let report = self.sessions[s_idx]
+                .user
+                .make_feedback(now_secs, &mut self.rng);
+            let home = self.sessions[s_idx].home;
+            let remote = self.sessions[s_idx].remote_node;
+            let home_node = self.participants[home].node;
+            let conn = u64::MAX - s_idx as u64; // dedicated feedback lane
+            self.send_control(
+                remote,
+                home_node,
+                Pending {
+                    endpoint: Endpoint::ToPeer {
+                        participant: home,
+                        conn,
+                    },
+                    wire: Some(Wire::Feedback(report)),
+                    msg: None,
+                    bulk_from: None,
+                },
+            );
+        }
+    }
+
+    /// Routes a completed flow's payload to its destination state machine.
+    fn deliver(&mut self, tag: u64) {
+        let Some(pending) = self.pending.remove(&tag) else {
+            return;
+        };
+        let refill = pending.bulk_from;
+        if let Some((p_idx, conn)) = refill {
+            let count = self.participants[p_idx].inflight.entry(conn).or_insert(1);
+            *count = count.saturating_sub(1);
+        }
+        match pending.endpoint {
+            Endpoint::StoreDeposit { participant } => {
+                if let Some(msg) = pending.msg {
+                    self.participants[participant].peer.store_mut().insert(msg);
+                }
+            }
+            Endpoint::ToPeer { participant, conn } => {
+                let Some(wire) = pending.wire else { return };
+                let replies = {
+                    let peer = &mut self.participants[participant].peer;
+                    peer.on_message(conn, wire, &mut self.rng)
+                        .unwrap_or_default()
+                };
+                // Find the session this connection belongs to (if any).
+                let session_idx = self
+                    .sessions
+                    .iter()
+                    .position(|s| s.conns.contains_key(&conn));
+                for reply in replies {
+                    if let Some(s_idx) = session_idx {
+                        let pending = Pending {
+                            endpoint: Endpoint::ToUser {
+                                session: s_idx,
+                                conn,
+                            },
+                            wire: Some(reply),
+                            msg: None,
+                            bulk_from: None,
+                        };
+                        self.send_control(
+                            self.participants[participant].node,
+                            self.sessions[s_idx].remote_node,
+                            pending,
+                        );
+                    }
+                }
+            }
+            Endpoint::ToUser { session, conn } => {
+                let Some(wire) = pending.wire else {
+                    self.repump(refill);
+                    return;
+                };
+                // Account data bytes per contributing peer.
+                if let Wire::MessageData(_) = &wire {
+                    if let Some(&p_idx) = self.sessions[session].conns.get(&conn) {
+                        let len = wire.encoded_len() as u64;
+                        *self.sessions[session]
+                            .bytes_by_peer
+                            .entry(p_idx)
+                            .or_insert(0) += len;
+                    }
+                }
+                let was_complete = self.sessions[session].user.is_complete();
+                let replies = self.sessions[session]
+                    .user
+                    .on_message(conn, wire, &mut self.rng)
+                    .unwrap_or_default();
+                if !was_complete && self.sessions[session].user.is_complete() {
+                    self.sessions[session].finished_at = Some(self.net.now());
+                }
+                for (target_conn, reply) in replies {
+                    let Some(&p_idx) = self.sessions[session].conns.get(&target_conn) else {
+                        continue;
+                    };
+                    let pending = Pending {
+                        endpoint: Endpoint::ToPeer {
+                            participant: p_idx,
+                            conn: target_conn,
+                        },
+                        wire: Some(reply),
+                        msg: None,
+                        bulk_from: None,
+                    };
+                    self.send_control(
+                        self.sessions[session].remote_node,
+                        self.participants[p_idx].node,
+                        pending,
+                    );
+                }
+            }
+        }
+        self.repump(refill);
+    }
+
+    /// Restarts a connection's bulk pipeline after one of its flows
+    /// completed (remaining deficit permitting).
+    fn repump(&mut self, refill: Option<(usize, u64)>) {
+        let Some((p_idx, conn)) = refill else { return };
+        let Some(s_idx) = self
+            .sessions
+            .iter()
+            .position(|s| s.conns.contains_key(&conn))
+        else {
+            return;
+        };
+        self.pump(p_idx, s_idx, conn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kbps(v: f64) -> LinkSpeed {
+        LinkSpeed::kbps(v)
+    }
+
+    fn small_cfg() -> RuntimeConfig {
+        RuntimeConfig {
+            slot_secs: 1.0,
+            feedback_every_slots: 5,
+            initial_credit_bytes: 1_000.0,
+            k: 4,
+            chunk_size: 16 * 1024,
+            latency_secs: 0.0,
+        }
+    }
+
+    fn data(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn end_to_end_remote_access_beats_single_uplink() {
+        let mut rt = SimRuntime::new(small_cfg());
+        // 4 cable-modem peers: 256 kbps up, 3 Mbps down.
+        let ids: Vec<ParticipantId> = (0..4u8)
+            .map(|i| rt.add_participant(Identity::from_seed(&[b'p', i]), kbps(256.0), kbps(3000.0)))
+            .collect();
+        let payload = data(256 * 1024); // 256 KB home video snippet
+        let (manifest, init_secs) = rt
+            .disseminate(ids[0], FileId(1), &payload, &ids)
+            .expect("dissemination");
+        assert!(init_secs > 0.0, "uploading to 3 remote peers takes time");
+
+        let session = rt
+            .start_download(ids[0], manifest, kbps(256.0), kbps(3000.0), &ids)
+            .expect("session");
+        let report = rt
+            .run_to_completion(session, 600)
+            .expect("download completes");
+        assert_eq!(report.data, payload);
+        // Aggregated peers must beat any single 256 kbps uplink.
+        assert!(
+            report.mean_rate_kbps > 256.0 * 1.5,
+            "aggregate rate {} kbps should be well above one uplink",
+            report.mean_rate_kbps
+        );
+        assert!(
+            report.per_peer_bytes.len() >= 3,
+            "several peers contributed"
+        );
+    }
+
+    #[test]
+    fn download_duration_matches_aggregate_capacity() {
+        let mut rt = SimRuntime::new(small_cfg());
+        let ids: Vec<ParticipantId> = (0..3u8)
+            .map(|i| {
+                rt.add_participant(Identity::from_seed(&[b'q', i]), kbps(512.0), kbps(10_000.0))
+            })
+            .collect();
+        let payload = data(64 * 1024);
+        let (manifest, _) = rt.disseminate(ids[0], FileId(2), &payload, &ids).unwrap();
+        let session = rt
+            .start_download(ids[0], manifest, kbps(512.0), kbps(10_000.0), &ids)
+            .unwrap();
+        let report = rt.run_to_completion(session, 600).unwrap();
+        // Ideal time: 64 KB × (k+overhead)/k over 3 × 512 kbps ≈ 0.35 s; with
+        // slotting, handshakes and per-message granularity allow ~20x slack.
+        assert!(
+            report.duration_secs < 20.0,
+            "duration {}s unreasonable",
+            report.duration_secs
+        );
+        assert_eq!(report.data, payload);
+    }
+
+    #[test]
+    fn feedback_builds_credit_at_home_peer() {
+        let mut rt = SimRuntime::new(small_cfg());
+        let a = rt.add_participant(Identity::from_seed(b"A"), kbps(512.0), kbps(3000.0));
+        let b = rt.add_participant(Identity::from_seed(b"B"), kbps(512.0), kbps(3000.0));
+        let payload = data(32 * 1024);
+        let (manifest, _) = rt.disseminate(a, FileId(3), &payload, &[a, b]).unwrap();
+        let b_key = rt.participants[b.0].peer.identity().public_key().to_bytes();
+        let before = rt.participants[a.0].peer.upload_weight(&b_key);
+        let session = rt
+            .start_download(a, manifest, kbps(512.0), kbps(3000.0), &[a, b])
+            .unwrap();
+        rt.run_to_completion(session, 600).unwrap();
+        // Let the final feedback report flush.
+        rt.run_slots(rt.cfg.feedback_every_slots + 2);
+        let after = rt.participants[a.0].peer.upload_weight(&b_key);
+        assert!(
+            after > before,
+            "A's ledger must credit B for served bytes ({before} -> {after})"
+        );
+    }
+
+    #[test]
+    fn propagation_delay_slows_small_downloads() {
+        let run = |latency: f64| {
+            let mut rt = SimRuntime::new(RuntimeConfig {
+                latency_secs: latency,
+                ..small_cfg()
+            });
+            let ids: Vec<ParticipantId> = (0..3u8)
+                .map(|i| {
+                    rt.add_participant(
+                        Identity::from_seed(&[b'l', i]),
+                        kbps(512.0),
+                        kbps(3000.0),
+                    )
+                })
+                .collect();
+            let payload = data(48 * 1024);
+            let (manifest, _) = rt.disseminate(ids[0], FileId(9), &payload, &ids).unwrap();
+            let session = rt
+                .start_download(ids[0], manifest, kbps(512.0), kbps(3000.0), &ids)
+                .unwrap();
+            let report = rt.run_to_completion(session, 600).unwrap();
+            assert_eq!(report.data, payload);
+            report.duration_secs
+        };
+        let fast = run(0.0);
+        let slow = run(0.25);
+        assert!(
+            slow > fast,
+            "250 ms propagation delay must cost time ({slow:.2}s vs {fast:.2}s)"
+        );
+    }
+
+    #[test]
+    fn incomplete_download_times_out_with_error() {
+        let mut rt = SimRuntime::new(small_cfg());
+        let a = rt.add_participant(Identity::from_seed(b"A2"), kbps(256.0), kbps(3000.0));
+        let b = rt.add_participant(Identity::from_seed(b"B2"), kbps(256.0), kbps(3000.0));
+        let payload = data(256 * 1024);
+        let (manifest, _) = rt.disseminate(a, FileId(4), &payload, &[a, b]).unwrap();
+        let session = rt
+            .start_download(a, manifest, kbps(256.0), kbps(3000.0), &[a, b])
+            .unwrap();
+        // 2 slots is nowhere near enough for 256 KB over 512 kbps aggregate.
+        assert!(rt.run_to_completion(session, 2).is_err());
+        assert!(rt.progress(session) < 1.0);
+    }
+}

@@ -1,0 +1,477 @@
+//! The downloading user: connects to many peers in parallel, authenticates,
+//! streams coded messages into the decoder, stops everyone once `k` messages
+//! per chunk are in, and reports contributions back to its home peer.
+
+use crate::error::SystemError;
+use crate::identity::Identity;
+use crate::peer::KeyBytes;
+use crate::protocol::{FeedbackEntry, FeedbackReport, Wire};
+use crate::session::Prover;
+use asymshare_crypto::chacha20::ChaChaRng;
+use asymshare_gf::Field;
+use asymshare_rlnc::{ChunkedDecoder, FileManifest};
+use std::collections::HashMap;
+
+/// Per-connection download state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnStage {
+    /// Handshake in flight.
+    Authenticating,
+    /// Authenticated and requested; messages flowing.
+    Downloading,
+    /// Peer refused authentication.
+    Refused,
+    /// We sent stop (or the download finished).
+    Stopped,
+}
+
+#[derive(Debug)]
+struct Conn {
+    peer_key: KeyBytes,
+    prover: Prover,
+    stage: ConnStage,
+    /// The response scalar we sent, kept to verify the peer's countersigned
+    /// acknowledgement (mutual authentication).
+    sent_response: Option<[u8; 32]>,
+}
+
+/// A remote download session for one (chunked) file.
+///
+/// Generic over the coding field `F`; the paper's recommended instantiation
+/// is GF(2³²). Drive it by calling [`connect`](Self::connect) once per peer
+/// and routing every inbound message through [`on_message`](Self::on_message).
+#[derive(Debug)]
+pub struct User<F: Field> {
+    identity: Identity,
+    file_id: u64,
+    decoder: ChunkedDecoder<F>,
+    conns: HashMap<u64, Conn>,
+    received_from: HashMap<KeyBytes, u64>,
+    innovative: u64,
+    redundant: u64,
+}
+
+impl<F: Field> User<F> {
+    /// Starts a session for the file described by `manifest`, decoding with
+    /// the user's own coding secret.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manifest/field mismatches from the decoder.
+    pub fn new(identity: Identity, manifest: FileManifest) -> Result<Self, SystemError> {
+        let file_id = manifest.file_id().0;
+        let decoder = ChunkedDecoder::new(manifest, identity.coding_secret().clone())?;
+        Ok(User {
+            identity,
+            file_id,
+            decoder,
+            conns: HashMap::new(),
+            received_from: HashMap::new(),
+            innovative: 0,
+            redundant: 0,
+        })
+    }
+
+    /// The session's file id.
+    pub fn file_id(&self) -> u64 {
+        self.file_id
+    }
+
+    /// Opens a connection to a peer, producing the first handshake message.
+    pub fn connect(&mut self, conn: u64, peer_key: KeyBytes, rng: &mut ChaChaRng) -> Wire {
+        let mut prover = Prover::new(self.identity.auth_keys().clone());
+        let commit = prover.start(rng);
+        self.conns.insert(
+            conn,
+            Conn {
+                peer_key,
+                prover,
+                stage: ConnStage::Authenticating,
+                sent_response: None,
+            },
+        );
+        commit
+    }
+
+    /// A connection's stage.
+    pub fn stage(&self, conn: u64) -> Option<ConnStage> {
+        self.conns.get(&conn).map(|c| c.stage)
+    }
+
+    /// Handles an inbound message; returns `(connection, message)` pairs to
+    /// send (stop messages fan out to every live connection).
+    ///
+    /// # Errors
+    ///
+    /// Codec errors (including failed per-message digest authentication)
+    /// and protocol-state errors. A digest failure poisons only the one
+    /// message — the caller can keep the connection or drop it.
+    pub fn on_message(
+        &mut self,
+        conn: u64,
+        wire: Wire,
+        _rng: &mut ChaChaRng,
+    ) -> Result<Vec<(u64, Wire)>, SystemError> {
+        match wire {
+            Wire::AuthChallenge { .. } => {
+                let c = self.conns.get_mut(&conn).ok_or(SystemError::UnknownParty {
+                    who: format!("connection {conn}"),
+                })?;
+                let response = c.prover.on_challenge(&wire)?;
+                if let Wire::AuthResponse { s } = &response {
+                    c.sent_response = Some(*s);
+                }
+                Ok(vec![(conn, response)])
+            }
+            Wire::AuthResult { ok, ack } => {
+                let c = self.conns.get_mut(&conn).ok_or(SystemError::UnknownParty {
+                    who: format!("connection {conn}"),
+                })?;
+                if ok {
+                    // Mutual authentication: the acceptance must be signed
+                    // by the peer key we intended to talk to.
+                    let verified = c.sent_response.is_some_and(|s| {
+                        let transcript = crate::protocol::auth_ack_transcript(&s, true);
+                        let Some(key) =
+                            asymshare_crypto::schnorr::PublicKey::from_bytes(&c.peer_key)
+                        else {
+                            return false;
+                        };
+                        let Some(sig) = asymshare_crypto::schnorr::Signature::from_bytes(&ack)
+                        else {
+                            return false;
+                        };
+                        asymshare_crypto::schnorr::verify(&key, &transcript, &sig)
+                    });
+                    if !verified {
+                        c.stage = ConnStage::Refused;
+                        return Err(SystemError::AuthenticationRejected {
+                            context: "peer acknowledgement signature invalid (possible MITM)"
+                                .to_owned(),
+                        });
+                    }
+                    c.stage = ConnStage::Downloading;
+                    Ok(vec![(
+                        conn,
+                        Wire::FileRequest {
+                            file_id: self.file_id,
+                        },
+                    )])
+                } else {
+                    c.stage = ConnStage::Refused;
+                    Ok(vec![])
+                }
+            }
+            Wire::MessageData(msg) => {
+                let peer_key = {
+                    let c = self.conns.get(&conn).ok_or(SystemError::UnknownParty {
+                        who: format!("connection {conn}"),
+                    })?;
+                    c.peer_key
+                };
+                let wire_len = Wire::MessageData(msg.clone()).encoded_len() as u64;
+                if self.decoder.is_complete() {
+                    self.redundant += 1;
+                    return Ok(vec![]);
+                }
+                let chunk = asymshare_rlnc::FileManifest::chunk_of(msg.message_id());
+                let chunk_was_complete = self.decoder.chunk_complete(chunk).unwrap_or(false);
+                let innovative = self.decoder.add_message(msg)?;
+                *self.received_from.entry(peer_key).or_insert(0) += wire_len;
+                if innovative {
+                    self.innovative += 1;
+                } else {
+                    self.redundant += 1;
+                }
+                // Chunk-granular stop (§III-D): the moment a chunk becomes
+                // decodable, tell every downloading peer to skip it.
+                if !chunk_was_complete
+                    && self.decoder.chunk_complete(chunk).unwrap_or(false)
+                    && !self.decoder.is_complete()
+                {
+                    let stops: Vec<(u64, Wire)> = self
+                        .conns
+                        .iter()
+                        .filter(|(_, c)| c.stage == ConnStage::Downloading)
+                        .map(|(&id, _)| {
+                            (
+                                id,
+                                Wire::StopChunk {
+                                    file_id: self.file_id,
+                                    chunk,
+                                },
+                            )
+                        })
+                        .collect();
+                    return Ok(stops);
+                }
+                if self.decoder.is_complete() {
+                    // Transmission "5": stop everyone still sending.
+                    let stops: Vec<(u64, Wire)> = self
+                        .conns
+                        .iter_mut()
+                        .filter(|(_, c)| c.stage == ConnStage::Downloading)
+                        .map(|(&id, c)| {
+                            c.stage = ConnStage::Stopped;
+                            (
+                                id,
+                                Wire::StopTransmission {
+                                    file_id: self.file_id,
+                                },
+                            )
+                        })
+                        .collect();
+                    return Ok(stops);
+                }
+                Ok(vec![])
+            }
+            other => Err(SystemError::UnexpectedMessage {
+                got: format!("{other:?}"),
+                expected: "peer-to-user message".to_owned(),
+            }),
+        }
+    }
+
+    /// Whether the file can be fully decoded.
+    pub fn is_complete(&self) -> bool {
+        self.decoder.is_complete()
+    }
+
+    /// Download progress in `[0, 1]` (independent messages / needed).
+    pub fn progress(&self) -> f64 {
+        self.decoder.progress()
+    }
+
+    /// Count of innovative messages absorbed.
+    pub fn innovative_count(&self) -> u64 {
+        self.innovative
+    }
+
+    /// Count of redundant (dependent or late) messages received —
+    /// the overhead of parallel downloading without coordination.
+    pub fn redundant_count(&self) -> u64 {
+        self.redundant
+    }
+
+    /// Decodes and returns the file.
+    ///
+    /// # Errors
+    ///
+    /// [`asymshare_rlnc::CodecError::NotEnoughMessages`] until complete.
+    pub fn decode(&self) -> Result<Vec<u8>, SystemError> {
+        Ok(self.decoder.decode()?)
+    }
+
+    /// Builds the signed periodic feedback report for the home peer and
+    /// resets the window counters.
+    pub fn make_feedback(&mut self, window_end_secs: u64, rng: &mut ChaChaRng) -> FeedbackReport {
+        let entries: Vec<FeedbackEntry> = self
+            .received_from
+            .drain()
+            .map(|(contributor, bytes)| FeedbackEntry { contributor, bytes })
+            .collect();
+        FeedbackReport::sign(self.identity.auth_keys(), window_end_secs, entries, rng)
+    }
+
+    /// Bytes received per contributor in the current feedback window.
+    pub fn window_bytes(&self) -> &HashMap<KeyBytes, u64> {
+        &self.received_from
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peer::Peer;
+    use asymshare_gf::{FieldKind, Gf2p32};
+    use asymshare_rlnc::{ChunkedEncoder, DigestKind, FileId};
+
+    fn rng(seed: u8) -> ChaChaRng {
+        ChaChaRng::new([seed; 32], [0u8; 12])
+    }
+
+    /// Full in-memory protocol exchange between one user and two peers.
+    #[test]
+    fn end_to_end_two_peer_download() {
+        let mut r = rng(1);
+        let owner = Identity::from_seed(b"owner");
+        let data: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+        let mut enc = ChunkedEncoder::<Gf2p32>::with_chunk_size(
+            FieldKind::Gf2p32,
+            4,
+            DigestKind::Md5,
+            owner.coding_secret().clone(),
+            FileId(7),
+            &data,
+            2048,
+        )
+        .unwrap();
+        let batches = enc.encode_for_peers(2).unwrap();
+        let manifest = enc.manifest().clone();
+
+        let mut peers: Vec<Peer> = (0..2u8)
+            .map(|i| {
+                let mut p = Peer::new(Identity::from_seed(&[b'p', i]), 1.0);
+                p.add_subscriber(owner.public_key().to_bytes());
+                p
+            })
+            .collect();
+        for (p, batch) in peers.iter_mut().zip(batches) {
+            for m in batch {
+                p.store_mut().insert(m);
+            }
+        }
+
+        let mut user = User::<Gf2p32>::new(owner, manifest).unwrap();
+        // Handshake both peers (conn id = peer index).
+        for (i, p) in peers.iter_mut().enumerate() {
+            let conn = i as u64;
+            let commit = user.connect(conn, p.identity().public_key().to_bytes(), &mut r);
+            let challenge = p.on_message(conn, commit, &mut r).unwrap().remove(0);
+            let response = user
+                .on_message(conn, challenge, &mut r)
+                .unwrap()
+                .remove(0)
+                .1;
+            let result = p.on_message(conn, response, &mut r).unwrap().remove(0);
+            let request = user.on_message(conn, result, &mut r).unwrap().remove(0).1;
+            assert!(p.on_message(conn, request, &mut r).unwrap().is_empty());
+            assert_eq!(user.stage(conn), Some(ConnStage::Downloading));
+        }
+
+        // Round-robin serving until the user stops us.
+        let mut stopped = [false; 2];
+        while !user.is_complete() {
+            let mut any = false;
+            for i in 0..peers.len() {
+                let conn = i as u64;
+                if stopped[i] {
+                    continue;
+                }
+                let Some(msg) = peers[i].next_message(conn) else {
+                    continue;
+                };
+                any = true;
+                let replies = user
+                    .on_message(conn, Wire::MessageData(msg), &mut r)
+                    .unwrap();
+                for (target, reply) in replies {
+                    if let Wire::StopTransmission { .. } = reply {
+                        peers[target as usize]
+                            .on_message(target, reply, &mut r)
+                            .unwrap();
+                        stopped[target as usize] = true;
+                    }
+                }
+                if user.is_complete() {
+                    break;
+                }
+            }
+            assert!(any, "peers ran dry before completion");
+        }
+        assert_eq!(user.decode().unwrap(), data);
+        assert!(user.innovative_count() > 0);
+
+        // Feedback drains the window.
+        let report = user.make_feedback(60, &mut r);
+        assert!(report.verify().is_ok());
+        assert_eq!(report.entries.len(), 2, "both peers contributed");
+        assert!(user.window_bytes().is_empty());
+    }
+
+    #[test]
+    fn refused_auth_marks_connection() {
+        let mut r = rng(2);
+        let owner = Identity::from_seed(b"owner2");
+        let data = vec![1u8; 256];
+        let mut enc = ChunkedEncoder::<Gf2p32>::with_chunk_size(
+            FieldKind::Gf2p32,
+            2,
+            DigestKind::Md5,
+            owner.coding_secret().clone(),
+            FileId(1),
+            &data,
+            1024,
+        )
+        .unwrap();
+        let _ = enc.encode_for_peers(1).unwrap();
+        let mut user = User::<Gf2p32>::new(owner, enc.manifest().clone()).unwrap();
+        let _commit = user.connect(0, [1u8; 64], &mut r);
+        let out = user
+            .on_message(
+                0,
+                Wire::AuthResult {
+                    ok: false,
+                    ack: [0u8; 96],
+                },
+                &mut r,
+            )
+            .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(user.stage(0), Some(ConnStage::Refused));
+    }
+
+    #[test]
+    fn forged_acceptance_rejected_as_mitm() {
+        // A man-in-the-middle relaying "ok" without the peer's signature
+        // must not trick the user into downloading from it.
+        let mut r = rng(4);
+        let owner = Identity::from_seed(b"owner4");
+        let data = vec![1u8; 256];
+        let mut enc = ChunkedEncoder::<Gf2p32>::with_chunk_size(
+            FieldKind::Gf2p32,
+            2,
+            DigestKind::Md5,
+            owner.coding_secret().clone(),
+            FileId(1),
+            &data,
+            1024,
+        )
+        .unwrap();
+        let _ = enc.encode_for_peers(1).unwrap();
+        let honest_peer = Identity::from_seed(b"honest-peer");
+        let mut user = User::<Gf2p32>::new(owner, enc.manifest().clone()).unwrap();
+        let _commit = user.connect(0, honest_peer.public_key().to_bytes(), &mut r);
+        // Drive past the challenge so a response exists.
+        let challenge = Wire::AuthChallenge {
+            challenge: [7u8; 32],
+        };
+        let _resp = user.on_message(0, challenge, &mut r).unwrap();
+        // Attacker fabricates acceptance with a garbage signature.
+        let err = user
+            .on_message(
+                0,
+                Wire::AuthResult {
+                    ok: true,
+                    ack: [9u8; 96],
+                },
+                &mut r,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SystemError::AuthenticationRejected { .. }));
+        assert_eq!(user.stage(0), Some(ConnStage::Refused));
+    }
+
+    #[test]
+    fn unexpected_message_errors() {
+        let mut r = rng(3);
+        let owner = Identity::from_seed(b"owner3");
+        let data = vec![1u8; 64];
+        let mut enc = ChunkedEncoder::<Gf2p32>::with_chunk_size(
+            FieldKind::Gf2p32,
+            2,
+            DigestKind::Md5,
+            owner.coding_secret().clone(),
+            FileId(1),
+            &data,
+            1024,
+        )
+        .unwrap();
+        let _ = enc.encode_for_peers(1).unwrap();
+        let mut user = User::<Gf2p32>::new(owner, enc.manifest().clone()).unwrap();
+        let err = user
+            .on_message(0, Wire::FileRequest { file_id: 1 }, &mut r)
+            .unwrap_err();
+        assert!(matches!(err, SystemError::UnexpectedMessage { .. }));
+    }
+}

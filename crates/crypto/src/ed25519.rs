@@ -1,0 +1,292 @@
+//! The Ed25519 group: twisted Edwards curve −x² + y² = 1 + d·x²y² over
+//! GF(2²⁵⁵ − 19), in extended homogeneous coordinates.
+//!
+//! Provides exactly what the Schnorr identification protocol needs: point
+//! addition, doubling, scalar multiplication, and (de)serialization as an
+//! uncompressed 64-byte (x, y) pair with an on-curve check. Scalar
+//! multiplication is plain double-and-add — adequate for the simulated
+//! deployment this crate targets, *not* hardened against timing channels.
+
+use crate::fe25519::Fe;
+use crate::u256::U256;
+
+/// The curve constant d = −121665/121666 mod p.
+pub const D: U256 = U256::from_limbs([
+    0x75eb_4dca_1359_78a3,
+    0x0070_0a4d_4141_d8ab,
+    0x8cc7_4079_7779_e898,
+    0x5203_6cee_2b6f_fe73,
+]);
+
+/// Order ℓ of the prime-order subgroup: 2²⁵² + 27742317777372353535851937790883648493.
+pub const L: U256 = U256::from_limbs([
+    0x5812_631a_5cf5_d3ed,
+    0x14de_f9de_a2f7_9cd6,
+    0x0000_0000_0000_0000,
+    0x1000_0000_0000_0000,
+]);
+
+const BASE_X: U256 = U256::from_limbs([
+    0xc956_2d60_8f25_d51a,
+    0x692c_c760_9525_a7b2,
+    0xc0a4_e231_fdd6_dc5c,
+    0x2169_36d3_cd6e_53fe,
+]);
+
+const BASE_Y: U256 = U256::from_limbs([
+    0x6666_6666_6666_6658,
+    0x6666_6666_6666_6666,
+    0x6666_6666_6666_6666,
+    0x6666_6666_6666_6666,
+]);
+
+/// A point on the Ed25519 curve in extended coordinates (X : Y : Z : T),
+/// with x = X/Z, y = Y/Z, T = XY/Z.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+impl Point {
+    /// The group identity (0, 1).
+    pub fn identity() -> Point {
+        Point {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+            t: Fe::ZERO,
+        }
+    }
+
+    /// The standard base point B (of order ℓ).
+    pub fn base() -> Point {
+        let x = Fe::from_u256(BASE_X);
+        let y = Fe::from_u256(BASE_Y);
+        Point {
+            x,
+            y,
+            z: Fe::ONE,
+            t: x * y,
+        }
+    }
+
+    /// Constructs a point from affine coordinates, checking the curve
+    /// equation −x² + y² = 1 + d·x²y².
+    pub fn from_affine(x: Fe, y: Fe) -> Option<Point> {
+        let x2 = x.square();
+        let y2 = y.square();
+        let d = Fe::from_u256(D);
+        let lhs = y2 - x2;
+        let rhs = Fe::ONE + d * x2 * y2;
+        if lhs == rhs {
+            Some(Point {
+                x,
+                y,
+                z: Fe::ONE,
+                t: x * y,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Affine coordinates (x, y).
+    pub fn to_affine(self) -> (Fe, Fe) {
+        let zinv = self.z.inv();
+        (self.x * zinv, self.y * zinv)
+    }
+
+    /// Serializes as 64 bytes: x ‖ y, both little-endian canonical.
+    pub fn to_bytes(self) -> [u8; 64] {
+        let (x, y) = self.to_affine();
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&x.to_le_bytes());
+        out[32..].copy_from_slice(&y.to_le_bytes());
+        out
+    }
+
+    /// Deserializes from [`to_bytes`](Self::to_bytes) form, verifying the
+    /// point is on the curve. Returns `None` for off-curve or malformed
+    /// encodings (this is the defense against forged public keys and
+    /// commitments).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Point> {
+        if bytes.len() != 64 {
+            return None;
+        }
+        let x = U256::from_le_bytes(&bytes[..32]);
+        let y = U256::from_le_bytes(&bytes[32..]);
+        // Reject non-canonical encodings.
+        if x >= crate::fe25519::P || y >= crate::fe25519::P {
+            return None;
+        }
+        Point::from_affine(Fe::from_u256(x), Fe::from_u256(y))
+    }
+
+    /// Point addition (add-2008-hwcd-3 unified formulas, a = −1).
+    pub fn add(self, rhs: Point) -> Point {
+        let d = Fe::from_u256(D);
+        let two_d = d + d;
+        let a = (self.y - self.x) * (rhs.y - rhs.x);
+        let b = (self.y + self.x) * (rhs.y + rhs.x);
+        let c = self.t * two_d * rhs.t;
+        let dd = self.z * rhs.z;
+        let dd = dd + dd;
+        let e = b - a;
+        let f = dd - c;
+        let g = dd + c;
+        let h = b + a;
+        Point {
+            x: e * f,
+            y: g * h,
+            z: f * g,
+            t: e * h,
+        }
+    }
+
+    /// Point doubling (dbl-2008-hwcd, a = −1).
+    pub fn double(self) -> Point {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c2 = self.z.square();
+        let c = c2 + c2;
+        let d = a.neg(); // a_curve = -1
+        let e = (self.x + self.y).square() - a - b;
+        let g = d + b;
+        let f = g - c;
+        let h = d - b;
+        Point {
+            x: e * f,
+            y: g * h,
+            z: f * g,
+            t: e * h,
+        }
+    }
+
+    /// Scalar multiplication `k · self` by double-and-add.
+    pub fn mul_scalar(self, k: &U256) -> Point {
+        let mut acc = Point::identity();
+        let Some(high) = k.highest_bit() else {
+            return acc;
+        };
+        for i in (0..=high).rev() {
+            acc = acc.double();
+            if k.bit(i) {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Projective equality (compares x/z and y/z without inversions).
+    pub fn eq_point(&self, rhs: &Point) -> bool {
+        self.x * rhs.z == rhs.x * self.z && self.y * rhs.z == rhs.y * self.z
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.x.is_zero() && self.y == self.z
+    }
+}
+
+impl PartialEq for Point {
+    fn eq(&self, other: &Self) -> bool {
+        self.eq_point(other)
+    }
+}
+
+impl Eq for Point {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_point_is_on_curve() {
+        let b = Point::base();
+        let (x, y) = b.to_affine();
+        assert!(Point::from_affine(x, y).is_some());
+    }
+
+    #[test]
+    fn identity_laws() {
+        let b = Point::base();
+        let id = Point::identity();
+        assert_eq!(b.add(id), b);
+        assert_eq!(id.add(b), b);
+        assert!(id.is_identity());
+        assert!(id.double().is_identity());
+    }
+
+    #[test]
+    fn double_matches_add() {
+        let b = Point::base();
+        assert_eq!(b.double(), b.add(b));
+        let four = b.double().double();
+        assert_eq!(four, b.add(b).add(b).add(b));
+    }
+
+    #[test]
+    fn addition_commutes_and_associates() {
+        let b = Point::base();
+        let p2 = b.double();
+        let p3 = p2.add(b);
+        assert_eq!(b.add(p2), p2.add(b));
+        assert_eq!(b.add(p2).add(p3), b.add(p2.add(p3)));
+    }
+
+    #[test]
+    fn base_point_has_order_l() {
+        let b = Point::base();
+        assert!(b.mul_scalar(&L).is_identity(), "ℓ·B must be the identity");
+        assert!(!b.mul_scalar(&U256::from_u64(1)).is_identity());
+    }
+
+    #[test]
+    fn scalar_mul_matches_repeated_addition() {
+        let b = Point::base();
+        let mut acc = Point::identity();
+        for k in 0..8u64 {
+            assert_eq!(b.mul_scalar(&U256::from_u64(k)), acc, "k={k}");
+            acc = acc.add(b);
+        }
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        // (a + b)·B == a·B + b·B
+        let b = Point::base();
+        let a = U256::from_u64(123_456_789);
+        let c = U256::from_u64(987_654_321);
+        let sum = a.add_mod(&c, &L);
+        assert_eq!(b.mul_scalar(&sum), b.mul_scalar(&a).add(b.mul_scalar(&c)));
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let p = Point::base().mul_scalar(&U256::from_u64(42));
+        let bytes = p.to_bytes();
+        let q = Point::from_bytes(&bytes).expect("valid encoding");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn off_curve_encoding_rejected() {
+        let mut bytes = Point::base().to_bytes();
+        bytes[0] ^= 1; // perturb x
+        assert!(Point::from_bytes(&bytes).is_none());
+        assert!(Point::from_bytes(&[0u8; 10]).is_none());
+    }
+
+    #[test]
+    fn non_canonical_coordinate_rejected() {
+        let mut bytes = [0u8; 64];
+        // x = p (non-canonical zero), y = 1 → must be rejected even though
+        // the reduced point (0, 1) is on the curve.
+        bytes[..32].copy_from_slice(&crate::fe25519::P.to_le_bytes());
+        bytes[32] = 1;
+        assert!(Point::from_bytes(&bytes).is_none());
+    }
+}

@@ -1,0 +1,250 @@
+//! Arithmetic in the prime field GF(2²⁵⁵ − 19), the coordinate field of the
+//! Ed25519 group used by the Schnorr challenge–response identification.
+//!
+//! Built on [`U256`] with the classic fold reduction:
+//! 2²⁵⁶ ≡ 38 (mod p), so a 512-bit product reduces with two cheap folds.
+
+use crate::u256::U256;
+
+/// The prime p = 2²⁵⁵ − 19, little-endian limbs.
+pub const P: U256 = U256::from_limbs([
+    0xffff_ffff_ffff_ffed,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+    0x7fff_ffff_ffff_ffff,
+]);
+
+/// An element of GF(2²⁵⁵ − 19), kept fully reduced.
+///
+/// # Example
+///
+/// ```rust
+/// use asymshare_crypto::fe25519::Fe;
+///
+/// let a = Fe::from_u64(1234567);
+/// assert_eq!(a * a.inv(), Fe::ONE);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fe(U256);
+
+impl Fe {
+    /// Zero.
+    pub const ZERO: Fe = Fe(U256::ZERO);
+    /// One.
+    pub const ONE: Fe = Fe(U256::from_limbs([1, 0, 0, 0]));
+
+    /// Constructs from a small integer.
+    pub fn from_u64(v: u64) -> Fe {
+        Fe(U256::from_u64(v))
+    }
+
+    /// Constructs from an arbitrary 256-bit value, reducing mod p.
+    pub fn from_u256(v: U256) -> Fe {
+        Fe(v.reduce_mod(&P))
+    }
+
+    /// Constructs from 32 little-endian bytes, reducing mod p.
+    pub fn from_le_bytes(bytes: &[u8]) -> Fe {
+        Fe::from_u256(U256::from_le_bytes(bytes))
+    }
+
+    /// The canonical (fully reduced) 32-byte little-endian encoding.
+    pub fn to_le_bytes(self) -> [u8; 32] {
+        self.0.to_le_bytes()
+    }
+
+    /// The underlying reduced integer.
+    pub fn to_u256(self) -> U256 {
+        self.0
+    }
+
+    /// Whether this is zero.
+    pub fn is_zero(self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Field addition.
+    pub fn add(self, rhs: Fe) -> Fe {
+        Fe(self.0.add_mod(&rhs.0, &P))
+    }
+
+    /// Field subtraction.
+    pub fn sub(self, rhs: Fe) -> Fe {
+        Fe(self.0.sub_mod(&rhs.0, &P))
+    }
+
+    /// Field negation.
+    pub fn neg(self) -> Fe {
+        Fe(U256::ZERO.sub_mod(&self.0, &P))
+    }
+
+    /// Field multiplication with fold reduction (2²⁵⁶ ≡ 38 mod p).
+    pub fn mul(self, rhs: Fe) -> Fe {
+        let wide = self.0.widening_mul(&rhs.0);
+        let w = wide.limbs();
+        // r (5 limbs) = lo + 38 * hi
+        let mut r = [0u64; 5];
+        let mut carry: u128 = 0;
+        for i in 0..4 {
+            let acc = w[i] as u128 + 38u128 * w[i + 4] as u128 + carry;
+            r[i] = acc as u64;
+            carry = acc >> 64;
+        }
+        r[4] = carry as u64;
+        // Fold the ≤ 6-bit overflow limb and the top bit of r[3]:
+        // value = r4·2²⁵⁶ + top·2²⁵⁵ + low255  ≡  low255 + 38·r4 + 19·top.
+        let top = r[3] >> 63;
+        r[3] &= 0x7fff_ffff_ffff_ffff;
+        let mut acc = r[0] as u128 + 38u128 * r[4] as u128 + 19u128 * top as u128;
+        let mut out = [0u64; 4];
+        out[0] = acc as u64;
+        let mut c = acc >> 64;
+        for i in 1..4 {
+            acc = r[i] as u128 + c;
+            out[i] = acc as u64;
+            c = acc >> 64;
+        }
+        debug_assert_eq!(c, 0, "second fold cannot carry");
+        let mut v = U256::from_limbs(out);
+        // v < 2^255 + small; at most one subtraction of p remains.
+        if v >= P {
+            v = v.overflowing_sub(&P).0;
+        }
+        Fe(v)
+    }
+
+    /// Squaring.
+    pub fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Exponentiation by square-and-multiply.
+    pub fn pow(self, e: &U256) -> Fe {
+        let mut acc = Fe::ONE;
+        let Some(high) = e.highest_bit() else {
+            return acc;
+        };
+        for i in (0..=high).rev() {
+            acc = acc.square();
+            if e.bit(i) {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat (a^(p−2)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn inv(self) -> Fe {
+        assert!(!self.is_zero(), "inverse of zero in GF(2^255 - 19)");
+        let p_minus_2 = P.overflowing_sub(&U256::from_u64(2)).0;
+        self.pow(&p_minus_2)
+    }
+}
+
+impl core::ops::Add for Fe {
+    type Output = Fe;
+    fn add(self, rhs: Fe) -> Fe {
+        Fe::add(self, rhs)
+    }
+}
+
+impl core::ops::Sub for Fe {
+    type Output = Fe;
+    fn sub(self, rhs: Fe) -> Fe {
+        Fe::sub(self, rhs)
+    }
+}
+
+impl core::ops::Mul for Fe {
+    type Output = Fe;
+    fn mul(self, rhs: Fe) -> Fe {
+        Fe::mul(self, rhs)
+    }
+}
+
+impl core::ops::Neg for Fe {
+    type Output = Fe;
+    fn neg(self) -> Fe {
+        Fe::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_arithmetic() {
+        let a = Fe::from_u64(7);
+        let b = Fe::from_u64(5);
+        assert_eq!(a.mul(b), Fe::from_u64(35));
+        assert_eq!(a.add(b), Fe::from_u64(12));
+        assert_eq!(a.sub(b), Fe::from_u64(2));
+        assert_eq!(b.sub(a).add(a.sub(b)), Fe::ZERO);
+    }
+
+    #[test]
+    fn p_reduces_to_zero() {
+        assert_eq!(Fe::from_u256(P), Fe::ZERO);
+        let (p_plus_1, _) = P.overflowing_add(&U256::ONE);
+        assert_eq!(Fe::from_u256(p_plus_1), Fe::ONE);
+    }
+
+    #[test]
+    fn two_to_the_256_is_38() {
+        // (2^128)^2 = 2^256 ≡ 38 (mod p)
+        let two128 = Fe(U256::from_limbs([0, 0, 1, 0]));
+        assert_eq!(two128.square(), Fe::from_u64(38));
+    }
+
+    #[test]
+    fn mul_matches_generic_division_reduction() {
+        let vals = [
+            U256::from_limbs([0xdead_beef, 0x1234, 0xffff_ffff_ffff_ffff, 0x7fff]),
+            U256::from_limbs([1, 2, 3, 4]),
+            U256::from_limbs([u64::MAX; 4]).reduce_mod(&P),
+            U256::from_u64(19),
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                let fast = Fe::from_u256(a).mul(Fe::from_u256(b)).to_u256();
+                let slow = a.reduce_mod(&P).mul_mod(&b.reduce_mod(&P), &P);
+                assert_eq!(fast, slow);
+            }
+        }
+    }
+
+    #[test]
+    fn inversion_round_trips() {
+        for v in [1u64, 2, 19, 0xdead_beef] {
+            let a = Fe::from_u64(v);
+            assert_eq!(a.mul(a.inv()), Fe::ONE, "v={v}");
+        }
+        let big = Fe(U256::from_limbs([5, 6, 7, 0x1fff]));
+        assert_eq!(big.mul(big.inv()), Fe::ONE);
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        let a = Fe::from_u64(123_456_789);
+        let p_minus_1 = P.overflowing_sub(&U256::ONE).0;
+        assert_eq!(a.pow(&p_minus_1), Fe::ONE);
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let a = Fe::from_u64(0xabcdef);
+        assert_eq!(a.add(a.neg()), Fe::ZERO);
+        assert_eq!(Fe::ZERO.neg(), Fe::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn zero_inverse_panics() {
+        Fe::ZERO.inv();
+    }
+}

@@ -1,0 +1,168 @@
+//! HMAC (RFC 2104) over the crate's own hash functions.
+//!
+//! Used for keyed seed derivation and for the shared-key variant of the
+//! peer↔user authentication handshake.
+
+use crate::md5::{Digest128, Md5};
+use crate::sha256::{Digest256, Sha256};
+
+const BLOCK: usize = 64; // both MD5 and SHA-256 use 64-byte blocks
+
+fn prepare_key_sha256(key: &[u8]) -> [u8; BLOCK] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        k[..32].copy_from_slice(&Sha256::digest(key).0);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    k
+}
+
+fn prepare_key_md5(key: &[u8]) -> [u8; BLOCK] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        k[..16].copy_from_slice(&Md5::digest(key).0);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    k
+}
+
+/// HMAC-SHA-256 of `message` under `key`.
+///
+/// # Example
+///
+/// ```rust
+/// use asymshare_crypto::hmac::hmac_sha256;
+///
+/// // RFC 4231 test case 2.
+/// let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+/// assert_eq!(
+///     tag.to_hex(),
+///     "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+/// );
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest256 {
+    let k = prepare_key_sha256(key);
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let inner = {
+        let mut h = Sha256::new();
+        h.update(&ipad);
+        h.update(message);
+        h.finalize()
+    };
+    let mut h = Sha256::new();
+    h.update(&opad);
+    h.update(&inner.0);
+    h.finalize()
+}
+
+/// HMAC-MD5 of `message` under `key` (provided for fidelity with the paper's
+/// MD5-based authentication; prefer [`hmac_sha256`] for new uses).
+pub fn hmac_md5(key: &[u8], message: &[u8]) -> Digest128 {
+    let k = prepare_key_md5(key);
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let inner = {
+        let mut h = Md5::new();
+        h.update(&ipad);
+        h.update(message);
+        h.finalize()
+    };
+    let mut h = Md5::new();
+    h.update(&opad);
+    h.update(&inner.0);
+    h.finalize()
+}
+
+/// Constant-time equality of two byte strings.
+///
+/// Returns `false` for different lengths without inspecting contents.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4231 test vectors for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            tag.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3_long_data() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            tag.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            tag.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    // RFC 2202 test vectors for HMAC-MD5.
+    #[test]
+    fn rfc2202_md5_case2() {
+        let tag = hmac_md5(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(tag.to_hex(), "750c783e6ab0b503eaa86e310a5db738");
+    }
+
+    #[test]
+    fn rfc2202_md5_case1() {
+        let key = [0x0bu8; 16];
+        let tag = hmac_md5(&key, b"Hi There");
+        assert_eq!(tag.to_hex(), "9294727a3638bb1c13f48ef8158bfc9d");
+    }
+
+    #[test]
+    fn ct_eq_behaviour() {
+        assert!(ct_eq(b"same", b"same"));
+        assert!(!ct_eq(b"same", b"sam"));
+        assert!(!ct_eq(b"same", b"sane"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn different_keys_give_different_tags() {
+        let t1 = hmac_sha256(b"key-one", b"msg");
+        let t2 = hmac_sha256(b"key-two", b"msg");
+        assert_ne!(t1, t2);
+    }
+}

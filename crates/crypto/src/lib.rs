@@ -1,0 +1,48 @@
+//! Self-contained cryptographic primitives for the *asymshare* system.
+//!
+//! The paper's design leans on four cryptographic ingredients, each
+//! implemented here from its specification with no external dependencies:
+//!
+//! * [`md5`] — the per-message 128-bit authentication digests of §III-C
+//!   (RFC 1321), kept for fidelity; [`sha256`] is the modern alternative.
+//! * [`sha256`] + [`hmac`] — seed derivation and keyed MACs.
+//! * [`chacha20`] + [`rng`] — the "cryptographically strong random number
+//!   generator seeded with a cryptographic hash of *i* and a secret key"
+//!   that produces coding coefficients (§III-A).
+//! * [`schnorr`] over [`ed25519`]/[`fe25519`]/[`u256`] — the "classic
+//!   public-key challenge response" authentication of §III-B.
+//!
+//! # Security posture
+//!
+//! These implementations are written for a research reproduction running
+//! against simulated networks: they are correct against published test
+//! vectors and safe for that purpose, but they are **not** hardened
+//! side-channel-free production cryptography (scalar multiplication is
+//! variable-time, MD5 is retained deliberately, and there is no zeroization
+//! of secrets).
+//!
+//! # Example
+//!
+//! ```rust
+//! use asymshare_crypto::rng::SecretKey;
+//!
+//! // The owner's secret key deterministically regenerates any coefficient
+//! // row; peers without the key cannot.
+//! let key = SecretKey::from_passphrase("owner secret");
+//! let c1 = key.coefficient_rng(/*file*/ 9, /*message*/ 0).next_u64();
+//! let c2 = key.coefficient_rng(9, 0).next_u64();
+//! assert_eq!(c1, c2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chacha20;
+pub mod ed25519;
+pub mod fe25519;
+pub mod hmac;
+pub mod md5;
+pub mod rng;
+pub mod schnorr;
+pub mod sha256;
+pub mod u256;

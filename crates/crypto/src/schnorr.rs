@@ -1,0 +1,362 @@
+//! Schnorr identification and signatures over the Ed25519 group — the
+//! "classic public-key challenge response system" of the paper's §III-B.
+//!
+//! The interactive identification protocol (commit → challenge → respond)
+//! is what a peer runs against a connecting user before serving messages
+//! (transmission "1"/"2" in the paper's Figure 4(b)); the non-interactive
+//! Fiat–Shamir signature variant authenticates asynchronous protocol
+//! messages such as the user's periodic feedback to its home peer.
+//!
+//! # Example
+//!
+//! ```rust
+//! use asymshare_crypto::chacha20::ChaChaRng;
+//! use asymshare_crypto::schnorr::{Identification, KeyPair};
+//!
+//! let mut rng = ChaChaRng::new([1u8; 32], [0u8; 12]);
+//! let keys = KeyPair::generate(&mut rng);
+//!
+//! // Prover side.
+//! let (commitment, nonce) = Identification::commit(&mut rng);
+//! // Verifier side.
+//! let challenge = Identification::challenge(&mut rng);
+//! // Prover side.
+//! let response = Identification::respond(&keys, &nonce, &challenge);
+//! // Verifier side.
+//! assert!(Identification::verify(&keys.public_key(), &commitment, &challenge, &response));
+//! ```
+
+use crate::chacha20::ChaChaRng;
+use crate::ed25519::{Point, L};
+use crate::sha256::Sha256;
+use crate::u256::U256;
+
+const SIG_DOMAIN: &[u8] = b"asymshare.schnorr.sig.v1";
+
+/// A Schnorr public key (a point on the Ed25519 curve).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublicKey(Point);
+
+impl PublicKey {
+    /// Serializes to 64 bytes.
+    pub fn to_bytes(self) -> [u8; 64] {
+        self.0.to_bytes()
+    }
+
+    /// Deserializes, rejecting off-curve points.
+    pub fn from_bytes(bytes: &[u8]) -> Option<PublicKey> {
+        Point::from_bytes(bytes).map(PublicKey)
+    }
+
+    fn point(&self) -> Point {
+        self.0
+    }
+}
+
+/// A Schnorr key pair: secret scalar x mod ℓ and public point P = x·B.
+#[derive(Clone)]
+pub struct KeyPair {
+    secret: U256,
+    public: PublicKey,
+}
+
+impl core::fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("KeyPair")
+            .field("public", &self.public)
+            .field("secret", &"..")
+            .finish()
+    }
+}
+
+impl KeyPair {
+    /// Generates a key pair from the given entropy source.
+    pub fn generate(rng: &mut ChaChaRng) -> KeyPair {
+        let secret = random_scalar(rng);
+        KeyPair::from_secret(secret)
+    }
+
+    /// Reconstructs a key pair from a stored secret scalar (reduced mod ℓ;
+    /// zero is mapped to one to keep the key valid).
+    pub fn from_secret(secret: U256) -> KeyPair {
+        let mut secret = secret.reduce_mod(&L);
+        if secret.is_zero() {
+            secret = U256::ONE;
+        }
+        let public = PublicKey(Point::base().mul_scalar(&secret));
+        KeyPair { secret, public }
+    }
+
+    /// The public key.
+    pub fn public_key(&self) -> PublicKey {
+        self.public
+    }
+
+    /// The secret scalar (for the owner's local key store only).
+    pub fn secret_scalar(&self) -> U256 {
+        self.secret
+    }
+
+    /// Signs `message` (Fiat–Shamir transform of the identification
+    /// protocol, challenge bound to the public key and message).
+    pub fn sign(&self, message: &[u8], rng: &mut ChaChaRng) -> Signature {
+        let r = random_scalar(rng);
+        let big_r = Point::base().mul_scalar(&r);
+        let c = challenge_hash(&big_r, &self.public, message);
+        let s = r.add_mod(&c.mul_mod(&self.secret, &L), &L);
+        Signature {
+            commitment: big_r.to_bytes(),
+            s,
+        }
+    }
+}
+
+/// A Schnorr signature (R, s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    /// The commitment point R, serialized.
+    pub commitment: [u8; 64],
+    /// The response scalar s.
+    pub s: U256,
+}
+
+impl Signature {
+    /// Serializes to 96 bytes: R ‖ s.
+    pub fn to_bytes(self) -> [u8; 96] {
+        let mut out = [0u8; 96];
+        out[..64].copy_from_slice(&self.commitment);
+        out[64..].copy_from_slice(&self.s.to_le_bytes());
+        out
+    }
+
+    /// Deserializes from [`to_bytes`](Self::to_bytes) form.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Signature> {
+        if bytes.len() != 96 {
+            return None;
+        }
+        let mut commitment = [0u8; 64];
+        commitment.copy_from_slice(&bytes[..64]);
+        Some(Signature {
+            commitment,
+            s: U256::from_le_bytes(&bytes[64..]),
+        })
+    }
+}
+
+/// Verifies a signature: s·B == R + c·P with c = H(R ‖ P ‖ m).
+pub fn verify(public: &PublicKey, message: &[u8], sig: &Signature) -> bool {
+    let Some(big_r) = Point::from_bytes(&sig.commitment) else {
+        return false;
+    };
+    if sig.s >= L {
+        return false;
+    }
+    let c = challenge_hash(&big_r, public, message);
+    let lhs = Point::base().mul_scalar(&sig.s);
+    let rhs = big_r.add(public.point().mul_scalar(&c));
+    lhs == rhs
+}
+
+fn challenge_hash(big_r: &Point, public: &PublicKey, message: &[u8]) -> U256 {
+    let digest =
+        Sha256::digest_parts(&[SIG_DOMAIN, &big_r.to_bytes(), &public.to_bytes(), message]);
+    U256::from_le_bytes(&digest.0).reduce_mod(&L)
+}
+
+fn random_scalar(rng: &mut ChaChaRng) -> U256 {
+    loop {
+        let mut bytes = [0u8; 32];
+        rng.fill_bytes(&mut bytes);
+        let s = U256::from_le_bytes(&bytes).reduce_mod(&L);
+        if !s.is_zero() {
+            return s;
+        }
+    }
+}
+
+/// The interactive identification protocol, split into its four moves so the
+/// networking layer can interleave them with transport messages.
+#[derive(Debug)]
+pub struct Identification;
+
+/// A prover's ephemeral commitment nonce; must be used for exactly one run.
+#[derive(Clone)]
+pub struct CommitNonce(U256);
+
+impl core::fmt::Debug for CommitNonce {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("CommitNonce(..)")
+    }
+}
+
+impl Identification {
+    /// Prover move 1: pick nonce r, send commitment R = r·B.
+    pub fn commit(rng: &mut ChaChaRng) -> ([u8; 64], CommitNonce) {
+        let r = random_scalar(rng);
+        (Point::base().mul_scalar(&r).to_bytes(), CommitNonce(r))
+    }
+
+    /// Verifier move 2: pick a random challenge scalar.
+    pub fn challenge(rng: &mut ChaChaRng) -> U256 {
+        random_scalar(rng)
+    }
+
+    /// Prover move 3: respond s = r + c·x mod ℓ.
+    pub fn respond(keys: &KeyPair, nonce: &CommitNonce, challenge: &U256) -> U256 {
+        nonce.0.add_mod(&challenge.mul_mod(&keys.secret, &L), &L)
+    }
+
+    /// Verifier move 4: accept iff s·B == R + c·P.
+    pub fn verify(public: &PublicKey, commitment: &[u8; 64], challenge: &U256, s: &U256) -> bool {
+        let Some(big_r) = Point::from_bytes(commitment) else {
+            return false;
+        };
+        if *s >= L {
+            return false;
+        }
+        let lhs = Point::base().mul_scalar(s);
+        let rhs = big_r.add(public.point().mul_scalar(challenge));
+        lhs == rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u8) -> ChaChaRng {
+        ChaChaRng::new([seed; 32], [0u8; 12])
+    }
+
+    #[test]
+    fn identification_accepts_honest_prover() {
+        let mut r = rng(1);
+        let keys = KeyPair::generate(&mut r);
+        for _ in 0..4 {
+            let (commitment, nonce) = Identification::commit(&mut r);
+            let c = Identification::challenge(&mut r);
+            let s = Identification::respond(&keys, &nonce, &c);
+            assert!(Identification::verify(
+                &keys.public_key(),
+                &commitment,
+                &c,
+                &s
+            ));
+        }
+    }
+
+    #[test]
+    fn identification_rejects_wrong_key() {
+        let mut r = rng(2);
+        let honest = KeyPair::generate(&mut r);
+        let imposter = KeyPair::generate(&mut r);
+        let (commitment, nonce) = Identification::commit(&mut r);
+        let c = Identification::challenge(&mut r);
+        // Imposter responds with its own secret but claims honest's identity.
+        let s = Identification::respond(&imposter, &nonce, &c);
+        assert!(!Identification::verify(
+            &honest.public_key(),
+            &commitment,
+            &c,
+            &s
+        ));
+    }
+
+    #[test]
+    fn identification_rejects_replayed_response_on_new_challenge() {
+        let mut r = rng(3);
+        let keys = KeyPair::generate(&mut r);
+        let (commitment, nonce) = Identification::commit(&mut r);
+        let c1 = Identification::challenge(&mut r);
+        let s1 = Identification::respond(&keys, &nonce, &c1);
+        let c2 = Identification::challenge(&mut r);
+        assert_ne!(c1, c2);
+        assert!(!Identification::verify(
+            &keys.public_key(),
+            &commitment,
+            &c2,
+            &s1
+        ));
+    }
+
+    #[test]
+    fn signature_round_trip() {
+        let mut r = rng(4);
+        let keys = KeyPair::generate(&mut r);
+        let sig = keys.sign(b"feedback: received 12 messages", &mut r);
+        assert!(verify(
+            &keys.public_key(),
+            b"feedback: received 12 messages",
+            &sig
+        ));
+        assert!(!verify(
+            &keys.public_key(),
+            b"feedback: received 13 messages",
+            &sig
+        ));
+    }
+
+    #[test]
+    fn signature_rejects_wrong_signer() {
+        let mut r = rng(5);
+        let a = KeyPair::generate(&mut r);
+        let b = KeyPair::generate(&mut r);
+        let sig = a.sign(b"msg", &mut r);
+        assert!(!verify(&b.public_key(), b"msg", &sig));
+    }
+
+    #[test]
+    fn signature_serialization_round_trips() {
+        let mut r = rng(6);
+        let keys = KeyPair::generate(&mut r);
+        let sig = keys.sign(b"m", &mut r);
+        let back = Signature::from_bytes(&sig.to_bytes()).expect("96 bytes");
+        assert_eq!(sig, back);
+        assert!(Signature::from_bytes(&[0u8; 95]).is_none());
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let mut r = rng(7);
+        let keys = KeyPair::generate(&mut r);
+        let mut sig = keys.sign(b"m", &mut r);
+        sig.s = sig.s.add_mod(&U256::ONE, &L);
+        assert!(!verify(&keys.public_key(), b"m", &sig));
+    }
+
+    #[test]
+    fn public_key_round_trips() {
+        let mut r = rng(8);
+        let keys = KeyPair::generate(&mut r);
+        let pk = keys.public_key();
+        assert_eq!(PublicKey::from_bytes(&pk.to_bytes()), Some(pk));
+    }
+
+    #[test]
+    fn from_secret_is_deterministic() {
+        let k1 = KeyPair::from_secret(U256::from_u64(12345));
+        let k2 = KeyPair::from_secret(U256::from_u64(12345));
+        assert_eq!(k1.public_key(), k2.public_key());
+        let k3 = KeyPair::from_secret(U256::ZERO); // degenerate input handled
+        assert_eq!(k3.secret_scalar(), U256::ONE);
+    }
+
+    #[test]
+    fn oversized_response_scalar_rejected() {
+        let mut r = rng(9);
+        let keys = KeyPair::generate(&mut r);
+        let (commitment, nonce) = Identification::commit(&mut r);
+        let c = Identification::challenge(&mut r);
+        let s = Identification::respond(&keys, &nonce, &c);
+        // s + ℓ encodes the same residue but must be rejected as non-canonical.
+        let (s_plus_l, overflow) = s.overflowing_add(&L);
+        if !overflow {
+            assert!(!Identification::verify(
+                &keys.public_key(),
+                &commitment,
+                &c,
+                &s_plus_l
+            ));
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Fixed-width 256-bit unsigned integers with 512-bit products and modular
+//! reduction — the arithmetic substrate for the Schnorr scalar field.
+//!
+//! Little-endian limb order (`limbs[0]` is least significant). Only the
+//! operations the identification protocol needs are provided: addition with
+//! carry, subtraction with borrow, comparison, schoolbook multiplication to
+//! 512 bits, and binary long-division reduction of a 512-bit value modulo a
+//! 256-bit modulus.
+
+/// A 256-bit unsigned integer, little-endian `u64` limbs.
+///
+/// # Example
+///
+/// ```rust
+/// use asymshare_crypto::u256::U256;
+///
+/// let a = U256::from_u64(7);
+/// let b = U256::from_u64(9);
+/// assert_eq!(a.add_mod(&b, &U256::from_u64(10)), U256::from_u64(6));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256 {
+    limbs: [u64; 4],
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Numeric order: compare from the most significant limb down.
+        for i in (0..4).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                core::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        core::cmp::Ordering::Equal
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl U256 {
+    /// Zero.
+    pub const ZERO: U256 = U256 { limbs: [0; 4] };
+    /// One.
+    pub const ONE: U256 = U256 {
+        limbs: [1, 0, 0, 0],
+    };
+
+    /// Constructs from little-endian limbs.
+    pub const fn from_limbs(limbs: [u64; 4]) -> Self {
+        U256 { limbs }
+    }
+
+    /// Constructs from a small integer.
+    pub const fn from_u64(v: u64) -> Self {
+        U256 {
+            limbs: [v, 0, 0, 0],
+        }
+    }
+
+    /// Little-endian limbs.
+    pub const fn limbs(&self) -> [u64; 4] {
+        self.limbs
+    }
+
+    /// Parses from 32 little-endian bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() != 32`.
+    pub fn from_le_bytes(bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), 32, "U256 needs exactly 32 bytes");
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[i * 8..(i + 1) * 8]);
+            *limb = u64::from_le_bytes(buf);
+        }
+        U256 { limbs }
+    }
+
+    /// Serializes to 32 little-endian bytes.
+    pub fn to_le_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.limbs.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    /// Whether this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs == [0; 4]
+    }
+
+    /// Bit `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < 256, "bit index out of range");
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Position of the highest set bit, or `None` if zero.
+    pub fn highest_bit(&self) -> Option<usize> {
+        for i in (0..4).rev() {
+            if self.limbs[i] != 0 {
+                return Some(i * 64 + 63 - self.limbs[i].leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Wrapping addition, returning `(sum, carry_out)`.
+    pub fn overflowing_add(&self, rhs: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out[i] = s2;
+            carry = c1 || c2;
+        }
+        (U256 { limbs: out }, carry)
+    }
+
+    /// Wrapping subtraction, returning `(difference, borrow_out)`.
+    pub fn overflowing_sub(&self, rhs: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 || b2;
+        }
+        (U256 { limbs: out }, borrow)
+    }
+
+    /// Modular addition: `(self + rhs) mod modulus`.
+    ///
+    /// Both inputs must already be `< modulus`.
+    pub fn add_mod(&self, rhs: &U256, modulus: &U256) -> U256 {
+        let (sum, carry) = self.overflowing_add(rhs);
+        if carry || sum >= *modulus {
+            sum.overflowing_sub(modulus).0
+        } else {
+            sum
+        }
+    }
+
+    /// Modular subtraction: `(self - rhs) mod modulus`.
+    ///
+    /// Both inputs must already be `< modulus`.
+    pub fn sub_mod(&self, rhs: &U256, modulus: &U256) -> U256 {
+        let (diff, borrow) = self.overflowing_sub(rhs);
+        if borrow {
+            diff.overflowing_add(modulus).0
+        } else {
+            diff
+        }
+    }
+
+    /// Full 512-bit schoolbook product.
+    pub fn widening_mul(&self, rhs: &U256) -> U512 {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let acc =
+                    out[i + j] as u128 + (self.limbs[i] as u128) * (rhs.limbs[j] as u128) + carry;
+                out[i + j] = acc as u64;
+                carry = acc >> 64;
+            }
+            out[i + 4] = carry as u64;
+        }
+        U512 { limbs: out }
+    }
+
+    /// Modular multiplication via 512-bit product and long division.
+    pub fn mul_mod(&self, rhs: &U256, modulus: &U256) -> U256 {
+        self.widening_mul(rhs).reduce_mod(modulus)
+    }
+
+    /// `self mod modulus` (for values that may exceed the modulus, e.g. hash
+    /// outputs interpreted as scalars).
+    pub fn reduce_mod(&self, modulus: &U256) -> U256 {
+        let wide = U512 {
+            limbs: [
+                self.limbs[0],
+                self.limbs[1],
+                self.limbs[2],
+                self.limbs[3],
+                0,
+                0,
+                0,
+                0,
+            ],
+        };
+        wide.reduce_mod(modulus)
+    }
+}
+
+impl core::fmt::Display for U256 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "0x{:016x}{:016x}{:016x}{:016x}",
+            self.limbs[3], self.limbs[2], self.limbs[1], self.limbs[0]
+        )
+    }
+}
+
+/// A 512-bit unsigned integer (product space), little-endian limbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U512 {
+    limbs: [u64; 8],
+}
+
+impl U512 {
+    /// Little-endian limbs.
+    pub const fn limbs(&self) -> [u64; 8] {
+        self.limbs
+    }
+
+    /// Bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 512`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < 512, "bit index out of range");
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    fn highest_bit(&self) -> Option<usize> {
+        for i in (0..8).rev() {
+            if self.limbs[i] != 0 {
+                return Some(i * 64 + 63 - self.limbs[i].leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    fn shl_small(&self, sh: usize) -> U512 {
+        debug_assert!(sh < 64);
+        if sh == 0 {
+            return *self;
+        }
+        let mut out = [0u64; 8];
+        let mut carry = 0u64;
+        for i in 0..8 {
+            out[i] = (self.limbs[i] << sh) | carry;
+            carry = self.limbs[i] >> (64 - sh);
+        }
+        U512 { limbs: out }
+    }
+
+    fn shl_limbs(&self, n: usize) -> U512 {
+        let mut out = [0u64; 8];
+        for i in (n..8).rev() {
+            out[i] = self.limbs[i - n];
+        }
+        U512 { limbs: out }
+    }
+
+    fn geq(&self, rhs: &U512) -> bool {
+        for i in (0..8).rev() {
+            if self.limbs[i] != rhs.limbs[i] {
+                return self.limbs[i] > rhs.limbs[i];
+            }
+        }
+        true
+    }
+
+    fn sub_assign(&mut self, rhs: &U512) {
+        let mut borrow = false;
+        for i in 0..8 {
+            let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            self.limbs[i] = d2;
+            borrow = b1 || b2;
+        }
+        debug_assert!(!borrow, "sub_assign underflow");
+    }
+
+    /// Reduces this 512-bit value modulo a 256-bit modulus by binary long
+    /// division (shift–compare–subtract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn reduce_mod(&self, modulus: &U256) -> U256 {
+        assert!(!modulus.is_zero(), "reduction modulo zero");
+        let m512 = U512 {
+            limbs: [
+                modulus.limbs[0],
+                modulus.limbs[1],
+                modulus.limbs[2],
+                modulus.limbs[3],
+                0,
+                0,
+                0,
+                0,
+            ],
+        };
+        let mut rem = *self;
+        let mbits = modulus.highest_bit().expect("nonzero modulus");
+        while let Some(rbits) = rem.highest_bit() {
+            if rbits < mbits {
+                break;
+            }
+            let mut shift = rbits - mbits;
+            let mut shifted = m512.shl_limbs(shift / 64).shl_small(shift % 64);
+            if !rem.geq(&shifted) {
+                if shift == 0 {
+                    break;
+                }
+                shift -= 1;
+                shifted = m512.shl_limbs(shift / 64).shl_small(shift % 64);
+            }
+            rem.sub_assign(&shifted);
+        }
+        U256 {
+            limbs: [rem.limbs[0], rem.limbs[1], rem.limbs[2], rem.limbs[3]],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from_u64(v)
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = U256::from_limbs([u64::MAX, u64::MAX, 5, 0]);
+        let b = U256::from_limbs([1, 2, 3, 4]);
+        let (sum, carry) = a.overflowing_add(&b);
+        assert!(!carry);
+        let (back, borrow) = sum.overflowing_sub(&b);
+        assert!(!borrow);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn carry_propagates_across_limbs() {
+        let a = U256::from_limbs([u64::MAX, u64::MAX, u64::MAX, 0]);
+        let (sum, carry) = a.overflowing_add(&U256::ONE);
+        assert!(!carry);
+        assert_eq!(sum, U256::from_limbs([0, 0, 0, 1]));
+    }
+
+    #[test]
+    fn full_overflow_sets_carry() {
+        let max = U256::from_limbs([u64::MAX; 4]);
+        let (sum, carry) = max.overflowing_add(&U256::ONE);
+        assert!(carry);
+        assert_eq!(sum, U256::ZERO);
+    }
+
+    #[test]
+    fn small_modular_arithmetic_matches_u128() {
+        let m = u(1_000_000_007);
+        for (a, b) in [(3u64, 5u64), (999_999_999, 999_999_999), (0, 7)] {
+            assert_eq!(
+                u(a).mul_mod(&u(b), &m),
+                u(((a as u128 * b as u128) % 1_000_000_007) as u64)
+            );
+            assert_eq!(u(a).add_mod(&u(b), &m), u((a + b) % 1_000_000_007));
+        }
+    }
+
+    #[test]
+    fn sub_mod_wraps() {
+        let m = u(100);
+        assert_eq!(u(3).sub_mod(&u(5), &m), u(98));
+        assert_eq!(u(5).sub_mod(&u(3), &m), u(2));
+    }
+
+    #[test]
+    fn widening_mul_known_product() {
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let a = U256::from_limbs([u64::MAX, 0, 0, 0]);
+        let p = a.widening_mul(&a);
+        assert_eq!(p.limbs()[0], 1);
+        assert_eq!(p.limbs()[1], u64::MAX - 1);
+        assert_eq!(p.limbs()[2], 0);
+    }
+
+    #[test]
+    fn reduce_mod_handles_large_values() {
+        // (m + 5) mod m == 5 for a 200-bit modulus.
+        let m = U256::from_limbs([0xdead_beef, 0x1234_5678, 0x9abc_def0, 0x1f]);
+        let (a, _) = m.overflowing_add(&u(5));
+        assert_eq!(a.reduce_mod(&m), u(5));
+    }
+
+    #[test]
+    fn le_bytes_round_trip() {
+        let a = U256::from_limbs([1, 2, 3, 0x8000_0000_0000_0000]);
+        assert_eq!(U256::from_le_bytes(&a.to_le_bytes()), a);
+    }
+
+    #[test]
+    fn bit_access() {
+        let a = U256::from_limbs([0b101, 0, 1, 0]);
+        assert!(a.bit(0));
+        assert!(!a.bit(1));
+        assert!(a.bit(2));
+        assert!(a.bit(128));
+        assert_eq!(a.highest_bit(), Some(128));
+        assert_eq!(U256::ZERO.highest_bit(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulo zero")]
+    fn reduce_by_zero_panics() {
+        u(5).reduce_mod(&U256::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        // Derived Ord on little-endian limbs would be wrong if limb order
+        // were significant-first; this guards the layout choice.
+        let small = U256::from_limbs([u64::MAX, 0, 0, 0]);
+        let big = U256::from_limbs([0, 1, 0, 0]);
+        assert!(small < big);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the cryptographic primitives: algebraic laws of
+//! the bignum/field/group layers and behavioural properties of the hashes,
+//! PRNG and Schnorr scheme under random inputs.
+
+use asymshare_crypto::chacha20::ChaChaRng;
+use asymshare_crypto::ed25519::{Point, L};
+use asymshare_crypto::fe25519::{Fe, P};
+use asymshare_crypto::md5::Md5;
+use asymshare_crypto::schnorr::{self, KeyPair};
+use asymshare_crypto::sha256::Sha256;
+use asymshare_crypto::u256::U256;
+use proptest::prelude::*;
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    any::<[u8; 32]>().prop_map(|b| U256::from_le_bytes(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn u256_add_sub_round_trip(a in arb_u256(), b in arb_u256()) {
+        let (sum, carry) = a.overflowing_add(&b);
+        let (back, borrow) = sum.overflowing_sub(&b);
+        prop_assert_eq!(back, a);
+        prop_assert_eq!(carry, borrow);
+    }
+
+    #[test]
+    fn u256_mul_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.widening_mul(&b), b.widening_mul(&a));
+    }
+
+    #[test]
+    fn u256_reduction_is_idempotent_and_bounded(a in arb_u256(), m in arb_u256()) {
+        prop_assume!(!m.is_zero());
+        let r = a.reduce_mod(&m);
+        prop_assert!(r < m);
+        prop_assert_eq!(r.reduce_mod(&m), r);
+    }
+
+    #[test]
+    fn u256_modular_distributivity(a in arb_u256(), b in arb_u256(), c in arb_u256(), m in arb_u256()) {
+        prop_assume!(!m.is_zero());
+        let (a, b, c) = (a.reduce_mod(&m), b.reduce_mod(&m), c.reduce_mod(&m));
+        let lhs = a.mul_mod(&b.add_mod(&c, &m), &m);
+        let rhs = a.mul_mod(&b, &m).add_mod(&a.mul_mod(&c, &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn fe_field_laws(a in arb_u256(), b in arb_u256()) {
+        let x = Fe::from_u256(a);
+        let y = Fe::from_u256(b);
+        prop_assert_eq!(x * y, y * x);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!((x + y) - y, x);
+        if !x.is_zero() {
+            prop_assert_eq!(x * x.inv(), Fe::ONE);
+        }
+    }
+
+    #[test]
+    fn fe_fermat(a in arb_u256()) {
+        let x = Fe::from_u256(a);
+        prop_assume!(!x.is_zero());
+        let p_minus_1 = P.overflowing_sub(&U256::ONE).0;
+        prop_assert_eq!(x.pow(&p_minus_1), Fe::ONE);
+    }
+
+    #[test]
+    fn group_scalar_homomorphism(a in any::<u64>(), b in any::<u64>()) {
+        // (a + b)·B == a·B + b·B, with scalars reduced mod ℓ.
+        let base = Point::base();
+        let sa = U256::from_u64(a).reduce_mod(&L);
+        let sb = U256::from_u64(b).reduce_mod(&L);
+        let sum = sa.add_mod(&sb, &L);
+        prop_assert_eq!(
+            base.mul_scalar(&sum),
+            base.mul_scalar(&sa).add(base.mul_scalar(&sb))
+        );
+    }
+
+    #[test]
+    fn point_serialization_round_trips(k in any::<u64>()) {
+        prop_assume!(k > 0);
+        let p = Point::base().mul_scalar(&U256::from_u64(k));
+        prop_assert_eq!(Point::from_bytes(&p.to_bytes()), Some(p));
+    }
+
+    #[test]
+    fn hashes_differ_on_any_bit_flip(data in proptest::collection::vec(any::<u8>(), 1..512), byte in any::<usize>(), bit in 0u8..8) {
+        let mut tampered = data.clone();
+        let idx = byte % tampered.len();
+        tampered[idx] ^= 1 << bit;
+        prop_assert_ne!(Md5::digest(&data), Md5::digest(&tampered));
+        prop_assert_ne!(Sha256::digest(&data), Sha256::digest(&tampered));
+    }
+
+    #[test]
+    fn streaming_hash_equals_one_shot_any_split(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in any::<usize>(),
+    ) {
+        let cut = if data.is_empty() { 0 } else { split % data.len() };
+        let mut md5 = Md5::new();
+        md5.update(&data[..cut]);
+        md5.update(&data[cut..]);
+        prop_assert_eq!(md5.finalize(), Md5::digest(&data));
+        let mut sha = Sha256::new();
+        sha.update(&data[..cut]);
+        sha.update(&data[cut..]);
+        prop_assert_eq!(sha.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn chacha_streams_are_key_separated(k1 in any::<[u8; 32]>(), k2 in any::<[u8; 32]>()) {
+        prop_assume!(k1 != k2);
+        let mut a = ChaChaRng::new(k1, [0u8; 12]);
+        let mut b = ChaChaRng::new(k2, [0u8; 12]);
+        prop_assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn schnorr_signatures_verify_and_bind(
+        secret in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..128),
+        tamper in any::<u8>(),
+    ) {
+        let keys = KeyPair::from_secret(U256::from_u64(secret));
+        let mut rng = ChaChaRng::new([0xAB; 32], [1u8; 12]);
+        let sig = keys.sign(&msg, &mut rng);
+        prop_assert!(schnorr::verify(&keys.public_key(), &msg, &sig));
+        // Any appended byte breaks it.
+        let mut other = msg.clone();
+        other.push(tamper);
+        prop_assert!(!schnorr::verify(&keys.public_key(), &other, &sig));
+    }
+}

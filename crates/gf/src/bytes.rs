@@ -1,0 +1,175 @@
+//! Packing byte buffers to and from field-symbol vectors.
+//!
+//! The codec represents a file chunk as `k` vectors of `m` symbols each
+//! (the `X_j ∈ F_q^m` of the paper's Equation (1)). This module converts the
+//! raw little-endian byte representation used on disk and on the wire into
+//! symbol vectors and back. GF(2⁴) packs two symbols per byte, low nibble
+//! first; the wider fields use little-endian 1/2/4-byte groups.
+//!
+//! # Example
+//!
+//! ```rust
+//! use asymshare_gf::{bytes, Gf2p32};
+//!
+//! let data = [1u8, 0, 0, 0, 0xff, 0xff, 0xff, 0xff];
+//! let syms = bytes::symbols_from_bytes::<Gf2p32>(&data);
+//! assert_eq!(syms.len(), 2);
+//! assert_eq!(bytes::symbols_to_bytes(&syms), data);
+//! ```
+
+use crate::Field;
+
+/// Converts a byte buffer into field symbols.
+///
+/// # Panics
+///
+/// Panics if `data.len()` does not pack to a whole number of symbols (the
+/// codec always pads chunks to symbol boundaries before calling this).
+pub fn symbols_from_bytes<F: Field>(data: &[u8]) -> Vec<F> {
+    match F::BITS {
+        4 => {
+            let mut out = Vec::with_capacity(data.len() * 2);
+            for &b in data {
+                out.push(F::from_u64((b & 0xf) as u64));
+                out.push(F::from_u64((b >> 4) as u64));
+            }
+            out
+        }
+        8 => data.iter().map(|&b| F::from_u64(b as u64)).collect(),
+        16 => {
+            assert!(data.len() % 2 == 0, "byte length must be even for GF(2^16)");
+            data.chunks_exact(2)
+                .map(|c| F::from_u64(u16::from_le_bytes([c[0], c[1]]) as u64))
+                .collect()
+        }
+        32 => {
+            assert!(
+                data.len() % 4 == 0,
+                "byte length must be a multiple of 4 for GF(2^32)"
+            );
+            data.chunks_exact(4)
+                .map(|c| F::from_u64(u32::from_le_bytes([c[0], c[1], c[2], c[3]]) as u64))
+                .collect()
+        }
+        bits => unreachable!("unsupported symbol width: {bits}"),
+    }
+}
+
+/// Converts field symbols back into bytes (inverse of
+/// [`symbols_from_bytes`]).
+///
+/// # Panics
+///
+/// Panics for an odd number of GF(2⁴) symbols (half a byte).
+pub fn symbols_to_bytes<F: Field>(symbols: &[F]) -> Vec<u8> {
+    match F::BITS {
+        4 => {
+            assert!(
+                symbols.len() % 2 == 0,
+                "odd number of GF(2^4) symbols does not pack into bytes"
+            );
+            symbols
+                .chunks_exact(2)
+                .map(|pair| (pair[0].to_u64() as u8) | ((pair[1].to_u64() as u8) << 4))
+                .collect()
+        }
+        8 => symbols.iter().map(|s| s.to_u64() as u8).collect(),
+        16 => {
+            let mut out = Vec::with_capacity(symbols.len() * 2);
+            for s in symbols {
+                out.extend_from_slice(&(s.to_u64() as u16).to_le_bytes());
+            }
+            out
+        }
+        32 => {
+            let mut out = Vec::with_capacity(symbols.len() * 4);
+            for s in symbols {
+                out.extend_from_slice(&(s.to_u64() as u32).to_le_bytes());
+            }
+            out
+        }
+        bits => unreachable!("unsupported symbol width: {bits}"),
+    }
+}
+
+/// Returns `data` zero-padded at the end so its length packs into a whole
+/// number of symbols of each of `k` equal-sized pieces of `m` symbols.
+///
+/// The original length must be carried out of band (the codec stores it in
+/// the chunk manifest) to strip the padding after decoding.
+pub fn pad_to_symbols(data: &[u8], bytes_per_piece: usize, pieces: usize) -> Vec<u8> {
+    let target = bytes_per_piece * pieces;
+    assert!(
+        data.len() <= target,
+        "data ({}) longer than padded target ({target})",
+        data.len()
+    );
+    let mut out = Vec::with_capacity(target);
+    out.extend_from_slice(data);
+    out.resize(target, 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gf16, Gf256, Gf2p32, Gf65536};
+
+    fn round_trip<F: Field>(data: &[u8]) {
+        let syms = symbols_from_bytes::<F>(data);
+        assert_eq!(
+            syms.len() as u64 * F::BITS as u64,
+            data.len() as u64 * 8,
+            "symbol count covers all bits"
+        );
+        assert_eq!(symbols_to_bytes(&syms), data);
+    }
+
+    #[test]
+    fn round_trips_all_fields() {
+        let data: Vec<u8> = (0..64u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(5))
+            .collect();
+        round_trip::<Gf16>(&data);
+        round_trip::<Gf256>(&data);
+        round_trip::<Gf65536>(&data);
+        round_trip::<Gf2p32>(&data);
+    }
+
+    #[test]
+    fn empty_round_trips() {
+        round_trip::<Gf16>(&[]);
+        round_trip::<Gf2p32>(&[]);
+    }
+
+    #[test]
+    fn gf16_nibble_order_is_low_first() {
+        let syms = symbols_from_bytes::<Gf16>(&[0xAB]);
+        assert_eq!(syms[0].raw(), 0xB);
+        assert_eq!(syms[1].raw(), 0xA);
+    }
+
+    #[test]
+    fn gf2p32_is_little_endian() {
+        let syms = symbols_from_bytes::<Gf2p32>(&[0x78, 0x56, 0x34, 0x12]);
+        assert_eq!(syms[0].raw(), 0x1234_5678);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn unaligned_gf2p32_panics() {
+        symbols_from_bytes::<Gf2p32>(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn padding_fills_with_zeros() {
+        let padded = pad_to_symbols(&[1, 2, 3], 4, 2);
+        assert_eq!(padded, vec![1, 2, 3, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than padded target")]
+    fn padding_rejects_oversized_input() {
+        pad_to_symbols(&[0; 10], 4, 2);
+    }
+}

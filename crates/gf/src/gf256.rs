@@ -1,0 +1,271 @@
+//! GF(2⁸) — byte symbols, AES modulus x⁸ + x⁴ + x³ + x + 1, compile-time
+//! log/exp tables with generator 3.
+
+use crate::field::{Field, FieldKind};
+use crate::impl_field_ops;
+
+/// The irreducible polynomial x⁸ + x⁴ + x³ + x + 1 (the AES field modulus).
+pub const MODULUS: u16 = 0x11B;
+
+/// Generator of the multiplicative group (0x03; `x` itself is not primitive
+/// for this modulus).
+pub const GENERATOR: u8 = 0x03;
+
+const ORDER: usize = 256;
+const GROUP: usize = ORDER - 1;
+
+const fn mul_slow(a: u8, b: u8) -> u8 {
+    // Russian-peasant carry-less multiply with inline reduction; used only at
+    // compile time to build the tables.
+    let mut acc: u16 = 0;
+    let mut a = a as u16;
+    let mut b = b as u16;
+    while b != 0 {
+        if b & 1 == 1 {
+            acc ^= a;
+        }
+        a <<= 1;
+        if a & 0x100 != 0 {
+            a ^= MODULUS;
+        }
+        b >>= 1;
+    }
+    acc as u8
+}
+
+const fn build_exp() -> [u8; GROUP * 2] {
+    let mut exp = [0u8; GROUP * 2];
+    let mut x: u8 = 1;
+    let mut i = 0;
+    while i < GROUP {
+        exp[i] = x;
+        exp[i + GROUP] = x;
+        x = mul_slow(x, GENERATOR);
+        i += 1;
+    }
+    exp
+}
+
+const fn build_log(exp: &[u8; GROUP * 2]) -> [u16; ORDER] {
+    let mut log = [0u16; ORDER];
+    let mut i = 0;
+    while i < GROUP {
+        log[exp[i] as usize] = i as u16;
+        i += 1;
+    }
+    log
+}
+
+const EXP: [u8; GROUP * 2] = build_exp();
+const LOG: [u16; ORDER] = build_log(&EXP);
+
+/// An element of GF(2⁸).
+///
+/// # Example
+///
+/// ```rust
+/// use asymshare_gf::{Field, Gf256};
+///
+/// // The classic AES example: 0x57 * 0x83 = 0xc1.
+/// assert_eq!(Gf256::new(0x57) * Gf256::new(0x83), Gf256::new(0xc1));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gf256(u8);
+
+impl Gf256 {
+    /// Constructs an element from a byte.
+    pub fn new(v: u8) -> Self {
+        Gf256(v)
+    }
+
+    /// The raw byte.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    #[inline]
+    fn mul_internal(self, rhs: Self) -> Self {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256(0);
+        }
+        Gf256(EXP[LOG[self.0 as usize] as usize + LOG[rhs.0 as usize] as usize])
+    }
+}
+
+impl Field for Gf256 {
+    const ZERO: Self = Gf256(0);
+    const ONE: Self = Gf256(1);
+    const BITS: u32 = 8;
+    const ORDER: u64 = 256;
+    const KIND: FieldKind = FieldKind::Gf256;
+
+    fn from_u64(v: u64) -> Self {
+        Gf256((v & 0xff) as u8)
+    }
+
+    fn to_u64(self) -> u64 {
+        self.0 as u64
+    }
+
+    fn inv(self) -> Self {
+        assert!(self.0 != 0, "inverse of zero in GF(2^8)");
+        Gf256(EXP[GROUP - LOG[self.0 as usize] as usize])
+    }
+
+    fn axpy_slice(c: Self, x: &[Self], y: &mut [Self]) {
+        assert_eq!(x.len(), y.len(), "axpy slices must have equal length");
+        if c.0 == 0 {
+            return;
+        }
+        if c.0 == 1 {
+            for (yi, &xi) in y.iter_mut().zip(x) {
+                yi.0 ^= xi.0;
+            }
+            return;
+        }
+        if x.len() >= 128 {
+            // Hoist a full product table for the fixed coefficient: one
+            // lookup per byte instead of two log lookups + exp.
+            let table = product_table(c.0);
+            for (yi, &xi) in y.iter_mut().zip(x) {
+                yi.0 ^= table[xi.0 as usize];
+            }
+            return;
+        }
+        let lc = LOG[c.0 as usize] as usize;
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            if xi.0 != 0 {
+                yi.0 ^= EXP[lc + LOG[xi.0 as usize] as usize];
+            }
+        }
+    }
+
+    fn scale_slice(c: Self, y: &mut [Self]) {
+        if c.0 <= 1 {
+            if c.0 == 0 {
+                y.fill(Gf256(0));
+            }
+            return;
+        }
+        if y.len() >= 128 {
+            let table = product_table(c.0);
+            for yi in y.iter_mut() {
+                yi.0 = table[yi.0 as usize];
+            }
+            return;
+        }
+        let lc = LOG[c.0 as usize] as usize;
+        for yi in y.iter_mut() {
+            if yi.0 != 0 {
+                yi.0 = EXP[lc + LOG[yi.0 as usize] as usize];
+            }
+        }
+    }
+}
+
+/// Full 256-entry product table for a fixed nonzero coefficient, built from
+/// the log/exp tables (255 lookups).
+fn product_table(c: u8) -> [u8; 256] {
+    debug_assert!(c != 0);
+    let lc = LOG[c as usize] as usize;
+    let mut t = [0u8; 256];
+    for (x, slot) in t.iter_mut().enumerate().skip(1) {
+        *slot = EXP[lc + LOG[x] as usize];
+    }
+    t
+}
+
+impl_field_ops!(Gf256);
+
+impl From<u8> for Gf256 {
+    fn from(v: u8) -> Self {
+        Gf256(v)
+    }
+}
+
+impl From<Gf256> for u8 {
+    fn from(v: Gf256) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_cycle_covers_group() {
+        let mut seen = [false; ORDER];
+        for i in 0..GROUP {
+            let v = EXP[i] as usize;
+            assert!(!seen[v], "generator 0x03 must be primitive");
+            seen[v] = true;
+        }
+    }
+
+    #[test]
+    fn modulus_is_irreducible() {
+        assert!(crate::poly::is_irreducible(MODULUS as u64));
+    }
+
+    #[test]
+    fn table_mul_matches_polynomial_mul_exhaustively() {
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                let expect = crate::poly::mulmod(a, b, MODULUS as u64);
+                let got = (Gf256::from_u64(a) * Gf256::from_u64(b)).to_u64();
+                assert_eq!(got, expect, "a={a:#x} b={b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn aes_known_answer() {
+        assert_eq!(Gf256::new(0x57) * Gf256::new(0x83), Gf256::new(0xc1));
+        assert_eq!(Gf256::new(0x57) * Gf256::new(0x13), Gf256::new(0xfe));
+    }
+
+    #[test]
+    fn all_inverses_round_trip() {
+        for a in 1..=255u8 {
+            let x = Gf256::new(a);
+            assert_eq!(x * x.inv(), Gf256::ONE, "a={a:#x}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let g = Gf256::new(GENERATOR);
+        let mut acc = Gf256::ONE;
+        for e in 0..equiv_limit() {
+            assert_eq!(g.pow(e as u64), acc);
+            acc *= g;
+        }
+        assert_eq!(g.pow(255), Gf256::ONE); // Lagrange
+    }
+
+    fn equiv_limit() -> usize {
+        40
+    }
+
+    #[test]
+    fn bulk_kernels_match_scalar_paths() {
+        use crate::Field;
+        let xs: Vec<Gf256> = (0..512u32).map(|i| Gf256::new((i * 7 + 3) as u8)).collect();
+        for c in [0u8, 1, 2, 0x53, 0xFF] {
+            let c = Gf256::new(c);
+            let mut fast = vec![Gf256::new(0xAA); xs.len()];
+            let mut slow = fast.clone();
+            Gf256::axpy_slice(c, &xs, &mut fast);
+            for (yi, &xi) in slow.iter_mut().zip(&xs) {
+                *yi += c * xi;
+            }
+            assert_eq!(fast, slow, "axpy c={c}");
+
+            let mut fast = xs.clone();
+            Gf256::scale_slice(c, &mut fast);
+            let slow: Vec<Gf256> = xs.iter().map(|&x| x * c).collect();
+            assert_eq!(fast, slow, "scale c={c}");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Dense linear algebra over a [`Field`](crate::Field).
+//!
+//! Provides the row-major [`Matrix`] type and the Gaussian-elimination
+//! routines the codec relies on: rank tracking for coefficient
+//! row admission, matrix inversion for block decoding, and incremental
+//! elimination for progressive decoding.
+
+mod gauss;
+mod matrix;
+
+pub use gauss::{invert, rank, solve, RankTracker};
+pub use matrix::Matrix;

@@ -1,0 +1,109 @@
+//! Internal macro implementing the arithmetic operator boilerplate shared by
+//! all four field types (characteristic-2: add = sub = xor; neg = identity).
+
+macro_rules! impl_field_ops {
+    ($ty:ident) => {
+        impl core::ops::Add for $ty {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                $ty(self.0 ^ rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 ^= rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $ty {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                $ty(self.0 ^ rhs.0)
+            }
+        }
+
+        impl core::ops::SubAssign for $ty {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 ^= rhs.0;
+            }
+        }
+
+        impl core::ops::Neg for $ty {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                self
+            }
+        }
+
+        impl core::ops::Mul for $ty {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: Self) -> Self {
+                self.mul_internal(rhs)
+            }
+        }
+
+        impl core::ops::MulAssign for $ty {
+            #[inline]
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = self.mul_internal(rhs);
+            }
+        }
+
+        impl core::ops::Div for $ty {
+            type Output = Self;
+            /// # Panics
+            ///
+            /// Panics if `rhs` is zero.
+            #[inline]
+            fn div(self, rhs: Self) -> Self {
+                self.mul_internal(<Self as crate::Field>::inv(rhs))
+            }
+        }
+
+        impl core::ops::DivAssign for $ty {
+            #[inline]
+            fn div_assign(&mut self, rhs: Self) {
+                *self = *self / rhs;
+            }
+        }
+
+        impl core::fmt::Display for $ty {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl core::fmt::LowerHex for $ty {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                core::fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl core::fmt::UpperHex for $ty {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                core::fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl core::fmt::Binary for $ty {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                core::fmt::Binary::fmt(&self.0, f)
+            }
+        }
+
+        impl core::fmt::Octal for $ty {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                core::fmt::Octal::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+pub(crate) use impl_field_ops;

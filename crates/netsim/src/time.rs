@@ -1,0 +1,107 @@
+//! Simulated time.
+
+/// A point in simulated time, in seconds from simulation start.
+///
+/// Wraps an `f64` with a total order (times are never NaN; the engine only
+/// produces finite values).
+///
+/// # Example
+///
+/// ```rust
+/// use asymshare_netsim::SimTime;
+///
+/// let a = SimTime::from_secs(1.5);
+/// let b = SimTime::from_secs(2.0);
+/// assert!(a < b);
+/// assert_eq!((b - a).as_secs(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Constructs from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs(secs: f64) -> SimTime {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "time must be finite and non-negative, got {secs}"
+        );
+        SimTime(secs)
+    }
+
+    /// Seconds since simulation start.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating advance by `secs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn advance(self, secs: f64) -> SimTime {
+        SimTime::from_secs(self.0 + secs)
+    }
+}
+
+impl Eq for SimTime {}
+
+// SimTime is never NaN (enforced at construction), so a total order exists.
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is never NaN by construction")
+    }
+}
+
+impl core::ops::Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime::from_secs((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl core::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::from_secs(1.0);
+        let b = a.advance(2.5);
+        assert!(b > a);
+        assert_eq!((b - a).as_secs(), 2.5);
+        assert_eq!((a - b).as_secs(), 0.0, "saturating subtraction");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_secs(1.25).to_string(), "1.250000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_time_panics() {
+        SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_time_panics() {
+        SimTime::from_secs(f64::NAN);
+    }
+}

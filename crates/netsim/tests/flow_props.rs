@@ -1,0 +1,157 @@
+//! Property-based tests of the flow simulator: byte conservation, capacity
+//! respect, and completion-time sanity under randomized meshes.
+
+use asymshare_netsim::{LinkSpeed, SimNet, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct MeshSpec {
+    ups: Vec<f64>,   // kbps per node
+    downs: Vec<f64>, // kbps per node
+    flows: Vec<(usize, usize, u64)>,
+}
+
+fn arb_mesh() -> impl Strategy<Value = MeshSpec> {
+    (2usize..8).prop_flat_map(|n| {
+        let links = proptest::collection::vec((10.0f64..2000.0, 10.0f64..5000.0), n);
+        let flows = proptest::collection::vec((0..n, 0..n, 100u64..100_000), 1..12);
+        (links, flows).prop_map(|(links, flows)| {
+            let (ups, downs) = links.into_iter().unzip();
+            MeshSpec { ups, downs, flows }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every started flow eventually completes and every byte is accounted
+    /// to exactly one sender and one receiver.
+    #[test]
+    fn bytes_are_conserved(mesh in arb_mesh()) {
+        let mut net = SimNet::new();
+        let nodes: Vec<_> = mesh
+            .ups
+            .iter()
+            .zip(&mesh.downs)
+            .map(|(&u, &d)| net.add_node(LinkSpeed::kbps(u), LinkSpeed::kbps(d)))
+            .collect();
+        let mut expected_rx = vec![0u64; nodes.len()];
+        let mut expected_tx = vec![0u64; nodes.len()];
+        let mut started = 0usize;
+        for &(s, d, bytes) in &mesh.flows {
+            if s == d {
+                continue;
+            }
+            net.start_flow(nodes[s], nodes[d], bytes, 0);
+            expected_tx[s] += bytes;
+            expected_rx[d] += bytes;
+            started += 1;
+        }
+        let mut completions = 0usize;
+        while net.step().is_some() {
+            completions += 1;
+            prop_assert!(completions <= started, "more completions than flows");
+        }
+        prop_assert_eq!(completions, started);
+        for (i, &node) in nodes.iter().enumerate() {
+            let stats = net.stats(node);
+            prop_assert_eq!(stats.bytes_sent, expected_tx[i]);
+            prop_assert_eq!(stats.bytes_received, expected_rx[i]);
+        }
+    }
+
+    /// No flow ever finishes faster than its physically best-case time
+    /// (bytes over the min of source uplink and destination downlink), and
+    /// event times are non-decreasing.
+    #[test]
+    fn completions_respect_physics(mesh in arb_mesh()) {
+        let mut net = SimNet::new();
+        let nodes: Vec<_> = mesh
+            .ups
+            .iter()
+            .zip(&mesh.downs)
+            .map(|(&u, &d)| net.add_node(LinkSpeed::kbps(u), LinkSpeed::kbps(d)))
+            .collect();
+        let mut limits = std::collections::HashMap::new();
+        for (tag, &(s, d, bytes)) in mesh.flows.iter().enumerate() {
+            if s == d {
+                continue;
+            }
+            let id = net.start_flow(nodes[s], nodes[d], bytes, tag as u64);
+            let best_rate = (mesh.ups[s].min(mesh.downs[d])) * 1000.0;
+            limits.insert(id, bytes as f64 * 8.0 / best_rate);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some(e) = net.step() {
+            prop_assert!(e.at >= last, "events out of order");
+            last = e.at;
+            let floor = limits[&e.flow];
+            prop_assert!(
+                e.at.as_secs() >= floor - 1e-9,
+                "flow {:?} finished in {} < physical floor {}",
+                e.flow,
+                e.at.as_secs(),
+                floor
+            );
+        }
+    }
+
+    /// run_until(t) never returns events beyond t and always leaves the
+    /// clock exactly at t.
+    #[test]
+    fn run_until_is_exact(mesh in arb_mesh(), horizon in 0.1f64..100.0) {
+        let mut net = SimNet::new();
+        let nodes: Vec<_> = mesh
+            .ups
+            .iter()
+            .zip(&mesh.downs)
+            .map(|(&u, &d)| net.add_node(LinkSpeed::kbps(u), LinkSpeed::kbps(d)))
+            .collect();
+        for &(s, d, bytes) in &mesh.flows {
+            if s != d {
+                net.start_flow(nodes[s], nodes[d], bytes, 0);
+            }
+        }
+        let deadline = SimTime::from_secs(horizon);
+        let events = net.run_until(deadline);
+        for e in &events {
+            prop_assert!(e.at <= deadline);
+        }
+        prop_assert_eq!(net.now(), deadline);
+    }
+
+    /// Canceling all flows midway books partial bytes consistent with
+    /// elapsed time x assigned rates (never exceeding capacity x time).
+    #[test]
+    fn cancel_books_consistent_partials(mesh in arb_mesh(), when in 0.01f64..10.0) {
+        let mut net = SimNet::new();
+        let nodes: Vec<_> = mesh
+            .ups
+            .iter()
+            .zip(&mesh.downs)
+            .map(|(&u, &d)| net.add_node(LinkSpeed::kbps(u), LinkSpeed::kbps(d)))
+            .collect();
+        let mut ids = Vec::new();
+        for &(s, d, bytes) in &mesh.flows {
+            if s != d {
+                ids.push(net.start_flow(nodes[s], nodes[d], bytes, 0));
+            }
+        }
+        net.run_until(SimTime::from_secs(when));
+        for id in ids {
+            net.cancel_flow(id);
+        }
+        for (i, &node) in nodes.iter().enumerate() {
+            let sent = net.stats(node).bytes_sent as f64;
+            let cap = mesh.ups[i] * 1000.0 / 8.0 * when;
+            // cancel_flow rounds each flow's partial bytes to the nearest
+            // integer, so allow half a byte of slack per flow.
+            let slack = 0.5 * mesh.flows.len() as f64 + 1.0;
+            prop_assert!(
+                sent <= cap * (1.0 + 1e-6) + slack,
+                "node {i} sent {sent} > cap {cap}"
+            );
+        }
+    }
+}

@@ -1,0 +1,636 @@
+//! The 1 MB chunk pipeline (§III-D).
+//!
+//! Large files are split into 1 MB chunks, each encoded as an independent
+//! coding block. This bounds `k` (decoding cost is `O(mk²)`), keeps the
+//! fairness quantization error small, and lets audio/video be *streamed*:
+//! the user decodes and plays chunk 0 while later chunks download.
+//!
+//! Message-ids are structured: the high 32 bits carry the chunk index, the
+//! low 32 bits the per-chunk candidate id, so every chunk draws distinct
+//! coefficient rows from the secret-keyed PRNG.
+
+use crate::auth::{AuthManifest, DigestKind};
+use crate::decoder::BlockDecoder;
+use crate::encoder::Encoder;
+use crate::error::CodecError;
+use crate::message::{EncodedMessage, FileId, MessageId};
+use crate::params::CodingParams;
+use asymshare_crypto::rng::SecretKey;
+use asymshare_gf::{Field, FieldKind};
+
+/// The standard chunk size: 1 MB.
+pub const CHUNK_SIZE: usize = crate::params::MEGABYTE;
+
+/// Everything a downloader needs to fetch and decode a chunked file —
+/// except the secret key, which travels separately (it *is* the privacy).
+///
+/// This is the "additional information about how such 1 MB files fit
+/// together" plus the digest list the user "needs to carry" when the owning
+/// peer is offline (§III-C, §III-D).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileManifest {
+    file_id: FileId,
+    total_len: usize,
+    chunk_size: usize,
+    field: FieldKind,
+    k: usize,
+    auth: AuthManifest,
+}
+
+impl FileManifest {
+    /// The file id.
+    pub fn file_id(&self) -> FileId {
+        self.file_id
+    }
+
+    /// Total plaintext length in bytes.
+    pub fn total_len(&self) -> usize {
+        self.total_len
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> u32 {
+        (self.total_len.div_ceil(self.chunk_size)).max(1) as u32
+    }
+
+    /// Plaintext length of chunk `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::ChunkOutOfRange`] for an invalid index.
+    pub fn chunk_len(&self, index: u32) -> Result<usize, CodecError> {
+        let count = self.chunk_count();
+        if index >= count {
+            return Err(CodecError::ChunkOutOfRange { index, count });
+        }
+        if index + 1 < count || self.total_len % self.chunk_size == 0 {
+            Ok(self.chunk_size)
+        } else {
+            Ok(self.total_len % self.chunk_size)
+        }
+    }
+
+    /// Coding parameters of chunk `index` (derived, not stored: both sides
+    /// compute them identically from the manifest fields).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CodecError::ChunkOutOfRange`] / parameter errors.
+    pub fn chunk_params(&self, index: u32) -> Result<CodingParams, CodecError> {
+        CodingParams::for_data_len(self.field, self.k, self.chunk_len(index)?)
+    }
+
+    /// Messages needed to decode the full file (`k` per chunk).
+    pub fn messages_needed(&self) -> usize {
+        self.k * self.chunk_count() as usize
+    }
+
+    /// The digest list.
+    pub fn auth(&self) -> &AuthManifest {
+        &self.auth
+    }
+
+    /// Serializes the full manifest (metadata + digest list) — everything a
+    /// downloader needs besides the secret key.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let auth = self.auth.to_bytes();
+        let mut out = Vec::with_capacity(8 + 8 + 8 + 1 + 8 + 8 + auth.len());
+        out.extend_from_slice(b"ASYMSHR1"); // format magic + version
+        out.extend_from_slice(&self.file_id.0.to_le_bytes());
+        out.extend_from_slice(&(self.total_len as u64).to_le_bytes());
+        out.extend_from_slice(&(self.chunk_size as u64).to_le_bytes());
+        out.push(match self.field {
+            FieldKind::Gf16 => 4,
+            FieldKind::Gf256 => 8,
+            FieldKind::Gf65536 => 16,
+            FieldKind::Gf2p32 => 32,
+        });
+        out.extend_from_slice(&(self.k as u64).to_le_bytes());
+        out.extend_from_slice(&(auth.len() as u64).to_le_bytes());
+        out.extend_from_slice(&auth);
+        out
+    }
+
+    /// Parses a manifest serialized by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Malformed`] on bad magic, truncation, or
+    /// invalid fields.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, CodecError> {
+        fn take<'a>(buf: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8], CodecError> {
+            if buf.len() < n {
+                return Err(CodecError::Malformed {
+                    reason: format!("truncated file manifest: {what}"),
+                });
+            }
+            let (head, tail) = buf.split_at(n);
+            *buf = tail;
+            Ok(head)
+        }
+        fn u64_of(raw: &[u8]) -> u64 {
+            u64::from_le_bytes(raw.try_into().expect("8 bytes"))
+        }
+        let mut buf = buf;
+        if take(&mut buf, 8, "magic")? != b"ASYMSHR1" {
+            return Err(CodecError::Malformed {
+                reason: "bad manifest magic".to_owned(),
+            });
+        }
+        let file_id = FileId(u64_of(take(&mut buf, 8, "file id")?));
+        let total_len = u64_of(take(&mut buf, 8, "total length")?) as usize;
+        let chunk_size = u64_of(take(&mut buf, 8, "chunk size")?) as usize;
+        let field = match take(&mut buf, 1, "field")?[0] {
+            4 => FieldKind::Gf16,
+            8 => FieldKind::Gf256,
+            16 => FieldKind::Gf65536,
+            32 => FieldKind::Gf2p32,
+            other => {
+                return Err(CodecError::Malformed {
+                    reason: format!("unknown field width {other}"),
+                })
+            }
+        };
+        let k = u64_of(take(&mut buf, 8, "k")?) as usize;
+        let auth_len = u64_of(take(&mut buf, 8, "auth length")?) as usize;
+        let auth = AuthManifest::from_bytes(take(&mut buf, auth_len, "auth manifest")?)?;
+        if chunk_size == 0 || k == 0 {
+            return Err(CodecError::Malformed {
+                reason: "manifest with zero chunk size or k".to_owned(),
+            });
+        }
+        if auth.file_id() != file_id {
+            return Err(CodecError::Malformed {
+                reason: "auth manifest file id mismatch".to_owned(),
+            });
+        }
+        Ok(FileManifest {
+            file_id,
+            total_len,
+            chunk_size,
+            field,
+            k,
+            auth,
+        })
+    }
+
+    /// Chunk index encoded in a message id (high 32 bits).
+    pub fn chunk_of(msg_id: MessageId) -> u32 {
+        (msg_id.0 >> 32) as u32
+    }
+
+    /// Builds a message id from chunk index and per-chunk candidate id.
+    pub fn message_id(chunk: u32, candidate: u32) -> MessageId {
+        MessageId(((chunk as u64) << 32) | candidate as u64)
+    }
+}
+
+/// Encodes a whole file chunk-by-chunk, recording digests as it goes.
+///
+/// # Example
+///
+/// ```rust
+/// use asymshare_crypto::rng::SecretKey;
+/// use asymshare_gf::{FieldKind, Gf2p32};
+/// use asymshare_rlnc::{ChunkedDecoder, ChunkedEncoder, DigestKind, FileId};
+///
+/// # fn main() -> Result<(), asymshare_rlnc::CodecError> {
+/// let secret = SecretKey::from_passphrase("owner");
+/// let file: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+///
+/// let mut enc = ChunkedEncoder::<Gf2p32>::new(
+///     FieldKind::Gf2p32, 8, DigestKind::Md5, secret.clone(), FileId(1), &file)?;
+/// let per_peer = enc.encode_for_peers(3)?; // 3 peers, k messages per chunk each
+/// let manifest = enc.manifest().clone();
+///
+/// let mut dec = ChunkedDecoder::<Gf2p32>::new(manifest, secret)?;
+/// for msg in per_peer.into_iter().flatten() {
+///     dec.add_message(msg)?;
+///     if dec.is_complete() { break; }
+/// }
+/// assert_eq!(dec.decode()?, file);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ChunkedEncoder<F> {
+    encoders: Vec<Encoder<F>>,
+    manifest: FileManifest,
+    /// Next candidate id per chunk (low 32 bits of the message id).
+    next_candidate: Vec<u32>,
+}
+
+impl<F: Field> ChunkedEncoder<F> {
+    /// Builds chunk encoders over `data` with `k` pieces per chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors (empty data, k = 0, field
+    /// mismatch).
+    pub fn new(
+        field: FieldKind,
+        k: usize,
+        digest: DigestKind,
+        secret: SecretKey,
+        file_id: FileId,
+        data: &[u8],
+    ) -> Result<Self, CodecError> {
+        Self::with_chunk_size(field, k, digest, secret, file_id, data, CHUNK_SIZE)
+    }
+
+    /// Like [`new`](Self::new) with an explicit chunk size (tests and
+    /// benchmarks use small chunks; production uses [`CHUNK_SIZE`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors.
+    pub fn with_chunk_size(
+        field: FieldKind,
+        k: usize,
+        digest: DigestKind,
+        secret: SecretKey,
+        file_id: FileId,
+        data: &[u8],
+        chunk_size: usize,
+    ) -> Result<Self, CodecError> {
+        if data.is_empty() {
+            return Err(CodecError::InvalidParams {
+                reason: "cannot encode an empty file".to_owned(),
+            });
+        }
+        if chunk_size == 0 {
+            return Err(CodecError::InvalidParams {
+                reason: "chunk size must be positive".to_owned(),
+            });
+        }
+        let manifest = FileManifest {
+            file_id,
+            total_len: data.len(),
+            chunk_size,
+            field,
+            k,
+            auth: AuthManifest::new(file_id, digest),
+        };
+        let mut encoders = Vec::with_capacity(manifest.chunk_count() as usize);
+        for (index, chunk) in data.chunks(chunk_size).enumerate() {
+            let params = CodingParams::for_data_len(field, k, chunk.len())?;
+            encoders.push(Encoder::new(params, secret.clone(), file_id, chunk)?);
+            debug_assert_eq!(index as u32 + 1, encoders.len() as u32);
+        }
+        let n = encoders.len();
+        Ok(ChunkedEncoder {
+            encoders,
+            manifest,
+            next_candidate: vec![0; n],
+        })
+    }
+
+    /// The evolving manifest (records every message encoded so far).
+    pub fn manifest(&self) -> &FileManifest {
+        &self.manifest
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> u32 {
+        self.encoders.len() as u32
+    }
+
+    /// Encodes one rank-checked batch of `count ≤ k` messages for chunk
+    /// `index`, assigning globally unique message ids and recording digests.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::ChunkOutOfRange`] or batch-size errors.
+    pub fn encode_chunk_batch(
+        &mut self,
+        index: u32,
+        count: usize,
+    ) -> Result<Vec<EncodedMessage>, CodecError> {
+        let Some(encoder) = self.encoders.get(index as usize) else {
+            return Err(CodecError::ChunkOutOfRange {
+                index,
+                count: self.chunk_count(),
+            });
+        };
+        let start = ((index as u64) << 32) | self.next_candidate[index as usize] as u64;
+        let (batch, next) = encoder.encode_batch_from(start, count)?;
+        self.next_candidate[index as usize] = (next & 0xffff_ffff) as u32;
+        for msg in &batch {
+            self.manifest.auth.record(msg);
+        }
+        Ok(batch)
+    }
+
+    /// The paper's dissemination set: for each of `n` peers, one batch of
+    /// `k` messages per chunk (so each peer alone can serve a full decode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates batch errors.
+    pub fn encode_for_peers(&mut self, n: usize) -> Result<Vec<Vec<EncodedMessage>>, CodecError> {
+        let k = self.manifest.k;
+        let mut per_peer = vec![Vec::new(); n];
+        for chunk in 0..self.chunk_count() {
+            for peer_msgs in per_peer.iter_mut() {
+                peer_msgs.extend(self.encode_chunk_batch(chunk, k)?);
+            }
+        }
+        Ok(per_peer)
+    }
+}
+
+/// Decodes a chunked file, verifying every message against the manifest.
+#[derive(Debug)]
+pub struct ChunkedDecoder<F> {
+    manifest: FileManifest,
+    chunks: Vec<BlockDecoder<F>>,
+}
+
+impl<F: Field> ChunkedDecoder<F> {
+    /// A decoder driven by a manifest and the owner's secret.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::FieldMismatch`] when `F` disagrees with the
+    /// manifest's declared field.
+    pub fn new(manifest: FileManifest, secret: SecretKey) -> Result<Self, CodecError> {
+        if manifest.field != F::KIND {
+            return Err(CodecError::FieldMismatch {
+                expected: manifest.field,
+                got: F::KIND,
+            });
+        }
+        let mut chunks = Vec::with_capacity(manifest.chunk_count() as usize);
+        for index in 0..manifest.chunk_count() {
+            let params = manifest.chunk_params(index)?;
+            chunks.push(BlockDecoder::new(
+                params,
+                secret.clone(),
+                manifest.file_id,
+                manifest.chunk_len(index)?,
+            ));
+        }
+        Ok(ChunkedDecoder { manifest, chunks })
+    }
+
+    /// Offers a message: authenticates it, routes it to its chunk decoder.
+    ///
+    /// Returns `true` if the message was innovative for its chunk.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::AuthenticationFailed`] for forged/corrupted messages,
+    /// [`CodecError::ChunkOutOfRange`] for an impossible chunk index, plus
+    /// the underlying decoder errors.
+    pub fn add_message(&mut self, msg: EncodedMessage) -> Result<bool, CodecError> {
+        self.manifest.auth.verify(&msg)?;
+        let chunk = FileManifest::chunk_of(msg.message_id());
+        let Some(decoder) = self.chunks.get_mut(chunk as usize) else {
+            return Err(CodecError::ChunkOutOfRange {
+                index: chunk,
+                count: self.manifest.chunk_count(),
+            });
+        };
+        decoder.add_message(msg)
+    }
+
+    /// Whether chunk `index` is decodable already (for streaming playback).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::ChunkOutOfRange`] for an invalid index.
+    pub fn chunk_complete(&self, index: u32) -> Result<bool, CodecError> {
+        self.chunks
+            .get(index as usize)
+            .map(|d| d.is_complete())
+            .ok_or(CodecError::ChunkOutOfRange {
+                index,
+                count: self.manifest.chunk_count(),
+            })
+    }
+
+    /// Decodes a single chunk (streaming mode).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::ChunkOutOfRange`] or decoding errors.
+    pub fn decode_chunk(&self, index: u32) -> Result<Vec<u8>, CodecError> {
+        self.chunks
+            .get(index as usize)
+            .ok_or(CodecError::ChunkOutOfRange {
+                index,
+                count: self.manifest.chunk_count(),
+            })?
+            .decode()
+    }
+
+    /// Whether every chunk is decodable.
+    pub fn is_complete(&self) -> bool {
+        self.chunks.iter().all(|d| d.is_complete())
+    }
+
+    /// Fraction of required independent messages received, in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        let have: usize = self.chunks.iter().map(|d| d.rank()).sum();
+        have as f64 / self.manifest.messages_needed() as f64
+    }
+
+    /// Decodes the whole file.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::NotEnoughMessages`] if any chunk is incomplete.
+    pub fn decode(&self) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::with_capacity(self.manifest.total_len);
+        for decoder in &self.chunks {
+            out.extend_from_slice(&decoder.decode()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asymshare_gf::Gf2p32;
+
+    fn secret() -> SecretKey {
+        SecretKey::from_passphrase("chunker tests")
+    }
+
+    fn file(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 17 % 253) as u8).collect()
+    }
+
+    fn encoder(data: &[u8], chunk_size: usize) -> ChunkedEncoder<Gf2p32> {
+        ChunkedEncoder::with_chunk_size(
+            FieldKind::Gf2p32,
+            4,
+            DigestKind::Md5,
+            secret(),
+            FileId(11),
+            data,
+            chunk_size,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn multi_chunk_round_trip() {
+        let data = file(10_000);
+        let mut enc = encoder(&data, 4096); // 3 chunks: 4096 + 4096 + 1808
+        assert_eq!(enc.chunk_count(), 3);
+        let peers = enc.encode_for_peers(2).unwrap();
+        let mut dec = ChunkedDecoder::<Gf2p32>::new(enc.manifest().clone(), secret()).unwrap();
+        for msg in peers.into_iter().next().unwrap() {
+            dec.add_message(msg).unwrap();
+        }
+        assert!(dec.is_complete());
+        assert_eq!(dec.decode().unwrap(), data);
+    }
+
+    #[test]
+    fn streaming_chunks_complete_in_order_of_arrival() {
+        let data = file(8192);
+        let mut enc = encoder(&data, 4096);
+        let chunk0 = enc.encode_chunk_batch(0, 4).unwrap();
+        let chunk1 = enc.encode_chunk_batch(1, 4).unwrap();
+        let mut dec = ChunkedDecoder::<Gf2p32>::new(enc.manifest().clone(), secret()).unwrap();
+        for m in chunk0 {
+            dec.add_message(m).unwrap();
+        }
+        assert!(dec.chunk_complete(0).unwrap());
+        assert!(!dec.chunk_complete(1).unwrap());
+        assert_eq!(dec.decode_chunk(0).unwrap(), &data[..4096]);
+        assert!(dec.decode().is_err(), "full decode still blocked");
+        for m in chunk1 {
+            dec.add_message(m).unwrap();
+        }
+        assert_eq!(dec.decode().unwrap(), data);
+    }
+
+    #[test]
+    fn tampered_message_rejected_before_decoding() {
+        let data = file(4096);
+        let mut enc = encoder(&data, 4096);
+        let batch = enc.encode_chunk_batch(0, 4).unwrap();
+        let mut dec = ChunkedDecoder::<Gf2p32>::new(enc.manifest().clone(), secret()).unwrap();
+        let mut payload = batch[0].payload().to_vec();
+        payload[0] ^= 0xFF;
+        let forged = EncodedMessage::new(FileId(11), batch[0].message_id(), payload);
+        assert!(matches!(
+            dec.add_message(forged),
+            Err(CodecError::AuthenticationFailed { .. })
+        ));
+        // Genuine messages still work afterwards.
+        for m in batch {
+            dec.add_message(m).unwrap();
+        }
+        assert_eq!(dec.decode().unwrap(), data);
+    }
+
+    #[test]
+    fn injected_unknown_message_rejected() {
+        let data = file(4096);
+        let mut enc = encoder(&data, 4096);
+        let _ = enc.encode_chunk_batch(0, 4).unwrap();
+        let mut dec = ChunkedDecoder::<Gf2p32>::new(enc.manifest().clone(), secret()).unwrap();
+        let injected = EncodedMessage::new(
+            FileId(11),
+            FileManifest::message_id(0, 999),
+            vec![0u8; 1024],
+        );
+        assert!(matches!(
+            dec.add_message(injected),
+            Err(CodecError::AuthenticationFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn progress_reaches_one() {
+        let data = file(4096);
+        let mut enc = encoder(&data, 2048);
+        let peers = enc.encode_for_peers(1).unwrap();
+        let mut dec = ChunkedDecoder::<Gf2p32>::new(enc.manifest().clone(), secret()).unwrap();
+        assert_eq!(dec.progress(), 0.0);
+        for m in peers.into_iter().next().unwrap() {
+            dec.add_message(m).unwrap();
+        }
+        assert!((dec.progress() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_small_file_is_one_chunk() {
+        let data = file(100);
+        let enc = encoder(&data, 4096);
+        assert_eq!(enc.chunk_count(), 1);
+        assert_eq!(enc.manifest().chunk_len(0).unwrap(), 100);
+        assert!(enc.manifest().chunk_len(1).is_err());
+    }
+
+    #[test]
+    fn exact_multiple_chunk_lengths() {
+        let data = file(8192);
+        let enc = encoder(&data, 4096);
+        assert_eq!(enc.chunk_count(), 2);
+        assert_eq!(enc.manifest().chunk_len(0).unwrap(), 4096);
+        assert_eq!(enc.manifest().chunk_len(1).unwrap(), 4096);
+    }
+
+    #[test]
+    fn manifest_serialization_round_trips() {
+        let data = file(5000);
+        let mut enc = encoder(&data, 2048);
+        let _ = enc.encode_for_peers(2).unwrap();
+        let manifest = enc.manifest().clone();
+        let bytes = manifest.to_bytes();
+        let back = FileManifest::from_bytes(&bytes).unwrap();
+        assert_eq!(back, manifest);
+        // A decoder built from the deserialized manifest works identically.
+        let mut dec = ChunkedDecoder::<Gf2p32>::new(back, secret()).unwrap();
+        let mut enc2 = encoder(&data, 2048);
+        for m in enc2
+            .encode_for_peers(1)
+            .unwrap()
+            .into_iter()
+            .next()
+            .unwrap()
+        {
+            dec.add_message(m).unwrap();
+        }
+        assert_eq!(dec.decode().unwrap(), data);
+    }
+
+    #[test]
+    fn manifest_rejects_corruption() {
+        let data = file(256);
+        let mut enc = encoder(&data, 2048);
+        let _ = enc.encode_for_peers(1).unwrap();
+        let bytes = enc.manifest().to_bytes();
+        for cut in 0..bytes.len().min(60) {
+            assert!(
+                FileManifest::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 1;
+        assert!(FileManifest::from_bytes(&bad_magic).is_err());
+    }
+
+    #[test]
+    fn message_id_layout() {
+        let id = FileManifest::message_id(3, 77);
+        assert_eq!(FileManifest::chunk_of(id), 3);
+        assert_eq!(id.0 & 0xffff_ffff, 77);
+    }
+
+    #[test]
+    fn field_mismatch_rejected() {
+        let data = file(256);
+        let enc = encoder(&data, 4096);
+        let err = ChunkedDecoder::<asymshare_gf::Gf256>::new(enc.manifest().clone(), secret())
+            .unwrap_err();
+        assert!(matches!(err, CodecError::FieldMismatch { .. }));
+    }
+}

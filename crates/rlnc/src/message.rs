@@ -1,0 +1,160 @@
+//! Encoded messages and their wire format.
+//!
+//! The paper's Figure 3: a stored message is an 8-byte file-id, an 8-byte
+//! message-id, and an `m`-symbol encoded payload. Peers store these
+//! "pre-fabricated" messages and forward them verbatim.
+
+use crate::error::CodecError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Identifier of an encoded file (or of one 1 MB chunk of a larger file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+impl core::fmt::Display for FileId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "file:{:#x}", self.0)
+    }
+}
+
+/// Identifier of one encoded message within a file.
+///
+/// The message-id is transmitted in plain text alongside the payload; it is
+/// what lets the owner (who knows the secret key) reconstruct the
+/// coefficient row β_i, and it reveals nothing to anyone else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MessageId(pub u64);
+
+impl core::fmt::Display for MessageId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "msg:{}", self.0)
+    }
+}
+
+/// Wire header length: 8-byte file-id + 8-byte message-id (Figure 3).
+pub const HEADER_LEN: usize = 16;
+
+/// One encoded message `Y_i` with its plaintext identifiers.
+///
+/// # Example
+///
+/// ```rust
+/// use asymshare_rlnc::{EncodedMessage, FileId, MessageId};
+///
+/// let msg = EncodedMessage::new(FileId(1), MessageId(2), vec![0xAB; 32]);
+/// let wire = msg.to_wire();
+/// assert_eq!(EncodedMessage::from_wire(&wire)?, msg);
+/// # Ok::<(), asymshare_rlnc::CodecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EncodedMessage {
+    file_id: FileId,
+    message_id: MessageId,
+    payload: Vec<u8>,
+}
+
+impl EncodedMessage {
+    /// Assembles a message from parts.
+    pub fn new(file_id: FileId, message_id: MessageId, payload: Vec<u8>) -> Self {
+        EncodedMessage {
+            file_id,
+            message_id,
+            payload,
+        }
+    }
+
+    /// The file this message belongs to.
+    pub fn file_id(&self) -> FileId {
+        self.file_id
+    }
+
+    /// This message's id.
+    pub fn message_id(&self) -> MessageId {
+        self.message_id
+    }
+
+    /// The encoded payload (packed `m` symbols).
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Total wire size in bytes (header + payload).
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+
+    /// Serializes to the Figure-3 wire format.
+    pub fn to_wire(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        buf.put_u64_le(self.file_id.0);
+        buf.put_u64_le(self.message_id.0);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parses a message from its wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Malformed`] when the buffer is shorter than the
+    /// 16-byte header.
+    pub fn from_wire(mut wire: &[u8]) -> Result<Self, CodecError> {
+        if wire.len() < HEADER_LEN {
+            return Err(CodecError::Malformed {
+                reason: format!("{} bytes is shorter than the 16-byte header", wire.len()),
+            });
+        }
+        let file_id = FileId(wire.get_u64_le());
+        let message_id = MessageId(wire.get_u64_le());
+        Ok(EncodedMessage {
+            file_id,
+            message_id,
+            payload: wire.to_vec(),
+        })
+    }
+
+    /// Consumes the message, returning its payload buffer.
+    pub fn into_payload(self) -> Vec<u8> {
+        self.payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        let msg = EncodedMessage::new(FileId(0xDEAD), MessageId(42), vec![1, 2, 3, 4, 5]);
+        let wire = msg.to_wire();
+        assert_eq!(wire.len(), 16 + 5);
+        assert_eq!(EncodedMessage::from_wire(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let msg = EncodedMessage::new(FileId(1), MessageId(2), vec![]);
+        assert_eq!(EncodedMessage::from_wire(&msg.to_wire()).unwrap(), msg);
+    }
+
+    #[test]
+    fn short_buffer_is_malformed() {
+        let err = EncodedMessage::from_wire(&[0u8; 15]).unwrap_err();
+        assert!(matches!(err, CodecError::Malformed { .. }));
+    }
+
+    #[test]
+    fn header_is_little_endian_ids() {
+        let msg = EncodedMessage::new(FileId(0x0102_0304), MessageId(0x0A0B), vec![0xFF]);
+        let wire = msg.to_wire();
+        assert_eq!(&wire[..8], &0x0102_0304u64.to_le_bytes());
+        assert_eq!(&wire[8..16], &0x0A0Bu64.to_le_bytes());
+        assert_eq!(wire[16], 0xFF);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(FileId(255).to_string(), "file:0xff");
+        assert_eq!(MessageId(7).to_string(), "msg:7");
+    }
+}

@@ -1,0 +1,236 @@
+//! Coding parameters `(q, m, k)` and the paper's Table I.
+//!
+//! The constraint is `m · p · k = b` (§III-A): a file of `b` bits becomes
+//! `k` chunks of `m` symbols of `p` bits. For the paper's running example of
+//! 1 MB data blocks, Table I tabulates `k` for every combination of field
+//! size and message length; [`table_one_entry`] reproduces any cell.
+
+use crate::error::CodecError;
+use asymshare_gf::FieldKind;
+
+/// One mebibyte — the paper's standard encoding block (§III-D recommends
+/// splitting larger files into 1 MB chunks).
+pub const MEGABYTE: usize = 1 << 20;
+
+/// Coding parameters: field, symbols per message `m`, and messages needed to
+/// decode `k`.
+///
+/// # Example
+///
+/// ```rust
+/// use asymshare_gf::FieldKind;
+/// use asymshare_rlnc::CodingParams;
+///
+/// // The paper's example: q = 2^32, m = 2^15 ⇒ k = 8 for 1 MB.
+/// let p = CodingParams::for_1mb(FieldKind::Gf2p32, 1 << 15)?;
+/// assert_eq!(p.k(), 8);
+/// # Ok::<(), asymshare_rlnc::CodecError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodingParams {
+    field: FieldKind,
+    m: usize,
+    k: usize,
+}
+
+impl CodingParams {
+    /// Constructs parameters explicitly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidParams`] if `m == 0`, `k == 0`, or the
+    /// symbol count does not pack into whole bytes.
+    pub fn new(field: FieldKind, m: usize, k: usize) -> Result<Self, CodecError> {
+        if m == 0 || k == 0 {
+            return Err(CodecError::InvalidParams {
+                reason: format!("m ({m}) and k ({k}) must be positive"),
+            });
+        }
+        let bits = m as u128 * field.bits_per_symbol() as u128;
+        if bits % 8 != 0 {
+            return Err(CodecError::InvalidParams {
+                reason: format!("message of {m} {field} symbols does not pack into whole bytes"),
+            });
+        }
+        Ok(CodingParams { field, m, k })
+    }
+
+    /// Parameters for a payload of exactly `data_len` bytes with `k` pieces:
+    /// chooses the smallest `m` such that `m·p·k ≥ 8·data_len`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidParams`] for `k == 0` or `data_len == 0`.
+    pub fn for_data_len(field: FieldKind, k: usize, data_len: usize) -> Result<Self, CodecError> {
+        if data_len == 0 {
+            return Err(CodecError::InvalidParams {
+                reason: "cannot encode an empty payload".to_owned(),
+            });
+        }
+        if k == 0 {
+            return Err(CodecError::InvalidParams {
+                reason: "k must be positive".to_owned(),
+            });
+        }
+        let p = field.bits_per_symbol() as usize;
+        let total_bits = data_len * 8;
+        let bits_per_piece = total_bits.div_ceil(k);
+        // Round the per-piece size up so m symbols pack into whole bytes.
+        let mut m = bits_per_piece.div_ceil(p);
+        while (m * p) % 8 != 0 {
+            m += 1;
+        }
+        CodingParams::new(field, m, k)
+    }
+
+    /// Parameters for the paper's 1 MB block with a given message length `m`
+    /// (a Table I column), deriving `k = b / (m·p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidParams`] if `m·p` does not divide the
+    /// 1 MB block evenly (Table I only uses powers of two, which always do).
+    pub fn for_1mb(field: FieldKind, m: usize) -> Result<Self, CodecError> {
+        let p = field.bits_per_symbol() as usize;
+        let b = MEGABYTE * 8;
+        if m == 0 || b % (m * p) != 0 {
+            return Err(CodecError::InvalidParams {
+                reason: format!("m = {m} does not divide a 1 MB block in {field}"),
+            });
+        }
+        CodingParams::new(field, m, b / (m * p))
+    }
+
+    /// The field.
+    pub fn field(&self) -> FieldKind {
+        self.field
+    }
+
+    /// Symbols per message.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Messages required to decode.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Payload bytes per encoded message (`m` symbols packed).
+    pub fn payload_bytes(&self) -> usize {
+        self.field.bytes_for_symbols(self.m)
+    }
+
+    /// Total plaintext capacity in bytes (`k` pieces of `m` symbols).
+    pub fn capacity_bytes(&self) -> usize {
+        self.payload_bytes() * self.k
+    }
+}
+
+impl core::fmt::Display for CodingParams {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} m={} k={}", self.field, self.m, self.k)
+    }
+}
+
+/// One row of the paper's Table I / Table II grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableOneRow {
+    /// The field (table row).
+    pub field: FieldKind,
+    /// Message length `m` (table column).
+    pub m: usize,
+    /// Resulting `k` for a 1 MB block (the cell value).
+    pub k: usize,
+}
+
+/// Computes one cell of Table I: the number of messages `k` required to
+/// encode 1 MB with field `field` and message length `m`.
+///
+/// # Errors
+///
+/// Returns [`CodecError::InvalidParams`] when `m·p` does not divide 1 MB.
+///
+/// # Example
+///
+/// ```rust
+/// use asymshare_gf::FieldKind;
+/// use asymshare_rlnc::table_one_entry;
+///
+/// // Table I, bottom-right cell: GF(2^32), m = 2^18 ⇒ k = 1.
+/// assert_eq!(table_one_entry(FieldKind::Gf2p32, 1 << 18)?.k, 1);
+/// # Ok::<(), asymshare_rlnc::CodecError>(())
+/// ```
+pub fn table_one_entry(field: FieldKind, m: usize) -> Result<TableOneRow, CodecError> {
+    let params = CodingParams::for_1mb(field, m)?;
+    Ok(TableOneRow {
+        field,
+        m,
+        k: params.k(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table I, verbatim.
+    #[test]
+    fn table_one_matches_paper() {
+        let expected: [(FieldKind, [usize; 6]); 4] = [
+            (FieldKind::Gf16, [256, 128, 64, 32, 16, 8]),
+            (FieldKind::Gf256, [128, 64, 32, 16, 8, 4]),
+            (FieldKind::Gf65536, [64, 32, 16, 8, 4, 2]),
+            (FieldKind::Gf2p32, [32, 16, 8, 4, 2, 1]),
+        ];
+        for (field, ks) in expected {
+            for (col, expect_k) in ks.iter().enumerate() {
+                let m = 1usize << (13 + col);
+                let row = table_one_entry(field, m).expect("power-of-two m divides 1MB");
+                assert_eq!(row.k, *expect_k, "{field} m=2^{}", 13 + col);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_headline_example() {
+        // "for our example cases in this paper, where k = 8, m = 32,768 and
+        //  q = 2^32" (§III-C)
+        let p = CodingParams::for_1mb(FieldKind::Gf2p32, 32_768).unwrap();
+        assert_eq!(p.k(), 8);
+        assert_eq!(p.capacity_bytes(), MEGABYTE);
+        assert_eq!(p.payload_bytes(), 128 * 1024);
+    }
+
+    #[test]
+    fn for_data_len_covers_exactly() {
+        for len in [1usize, 7, 1000, 4096, 1_000_000] {
+            for field in FieldKind::ALL {
+                let p = CodingParams::for_data_len(field, 8, len).unwrap();
+                assert!(p.capacity_bytes() >= len, "capacity covers data");
+                // Not wasteful: strictly fewer symbols would not fit.
+                let p_bits = field.bits_per_symbol() as usize;
+                assert!(
+                    (p.m() - 1) * p_bits * p.k() < len * 8 + 8 * p.k() * p_bits / 8 + 64,
+                    "m is near-minimal for {field} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(CodingParams::new(FieldKind::Gf256, 0, 8).is_err());
+        assert!(CodingParams::new(FieldKind::Gf256, 8, 0).is_err());
+        assert!(CodingParams::for_data_len(FieldKind::Gf256, 8, 0).is_err());
+        assert!(CodingParams::for_1mb(FieldKind::Gf2p32, 3).is_err());
+        // GF(2^4): odd symbol counts don't pack into bytes.
+        assert!(CodingParams::new(FieldKind::Gf16, 3, 4).is_err());
+    }
+
+    #[test]
+    fn display_mentions_field_and_sizes() {
+        let p = CodingParams::new(FieldKind::Gf256, 64, 4).unwrap();
+        assert_eq!(p.to_string(), "GF(2^8) m=64 k=4");
+    }
+}

@@ -1,0 +1,106 @@
+//! Small utilities for emitting figure data: CSV columns and decimation.
+
+use std::io::Write;
+
+/// Writes aligned columns as CSV: a time column plus one column per series.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+///
+/// # Panics
+///
+/// Panics if series lengths differ from the time column.
+pub fn write_csv<W: Write>(
+    out: &mut W,
+    time_header: &str,
+    times: &[f64],
+    series: &[(String, Vec<f64>)],
+) -> std::io::Result<()> {
+    for (name, values) in series {
+        assert_eq!(values.len(), times.len(), "series '{name}' length mismatch");
+    }
+    write!(out, "{time_header}")?;
+    for (name, _) in series {
+        write!(out, ",{name}")?;
+    }
+    writeln!(out)?;
+    for (i, t) in times.iter().enumerate() {
+        write!(out, "{t}")?;
+        for (_, values) in series {
+            write!(out, ",{:.3}", values[i])?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Keeps every `stride`-th sample (plotting decimation). Always keeps the
+/// final sample so series end cleanly.
+///
+/// # Panics
+///
+/// Panics if `stride == 0`.
+pub fn decimate(values: &[f64], stride: usize) -> Vec<f64> {
+    assert!(stride > 0, "stride must be positive");
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut out: Vec<f64> = values.iter().step_by(stride).copied().collect();
+    if (values.len() - 1) % stride != 0 {
+        out.push(*values.last().expect("non-empty"));
+    }
+    out
+}
+
+/// Uniform time axis `0, stride, 2·stride, …` matching [`decimate`]'s output
+/// length for a series of `len` samples.
+pub fn decimated_times(len: usize, stride: usize) -> Vec<f64> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let mut out: Vec<f64> = (0..len).step_by(stride).map(|t| t as f64).collect();
+    if (len - 1) % stride != 0 {
+        out.push((len - 1) as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_formats_rows() {
+        let mut buf = Vec::new();
+        write_csv(
+            &mut buf,
+            "t",
+            &[0.0, 1.0],
+            &[
+                ("a".to_owned(), vec![1.0, 2.0]),
+                ("b".to_owned(), vec![3.0, 4.0]),
+            ],
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "t,a,b\n0,1.000,3.000\n1,2.000,4.000\n");
+    }
+
+    #[test]
+    fn decimation_keeps_endpoints() {
+        let v: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let d = decimate(&v, 4);
+        assert_eq!(d, vec![0.0, 4.0, 8.0, 9.0]);
+        assert_eq!(decimated_times(10, 4), vec![0.0, 4.0, 8.0, 9.0]);
+        assert_eq!(decimate(&v, 3), vec![0.0, 3.0, 6.0, 9.0]);
+        assert_eq!(decimate(&[], 3), Vec::<f64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn csv_rejects_ragged_series() {
+        let mut buf = Vec::new();
+        let _ = write_csv(&mut buf, "t", &[0.0], &[("a".to_owned(), vec![])]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Whole-system integration tests: every layer together, from finite-field
+//! arithmetic up through the simulated deployment.
+
+use asymshare::{Identity, RuntimeConfig, SimRuntime};
+use asymshare_netsim::LinkSpeed;
+use asymshare_rlnc::FileId;
+
+fn kbps(v: f64) -> LinkSpeed {
+    LinkSpeed::kbps(v)
+}
+
+fn cfg() -> RuntimeConfig {
+    RuntimeConfig {
+        k: 4,
+        chunk_size: 32 * 1024,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn payload(n: usize, salt: u8) -> Vec<u8> {
+    (0..n).map(|i| ((i * 37) as u8) ^ salt).collect()
+}
+
+/// The paper's headline scenario end to end: dissemination while idle, then
+/// a remote download that beats the home uplink by aggregating peers.
+#[test]
+fn remote_access_beats_home_uplink() {
+    let mut rt = SimRuntime::new(cfg());
+    let peers: Vec<_> = (0..5u8)
+        .map(|i| rt.add_participant(Identity::from_seed(&[b'f', i]), kbps(256.0), kbps(3000.0)))
+        .collect();
+    let data = payload(384 * 1024, 1);
+    let (manifest, _) = rt.disseminate(peers[0], FileId(1), &data, &peers).unwrap();
+    let session = rt
+        .start_download(peers[0], manifest, kbps(256.0), kbps(3000.0), &peers)
+        .unwrap();
+    let report = rt.run_to_completion(session, 3600).unwrap();
+    assert_eq!(report.data, data);
+    let single_secs = data.len() as f64 * 8.0 / 256_000.0;
+    assert!(
+        single_secs / report.duration_secs > 2.0,
+        "speedup {:.2} too small",
+        single_secs / report.duration_secs
+    );
+}
+
+/// A user can stream from a strict subset of peers when its home peer is
+/// offline, as long as the subset holds k messages per chunk.
+#[test]
+fn download_without_home_peer() {
+    let mut rt = SimRuntime::new(cfg());
+    let peers: Vec<_> = (0..4u8)
+        .map(|i| rt.add_participant(Identity::from_seed(&[b'g', i]), kbps(512.0), kbps(3000.0)))
+        .collect();
+    let data = payload(128 * 1024, 2);
+    let (manifest, _) = rt.disseminate(peers[0], FileId(2), &data, &peers).unwrap();
+    // Only peers 1..3 serve: the owner's home peer never participates.
+    let serving = &peers[1..];
+    let session = rt
+        .start_download(peers[0], manifest, kbps(256.0), kbps(3000.0), serving)
+        .unwrap();
+    let report = rt.run_to_completion(session, 3600).unwrap();
+    assert_eq!(report.data, data);
+    assert!(!report.per_peer_bytes.contains_key(&0), "home peer idle");
+}
+
+/// Two users downloading concurrently share each peer's uplink; both finish
+/// and both decode correctly.
+#[test]
+fn two_concurrent_downloads() {
+    let mut rt = SimRuntime::new(cfg());
+    let peers: Vec<_> = (0..4u8)
+        .map(|i| rt.add_participant(Identity::from_seed(&[b'h', i]), kbps(512.0), kbps(5000.0)))
+        .collect();
+    let data_a = payload(96 * 1024, 3);
+    let data_b = payload(96 * 1024, 4);
+    let (man_a, _) = rt
+        .disseminate(peers[0], FileId(10), &data_a, &peers)
+        .unwrap();
+    let (man_b, _) = rt
+        .disseminate(peers[1], FileId(11), &data_b, &peers)
+        .unwrap();
+    let s_a = rt
+        .start_download(peers[0], man_a, kbps(256.0), kbps(5000.0), &peers)
+        .unwrap();
+    let s_b = rt
+        .start_download(peers[1], man_b, kbps(256.0), kbps(5000.0), &peers)
+        .unwrap();
+    rt.run_slots(600);
+    assert!(
+        rt.progress(s_a) >= 1.0 - 1e-9,
+        "A incomplete: {}",
+        rt.progress(s_a)
+    );
+    assert!(
+        rt.progress(s_b) >= 1.0 - 1e-9,
+        "B incomplete: {}",
+        rt.progress(s_b)
+    );
+    assert_eq!(rt.report(s_a).unwrap().data, data_a);
+    assert_eq!(rt.report(s_b).unwrap().data, data_b);
+}
+
+/// Peers storing only k' < k messages per file still jointly serve a full
+/// decode (§III-D's storage-limited mode).
+#[test]
+fn partial_storage_peers_complement_each_other() {
+    use asymshare::MessageStore;
+    let mut rt = SimRuntime::new(cfg());
+    let peers: Vec<_> = (0..4u8)
+        .map(|i| rt.add_participant(Identity::from_seed(&[b'i', i]), kbps(512.0), kbps(3000.0)))
+        .collect();
+    // Every peer keeps at most 2 of the k = 4 messages per chunk. Capping
+    // must happen before dissemination deposits arrive.
+    for &p in &peers {
+        let identity = rt.peer_mut(p).identity().clone();
+        let credit = 1_000.0;
+        *rt.peer_mut(p) =
+            asymshare::Peer::new(identity, credit).with_store(MessageStore::with_per_file_cap(2));
+        // Re-grant subscriptions wiped by the replacement.
+    }
+    // Re-subscribe everyone (replacement cleared the sets).
+    let keys: Vec<_> = peers
+        .iter()
+        .map(|&p| rt.peer_mut(p).identity().public_key().to_bytes())
+        .collect();
+    for &p in &peers {
+        for k in &keys {
+            rt.peer_mut(p).add_subscriber(*k);
+        }
+    }
+    // One chunk only (the cap is per file): each peer keeps 2 of its 4
+    // batch messages, so 4 peers jointly hold 8 distinct candidates for the
+    // chunk's k = 4 requirement.
+    let data = payload(24 * 1024, 5);
+    let (manifest, _) = rt.disseminate(peers[0], FileId(3), &data, &peers).unwrap();
+    let session = rt
+        .start_download(peers[0], manifest, kbps(256.0), kbps(3000.0), &peers)
+        .unwrap();
+    let report = rt.run_to_completion(session, 3600).unwrap();
+    assert_eq!(report.data, data);
+    assert!(
+        report.per_peer_bytes.len() >= 2,
+        "a single capped peer cannot serve a decode alone"
+    );
+}
+
+/// Back-to-back downloads: credit earned by serving the first download
+/// shifts the home peer's allocation for the second.
+#[test]
+fn served_bytes_become_allocation_credit() {
+    let mut rt = SimRuntime::new(cfg());
+    let a = rt.add_participant(Identity::from_seed(b"credA"), kbps(512.0), kbps(3000.0));
+    let b = rt.add_participant(Identity::from_seed(b"credB"), kbps(512.0), kbps(3000.0));
+    let c = rt.add_participant(Identity::from_seed(b"credC"), kbps(512.0), kbps(3000.0));
+    let all = [a, b, c];
+    let data = payload(128 * 1024, 6);
+    let (manifest, _) = rt.disseminate(a, FileId(4), &data, &all).unwrap();
+    let b_key = rt.peer_mut(b).identity().public_key().to_bytes();
+    let c_key = rt.peer_mut(c).identity().public_key().to_bytes();
+    let w_b_before = rt.peer_mut(a).upload_weight(&b_key);
+    let w_c_before = rt.peer_mut(a).upload_weight(&c_key);
+    let session = rt
+        .start_download(a, manifest, kbps(256.0), kbps(3000.0), &all)
+        .unwrap();
+    rt.run_to_completion(session, 3600).unwrap();
+    rt.run_slots(15); // flush the final feedback report
+    assert!(
+        rt.peer_mut(a).upload_weight(&b_key) > w_b_before
+            && rt.peer_mut(a).upload_weight(&c_key) > w_c_before,
+        "peers that served A's user must gain credit at A"
+    );
+}
+
+/// Failure injection: one peer's uplink dies mid-download; the remaining
+/// peers jointly hold enough distinct messages to finish anyway (the
+/// geographic-robustness claim).
+#[test]
+fn download_survives_peer_outage() {
+    let mut rt = SimRuntime::new(cfg());
+    let peers: Vec<_> = (0..4u8)
+        .map(|i| rt.add_participant(Identity::from_seed(&[b'j', i]), kbps(512.0), kbps(3000.0)))
+        .collect();
+    let data = payload(256 * 1024, 7);
+    let (manifest, _) = rt.disseminate(peers[0], FileId(5), &data, &peers).unwrap();
+    let session = rt
+        .start_download(peers[0], manifest, kbps(256.0), kbps(3000.0), &peers)
+        .unwrap();
+    rt.run_slots(2);
+    let before = rt.progress(session);
+    assert!(before < 1.0, "outage must hit mid-download");
+    // Peer 3 goes dark.
+    rt.set_participant_link(peers[3], kbps(0.0), kbps(0.0));
+    let report = rt.run_to_completion(session, 3600).unwrap();
+    assert_eq!(report.data, data);
+}
+
+/// Failure injection: a peer's uplink degrades sharply (Fig. 8(b) at the
+/// system level); the download still completes, just slower than with all
+/// peers at full speed.
+#[test]
+fn download_adapts_to_capacity_drop() {
+    let run = |drop: bool| {
+        let mut rt = SimRuntime::new(cfg());
+        let peers: Vec<_> = (0..3u8)
+            .map(|i| rt.add_participant(Identity::from_seed(&[b'k', i]), kbps(512.0), kbps(3000.0)))
+            .collect();
+        let data = payload(768 * 1024, 8);
+        let (manifest, _) = rt.disseminate(peers[0], FileId(6), &data, &peers).unwrap();
+        let session = rt
+            .start_download(peers[0], manifest, kbps(256.0), kbps(3000.0), &peers)
+            .unwrap();
+        rt.run_slots(2);
+        if drop {
+            rt.set_participant_link(peers[2], kbps(64.0), kbps(3000.0));
+        }
+        let report = rt.run_to_completion(session, 3600).unwrap();
+        assert_eq!(report.data, data);
+        report.duration_secs
+    };
+    let healthy = run(false);
+    let degraded = run(true);
+    assert!(
+        degraded > healthy,
+        "losing 448 kbps of uplink must cost time ({degraded:.1}s vs {healthy:.1}s)"
+    );
+}
