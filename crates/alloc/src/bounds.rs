@@ -81,7 +81,10 @@ mod tests {
         let mut ledger = ContributionLedger::new(3, 0.0);
         ledger.credit(0, 2, 1000.0);
         let bound = theorem1_lower_bound(&[0.5, 0.5, 0.5], &[100.0, 100.0, 400.0], &ledger, 10);
-        assert!((bound[0] - (50.0 + 0.5 * 0.5 * 400.0)).abs() < 1e-9, "{bound:?}");
+        assert!(
+            (bound[0] - (50.0 + 0.5 * 0.5 * 400.0)).abs() < 1e-9,
+            "{bound:?}"
+        );
         assert!((bound[1] - 50.0).abs() < 1e-9, "peer 1 contributed nothing");
     }
 

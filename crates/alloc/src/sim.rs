@@ -159,12 +159,10 @@ impl SlotSimulator {
                 let row = &mut alloc[i];
                 row.iter_mut().for_each(|v| *v = 0.0);
                 match peer.strategy.rule_at(t) {
-                    None => {}
-                    Some(EffectiveRule::SelfOnly) => {
-                        if requesting[i] {
-                            row[i] = capacity[i];
-                        }
+                    Some(EffectiveRule::SelfOnly) if requesting[i] => {
+                        row[i] = capacity[i];
                     }
+                    None | Some(EffectiveRule::SelfOnly) => {}
                     Some(EffectiveRule::Rule(rule)) => {
                         let out = allocate(
                             rule,
@@ -204,9 +202,9 @@ impl SlotSimulator {
             for i in 0..n {
                 let outbound: f64 = alloc[i].iter().sum();
                 uploads[i].push(outbound);
-                for j in 0..n {
-                    if alloc[i][j] > 0.0 {
-                        self.ledger.credit(i, j, alloc[i][j]);
+                for (j, &given) in alloc[i].iter().enumerate() {
+                    if given > 0.0 {
+                        self.ledger.credit(i, j, given);
                     }
                 }
             }

@@ -97,12 +97,12 @@ proptest! {
         let slots = 8_000u64;
         let trace = build(&honest, RuleKind::PeerWise, seed).run(slots);
         let bound = theorem1_lower_bound(&honest.gammas, &honest.caps, trace.ledger(), slots);
-        for i in 0..honest.caps.len() {
+        for (i, &b) in bound.iter().enumerate().take(honest.caps.len()) {
             let rate = trace.long_run_rate(i);
             // 10% slack for finite-horizon noise at small gamma.
             prop_assert!(
-                rate >= bound[i] * 0.9 - 2.0,
-                "user {i}: rate {rate:.1} vs bound {:.1}", bound[i]
+                rate >= b * 0.9 - 2.0,
+                "user {i}: rate {rate:.1} vs bound {b:.1}"
             );
         }
     }

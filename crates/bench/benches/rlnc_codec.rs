@@ -4,8 +4,11 @@
 //! solid numbers for the headline cells.
 
 use asymshare_crypto::rng::SecretKey;
-use asymshare_gf::{Field, Gf16, Gf256, Gf2p32, Gf65536};
-use asymshare_rlnc::{BlockDecoder, CodingParams, Encoder, FileId, MEGABYTE};
+use asymshare_gf::{Field, FieldKind, Gf16, Gf256, Gf2p32, Gf65536};
+use asymshare_rlnc::{
+    BlockDecoder, ChunkedDecoder, ChunkedEncoder, CodingParams, DigestKind, Encoder, FileId,
+    MEGABYTE,
+};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 fn data_1mb() -> Vec<u8> {
@@ -39,6 +42,52 @@ fn bench_cell<F: Field>(c: &mut Criterion, m: usize) {
     group.finish();
 }
 
+/// The chunked end-to-end pipeline (the parallel encode/decode fan-out):
+/// a 4 MB file in 1 MB chunks at GF(2⁸), k = 32, encoded for one peer and
+/// decoded chunk-by-chunk.
+fn bench_chunked_pipeline(c: &mut Criterion) {
+    const FILE_LEN: usize = 4 * MEGABYTE;
+    let data: Vec<u8> = (0..FILE_LEN).map(|i| (i * 131 % 251) as u8).collect();
+    let secret = SecretKey::from_passphrase("bench");
+    let build = || {
+        ChunkedEncoder::<Gf256>::new(
+            FieldKind::Gf256,
+            32,
+            DigestKind::Md5,
+            secret.clone(),
+            FileId(1),
+            &data,
+        )
+        .expect("encoder")
+    };
+    let mut enc = build();
+    let msgs: Vec<_> = enc
+        .encode_for_peers(1)
+        .expect("batches")
+        .into_iter()
+        .flatten()
+        .collect();
+    let manifest = enc.manifest().clone();
+
+    let mut group = c.benchmark_group("rlnc/chunked/4MB/2^8/k32");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(FILE_LEN as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(build().encode_for_peers(1).expect("batches")))
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut dec =
+                ChunkedDecoder::<Gf256>::new(manifest.clone(), secret.clone()).expect("decoder");
+            for msg in msgs.clone() {
+                dec.add_message(msg).expect("accept");
+            }
+            black_box(dec.decode().expect("decode"))
+        })
+    });
+    group.finish();
+}
+
 fn benches(c: &mut Criterion) {
     // The paper's recommended operating point: q = 2^32, m = 2^15, k = 8.
     bench_cell::<Gf2p32>(c, 1 << 15);
@@ -49,6 +98,7 @@ fn benches(c: &mut Criterion) {
     // GF(2^32) fast corner and slow corner.
     bench_cell::<Gf2p32>(c, 1 << 18);
     bench_cell::<Gf2p32>(c, 1 << 13);
+    bench_chunked_pipeline(c);
 }
 
 criterion_group!(rlnc_codec, benches);

@@ -8,9 +8,7 @@
 //! convergence); tiny credit converges fastest but amplifies the very first
 //! slots' randomness.
 
-use asymshare_alloc::{
-    Demand, InitialCredit, PeerConfig, RuleKind, SimConfig, SlotSimulator,
-};
+use asymshare_alloc::{Demand, InitialCredit, PeerConfig, RuleKind, SimConfig, SlotSimulator};
 
 const T: u64 = 20_000;
 
@@ -46,7 +44,9 @@ fn main() {
     let mut rows = Vec::new();
     for initial in [0.01f64, 1.0, 100.0, 10_000.0, 1_000_000.0] {
         let slots = convergence_slots(initial);
-        let shown = slots.map(|s| s.to_string()).unwrap_or_else(|| format!(">{T}"));
+        let shown = slots
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!(">{T}"));
         println!("{initial:<18}{shown:>22}");
         rows.push((initial, slots));
     }

@@ -1,0 +1,82 @@
+//! Committed codec baseline: encode/decode throughput at the repository's
+//! reference operating point — GF(2⁸), k = 32, 1 MB chunks — written to
+//! `BENCH_rlnc.json` so kernel regressions show up as a diff against the
+//! checked-in numbers.
+//!
+//! The measurement is a median of several timed runs of the same work the
+//! chunked pipeline does per chunk: one full rank-checked batch encode
+//! (`k` messages = 1 MB of coded payload) and one full block decode
+//! (admission + matrix inversion + payload reconstruction). Run with
+//! `--quick` for a single iteration per side, and from the repository root
+//! so the JSON lands next to the manifest:
+//!
+//! ```text
+//! cargo run --release -p asymshare-bench --bin bench_baseline
+//! ```
+
+use asymshare_crypto::rng::SecretKey;
+use asymshare_gf::Gf256;
+use asymshare_rlnc::{BlockDecoder, CodingParams, Encoder, FileId, MEGABYTE};
+use std::time::Instant;
+
+/// Symbols per message: 2^15 bytes, so k = 1 MB / m = 32 at GF(2⁸).
+const M: usize = 1 << 15;
+
+/// Where the baseline lands (relative to the working directory, which the
+/// doc comment asks to be the repository root).
+const OUT_PATH: &str = "BENCH_rlnc.json";
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 1 } else { 5 };
+
+    let params = CodingParams::for_1mb(asymshare_gf::FieldKind::Gf256, M).expect("baseline cell");
+    let k = params.k();
+    assert_eq!(k, 32, "baseline is defined at k = 32");
+    let data: Vec<u8> = (0..MEGABYTE).map(|i| (i * 131 % 251) as u8).collect();
+    let secret = SecretKey::from_passphrase("bench_baseline");
+    let encoder = Encoder::<Gf256>::new(params, secret.clone(), FileId(1), &data).expect("encoder");
+
+    println!("measuring GF(2^8) k={k} m={M} on a 1 MB chunk ({samples} sample(s) per side)...");
+
+    let mut encode_secs = Vec::with_capacity(samples);
+    let mut batch = Vec::new();
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        batch = encoder.encode_batch(0, k).expect("batch");
+        encode_secs.push(t0.elapsed().as_secs_f64());
+    }
+
+    let mut decode_secs = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let msgs = batch.clone();
+        let t0 = Instant::now();
+        let mut dec = BlockDecoder::<Gf256>::new(params, secret.clone(), FileId(1), data.len());
+        for msg in msgs {
+            dec.add_message(msg).expect("accept");
+        }
+        let out = dec.decode().expect("decode");
+        decode_secs.push(t0.elapsed().as_secs_f64());
+        assert_eq!(out, data, "decode must reconstruct the chunk");
+    }
+
+    let mb = MEGABYTE as f64 / 1e6;
+    let encode_mbps = mb / median(encode_secs);
+    let decode_mbps = mb / median(decode_secs);
+    println!("  encode: {encode_mbps:.1} MB/s");
+    println!("  decode: {decode_mbps:.1} MB/s");
+
+    // Hand-rolled JSON: two significant decimals are plenty for a baseline,
+    // and the rounding keeps re-runs from churning the committed file on
+    // every timing wobble.
+    let json = format!(
+        "{{\n  \"config\": {{\n    \"field\": \"GF(2^8)\",\n    \"k\": {k},\n    \"m\": {M},\n    \"chunk_bytes\": {MEGABYTE},\n    \"samples\": {samples},\n    \"statistic\": \"median\"\n  }},\n  \"encode_mb_per_s\": {encode_mbps:.1},\n  \"decode_mb_per_s\": {decode_mbps:.1}\n}}\n"
+    );
+    std::fs::write(OUT_PATH, json).expect("write baseline json");
+    println!("wrote {OUT_PATH}");
+}

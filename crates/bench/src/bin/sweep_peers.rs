@@ -73,7 +73,10 @@ fn main() {
     // Growth region: 8 peers clearly beat 2.
     let s2 = results.iter().find(|r| r.0 == 2).unwrap().1;
     let s8 = results.iter().find(|r| r.0 == 8).unwrap().1;
-    assert!(s8 > s2 * 2.0, "8 peers ({s8:.1}x) should be >2x of 2 peers ({s2:.1}x)");
+    assert!(
+        s8 > s2 * 2.0,
+        "8 peers ({s8:.1}x) should be >2x of 2 peers ({s2:.1}x)"
+    );
     // Saturation region: 16 peers cannot beat the downlink ceiling.
     assert!(
         last_speedup <= CABLE.down_kbps / CABLE.up_kbps + 0.5,

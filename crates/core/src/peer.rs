@@ -303,7 +303,7 @@ impl Peer {
         let offset = seed % n;
         // An odd stride hits every chunk when n is a power of two and most
         // other n; fall back to 1 only when it would cycle early.
-        let mut stride = (seed / n) % n | 1;
+        let mut stride = ((seed / n) % n) | 1;
         if n > 0 && gcd(stride, n) != 1 {
             stride = 1;
         }

@@ -317,7 +317,7 @@ impl SimRuntime {
         for _ in 0..slots {
             self.slot += 1;
             self.start_bulk_bursts();
-            if self.slot % self.cfg.feedback_every_slots == 0 {
+            if self.slot.is_multiple_of(self.cfg.feedback_every_slots) {
                 self.send_feedback_reports();
             }
             let deadline = self.net.now().advance(self.cfg.slot_secs);
@@ -748,11 +748,7 @@ mod tests {
             });
             let ids: Vec<ParticipantId> = (0..3u8)
                 .map(|i| {
-                    rt.add_participant(
-                        Identity::from_seed(&[b'l', i]),
-                        kbps(512.0),
-                        kbps(3000.0),
-                    )
+                    rt.add_participant(Identity::from_seed(&[b'l', i]), kbps(512.0), kbps(3000.0))
                 })
                 .collect();
             let payload = data(48 * 1024);

@@ -126,6 +126,7 @@ impl Point {
     }
 
     /// Point addition (add-2008-hwcd-3 unified formulas, a = −1).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Point) -> Point {
         let d = Fe::from_u256(D);
         let two_d = d + d;

@@ -64,21 +64,25 @@ impl Fe {
     }
 
     /// Field addition.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Fe) -> Fe {
         Fe(self.0.add_mod(&rhs.0, &P))
     }
 
     /// Field subtraction.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Fe) -> Fe {
         Fe(self.0.sub_mod(&rhs.0, &P))
     }
 
     /// Field negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Fe {
         Fe(U256::ZERO.sub_mod(&self.0, &P))
     }
 
     /// Field multiplication with fold reduction (2²⁵⁶ ≡ 38 mod p).
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Fe) -> Fe {
         let wide = self.0.widening_mul(&rhs.0);
         let w = wide.limbs();

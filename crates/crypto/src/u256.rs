@@ -121,10 +121,10 @@ impl U256 {
     pub fn overflowing_add(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
             let (s2, c2) = s1.overflowing_add(carry as u64);
-            out[i] = s2;
+            *o = s2;
             carry = c1 || c2;
         }
         (U256 { limbs: out }, carry)
@@ -134,10 +134,10 @@ impl U256 {
     pub fn overflowing_sub(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
             let (d2, b2) = d1.overflowing_sub(borrow as u64);
-            out[i] = d2;
+            *o = d2;
             borrow = b1 || b2;
         }
         (U256 { limbs: out }, borrow)
@@ -255,9 +255,9 @@ impl U512 {
         }
         let mut out = [0u64; 8];
         let mut carry = 0u64;
-        for i in 0..8 {
-            out[i] = (self.limbs[i] << sh) | carry;
-            carry = self.limbs[i] >> (64 - sh);
+        for (o, &limb) in out.iter_mut().zip(&self.limbs) {
+            *o = (limb << sh) | carry;
+            carry = limb >> (64 - sh);
         }
         U512 { limbs: out }
     }

@@ -26,30 +26,46 @@ use crate::Field;
 /// Panics if `data.len()` does not pack to a whole number of symbols (the
 /// codec always pads chunks to symbol boundaries before calling this).
 pub fn symbols_from_bytes<F: Field>(data: &[u8]) -> Vec<F> {
+    let mut out = Vec::new();
+    symbols_from_bytes_into(data, &mut out);
+    out
+}
+
+/// Appends the symbols of `data` to `out` — the scratch-buffer form of
+/// [`symbols_from_bytes`] for callers that convert in a loop.
+///
+/// # Panics
+///
+/// Same contract as [`symbols_from_bytes`].
+pub fn symbols_from_bytes_into<F: Field>(data: &[u8], out: &mut Vec<F>) {
     match F::BITS {
         4 => {
-            let mut out = Vec::with_capacity(data.len() * 2);
+            out.reserve(data.len() * 2);
             for &b in data {
                 out.push(F::from_u64((b & 0xf) as u64));
                 out.push(F::from_u64((b >> 4) as u64));
             }
-            out
         }
-        8 => data.iter().map(|&b| F::from_u64(b as u64)).collect(),
+        8 => out.extend(data.iter().map(|&b| F::from_u64(b as u64))),
         16 => {
-            assert!(data.len() % 2 == 0, "byte length must be even for GF(2^16)");
-            data.chunks_exact(2)
-                .map(|c| F::from_u64(u16::from_le_bytes([c[0], c[1]]) as u64))
-                .collect()
+            assert!(
+                data.len().is_multiple_of(2),
+                "byte length must be even for GF(2^16)"
+            );
+            out.extend(
+                data.chunks_exact(2)
+                    .map(|c| F::from_u64(u16::from_le_bytes([c[0], c[1]]) as u64)),
+            );
         }
         32 => {
             assert!(
-                data.len() % 4 == 0,
+                data.len().is_multiple_of(4),
                 "byte length must be a multiple of 4 for GF(2^32)"
             );
-            data.chunks_exact(4)
-                .map(|c| F::from_u64(u32::from_le_bytes([c[0], c[1], c[2], c[3]]) as u64))
-                .collect()
+            out.extend(
+                data.chunks_exact(4)
+                    .map(|c| F::from_u64(u32::from_le_bytes([c[0], c[1], c[2], c[3]]) as u64)),
+            );
         }
         bits => unreachable!("unsupported symbol width: {bits}"),
     }
@@ -62,31 +78,43 @@ pub fn symbols_from_bytes<F: Field>(data: &[u8]) -> Vec<F> {
 ///
 /// Panics for an odd number of GF(2⁴) symbols (half a byte).
 pub fn symbols_to_bytes<F: Field>(symbols: &[F]) -> Vec<u8> {
+    let mut out = Vec::new();
+    symbols_to_bytes_into(symbols, &mut out);
+    out
+}
+
+/// Appends the byte representation of `symbols` to `out` — the
+/// scratch-buffer form of [`symbols_to_bytes`] for callers assembling many
+/// pieces into one output buffer.
+///
+/// # Panics
+///
+/// Same contract as [`symbols_to_bytes`].
+pub fn symbols_to_bytes_into<F: Field>(symbols: &[F], out: &mut Vec<u8>) {
     match F::BITS {
         4 => {
             assert!(
-                symbols.len() % 2 == 0,
+                symbols.len().is_multiple_of(2),
                 "odd number of GF(2^4) symbols does not pack into bytes"
             );
-            symbols
-                .chunks_exact(2)
-                .map(|pair| (pair[0].to_u64() as u8) | ((pair[1].to_u64() as u8) << 4))
-                .collect()
+            out.extend(
+                symbols
+                    .chunks_exact(2)
+                    .map(|pair| (pair[0].to_u64() as u8) | ((pair[1].to_u64() as u8) << 4)),
+            );
         }
-        8 => symbols.iter().map(|s| s.to_u64() as u8).collect(),
+        8 => out.extend(symbols.iter().map(|s| s.to_u64() as u8)),
         16 => {
-            let mut out = Vec::with_capacity(symbols.len() * 2);
+            out.reserve(symbols.len() * 2);
             for s in symbols {
                 out.extend_from_slice(&(s.to_u64() as u16).to_le_bytes());
             }
-            out
         }
         32 => {
-            let mut out = Vec::with_capacity(symbols.len() * 4);
+            out.reserve(symbols.len() * 4);
             for s in symbols {
                 out.extend_from_slice(&(s.to_u64() as u32).to_le_bytes());
             }
-            out
         }
         bits => unreachable!("unsupported symbol width: {bits}"),
     }

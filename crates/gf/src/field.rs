@@ -196,7 +196,7 @@ impl FieldKind {
         let (num, den) = self.symbols_per_byte_num_den();
         let total = n_bytes * num;
         assert!(
-            total % den == 0,
+            total.is_multiple_of(den),
             "{n_bytes} bytes do not pack into whole {self:?} symbols"
         );
         total / den
@@ -211,7 +211,7 @@ impl FieldKind {
         let (num, den) = self.symbols_per_byte_num_den();
         let total = n_symbols * den;
         assert!(
-            total % num == 0,
+            total.is_multiple_of(num),
             "{n_symbols} {self:?} symbols do not pack into whole bytes"
         );
         total / num

@@ -70,7 +70,8 @@ const LOG: [u16; ORDER] = build_log(&EXP);
 /// assert_eq!(Gf256::new(0x57) * Gf256::new(0x83), Gf256::new(0xc1));
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Gf256(u8);
+#[repr(transparent)] // the byte-slab kernels reinterpret &[Gf256] as &[u8]
+pub struct Gf256(pub(crate) u8);
 
 impl Gf256 {
     /// Constructs an element from a byte.
@@ -113,66 +114,14 @@ impl Field for Gf256 {
     }
 
     fn axpy_slice(c: Self, x: &[Self], y: &mut [Self]) {
-        assert_eq!(x.len(), y.len(), "axpy slices must have equal length");
-        if c.0 == 0 {
-            return;
-        }
-        if c.0 == 1 {
-            for (yi, &xi) in y.iter_mut().zip(x) {
-                yi.0 ^= xi.0;
-            }
-            return;
-        }
-        if x.len() >= 128 {
-            // Hoist a full product table for the fixed coefficient: one
-            // lookup per byte instead of two log lookups + exp.
-            let table = product_table(c.0);
-            for (yi, &xi) in y.iter_mut().zip(x) {
-                yi.0 ^= table[xi.0 as usize];
-            }
-            return;
-        }
-        let lc = LOG[c.0 as usize] as usize;
-        for (yi, &xi) in y.iter_mut().zip(x) {
-            if xi.0 != 0 {
-                yi.0 ^= EXP[lc + LOG[xi.0 as usize] as usize];
-            }
-        }
+        // Tiered byte-slab kernels: SIMD (feature "simd") > u64 SWAR >
+        // per-symbol scalar for short slices.
+        crate::kernels::axpy(c, x, y);
     }
 
     fn scale_slice(c: Self, y: &mut [Self]) {
-        if c.0 <= 1 {
-            if c.0 == 0 {
-                y.fill(Gf256(0));
-            }
-            return;
-        }
-        if y.len() >= 128 {
-            let table = product_table(c.0);
-            for yi in y.iter_mut() {
-                yi.0 = table[yi.0 as usize];
-            }
-            return;
-        }
-        let lc = LOG[c.0 as usize] as usize;
-        for yi in y.iter_mut() {
-            if yi.0 != 0 {
-                yi.0 = EXP[lc + LOG[yi.0 as usize] as usize];
-            }
-        }
+        crate::kernels::scale(c, y);
     }
-}
-
-/// Full 256-entry product table for a fixed nonzero coefficient, built from
-/// the log/exp tables (255 lookups).
-fn product_table(c: u8) -> [u8; 256] {
-    debug_assert!(c != 0);
-    let lc = LOG[c as usize] as usize;
-    let mut t = [0u8; 256];
-    for (x, slot) in t.iter_mut().enumerate().skip(1) {
-        *slot = EXP[lc + LOG[x] as usize];
-    }
-    t
 }
 
 impl_field_ops!(Gf256);
@@ -196,8 +145,8 @@ mod tests {
     #[test]
     fn exp_cycle_covers_group() {
         let mut seen = [false; ORDER];
-        for i in 0..GROUP {
-            let v = EXP[i] as usize;
+        for &e in EXP.iter().take(GROUP) {
+            let v = e as usize;
             assert!(!seen[v], "generator 0x03 must be primitive");
             seen[v] = true;
         }

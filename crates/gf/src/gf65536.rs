@@ -105,7 +105,7 @@ impl Field for Gf65536 {
             }
             return;
         }
-        if x.len() >= 64 {
+        if crate::kernels::hoist_worthwhile::<Self>(x.len()) {
             let t = split_table(c.0);
             for (yi, &xi) in y.iter_mut().zip(x) {
                 yi.0 ^= t[0][(xi.0 & 0xff) as usize] ^ t[1][(xi.0 >> 8) as usize];
@@ -125,7 +125,7 @@ impl Field for Gf65536 {
             y.fill(Gf65536(0));
             return;
         }
-        if y.len() >= 64 {
+        if crate::kernels::hoist_worthwhile::<Self>(y.len()) {
             let t = split_table(c.0);
             for yi in y.iter_mut() {
                 yi.0 = t[0][(yi.0 & 0xff) as usize] ^ t[1][(yi.0 >> 8) as usize];
@@ -145,8 +145,7 @@ fn split_table(c: u16) -> [[u16; 256]; 2] {
     let mut t = [[0u16; 256]; 2];
     for (j, table) in t.iter_mut().enumerate() {
         for i in 0..8 {
-            table[1usize << i] =
-                (Gf65536(c) * Gf65536(1u16 << (8 * j + i))).0;
+            table[1usize << i] = (Gf65536(c) * Gf65536(1u16 << (8 * j + i))).0;
         }
         for b in 1..256usize {
             let low = b & b.wrapping_neg();

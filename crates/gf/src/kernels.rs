@@ -1,0 +1,537 @@
+//! Bulk byte-slab kernels for GF(2⁸) and the shared table-hoist policy used
+//! by every field's `axpy_slice`/`scale_slice` fast path.
+//!
+//! The codec's hot loop is `y[i] += c · x[i]` over megabyte slabs with a
+//! fixed coefficient (the paper's Eq. 1: `Y_i = Σ_j β_ij · X_j`). Three
+//! kernel tiers serve it, fastest available winning at runtime:
+//!
+//! 1. **scalar** — one log/exp (short slices) or 256-entry product-table
+//!    (long slices) lookup per symbol; also the reference the differential
+//!    tests compare the other tiers against.
+//! 2. **SWAR** — safe u64 code: the `c == 1` path XORs eight bytes per
+//!    word; the general path looks up per-byte products (a hoisted
+//!    256-entry table for slabs past [`TABLE_HOIST_BYTES`], two 16-entry
+//!    split-nibble tables below it) and assembles/accumulates whole words,
+//!    so `y` moves through one load/XOR/store per eight symbols.
+//! 3. **SIMD** (`--features simd`, x86-64 only) — SSSE3 or AVX2
+//!    `_mm_shuffle_epi8` over the same two 16-entry nibble tables, 16 or 32
+//!    products per shuffle pair, selected via `is_x86_feature_detected!`.
+//!
+//! This module is the only place in the crate where `unsafe` may appear
+//! (see DESIGN.md): the crate root is `#![deny(unsafe_code)]` and only the
+//! feature-gated [`simd`] submodule opts out locally, so default builds are
+//! 100 % safe code.
+
+use crate::field::Field;
+use crate::gf256::Gf256;
+
+/// Slab size, in bytes, above which bulk loops hoist a per-coefficient
+/// product table instead of doing per-symbol log/exp lookups. Building a
+/// table costs a few hundred multiplies, so short slices stay scalar. One
+/// policy for every field: GF(2⁸) switches at 128 symbols, GF(2¹⁶) at 64.
+pub const TABLE_HOIST_BYTES: usize = 128;
+
+/// Whether a slice of `len` symbols of `F` spans enough bytes to amortize
+/// hoisting a per-coefficient table (the shared [`TABLE_HOIST_BYTES`]
+/// policy).
+#[inline]
+pub fn hoist_worthwhile<F: Field>(len: usize) -> bool {
+    len * F::BITS as usize >= TABLE_HOIST_BYTES * 8
+}
+
+/// Builds the full `Q`-entry product table `t[v] = c · v` for a small
+/// field (GF(2⁴): `Q = 16`, GF(2⁸): `Q = 256`). Wider fields byte-slice
+/// their tables instead (see `gf65536::split_table`).
+#[inline]
+pub(crate) fn product_table<F: Field, const Q: usize>(c: F) -> [F; Q] {
+    debug_assert_eq!(Q as u64, F::ORDER);
+    let mut t = [F::ZERO; Q];
+    for (v, slot) in t.iter_mut().enumerate().skip(1) {
+        *slot = c * F::from_u64(v as u64);
+    }
+    t
+}
+
+/// The two 16-entry split-nibble product tables for a fixed coefficient:
+/// `lo[n] = c · n` and `hi[n] = c · (n << 4)`, so any byte product is
+/// `lo[b & 0xF] ^ hi[b >> 4]` (multiplication is GF(2)-linear). These are
+/// exactly the tables `_mm_shuffle_epi8` consumes in the SIMD tier.
+#[inline]
+pub fn nibble_tables(c: Gf256) -> ([u8; 16], [u8; 16]) {
+    let mut lo = [0u8; 16];
+    let mut hi = [0u8; 16];
+    for n in 1..16u8 {
+        lo[n as usize] = (c * Gf256::new(n)).raw();
+        hi[n as usize] = (c * Gf256::new(n << 4)).raw();
+    }
+    (lo, hi)
+}
+
+// ---------------------------------------------------------------------------
+// Tier 1: scalar reference
+// ---------------------------------------------------------------------------
+
+/// Scalar reference `y[i] += c · x[i]`: one field multiply per symbol, no
+/// coefficient hoisting. The baseline the differential tests and benches
+/// measure the bulk tiers against.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` differ in length.
+pub fn axpy_scalar(c: Gf256, x: &[Gf256], y: &mut [Gf256]) {
+    assert_eq!(x.len(), y.len(), "axpy slices must have equal length");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += c * xi;
+    }
+}
+
+/// Scalar reference `y[i] *= c`.
+pub fn scale_scalar(c: Gf256, y: &mut [Gf256]) {
+    for yi in y.iter_mut() {
+        *yi *= c;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tier 2: safe u64 SWAR
+// ---------------------------------------------------------------------------
+
+/// Loads eight symbols as one little-endian word. `Gf256` is
+/// `repr(transparent)` over `u8`, so this compiles to a single 8-byte load.
+#[inline(always)]
+fn load_word(ch: &[Gf256]) -> u64 {
+    u64::from_le_bytes(core::array::from_fn(|i| ch[i].0))
+}
+
+/// Stores one word back as eight symbols.
+#[inline(always)]
+fn store_word(ch: &mut [Gf256], w: u64) {
+    for (slot, b) in ch.iter_mut().zip(w.to_le_bytes()) {
+        slot.0 = b;
+    }
+}
+
+/// Product of every byte in `w` with the coefficient behind `(lo, hi)`,
+/// one split-nibble lookup pair per byte lane, assembled word-wise.
+#[inline(always)]
+fn mul_word(w: u64, lo: &[u8; 16], hi: &[u8; 16]) -> u64 {
+    let mut out = 0u64;
+    let mut shift = 0;
+    while shift < 64 {
+        let b = (w >> shift) as u8;
+        out |= ((lo[(b & 0xF) as usize] ^ hi[(b >> 4) as usize]) as u64) << shift;
+        shift += 8;
+    }
+    out
+}
+
+/// Product of every byte in `w` against a hoisted 256-entry product table,
+/// assembled word-wise.
+#[inline(always)]
+fn mul_word_table(w: u64, t: &[u8; 256]) -> u64 {
+    let mut out = 0u64;
+    let mut shift = 0;
+    while shift < 64 {
+        out |= (t[((w >> shift) & 0xFF) as usize] as u64) << shift;
+        shift += 8;
+    }
+    out
+}
+
+/// The full byte-level product table `t[v] = c · v` (the [`product_table`]
+/// helper, unwrapped to raw bytes for the word loops).
+#[inline]
+fn byte_product_table(c: Gf256) -> [u8; 256] {
+    product_table::<Gf256, 256>(c).map(|g| g.0)
+}
+
+/// SWAR `y[i] += c · x[i]`: word-wide XOR for `c == 1`; otherwise one
+/// product lookup per byte combined word-wise (8 bytes per load/XOR/store),
+/// against a hoisted 256-entry table for table-hoist-worthy slabs and
+/// against the two 16-entry split-nibble tables for shorter ones (their
+/// build cost is ~30 multiplies versus ~255). Safe code only.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` differ in length.
+pub fn axpy_swar(c: Gf256, x: &[Gf256], y: &mut [Gf256]) {
+    assert_eq!(x.len(), y.len(), "axpy slices must have equal length");
+    if c.0 == 0 {
+        return;
+    }
+    let mut xw = x.chunks_exact(8);
+    let mut yw = y.chunks_exact_mut(8);
+    if c.0 == 1 {
+        for (yc, xc) in (&mut yw).zip(&mut xw) {
+            store_word(yc, load_word(yc) ^ load_word(xc));
+        }
+        for (yi, &xi) in yw.into_remainder().iter_mut().zip(xw.remainder()) {
+            yi.0 ^= xi.0;
+        }
+        return;
+    }
+    if hoist_worthwhile::<Gf256>(x.len()) {
+        let t = byte_product_table(c);
+        for (yc, xc) in (&mut yw).zip(&mut xw) {
+            store_word(yc, load_word(yc) ^ mul_word_table(load_word(xc), &t));
+        }
+        for (yi, &xi) in yw.into_remainder().iter_mut().zip(xw.remainder()) {
+            yi.0 ^= t[xi.0 as usize];
+        }
+        return;
+    }
+    let (lo, hi) = nibble_tables(c);
+    for (yc, xc) in (&mut yw).zip(&mut xw) {
+        store_word(yc, load_word(yc) ^ mul_word(load_word(xc), &lo, &hi));
+    }
+    for (yi, &xi) in yw.into_remainder().iter_mut().zip(xw.remainder()) {
+        yi.0 ^= lo[(xi.0 & 0xF) as usize] ^ hi[(xi.0 >> 4) as usize];
+    }
+}
+
+/// SWAR `y[i] *= c` with the same table policy as [`axpy_swar`]. Safe code
+/// only.
+pub fn scale_swar(c: Gf256, y: &mut [Gf256]) {
+    if c.0 == 1 {
+        return;
+    }
+    if c.0 == 0 {
+        y.fill(Gf256::ZERO);
+        return;
+    }
+    if hoist_worthwhile::<Gf256>(y.len()) {
+        let t = byte_product_table(c);
+        let mut yw = y.chunks_exact_mut(8);
+        for yc in &mut yw {
+            store_word(yc, mul_word_table(load_word(yc), &t));
+        }
+        for yi in yw.into_remainder() {
+            yi.0 = t[yi.0 as usize];
+        }
+        return;
+    }
+    let (lo, hi) = nibble_tables(c);
+    let mut yw = y.chunks_exact_mut(8);
+    for yc in &mut yw {
+        store_word(yc, mul_word(load_word(yc), &lo, &hi));
+    }
+    for yi in yw.into_remainder() {
+        yi.0 = lo[(yi.0 & 0xF) as usize] ^ hi[(yi.0 >> 4) as usize];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tier 3: x86-64 SSSE3/AVX2 (feature "simd"; the crate's only unsafe code)
+// ---------------------------------------------------------------------------
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd {
+    //! `_mm_shuffle_epi8` treats its second operand as sixteen 4-bit
+    //! indices into a 16-byte table — exactly a split-nibble product
+    //! lookup, 16 (SSSE3) or 32 (AVX2) bytes per shuffle pair.
+    #![allow(unsafe_code)]
+
+    use super::{nibble_tables, Gf256};
+    use core::arch::x86_64::*;
+
+    /// Whether the AVX2 (preferred) or SSSE3 kernels can run here.
+    #[inline]
+    pub(super) fn available() -> bool {
+        is_x86_feature_detected!("avx2") || is_x86_feature_detected!("ssse3")
+    }
+
+    /// Dispatches `y[i] += c · x[i]` to the widest supported unit.
+    /// Caller guarantees equal lengths and `c ∉ {0, 1}`.
+    pub(super) fn axpy(c: Gf256, x: &[Gf256], y: &mut [Gf256]) {
+        debug_assert_eq!(x.len(), y.len());
+        if is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 confirmed by the runtime check above.
+            unsafe { axpy_avx2(c, x, y) }
+        } else if is_x86_feature_detected!("ssse3") {
+            // SAFETY: SSSE3 confirmed by the runtime check above.
+            unsafe { axpy_ssse3(c, x, y) }
+        } else {
+            super::axpy_swar(c, x, y)
+        }
+    }
+
+    /// Dispatches `y[i] *= c` to the widest supported unit.
+    /// Caller guarantees `c ∉ {0, 1}`.
+    pub(super) fn scale(c: Gf256, y: &mut [Gf256]) {
+        if is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 confirmed by the runtime check above.
+            unsafe { scale_avx2(c, y) }
+        } else if is_x86_feature_detected!("ssse3") {
+            // SAFETY: SSSE3 confirmed by the runtime check above.
+            unsafe { scale_ssse3(c, y) }
+        } else {
+            super::scale_swar(c, y)
+        }
+    }
+
+    /// Reinterprets a symbol slice as raw bytes.
+    ///
+    /// Sound because `Gf256` is `#[repr(transparent)]` over `u8`, so the
+    /// layouts are identical.
+    #[inline(always)]
+    fn as_bytes(x: &[Gf256]) -> &[u8] {
+        // SAFETY: repr(transparent) guarantees identical layout/validity.
+        unsafe { core::slice::from_raw_parts(x.as_ptr().cast::<u8>(), x.len()) }
+    }
+
+    /// Mutable byte view of a symbol slice (same soundness argument).
+    #[inline(always)]
+    fn as_bytes_mut(y: &mut [Gf256]) -> &mut [u8] {
+        // SAFETY: repr(transparent) guarantees identical layout/validity.
+        unsafe { core::slice::from_raw_parts_mut(y.as_mut_ptr().cast::<u8>(), y.len()) }
+    }
+
+    #[target_feature(enable = "ssse3")]
+    unsafe fn axpy_ssse3(c: Gf256, x: &[Gf256], y: &mut [Gf256]) {
+        let (lo, hi) = nibble_tables(c);
+        let (xb, yb) = (as_bytes(x), as_bytes_mut(y));
+        // SAFETY (all intrinsics below): unaligned load/store intrinsics
+        // with in-bounds pointers — each 16-byte access is bounded by the
+        // chunks_exact window.
+        let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
+        let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
+        let mask = _mm_set1_epi8(0x0F);
+        let mut xc = xb.chunks_exact(16);
+        let mut yc = yb.chunks_exact_mut(16);
+        for (yv, xv) in (&mut yc).zip(&mut xc) {
+            let v = _mm_loadu_si128(xv.as_ptr().cast());
+            let lo_p = _mm_shuffle_epi8(lo_t, _mm_and_si128(v, mask));
+            let hi_p = _mm_shuffle_epi8(hi_t, _mm_and_si128(_mm_srli_epi64::<4>(v), mask));
+            let acc = _mm_loadu_si128(yv.as_ptr().cast());
+            let out = _mm_xor_si128(acc, _mm_xor_si128(lo_p, hi_p));
+            _mm_storeu_si128(yv.as_mut_ptr().cast(), out);
+        }
+        for (yi, &xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+            *yi ^= lo[(xi & 0xF) as usize] ^ hi[(xi >> 4) as usize];
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn axpy_avx2(c: Gf256, x: &[Gf256], y: &mut [Gf256]) {
+        let (lo, hi) = nibble_tables(c);
+        let (xb, yb) = (as_bytes(x), as_bytes_mut(y));
+        // SAFETY (all intrinsics below): unaligned accesses bounded by the
+        // 32-byte chunks_exact window; shuffles index within each lane.
+        let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
+        let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr().cast()));
+        let mask = _mm256_set1_epi8(0x0F);
+        let mut xc = xb.chunks_exact(32);
+        let mut yc = yb.chunks_exact_mut(32);
+        for (yv, xv) in (&mut yc).zip(&mut xc) {
+            let v = _mm256_loadu_si256(xv.as_ptr().cast());
+            let lo_p = _mm256_shuffle_epi8(lo_t, _mm256_and_si256(v, mask));
+            let hi_p = _mm256_shuffle_epi8(hi_t, _mm256_and_si256(_mm256_srli_epi64::<4>(v), mask));
+            let acc = _mm256_loadu_si256(yv.as_ptr().cast());
+            let out = _mm256_xor_si256(acc, _mm256_xor_si256(lo_p, hi_p));
+            _mm256_storeu_si256(yv.as_mut_ptr().cast(), out);
+        }
+        for (yi, &xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+            *yi ^= lo[(xi & 0xF) as usize] ^ hi[(xi >> 4) as usize];
+        }
+    }
+
+    #[target_feature(enable = "ssse3")]
+    unsafe fn scale_ssse3(c: Gf256, y: &mut [Gf256]) {
+        let (lo, hi) = nibble_tables(c);
+        let yb = as_bytes_mut(y);
+        // SAFETY: as in `axpy_ssse3`.
+        let lo_t = _mm_loadu_si128(lo.as_ptr().cast());
+        let hi_t = _mm_loadu_si128(hi.as_ptr().cast());
+        let mask = _mm_set1_epi8(0x0F);
+        let mut yc = yb.chunks_exact_mut(16);
+        for yv in &mut yc {
+            let v = _mm_loadu_si128(yv.as_ptr().cast());
+            let lo_p = _mm_shuffle_epi8(lo_t, _mm_and_si128(v, mask));
+            let hi_p = _mm_shuffle_epi8(hi_t, _mm_and_si128(_mm_srli_epi64::<4>(v), mask));
+            _mm_storeu_si128(yv.as_mut_ptr().cast(), _mm_xor_si128(lo_p, hi_p));
+        }
+        for yi in yc.into_remainder() {
+            *yi = lo[(*yi & 0xF) as usize] ^ hi[(*yi >> 4) as usize];
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn scale_avx2(c: Gf256, y: &mut [Gf256]) {
+        let (lo, hi) = nibble_tables(c);
+        let yb = as_bytes_mut(y);
+        // SAFETY: as in `axpy_avx2`.
+        let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(lo.as_ptr().cast()));
+        let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(hi.as_ptr().cast()));
+        let mask = _mm256_set1_epi8(0x0F);
+        let mut yc = yb.chunks_exact_mut(32);
+        for yv in &mut yc {
+            let v = _mm256_loadu_si256(yv.as_ptr().cast());
+            let lo_p = _mm256_shuffle_epi8(lo_t, _mm256_and_si256(v, mask));
+            let hi_p = _mm256_shuffle_epi8(hi_t, _mm256_and_si256(_mm256_srli_epi64::<4>(v), mask));
+            _mm256_storeu_si256(yv.as_mut_ptr().cast(), _mm256_xor_si256(lo_p, hi_p));
+        }
+        for yi in yc.into_remainder() {
+            *yi = lo[(*yi & 0xF) as usize] ^ hi[(*yi >> 4) as usize];
+        }
+    }
+}
+
+/// SIMD-tier `y[i] += c · x[i]`; returns `false` (leaving `y` untouched)
+/// when no SIMD unit is available so callers can fall back. Exposed for the
+/// differential tests; production code calls [`axpy`].
+///
+/// # Panics
+///
+/// Panics if `x` and `y` differ in length.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub fn axpy_simd(c: Gf256, x: &[Gf256], y: &mut [Gf256]) -> bool {
+    assert_eq!(x.len(), y.len(), "axpy slices must have equal length");
+    if !simd::available() {
+        return false;
+    }
+    match c.0 {
+        0 => {}
+        1 => axpy_swar(c, x, y),
+        _ => simd::axpy(c, x, y),
+    }
+    true
+}
+
+/// SIMD-tier `y[i] *= c`; returns `false` (leaving `y` untouched) when no
+/// SIMD unit is available. Exposed for the differential tests.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub fn scale_simd(c: Gf256, y: &mut [Gf256]) -> bool {
+    if !simd::available() {
+        return false;
+    }
+    match c.0 {
+        0 => y.fill(Gf256::ZERO),
+        1 => {}
+        _ => simd::scale(c, y),
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+/// Slices shorter than this skip the bulk tiers: per-call overhead (nibble
+/// tables, feature detection) exceeds the work.
+const BULK_MIN_SYMBOLS: usize = 16;
+
+/// Bulk `y[i] += c · x[i]` through the fastest tier available: SIMD when
+/// built with `--features simd` on a capable CPU, SWAR otherwise, scalar
+/// for short slices. This is what `Gf256::axpy_slice` (and through it the
+/// whole codec and `linalg`) calls.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` differ in length.
+pub fn axpy(c: Gf256, x: &[Gf256], y: &mut [Gf256]) {
+    assert_eq!(x.len(), y.len(), "axpy slices must have equal length");
+    if c.0 == 0 {
+        return;
+    }
+    if x.len() < BULK_MIN_SYMBOLS && c.0 != 1 {
+        return axpy_scalar(c, x, y);
+    }
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if axpy_simd(c, x, y) {
+        return;
+    }
+    axpy_swar(c, x, y);
+}
+
+/// Bulk `y[i] *= c` through the fastest available tier; see [`axpy`].
+pub fn scale(c: Gf256, y: &mut [Gf256]) {
+    if c.0 == 1 {
+        return;
+    }
+    if c.0 == 0 {
+        y.fill(Gf256::ZERO);
+        return;
+    }
+    if y.len() < BULK_MIN_SYMBOLS {
+        return scale_scalar(c, y);
+    }
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if scale_simd(c, y) {
+        return;
+    }
+    scale_swar(c, y);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slab(len: usize, seed: u8) -> Vec<Gf256> {
+        (0..len)
+            .map(|i| Gf256::new((i as u8).wrapping_mul(31).wrapping_add(seed)))
+            .collect()
+    }
+
+    #[test]
+    fn nibble_tables_reconstruct_products() {
+        for c in [2u8, 0x1B, 0x53, 0xFF] {
+            let c = Gf256::new(c);
+            let (lo, hi) = nibble_tables(c);
+            for b in 0..=255u8 {
+                let expect = (c * Gf256::new(b)).raw();
+                assert_eq!(lo[(b & 0xF) as usize] ^ hi[(b >> 4) as usize], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn swar_matches_scalar_across_lengths_and_coeffs() {
+        for len in [0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 100, 255, 256, 1000] {
+            let x = slab(len, 3);
+            for c in [0u8, 1, 2, 0x80, 0xC4, 0xFF] {
+                let c = Gf256::new(c);
+                let mut want = slab(len, 101);
+                let mut got = want.clone();
+                axpy_scalar(c, &x, &mut want);
+                axpy_swar(c, &x, &mut got);
+                assert_eq!(got, want, "axpy len={len} c={c:?}");
+
+                let mut want = x.clone();
+                let mut got = x.clone();
+                scale_scalar(c, &mut want);
+                scale_swar(c, &mut got);
+                assert_eq!(got, want, "scale len={len} c={c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_matches_scalar() {
+        let x = slab(777, 9);
+        for c in [0u8, 1, 2, 0x35, 0xFF] {
+            let c = Gf256::new(c);
+            let mut want = slab(777, 55);
+            let mut got = want.clone();
+            axpy_scalar(c, &x, &mut want);
+            axpy(c, &x, &mut got);
+            assert_eq!(got, want, "axpy c={c:?}");
+
+            let mut want = x.clone();
+            let mut got = x.clone();
+            scale_scalar(c, &mut want);
+            scale(c, &mut got);
+            assert_eq!(got, want, "scale c={c:?}");
+        }
+    }
+
+    #[test]
+    fn hoist_policy_is_field_width_aware() {
+        use crate::{Gf16, Gf65536};
+        assert!(hoist_worthwhile::<Gf256>(128));
+        assert!(!hoist_worthwhile::<Gf256>(127));
+        assert!(hoist_worthwhile::<Gf65536>(64));
+        assert!(!hoist_worthwhile::<Gf65536>(63));
+        assert!(hoist_worthwhile::<Gf16>(256));
+        assert!(!hoist_worthwhile::<Gf16>(255));
+    }
+}

@@ -29,7 +29,11 @@
 //!
 //! [`asymshare-rlnc`]: https://example.org/asymshare
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the feature-gated SIMD submodule of
+// `kernels` carries a scoped `#![allow(unsafe_code)]` for its intrinsics —
+// the only unsafe in the crate (see DESIGN.md). Default builds contain no
+// unsafe code at all.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod field;
@@ -41,6 +45,7 @@ mod gf2p32;
 mod gf65536;
 
 pub mod bytes;
+pub mod kernels;
 pub mod linalg;
 pub mod poly;
 

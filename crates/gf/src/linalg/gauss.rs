@@ -232,13 +232,13 @@ mod tests {
     #[test]
     fn tracker_accepts_exactly_width_independent_rows() {
         let mut t = RankTracker::<Gf2p32>::new(3);
-        assert!(t.try_add(&[1, 2, 3].map(|v| Gf2p32::new(v))));
-        assert!(t.try_add(&[0, 1, 7].map(|v| Gf2p32::new(v))));
+        assert!(t.try_add(&[1, 2, 3].map(Gf2p32::new)));
+        assert!(t.try_add(&[0, 1, 7].map(Gf2p32::new)));
         assert!(!t.is_full());
-        assert!(t.try_add(&[5, 0, 11].map(|v| Gf2p32::new(v))));
+        assert!(t.try_add(&[5, 0, 11].map(Gf2p32::new)));
         assert!(t.is_full());
         // Everything is dependent now.
-        assert!(!t.try_add(&[9, 9, 9].map(|v| Gf2p32::new(v))));
+        assert!(!t.try_add(&[9, 9, 9].map(Gf2p32::new)));
         assert_eq!(t.rank(), 3);
     }
 

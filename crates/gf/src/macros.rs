@@ -5,6 +5,8 @@ macro_rules! impl_field_ops {
     ($ty:ident) => {
         impl core::ops::Add for $ty {
             type Output = Self;
+            // In characteristic 2, addition really is xor.
+            #[allow(clippy::suspicious_arithmetic_impl)]
             #[inline]
             fn add(self, rhs: Self) -> Self {
                 $ty(self.0 ^ rhs.0)
@@ -12,6 +14,7 @@ macro_rules! impl_field_ops {
         }
 
         impl core::ops::AddAssign for $ty {
+            #[allow(clippy::suspicious_op_assign_impl)]
             #[inline]
             fn add_assign(&mut self, rhs: Self) {
                 self.0 ^= rhs.0;
@@ -20,6 +23,7 @@ macro_rules! impl_field_ops {
 
         impl core::ops::Sub for $ty {
             type Output = Self;
+            #[allow(clippy::suspicious_arithmetic_impl)]
             #[inline]
             fn sub(self, rhs: Self) -> Self {
                 $ty(self.0 ^ rhs.0)
@@ -27,6 +31,7 @@ macro_rules! impl_field_ops {
         }
 
         impl core::ops::SubAssign for $ty {
+            #[allow(clippy::suspicious_op_assign_impl)]
             #[inline]
             fn sub_assign(&mut self, rhs: Self) {
                 self.0 ^= rhs.0;

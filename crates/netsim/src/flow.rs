@@ -240,14 +240,11 @@ mod tests {
             }
         }
         assign_max_min_rates(&nodes, &mut flows, 0.0);
-        for i in 0..5usize {
+        for (i, node) in nodes.iter().enumerate() {
             let up: f64 = flows.iter().filter(|f| f.src.0 == i).map(|f| f.rate).sum();
             let down: f64 = flows.iter().filter(|f| f.dst.0 == i).map(|f| f.rate).sum();
-            assert!(up <= nodes[i].up * (1.0 + 1e-9), "uplink {i} exceeded");
-            assert!(
-                down <= nodes[i].down * (1.0 + 1e-9),
-                "downlink {i} exceeded"
-            );
+            assert!(up <= node.up * (1.0 + 1e-9), "uplink {i} exceeded");
+            assert!(down <= node.down * (1.0 + 1e-9), "downlink {i} exceeded");
         }
         assert!(flows.iter().all(|f| f.rate > 0.0));
     }

@@ -486,7 +486,11 @@ mod tests {
         let b = net.add_node(kbps(100.0), kbps(100.0));
         net.start_flow(a, b, 12_500, 0); // 1 s of transfer + 0.25 s delay
         let e = net.step().unwrap();
-        assert!((e.at.as_secs() - 1.25).abs() < 1e-9, "got {}", e.at.as_secs());
+        assert!(
+            (e.at.as_secs() - 1.25).abs() < 1e-9,
+            "got {}",
+            e.at.as_secs()
+        );
     }
 
     #[test]
@@ -506,7 +510,11 @@ mod tests {
         // The second starts at t = 2, finishes at t = 3.
         let e2 = net.step().unwrap();
         assert_eq!(e2.tag, 2);
-        assert!((e2.at.as_secs() - 3.0).abs() < 1e-9, "got {}", e2.at.as_secs());
+        assert!(
+            (e2.at.as_secs() - 3.0).abs() < 1e-9,
+            "got {}",
+            e2.at.as_secs()
+        );
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Minimal data-parallel map over scoped threads.
+//!
+//! The codec's hot loops — combining payloads for many peers, decoding many
+//! independent 1 MB chunks — are embarrassingly parallel: every work item
+//! reads shared immutable state and produces an owned result. This crate
+//! provides exactly that shape and nothing more: [`map`], [`try_map`], and
+//! the index-driven [`map_indices`] they build on, all running on
+//! [`std::thread::scope`] so borrowed inputs need no `'static` bound and no
+//! runtime or thread pool has to be managed.
+//!
+//! Work is split into one contiguous range per worker, which keeps results
+//! in input order for free and matches the codec's workloads (items of
+//! near-equal cost). Worker count comes from
+//! [`std::thread::available_parallelism`], overridable with the
+//! `ASYMSHARE_THREADS` environment variable; with one core (or one item)
+//! everything runs inline on the caller's thread with zero overhead.
+//!
+//! # Example
+//!
+//! ```rust
+//! let squares = asymshare_par::map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding the worker count (a positive integer).
+pub const THREADS_ENV: &str = "ASYMSHARE_THREADS";
+
+/// The number of worker threads parallel maps will use: the
+/// [`THREADS_ENV`] override if set and valid, otherwise the machine's
+/// available parallelism (1 if that cannot be determined).
+pub fn max_threads() -> usize {
+    let detected = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    threads_from_env(std::env::var(THREADS_ENV).ok().as_deref(), detected)
+}
+
+/// Resolves the worker count from an optional override string, falling back
+/// to `detected` when the override is absent or not a positive integer.
+fn threads_from_env(var: Option<&str>, detected: usize) -> usize {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(detected)
+}
+
+/// Applies `f` to every index in `0..n` and returns the results in index
+/// order, fanning out across up to [`max_threads`] scoped threads.
+///
+/// Each worker owns one contiguous index range, so ordering costs nothing
+/// and items of similar cost balance well. A panic in any worker propagates
+/// to the caller after the scope joins.
+pub fn map_indices<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = max_threads().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let per_worker = n.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let start = w * per_worker;
+                let end = (start + per_worker).min(n);
+                scope.spawn(move || (start..end).map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// Applies `f` to every item of `items` in parallel, preserving order.
+pub fn map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    map_indices(items.len(), |i| f(&items[i]))
+}
+
+/// Like [`map`] for fallible work: runs every item to completion, then
+/// returns the first error in *input* order (deterministic regardless of
+/// thread scheduling) or all results.
+///
+/// # Errors
+///
+/// The error of the lowest-indexed failing item.
+pub fn try_map<T, U, E, F>(items: &[T], f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    map_indices(items.len(), |i| f(&items[i]))
+        .into_iter()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            let got = map_indices(n, |i| i * 3);
+            let want: Vec<usize> = (0..n).map(|i| i * 3).collect();
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn map_over_borrowed_items() {
+        let words = ["alpha", "bravo", "charlie"];
+        assert_eq!(map(&words, |w| w.len()), vec![5, 5, 7]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = map_indices(257, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out.len(), 257);
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn try_map_returns_first_error_by_index() {
+        let items: Vec<usize> = (0..100).collect();
+        let got: Result<Vec<usize>, usize> =
+            try_map(&items, |&i| if i % 30 == 29 { Err(i) } else { Ok(i) });
+        assert_eq!(got, Err(29), "lowest failing index wins");
+        let ok: Result<Vec<usize>, usize> = try_map(&items, |&i| Ok(i));
+        assert_eq!(ok.unwrap(), items);
+    }
+
+    #[test]
+    fn env_override_parsing() {
+        assert_eq!(threads_from_env(None, 8), 8);
+        assert_eq!(threads_from_env(Some("4"), 8), 4);
+        assert_eq!(threads_from_env(Some(" 2 "), 8), 2);
+        assert_eq!(threads_from_env(Some("0"), 8), 8, "zero is invalid");
+        assert_eq!(threads_from_env(Some("lots"), 8), 8, "junk is ignored");
+    }
+
+    #[test]
+    #[should_panic(expected = "worker 3 panicked")]
+    fn worker_panics_propagate() {
+        map_indices(8, |i| {
+            if i == 3 {
+                panic!("worker 3 panicked");
+            }
+            i
+        });
+    }
+}

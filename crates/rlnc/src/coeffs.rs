@@ -54,13 +54,21 @@ impl<F: Field> RowGenerator<F> {
     /// Symbols are drawn by masking the keyed stream to the field width —
     /// exact uniformity because every field order is a power of two.
     pub fn row(&self, message_id: MessageId) -> Vec<F> {
+        let mut out = Vec::with_capacity(self.k);
+        self.row_into(message_id, &mut out);
+        out
+    }
+
+    /// Appends the coefficient row for `message_id` to `out` — the
+    /// scratch-buffer form of [`row`](Self::row) for hot loops that
+    /// regenerate rows repeatedly.
+    pub fn row_into(&self, message_id: MessageId, out: &mut Vec<F>) {
         let mut rng = self.secret.coefficient_rng(self.file_id.0, message_id.0);
-        (0..self.k)
-            .map(|_| {
-                let raw = rng.next_u64();
-                F::from_u64(raw & (F::ORDER - 1))
-            })
-            .collect()
+        out.reserve(self.k);
+        out.extend((0..self.k).map(|_| {
+            let raw = rng.next_u64();
+            F::from_u64(raw & (F::ORDER - 1))
+        }));
     }
 }
 

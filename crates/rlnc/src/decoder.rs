@@ -123,23 +123,23 @@ impl<F: Field> BlockDecoder<F> {
                 need: k,
             });
         }
-        let beta = Matrix::from_rows(
-            &self
-                .held
-                .iter()
-                .map(|(_, row, _)| row.clone())
-                .collect::<Vec<_>>(),
-        );
+        let mut flat = Vec::with_capacity(self.held.len() * k);
+        for (_, row, _) in &self.held {
+            flat.extend_from_slice(row);
+        }
+        let beta = Matrix::from_flat(self.held.len(), k, flat);
         let inv = invert(&beta).ok_or(CodecError::SingularCoefficients)?;
-        // X_j = Σ_i inv[j][i] · Y_i, computed with the bulk kernel.
+        // X_j = Σ_i inv[j][i] · Y_i, computed with the bulk kernel. One
+        // m-symbol accumulator serves all k pieces.
         let m = self.params.m();
         let mut out = Vec::with_capacity(self.params.capacity_bytes());
+        let mut piece = vec![F::ZERO; m];
         for j in 0..k {
-            let mut piece = vec![F::ZERO; m];
+            piece.fill(F::ZERO);
             for (i, (_, _, payload)) in self.held.iter().enumerate() {
                 F::axpy_slice(inv.get(j, i), payload, &mut piece);
             }
-            out.extend_from_slice(&gfbytes::symbols_to_bytes(&piece));
+            gfbytes::symbols_to_bytes_into(&piece, &mut out);
         }
         out.truncate(self.data_len);
         Ok(out)

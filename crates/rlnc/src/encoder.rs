@@ -101,12 +101,69 @@ impl<F: Field> Encoder<F> {
 
     /// Encodes the single message with the given id (no rank check).
     pub fn encode_message(&self, id: MessageId) -> EncodedMessage {
-        let row = self.rows.row(id);
-        let mut acc = vec![F::ZERO; self.params.m()];
-        for (j, &beta) in row.iter().enumerate() {
-            F::axpy_slice(beta, &self.pieces[j], &mut acc);
+        let mut scratch = EncodeScratch::default();
+        self.encode_message_into(id, &mut scratch)
+    }
+
+    /// Like [`encode_message`](Self::encode_message) but reuses `scratch`
+    /// for the coefficient row and the `m`-symbol accumulator, so callers
+    /// encoding many messages pay for the buffers once instead of per
+    /// message. The returned payload is still freshly allocated (the wire
+    /// message owns its bytes).
+    pub fn encode_message_into(
+        &self,
+        id: MessageId,
+        scratch: &mut EncodeScratch<F>,
+    ) -> EncodedMessage {
+        scratch.row.clear();
+        self.rows.row_into(id, &mut scratch.row);
+        scratch.acc.clear();
+        scratch.acc.resize(self.params.m(), F::ZERO);
+        for (j, &beta) in scratch.row.iter().enumerate() {
+            F::axpy_slice(beta, &self.pieces[j], &mut scratch.acc);
         }
-        EncodedMessage::new(self.file_id, id, gfbytes::symbols_to_bytes(&acc))
+        EncodedMessage::new(self.file_id, id, gfbytes::symbols_to_bytes(&scratch.acc))
+    }
+
+    /// Runs the rank-checked admission of
+    /// [`encode_batch`](Self::encode_batch) *without* combining payloads:
+    /// returns the ids of `count` mutually independent rows drawn from
+    /// `start_id` upward, plus the next unused candidate id.
+    ///
+    /// Admission only touches `k`-symbol coefficient rows, so it is cheap
+    /// and inherently sequential (each batch starts where the previous one
+    /// stopped); the expensive `m`-symbol payload combination for the
+    /// planned ids can then fan out across threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidParams`] if `count > k`.
+    pub fn plan_batch(
+        &self,
+        start_id: u64,
+        count: usize,
+    ) -> Result<(Vec<MessageId>, u64), CodecError> {
+        if count > self.params.k() {
+            return Err(CodecError::InvalidParams {
+                reason: format!(
+                    "batch of {count} mutually independent rows impossible with k = {}",
+                    self.params.k()
+                ),
+            });
+        }
+        let mut tracker = RankTracker::new(self.params.k());
+        let mut ids = Vec::with_capacity(count);
+        let mut row = Vec::with_capacity(self.params.k());
+        let mut id = start_id;
+        while ids.len() < count {
+            row.clear();
+            self.rows.row_into(MessageId(id), &mut row);
+            if tracker.try_add(&row) {
+                ids.push(MessageId(id));
+            }
+            id += 1;
+        }
+        Ok((ids, id))
     }
 
     /// Encodes a batch of `count ≤ k` messages whose coefficient rows are
@@ -145,43 +202,57 @@ impl<F: Field> Encoder<F> {
         start_id: u64,
         count: usize,
     ) -> Result<(Vec<EncodedMessage>, u64), CodecError> {
-        if count > self.params.k() {
-            return Err(CodecError::InvalidParams {
-                reason: format!(
-                    "batch of {count} mutually independent rows impossible with k = {}",
-                    self.params.k()
-                ),
-            });
-        }
-        let mut tracker = RankTracker::new(self.params.k());
-        let mut out = Vec::with_capacity(count);
-        let mut id = start_id;
-        while out.len() < count {
-            let row = self.rows.row(MessageId(id));
-            if tracker.try_add(&row) {
-                out.push(self.encode_message(MessageId(id)));
-            }
-            id += 1;
-        }
-        Ok((out, id))
+        let (ids, next) = self.plan_batch(start_id, count)?;
+        let mut scratch = EncodeScratch::default();
+        let out = ids
+            .iter()
+            .map(|&id| self.encode_message_into(id, &mut scratch))
+            .collect();
+        Ok((out, next))
     }
 
     /// Encodes the paper's full dissemination set: `n` batches of `k`
     /// messages each (`nk` total), one batch per peer, every batch
     /// independently decodable.
     ///
+    /// Admission runs sequentially (batch `i + 1` draws candidate ids where
+    /// batch `i` stopped); the payload combination — the `O(nk · m)` bulk of
+    /// the work — fans out across threads, one batch per work item.
+    ///
     /// # Errors
     ///
     /// Propagates batch errors (cannot occur for `count = k`).
     pub fn encode_for_peers(&self, n: usize) -> Result<Vec<Vec<EncodedMessage>>, CodecError> {
-        let mut batches = Vec::with_capacity(n);
+        let mut plans = Vec::with_capacity(n);
         let mut next_id = 0u64;
         for _ in 0..n {
-            let (batch, next) = self.encode_batch_from(next_id, self.params.k())?;
-            batches.push(batch);
+            let (ids, next) = self.plan_batch(next_id, self.params.k())?;
+            plans.push(ids);
             next_id = next;
         }
-        Ok(batches)
+        Ok(asymshare_par::map(&plans, |ids| {
+            let mut scratch = EncodeScratch::default();
+            ids.iter()
+                .map(|&id| self.encode_message_into(id, &mut scratch))
+                .collect()
+        }))
+    }
+}
+
+/// Reusable buffers for [`Encoder::encode_message_into`]: the `k`-symbol
+/// coefficient row and the `m`-symbol payload accumulator.
+#[derive(Debug, Clone)]
+pub struct EncodeScratch<F> {
+    row: Vec<F>,
+    acc: Vec<F>,
+}
+
+impl<F> Default for EncodeScratch<F> {
+    fn default() -> Self {
+        EncodeScratch {
+            row: Vec::new(),
+            acc: Vec::new(),
+        }
     }
 }
 
@@ -242,6 +313,31 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), before, "no id reuse across batches");
+    }
+
+    #[test]
+    fn plan_then_encode_matches_batch() {
+        // plan_batch + encode_message_into (with a dirty, reused scratch)
+        // must reproduce encode_batch_from exactly — this is the contract
+        // the parallel chunker relies on.
+        let params = CodingParams::new(FieldKind::Gf256, 16, 5).unwrap();
+        let enc = Encoder::<Gf256>::new(params, secret(), FileId(7), &data(60)).unwrap();
+        let (batch, next) = enc.encode_batch_from(0, 5).unwrap();
+        let (ids, planned_next) = enc.plan_batch(0, 5).unwrap();
+        assert_eq!(next, planned_next);
+        let mut scratch = EncodeScratch::default();
+        let replay: Vec<_> = ids
+            .iter()
+            .map(|&id| enc.encode_message_into(id, &mut scratch))
+            .collect();
+        assert_eq!(replay, batch);
+    }
+
+    #[test]
+    fn oversized_plan_rejected() {
+        let params = CodingParams::new(FieldKind::Gf256, 4, 2).unwrap();
+        let enc = Encoder::<Gf256>::new(params, secret(), FileId(1), &data(8)).unwrap();
+        assert!(enc.plan_batch(0, 3).is_err());
     }
 
     #[test]

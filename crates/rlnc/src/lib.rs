@@ -56,7 +56,7 @@ pub use auth::{AuthManifest, DigestKind, MessageDigest};
 pub use chunker::{ChunkedDecoder, ChunkedEncoder, FileManifest, CHUNK_SIZE};
 pub use coeffs::RowGenerator;
 pub use decoder::BlockDecoder;
-pub use encoder::Encoder;
+pub use encoder::{EncodeScratch, Encoder};
 pub use error::CodecError;
 pub use message::{EncodedMessage, FileId, MessageId};
 pub use params::{table_one_entry, CodingParams, TableOneRow, MEGABYTE};

@@ -47,7 +47,7 @@ impl CodingParams {
             });
         }
         let bits = m as u128 * field.bits_per_symbol() as u128;
-        if bits % 8 != 0 {
+        if !bits.is_multiple_of(8) {
             return Err(CodecError::InvalidParams {
                 reason: format!("message of {m} {field} symbols does not pack into whole bytes"),
             });
@@ -77,7 +77,7 @@ impl CodingParams {
         let bits_per_piece = total_bits.div_ceil(k);
         // Round the per-piece size up so m symbols pack into whole bytes.
         let mut m = bits_per_piece.div_ceil(p);
-        while (m * p) % 8 != 0 {
+        while !(m * p).is_multiple_of(8) {
             m += 1;
         }
         CodingParams::new(field, m, k)
@@ -93,7 +93,7 @@ impl CodingParams {
     pub fn for_1mb(field: FieldKind, m: usize) -> Result<Self, CodecError> {
         let p = field.bits_per_symbol() as usize;
         let b = MEGABYTE * 8;
-        if m == 0 || b % (m * p) != 0 {
+        if m == 0 || !b.is_multiple_of(m * p) {
             return Err(CodecError::InvalidParams {
                 reason: format!("m = {m} does not divide a 1 MB block in {field}"),
             });

@@ -49,6 +49,10 @@ pub struct ProgressiveDecoder<F> {
     echelon: Vec<Option<Vec<F>>>,
     rank: usize,
     seen: HashSet<u64>,
+    /// Reused augmented-row buffer: a non-innovative arrival hands its
+    /// allocation back here instead of dropping it; an innovative one moves
+    /// into `echelon` and the next arrival re-grows the scratch once.
+    scratch: Vec<F>,
 }
 
 impl<F: Field> ProgressiveDecoder<F> {
@@ -71,6 +75,7 @@ impl<F: Field> ProgressiveDecoder<F> {
             echelon: vec![None; params.k()],
             rank: 0,
             seen: HashSet::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -111,9 +116,11 @@ impl<F: Field> ProgressiveDecoder<F> {
             return Ok(false);
         }
         let k = self.params.k();
-        // Augmented row: [β_i | Y_i].
-        let mut aug = self.rows.row(msg.message_id());
-        aug.extend(gfbytes::symbols_from_bytes::<F>(msg.payload()));
+        // Augmented row [β_i | Y_i], built in the reused scratch buffer.
+        let mut aug = std::mem::take(&mut self.scratch);
+        aug.clear();
+        self.rows.row_into(msg.message_id(), &mut aug);
+        gfbytes::symbols_from_bytes_into::<F>(msg.payload(), &mut aug);
 
         // Forward-eliminate against existing pivots.
         for col in 0..k {
@@ -142,6 +149,7 @@ impl<F: Field> ProgressiveDecoder<F> {
                 }
             }
         }
+        self.scratch = aug;
         Ok(false)
     }
 
@@ -169,7 +177,7 @@ impl<F: Field> ProgressiveDecoder<F> {
                 .iter()
                 .enumerate()
                 .all(|(c, &v)| (v == F::ONE) == (c == piece) && (v != F::ZERO) == (c == piece)));
-            out.extend_from_slice(&gfbytes::symbols_to_bytes(&row[k..]));
+            gfbytes::symbols_to_bytes_into(&row[k..], &mut out);
         }
         out.truncate(self.data_len);
         Ok(out)

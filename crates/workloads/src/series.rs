@@ -47,7 +47,7 @@ pub fn decimate(values: &[f64], stride: usize) -> Vec<f64> {
         return Vec::new();
     }
     let mut out: Vec<f64> = values.iter().step_by(stride).copied().collect();
-    if (values.len() - 1) % stride != 0 {
+    if !(values.len() - 1).is_multiple_of(stride) {
         out.push(*values.last().expect("non-empty"));
     }
     out
@@ -60,7 +60,7 @@ pub fn decimated_times(len: usize, stride: usize) -> Vec<f64> {
         return Vec::new();
     }
     let mut out: Vec<f64> = (0..len).step_by(stride).map(|t| t as f64).collect();
-    if (len - 1) % stride != 0 {
+    if !(len - 1).is_multiple_of(stride) {
         out.push((len - 1) as f64);
     }
     out

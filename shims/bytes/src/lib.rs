@@ -1,0 +1,278 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`] (cheaply cloneable immutable buffer), [`BytesMut`]
+//! (growable builder that freezes into `Bytes`), and the little-endian
+//! [`Buf`]/[`BufMut`] accessors the workspace's wire codecs use. No
+//! zero-copy slicing or vtable tricks — `Bytes` is an `Arc<[u8]>`, which
+//! preserves the O(1)-clone property the transport layer relies on.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// A buffer that copies `data`.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes(Arc::from(data))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copies the contents into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl core::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.0.iter() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &*self.0 == other.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes(Arc::from(v))
+    }
+}
+
+/// A growable byte buffer that can be frozen into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with at least `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Little-endian write accessors for building wire buffers.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Little-endian read accessors that consume from the front of a buffer.
+///
+/// Implemented for `&[u8]`, where reading advances the slice in place
+/// (matching upstream `bytes`). All readers panic on underflow — callers
+/// bounds-check first, as the wire decoders in this workspace do.
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// Consumes `dst.len()` bytes into `dst`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Consumes a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Consumes a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Consumes a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.len(),
+            "buffer underflow: need {} bytes, have {}",
+            dst.len(),
+            self.len()
+        );
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(7);
+        buf.put_u32_le(0xAABBCCDD);
+        buf.put_u64_le(42);
+        buf.put_slice(b"xy");
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 1 + 4 + 8 + 2);
+
+        let mut rd: &[u8] = &frozen;
+        assert_eq!(rd.get_u8(), 7);
+        assert_eq!(rd.get_u32_le(), 0xAABBCCDD);
+        assert_eq!(rd.get_u64_le(), 42);
+        let mut tail = [0u8; 2];
+        rd.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xy");
+        assert_eq!(rd.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_clone_shares_storage() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(&b[..2], &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn reading_past_end_panics() {
+        let mut rd: &[u8] = &[1u8];
+        let _ = rd.get_u32_le();
+    }
+}

@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Reproduces the macro and builder surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_function`, `Throughput`, `black_box`) over a simple wall-clock
+//! harness: auto-calibrated batch size, a warm-up batch, then N timed
+//! samples reported as the median ns/iter plus derived throughput. No
+//! statistical regression analysis, HTML reports, or baselines — just
+//! stable, comparable numbers on stdout.
+//!
+//! CLI behaviour matches `cargo bench` conventions: positional arguments
+//! are substring filters on the benchmark id; a filter equal to the bench
+//! target's own name (e.g. `cargo bench -p asymshare-bench gf_ops`)
+//! selects everything in that binary, mirroring how developers use target
+//! names as filters.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How work per iteration is declared, for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The top-level harness handle passed to bench functions.
+#[derive(Debug)]
+pub struct Criterion {
+    filters: Vec<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filters: Vec::new(),
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness from `std::env::args`, treating positional args as
+    /// id filters. A filter naming the bench target itself (any of
+    /// `own_names`) selects all benchmarks in this binary.
+    pub fn from_args(own_names: &[&str]) -> Criterion {
+        let mut filters: Vec<String> = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        filters.retain(|f| !own_names.contains(&f.as_str()));
+        // If the only filters were target names, everything runs.
+        Criterion {
+            filters,
+            ..Criterion::default()
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work per iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark if it matches the CLI filter.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        if !self.criterion.selected(&id) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            median_ns: 0.0,
+            samples: self
+                .sample_size
+                .unwrap_or(self.criterion.default_sample_size),
+        };
+        f(&mut bencher);
+        report(&id, bencher.median_ns, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Times the closure handed to [`BenchmarkGroup::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    median_ns: f64,
+    samples: usize,
+}
+
+/// Per-sample target duration: long enough to swamp timer overhead, short
+/// enough that a full group stays interactive.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its median time per call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: grow the batch until one batch takes >= the target.
+        let mut batch: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || batch >= 1 << 30 {
+                break (elapsed.as_nanos() as f64 / batch as f64).max(0.01);
+            }
+            // Aim directly for the target from the observed rate.
+            let scale = SAMPLE_TARGET.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64;
+            batch = ((batch as f64 * scale * 1.2) as u64).clamp(batch + 1, 1 << 30);
+        };
+        let batch =
+            (SAMPLE_TARGET.as_nanos() as f64 / per_iter_ns).clamp(1.0, (1u64 << 30) as f64) as u64;
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        sample_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = sample_ns[sample_ns.len() / 2];
+    }
+}
+
+fn report(id: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let time = human_time(ns_per_iter);
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mbps = bytes as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0);
+            println!("{id:<40} time: {time:>12}   thrpt: {mbps:10.1} MiB/s");
+        }
+        Some(Throughput::Elements(elems)) => {
+            let meps = elems as f64 / ns_per_iter * 1e9 / 1e6;
+            println!("{id:<40} time: {time:>12}   thrpt: {meps:10.2} Melem/s");
+        }
+        None => println!("{id:<40} time: {time:>12}"),
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Defines a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Defines `main` for a bench target, running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args(&[$(stringify!($group)),+]);
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            filters: vec![],
+            default_sample_size: 3,
+        };
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Bytes(1024)).sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let c = Criterion {
+            filters: vec!["gf/".into()],
+            default_sample_size: 3,
+        };
+        assert!(c.selected("gf/Gf256/mul"));
+        assert!(!c.selected("alloc/slots"));
+        let all = Criterion::default();
+        assert!(all.selected("anything"));
+    }
+}
