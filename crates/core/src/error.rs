@@ -36,6 +36,14 @@ pub enum SystemError {
     },
     /// A feedback report carried an invalid signature.
     BadFeedbackSignature,
+    /// Every candidate peer (including the home node) died or was
+    /// exhausted before the download could complete.
+    AllPeersUnavailable {
+        /// Independent messages received before giving up.
+        have: usize,
+        /// Independent messages required to decode.
+        need: usize,
+    },
 }
 
 impl core::fmt::Display for SystemError {
@@ -54,6 +62,10 @@ impl core::fmt::Display for SystemError {
             }
             SystemError::UnknownParty { who } => write!(f, "unknown party: {who}"),
             SystemError::BadFeedbackSignature => write!(f, "feedback report signature invalid"),
+            SystemError::AllPeersUnavailable { have, need } => write!(
+                f,
+                "all peers unavailable with {have}/{need} independent messages received"
+            ),
         }
     }
 }

@@ -83,4 +83,4 @@ pub use protocol::{FeedbackEntry, FeedbackReport, Wire};
 pub use runtime::{DownloadReport, ParticipantId, RuntimeConfig, SessionId, SimRuntime};
 pub use session::{Prover, Verifier};
 pub use store::MessageStore;
-pub use user::{ConnStage, User};
+pub use user::{ConnStage, SessionStats, User};

@@ -10,7 +10,7 @@ use crate::store::MessageStore;
 use asymshare_crypto::chacha20::ChaChaRng;
 use asymshare_crypto::schnorr::PublicKey;
 use asymshare_rlnc::{EncodedMessage, FileId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Chunk index encoded in a message id (high 32 bits; see
 /// `asymshare_rlnc::FileManifest::message_id`).
@@ -61,6 +61,11 @@ struct PeerSession {
     served: usize,
     /// Chunks the user has declared complete — their messages are skipped.
     stopped_chunks: HashSet<u32>,
+    /// Store indices queued for re-serving after the user reported a
+    /// digest-rejected (corrupted) message; drained before the sweep.
+    resend: VecDeque<usize>,
+    /// Round-robin cursor over a chunk's messages for replacement picks.
+    replace_cursor: usize,
 }
 
 impl Peer {
@@ -165,6 +170,8 @@ impl Peer {
                     order: Vec::new(),
                     served: 0,
                     stopped_chunks: HashSet::new(),
+                    resend: VecDeque::new(),
+                    replace_cursor: 0,
                 });
                 let challenge = session.verifier.on_commit(&commit, rng)?;
                 Ok(vec![challenge])
@@ -214,6 +221,8 @@ impl Peer {
                 session.serving = Some(FileId(file_id));
                 session.served = 0;
                 session.stopped_chunks.clear();
+                session.resend.clear();
+                session.replace_cursor = 0;
                 let order = self.serving_order(FileId(file_id), conn);
                 let session = self.sessions.get_mut(&conn).expect("session exists");
                 session.order = order;
@@ -223,6 +232,31 @@ impl Peer {
                 if let Some(session) = self.sessions.get_mut(&conn) {
                     if session.serving == Some(FileId(file_id)) {
                         session.stopped_chunks.insert(chunk);
+                    }
+                }
+                Ok(vec![])
+            }
+            Wire::ReplacementRequest { file_id, chunk } => {
+                if let Some(session) = self.sessions.get_mut(&conn) {
+                    if session.serving == Some(FileId(file_id))
+                        && !session.stopped_chunks.contains(&chunk)
+                    {
+                        let msgs = self.store.messages(FileId(file_id));
+                        // Any stored message of the chunk works as a
+                        // replacement (RLNC: coded messages are fungible);
+                        // rotate through them so repeated corruption of the
+                        // same payload cannot starve the chunk.
+                        let candidates: Vec<usize> = session
+                            .order
+                            .iter()
+                            .copied()
+                            .filter(|&i| chunk_of(msgs[i].message_id().0) == chunk)
+                            .collect();
+                        if !candidates.is_empty() {
+                            let pick = candidates[session.replace_cursor % candidates.len()];
+                            session.replace_cursor = session.replace_cursor.wrapping_add(1);
+                            session.resend.push_back(pick);
+                        }
                     }
                 }
                 Ok(vec![])
@@ -263,6 +297,16 @@ impl Peer {
         let session = self.sessions.get_mut(&conn)?;
         let file = session.serving?;
         let msgs = self.store.messages(file);
+        // Replacements for corrupted messages jump the queue.
+        while let Some(idx) = session.resend.pop_front() {
+            let msg = &msgs[idx];
+            if !session
+                .stopped_chunks
+                .contains(&chunk_of(msg.message_id().0))
+            {
+                return Some(msg.clone());
+            }
+        }
         while session.served < session.order.len() {
             let idx = session.order[session.served];
             session.served += 1;
@@ -327,13 +371,15 @@ impl Peer {
             return false;
         };
         let msgs = self.store.messages(file);
-        session.order[session.served.min(session.order.len())..]
-            .iter()
-            .any(|&idx| {
-                !session
-                    .stopped_chunks
-                    .contains(&chunk_of(msgs[idx].message_id().0))
-            })
+        let not_stopped = |&idx: &usize| {
+            !session
+                .stopped_chunks
+                .contains(&chunk_of(msgs[idx].message_id().0))
+        };
+        session.resend.iter().any(not_stopped)
+            || session.order[session.served.min(session.order.len())..]
+                .iter()
+                .any(not_stopped)
     }
 
     /// Connections that are authenticated, serving a file, and still have
@@ -505,6 +551,49 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, SystemError::BadFeedbackSignature);
         assert_eq!(peer.upload_weight(&[9u8; 64]), 1.0);
+    }
+
+    #[test]
+    fn replacement_request_reserves_a_chunk_message() {
+        let (mut peer, conn, _, mut r) = authed_peer_and_conn(8);
+        stock(&mut peer, 9, 3); // ids 0..3 all live in chunk 0
+        peer.on_message(conn, Wire::FileRequest { file_id: 9 }, &mut r)
+            .unwrap();
+        while peer.next_message(conn).is_some() {}
+        assert!(!peer.has_pending(conn), "sweep exhausted");
+        peer.on_message(
+            conn,
+            Wire::ReplacementRequest {
+                file_id: 9,
+                chunk: 0,
+            },
+            &mut r,
+        )
+        .unwrap();
+        assert!(peer.has_pending(conn), "replacement queued");
+        let m = peer.next_message(conn).unwrap();
+        assert_eq!(chunk_of(m.message_id().0), 0);
+        assert!(peer.next_message(conn).is_none());
+        // A completed chunk ignores further replacement requests.
+        peer.on_message(
+            conn,
+            Wire::StopChunk {
+                file_id: 9,
+                chunk: 0,
+            },
+            &mut r,
+        )
+        .unwrap();
+        peer.on_message(
+            conn,
+            Wire::ReplacementRequest {
+                file_id: 9,
+                chunk: 0,
+            },
+            &mut r,
+        )
+        .unwrap();
+        assert!(peer.next_message(conn).is_none());
     }
 
     #[test]

@@ -68,6 +68,15 @@ pub enum Wire {
     /// User → home peer: signed contribution report (the periodic feedback
     /// that lets the home peer run Eq. 2 on true received amounts).
     Feedback(FeedbackReport),
+    /// User → peer: a message for this chunk failed digest authentication
+    /// (tampered or corrupted in transit) — re-serve a message for the
+    /// chunk instead of letting the batch silently shrink.
+    ReplacementRequest {
+        /// The file.
+        file_id: u64,
+        /// The chunk whose message was rejected.
+        chunk: u32,
+    },
 }
 
 /// One contributor's tally inside a feedback report.
@@ -142,10 +151,11 @@ const TAG_AUTH_CHALLENGE: u8 = 2;
 const TAG_AUTH_RESPONSE: u8 = 3;
 const TAG_AUTH_RESULT: u8 = 4;
 const TAG_FILE_REQUEST: u8 = 5;
-const TAG_MESSAGE_DATA: u8 = 6;
+pub(crate) const TAG_MESSAGE_DATA: u8 = 6;
 const TAG_STOP: u8 = 7;
 const TAG_FEEDBACK: u8 = 8;
 const TAG_STOP_CHUNK: u8 = 9;
+const TAG_REPLACEMENT: u8 = 10;
 
 impl Wire {
     /// Serializes to the wire format (1-byte tag + body).
@@ -192,6 +202,11 @@ impl Wire {
                 buf.put_u64_le(*file_id);
                 buf.put_u32_le(*chunk);
             }
+            Wire::ReplacementRequest { file_id, chunk } => {
+                buf.put_u8(TAG_REPLACEMENT);
+                buf.put_u64_le(*file_id);
+                buf.put_u32_le(*chunk);
+            }
             Wire::Feedback(report) => {
                 buf.put_u8(TAG_FEEDBACK);
                 buf.put_slice(&report.reporter);
@@ -219,6 +234,7 @@ impl Wire {
             Wire::MessageData(msg) => 4 + msg.wire_len(),
             Wire::StopTransmission { .. } => 8,
             Wire::StopChunk { .. } => 12,
+            Wire::ReplacementRequest { .. } => 12,
             Wire::Feedback(report) => 64 + 8 + 4 + report.entries.len() * 72 + 96,
         }
     }
@@ -297,6 +313,13 @@ impl Wire {
             TAG_STOP_CHUNK => {
                 need(buf, 12, "stop chunk")?;
                 Ok(Wire::StopChunk {
+                    file_id: buf.get_u64_le(),
+                    chunk: buf.get_u32_le(),
+                })
+            }
+            TAG_REPLACEMENT => {
+                need(buf, 12, "replacement request")?;
+                Ok(Wire::ReplacementRequest {
                     file_id: buf.get_u64_le(),
                     chunk: buf.get_u32_le(),
                 })
@@ -396,6 +419,10 @@ mod tests {
         )));
         round_trip(Wire::StopTransmission { file_id: 5 });
         round_trip(Wire::StopChunk {
+            file_id: 5,
+            chunk: 17,
+        });
+        round_trip(Wire::ReplacementRequest {
             file_id: 5,
             chunk: 17,
         });

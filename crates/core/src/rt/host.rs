@@ -54,6 +54,8 @@ impl PeerHost {
                     if shutdown_rx.try_recv().is_ok() {
                         break;
                     }
+                    // Flush any fault-delayed traffic due this tick.
+                    net.pump();
                     // Inbound protocol handling.
                     if let Some(envelope) = inbox.recv_timeout(tick) {
                         let Ok(wire) = envelope.decode() else {
@@ -62,7 +64,11 @@ impl PeerHost {
                         match peer.on_message(envelope.from, wire, &mut rng) {
                             Ok(replies) => {
                                 for reply in replies {
-                                    net.send(addr, envelope.from, &reply);
+                                    if !net.send(addr, envelope.from, &reply) {
+                                        // The user vanished mid-handshake.
+                                        peer.disconnect(envelope.from);
+                                        break;
+                                    }
                                 }
                             }
                             Err(_) => {
@@ -108,7 +114,12 @@ impl PeerHost {
                             let size = wire.encoded_len() as f64;
                             bucket.take_with_debt(size, now);
                             quota -= size;
-                            net.send(addr, conn, &wire);
+                            if !net.send(addr, conn, &wire) {
+                                // The downloader deregistered: stop burning
+                                // uplink on a dead connection.
+                                peer.disconnect(conn);
+                                break;
+                            }
                         }
                     }
                 }

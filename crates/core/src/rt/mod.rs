@@ -28,23 +28,67 @@ mod transport;
 
 pub use host::PeerHost;
 pub use limiter::TokenBucket;
-pub use transport::{Envelope, RtNetwork};
+pub use transport::{Envelope, FaultPlan, FaultStats, RtNetwork};
 
 use crate::error::SystemError;
+use crate::protocol::Wire;
 use crate::user::{ConnStage, User};
 use asymshare_crypto::chacha20::ChaChaRng;
 use asymshare_gf::Gf2p32;
+use asymshare_rlnc::{CodecError, FileManifest, MessageId};
 use std::time::{Duration, Instant};
+
+/// Tuning knobs for the self-healing download loop.
+#[derive(Debug, Clone)]
+pub struct DownloadOptions {
+    /// Overall wall-clock budget for the download.
+    pub timeout: Duration,
+    /// A peer silent for this long is considered stalled and recovered
+    /// (re-request, then reconnect, then written off).
+    pub stall_timeout: Duration,
+    /// Base reconnect backoff; doubles per consecutive retry (capped at
+    /// 8×), so a flapping peer is probed ever more gently.
+    pub retry_backoff: Duration,
+    /// Consecutive fruitless recovery attempts before a peer is declared
+    /// dead and its demand re-planned onto the survivors.
+    pub max_peer_retries: u32,
+}
+
+impl DownloadOptions {
+    /// Defaults derived from the overall timeout: stall detection at an
+    /// eighth of the budget (clamped to 100 ms – 2 s) and a base backoff
+    /// of half the stall timeout.
+    pub fn new(timeout: Duration) -> DownloadOptions {
+        let stall_timeout = (timeout / 8).clamp(Duration::from_millis(100), Duration::from_secs(2));
+        DownloadOptions {
+            timeout,
+            stall_timeout,
+            retry_backoff: stall_timeout / 2,
+            max_peer_retries: 3,
+        }
+    }
+}
+
+/// Per-peer health tracking for the self-healing loop.
+struct PeerTrack {
+    addr: u64,
+    key: [u8; 64],
+    last_activity: Instant,
+    next_attempt: Instant,
+    retries: u32,
+    dead: bool,
+}
 
 /// Downloads the user's file by contacting `peers` in parallel over the
 /// real-time transport, blocking the calling thread until the file decodes
-/// or `timeout` elapses. Sends the final signed feedback report to
-/// `home_peer` before returning.
+/// or the timeout elapses. Sends the final signed feedback report to
+/// `home_peer` before returning. Equivalent to [`download_file_with`] with
+/// [`DownloadOptions::new`].
 ///
 /// # Errors
 ///
-/// Times out with [`SystemError::Codec`] (not-enough-messages) or surfaces
-/// protocol errors.
+/// Times out with [`SystemError::Codec`] (not-enough-messages, carrying the
+/// real received/required counts) or surfaces protocol errors.
 pub fn download_file(
     network: &RtNetwork,
     my_addr: u64,
@@ -53,52 +97,241 @@ pub fn download_file(
     home_peer: u64,
     timeout: Duration,
 ) -> Result<Vec<u8>, SystemError> {
+    download_file_with(
+        network,
+        my_addr,
+        user,
+        peers,
+        home_peer,
+        DownloadOptions::new(timeout),
+    )
+}
+
+/// [`download_file`] with explicit self-healing knobs.
+///
+/// The loop survives lossy links, stalled or churned peers, and corrupted
+/// messages: any peer silent past the stall deadline is re-requested or
+/// reconnected with bounded exponential backoff; a peer that exhausts its
+/// retries (or whose address deregisters) is written off and its demand
+/// re-planned onto the survivors; a digest-rejected message triggers a
+/// [`Wire::ReplacementRequest`] instead of silently shrinking the batch.
+/// Recovery actions are tallied in the user's
+/// [`SessionStats`](crate::user::SessionStats).
+///
+/// # Errors
+///
+/// [`SystemError::AllPeersUnavailable`] when every peer is written off
+/// before completion, [`SystemError::Codec`] (not-enough-messages) on
+/// timeout, or fatal protocol errors.
+pub fn download_file_with(
+    network: &RtNetwork,
+    my_addr: u64,
+    user: &mut User<Gf2p32>,
+    peers: &[(u64, [u8; 64])],
+    home_peer: u64,
+    options: DownloadOptions,
+) -> Result<Vec<u8>, SystemError> {
     let inbox = network.register(my_addr);
     let mut rng = ChaChaRng::new([0x5D; 32], *b"rt-download!");
-    // Connect to every peer; the connection id is our address so the peer
-    // can key its session consistently.
-    for &(addr, key) in peers {
-        let commit = user.connect(addr, key, &mut rng);
-        network.send(my_addr, addr, &commit);
+    let file_id = user.file_id();
+    let started = Instant::now();
+    // Connect to every peer; the connection id is the peer's address so
+    // both sides key their session state consistently.
+    let mut tracks: Vec<PeerTrack> = peers
+        .iter()
+        .map(|&(addr, key)| PeerTrack {
+            addr,
+            key,
+            last_activity: started,
+            next_attempt: started,
+            retries: 0,
+            dead: false,
+        })
+        .collect();
+    for t in &mut tracks {
+        let commit = user.connect(t.addr, t.key, &mut rng);
+        if !network.send(my_addr, t.addr, &commit) {
+            t.dead = true;
+        }
     }
-    let deadline = Instant::now() + timeout;
+    let deadline = started + options.timeout;
+    // Round-robin cursor for picking the survivor that absorbs a dead
+    // peer's demand.
+    let mut reassign_rr = 0usize;
     while !user.is_complete() {
-        let remaining = deadline.saturating_duration_since(Instant::now());
+        network.pump();
+        let now = Instant::now();
+        let remaining = deadline.saturating_duration_since(now);
         if remaining.is_zero() {
-            return Err(SystemError::Codec(
-                asymshare_rlnc::CodecError::NotEnoughMessages {
-                    have: (user.progress() * 100.0) as usize,
-                    need: 100,
-                },
-            ));
+            return Err(SystemError::Codec(CodecError::NotEnoughMessages {
+                have: user.independent_count(),
+                need: user.messages_needed(),
+            }));
         }
-        let Some(envelope) = inbox.recv_timeout(remaining.min(Duration::from_millis(50))) else {
-            continue;
-        };
-        let wire = envelope.decode()?;
-        let replies = match user.on_message(envelope.from, wire, &mut rng) {
-            Ok(replies) => replies,
-            // A tampered message fails digest auth; skip it, keep going.
-            Err(SystemError::Codec(_)) => continue,
-            Err(e) => return Err(e),
-        };
-        for (conn, reply) in replies {
-            network.send(my_addr, conn, &reply);
+        if let Some(envelope) = inbox.recv_timeout(remaining.min(Duration::from_millis(50))) {
+            if let Some(t) = tracks.iter_mut().find(|t| t.addr == envelope.from) {
+                // Any traffic — even redundant re-sends — proves the peer
+                // is alive, so its retry budget refills.
+                t.last_activity = Instant::now();
+                t.retries = 0;
+            }
+            let wire = envelope.decode()?;
+            match user.on_message(envelope.from, wire, &mut rng) {
+                Ok(replies) => {
+                    let mut lost = Vec::new();
+                    for (conn, reply) in replies {
+                        if !network.send(my_addr, conn, &reply) {
+                            lost.push(conn);
+                        }
+                    }
+                    for conn in lost {
+                        write_off(user, &mut tracks, conn);
+                        reassign(network, my_addr, user, &tracks, &mut reassign_rr, file_id);
+                    }
+                }
+                // Digest-rejected message: corrupted or tampered in
+                // transit. Ask the sender for a replacement from the same
+                // chunk and move on.
+                Err(SystemError::Codec(CodecError::AuthenticationFailed { id })) => {
+                    user.stats_mut().replacements += 1;
+                    let request = Wire::ReplacementRequest {
+                        file_id,
+                        chunk: FileManifest::chunk_of(MessageId(id)),
+                    };
+                    if !network.send(my_addr, envelope.from, &request) {
+                        write_off(user, &mut tracks, envelope.from);
+                        reassign(network, my_addr, user, &tracks, &mut reassign_rr, file_id);
+                    }
+                }
+                // A reconnect replayed a message we already hold —
+                // harmless redundancy, not an error.
+                Err(SystemError::Codec(CodecError::DuplicateMessage { .. })) => {}
+                // Every other error (decoder parameters, protocol state,
+                // MITM) is genuine and must surface.
+                Err(e) => return Err(e),
+            }
         }
-        if peers
+        if user.is_complete() {
+            break;
+        }
+        if tracks
             .iter()
-            .all(|(addr, _)| user.stage(*addr) == Some(ConnStage::Refused))
+            .all(|t| user.stage(t.addr) == Some(ConnStage::Refused))
         {
             return Err(SystemError::AuthenticationRejected {
                 context: "all peers refused".to_owned(),
             });
         }
+        // Health pass: recover stalled peers, write off hopeless ones.
+        let now = Instant::now();
+        for i in 0..tracks.len() {
+            let t = &tracks[i];
+            if t.dead {
+                continue;
+            }
+            if user.stage(t.addr) == Some(ConnStage::Refused) {
+                // Authentication refusal is terminal; nothing to re-plan
+                // because the peer never served a byte.
+                tracks[i].dead = true;
+                continue;
+            }
+            if now.duration_since(t.last_activity) <= options.stall_timeout || now < t.next_attempt
+            {
+                continue;
+            }
+            if t.retries >= options.max_peer_retries {
+                let addr = t.addr;
+                write_off(user, &mut tracks, addr);
+                reassign(network, my_addr, user, &tracks, &mut reassign_rr, file_id);
+                continue;
+            }
+            let t = &mut tracks[i];
+            t.retries += 1;
+            // Bounded exponential backoff: 1×, 2×, 4×, capped at 8×.
+            let factor = 1u32 << t.retries.min(3);
+            t.next_attempt = now + options.retry_backoff * factor;
+            user.stats_mut().retries += 1;
+            let delivered = if user.stage(t.addr) == Some(ConnStage::Downloading) {
+                // The stream dried up or its messages were lost: restart
+                // the peer's sweep (duplicates are rejected cheaply) and
+                // re-declare the chunks we already hold.
+                network.send(my_addr, t.addr, &Wire::FileRequest { file_id })
+                    && send_stops(network, my_addr, user, t.addr, file_id)
+            } else {
+                // Handshake wedged (a control message was lost): tear the
+                // connection down and re-run it from the commit.
+                let (addr, key) = (t.addr, t.key);
+                user.drop_conn(addr);
+                let commit = user.connect(addr, key, &mut rng);
+                network.send(my_addr, addr, &commit)
+            };
+            if !delivered {
+                let addr = tracks[i].addr;
+                write_off(user, &mut tracks, addr);
+                reassign(network, my_addr, user, &tracks, &mut reassign_rr, file_id);
+            }
+        }
+        if tracks.iter().all(|t| t.dead) {
+            return Err(SystemError::AllPeersUnavailable {
+                have: user.independent_count(),
+                need: user.messages_needed(),
+            });
+        }
     }
     // Final feedback to the home peer (the off-line informational update).
-    let now_secs = Instant::now().elapsed().as_secs();
+    let now_secs = started.elapsed().as_secs();
     let report = user.make_feedback(now_secs, &mut rng);
-    network.send(my_addr, home_peer, &crate::protocol::Wire::Feedback(report));
+    network.send(my_addr, home_peer, &Wire::Feedback(report));
     user.decode()
+}
+
+/// Marks `addr` dead and forgets its connection state.
+fn write_off(user: &mut User<Gf2p32>, tracks: &mut [PeerTrack], addr: u64) {
+    user.drop_conn(addr);
+    if let Some(t) = tracks.iter_mut().find(|t| t.addr == addr) {
+        t.dead = true;
+    }
+}
+
+/// Re-plans a dead peer's demand onto the next live downloading survivor:
+/// restarts that survivor's sweep so messages only the dead peer had sent
+/// get re-covered, and re-declares completed chunks so the survivor skips
+/// them.
+fn reassign(
+    network: &RtNetwork,
+    my_addr: u64,
+    user: &mut User<Gf2p32>,
+    tracks: &[PeerTrack],
+    rr: &mut usize,
+    file_id: u64,
+) {
+    let live: Vec<u64> = tracks
+        .iter()
+        .filter(|t| !t.dead && user.stage(t.addr) == Some(ConnStage::Downloading))
+        .map(|t| t.addr)
+        .collect();
+    if live.is_empty() {
+        return;
+    }
+    let target = live[*rr % live.len()];
+    *rr += 1;
+    if network.send(my_addr, target, &Wire::FileRequest { file_id }) {
+        let _ = send_stops(network, my_addr, user, target, file_id);
+        user.stats_mut().reassignments += 1;
+    }
+}
+
+/// Tells `addr` to skip every chunk the user has already decoded.
+fn send_stops(
+    network: &RtNetwork,
+    my_addr: u64,
+    user: &User<Gf2p32>,
+    addr: u64,
+    file_id: u64,
+) -> bool {
+    user.completed_chunks()
+        .into_iter()
+        .all(|chunk| network.send(my_addr, addr, &Wire::StopChunk { file_id, chunk }))
 }
 
 #[cfg(test)]
@@ -202,6 +435,191 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, SystemError::Codec(_)));
         assert!(user.progress() > 0.0, "partial progress was made");
+        host.shutdown();
+    }
+
+    /// The default fault seed for rt tests; CI sweeps a small matrix via
+    /// `ASYMSHARE_FAULT_SEED` so flaky recovery logic cannot land silently.
+    fn fault_seed() -> u64 {
+        std::env::var("ASYMSHARE_FAULT_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42)
+    }
+
+    #[test]
+    fn download_survives_lossy_links() {
+        let network = RtNetwork::new();
+        let owner = Identity::from_seed(b"rt-lossy");
+        let (batches, manifest) = build_file(&owner, 3, 96 * 1024);
+        let mut hosts = Vec::new();
+        let mut peer_addrs = Vec::new();
+        for (i, batch) in batches.into_iter().enumerate() {
+            let identity = Identity::from_seed(&[b'l', b'y', i as u8]);
+            let key = identity.public_key().to_bytes();
+            let mut peer = Peer::new(identity, 1_000.0);
+            peer.add_subscriber(owner.public_key().to_bytes());
+            for m in batch {
+                peer.store_mut().insert(m);
+            }
+            let addr = 400 + i as u64;
+            hosts.push(PeerHost::spawn(
+                &network,
+                addr,
+                peer,
+                4 << 20,
+                Duration::from_millis(5),
+            ));
+            peer_addrs.push((addr, key));
+        }
+        network.install_faults(
+            FaultPlan::new(fault_seed())
+                .with_loss(0.05)
+                .with_corruption(0.02),
+        );
+        let mut user = User::<Gf2p32>::new(owner, manifest).unwrap();
+        let data = download_file_with(
+            &network,
+            4,
+            &mut user,
+            &peer_addrs,
+            peer_addrs[0].0,
+            DownloadOptions {
+                timeout: Duration::from_secs(60),
+                stall_timeout: Duration::from_millis(300),
+                retry_backoff: Duration::from_millis(100),
+                max_peer_retries: 10,
+            },
+        )
+        .expect("download heals through loss and corruption");
+        let expect: Vec<u8> = (0..96 * 1024).map(|i| (i * 41 % 251) as u8).collect();
+        assert_eq!(data, expect);
+        let faults = network.fault_stats();
+        assert!(faults.dropped > 0, "losses were actually injected");
+        for host in hosts {
+            host.shutdown();
+        }
+    }
+
+    #[test]
+    fn download_survives_peer_churn_with_reassignment() {
+        let network = RtNetwork::new();
+        let owner = Identity::from_seed(b"rt-churn");
+        // Must dwarf the hosts' aggregate token-bucket burst (5 × 64 KB)
+        // so the kill lands while serving is still rate-limited.
+        let (batches, manifest) = build_file(&owner, 5, 640 * 1024);
+        let mut hosts = Vec::new();
+        let mut peer_addrs = Vec::new();
+        for (i, batch) in batches.into_iter().enumerate() {
+            let identity = Identity::from_seed(&[b'c', b'h', i as u8]);
+            let key = identity.public_key().to_bytes();
+            let mut peer = Peer::new(identity, 1_000.0);
+            peer.add_subscriber(owner.public_key().to_bytes());
+            for m in batch {
+                peer.store_mut().insert(m);
+            }
+            let addr = 500 + i as u64;
+            hosts.push(PeerHost::spawn(
+                &network,
+                addr,
+                peer,
+                96 * 1024, // slow uplinks so the kill lands mid-download
+                Duration::from_millis(5),
+            ));
+            peer_addrs.push((addr, key));
+        }
+        // Kill 2 of the 5 peers shortly after the download starts.
+        let doomed: Vec<PeerHost> = hosts.drain(0..2).collect();
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            for host in doomed {
+                host.shutdown();
+            }
+        });
+        let mut user = User::<Gf2p32>::new(owner, manifest).unwrap();
+        let data = download_file_with(
+            &network,
+            5,
+            &mut user,
+            &peer_addrs,
+            peer_addrs[4].0,
+            DownloadOptions {
+                timeout: Duration::from_secs(60),
+                stall_timeout: Duration::from_millis(200),
+                retry_backoff: Duration::from_millis(100),
+                max_peer_retries: 0,
+            },
+        )
+        .expect("survivors cover the demand");
+        killer.join().unwrap();
+        let expect: Vec<u8> = (0..640 * 1024).map(|i| (i * 41 % 251) as u8).collect();
+        assert_eq!(data, expect);
+        assert!(
+            user.stats().reassignments >= 1,
+            "dead peers' demand was re-planned: {:?}",
+            user.stats()
+        );
+        for host in hosts {
+            host.shutdown();
+        }
+    }
+
+    #[test]
+    fn all_peers_dead_fails_gracefully() {
+        let network = RtNetwork::new();
+        let owner = Identity::from_seed(b"rt-dead");
+        let (_batches, manifest) = build_file(&owner, 1, 16 * 1024);
+        // Nobody is listening at either address.
+        let mut user = User::<Gf2p32>::new(owner, manifest).unwrap();
+        let err = download_file_with(
+            &network,
+            6,
+            &mut user,
+            &[(600, [1u8; 64]), (601, [2u8; 64])],
+            600,
+            DownloadOptions {
+                timeout: Duration::from_secs(5),
+                stall_timeout: Duration::from_millis(100),
+                retry_backoff: Duration::from_millis(50),
+                max_peer_retries: 1,
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, SystemError::AllPeersUnavailable { .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn timeout_reports_real_message_counts() {
+        let network = RtNetwork::new();
+        let owner = Identity::from_seed(b"rt-counts");
+        let (batches, manifest) = build_file(&owner, 1, 32 * 1024);
+        let identity = Identity::from_seed(b"rt-partial2");
+        let key = identity.public_key().to_bytes();
+        let mut peer = Peer::new(identity, 1_000.0);
+        peer.add_subscriber(owner.public_key().to_bytes());
+        for m in batches.into_iter().next().unwrap().into_iter().take(2) {
+            peer.store_mut().insert(m);
+        }
+        let host = PeerHost::spawn(&network, 700, peer, 4 << 20, Duration::from_millis(5));
+        let mut user = User::<Gf2p32>::new(owner, manifest).unwrap();
+        let needed = user.messages_needed();
+        let err = download_file(
+            &network,
+            7,
+            &mut user,
+            &[(700, key)],
+            700,
+            Duration::from_millis(600),
+        )
+        .unwrap_err();
+        let SystemError::Codec(CodecError::NotEnoughMessages { have, need }) = err else {
+            panic!("expected NotEnoughMessages, got {err}");
+        };
+        assert_eq!(need, needed, "real requirement, not a percentage");
+        assert_eq!(have, 2, "exactly the two stored messages were counted");
         host.shutdown();
     }
 

@@ -7,8 +7,122 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A deterministic fault plan for the threaded transport: per-send loss
+/// and payload-corruption probabilities plus a uniform extra delivery
+/// delay, all drawn from a seeded PRNG stream.
+///
+/// Corruption touches only `MessageData` payload bytes, never framing or
+/// control messages — a flipped content bit surfaces as a per-message
+/// digest-authentication failure at the receiver, exactly like real link
+/// noise under the paper's MD5 scheme, rather than as a parse error.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    loss_prob: f64,
+    corrupt_prob: f64,
+    max_delay: Duration,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given RNG seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            loss_prob: 0.0,
+            corrupt_prob: 0.0,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// Sets the per-send loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics for probabilities outside `[0, 1]`.
+    #[must_use]
+    pub fn with_loss(mut self, prob: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&prob), "loss probability in [0, 1]");
+        self.loss_prob = prob;
+        self
+    }
+
+    /// Sets the per-send payload corruption probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics for probabilities outside `[0, 1]`.
+    #[must_use]
+    pub fn with_corruption(mut self, prob: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&prob), "corrupt probability in [0, 1]");
+        self.corrupt_prob = prob;
+        self
+    }
+
+    /// Sets the maximum extra delivery delay (drawn uniformly per send).
+    #[must_use]
+    pub fn with_delay(mut self, max: Duration) -> FaultPlan {
+        self.max_delay = max;
+        self
+    }
+}
+
+/// Counters of faults realized by the transport.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Sends whose payload was dropped in transit.
+    pub dropped: u64,
+    /// Sends whose payload was delivered bit-corrupted.
+    pub corrupted: u64,
+    /// Sends delivered late through the delay queue.
+    pub delayed: u64,
+}
+
+/// SplitMix64 for replayable fault decisions (not cryptographic).
+#[derive(Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    rng: Mutex<SplitMix64>,
+    /// Deliveries held back by injected delay: (due, destination, envelope).
+    held: Mutex<Vec<(Instant, u64, Envelope)>>,
+    dropped: AtomicU64,
+    corrupted: AtomicU64,
+    delayed: AtomicU64,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan) -> FaultState {
+        let rng = Mutex::new(SplitMix64(plan.seed));
+        FaultState {
+            plan,
+            rng,
+            held: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            corrupted: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+        }
+    }
+}
 
 /// A delivered message: sender address plus serialized wire bytes.
 #[derive(Debug, Clone)]
@@ -55,6 +169,7 @@ impl Inbox {
 #[derive(Debug, Clone, Default)]
 pub struct RtNetwork {
     registry: Arc<RwLock<HashMap<u64, Sender<Envelope>>>>,
+    fault: Arc<RwLock<Option<FaultState>>>,
 }
 
 impl RtNetwork {
@@ -80,20 +195,131 @@ impl RtNetwork {
         self.registry.write().remove(&addr);
     }
 
-    /// Sends a wire message from `from` to `to`; silently dropped if the
-    /// destination is gone (mirrors UDP semantics).
-    pub fn send(&self, from: u64, to: u64, wire: &Wire) {
-        self.send_bytes(from, to, wire.encode());
+    /// Whether `addr` currently has a registered inbox.
+    pub fn is_registered(&self, addr: u64) -> bool {
+        self.registry.read().contains_key(&addr)
     }
 
-    /// Sends pre-serialized bytes.
-    pub fn send_bytes(&self, from: u64, to: u64, bytes: Bytes) {
-        let guard = self.registry.read();
-        if let Some(tx) = guard.get(&to) {
-            let _ = tx.send(Envelope { from, bytes });
+    /// Installs a [`FaultPlan`] affecting every subsequent send; replaces
+    /// any previous plan and resets its counters. With no plan installed
+    /// the transport draws no random numbers at all.
+    pub fn install_faults(&self, plan: FaultPlan) {
+        *self.fault.write() = Some(FaultState::new(plan));
+    }
+
+    /// Removes the fault plan; messages still held in the delay queue are
+    /// discarded.
+    pub fn clear_faults(&self) {
+        *self.fault.write() = None;
+    }
+
+    /// Counters of faults realized so far (zero if no plan installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        match self.fault.read().as_ref() {
+            Some(f) => FaultStats {
+                dropped: f.dropped.load(Ordering::Relaxed),
+                corrupted: f.corrupted.load(Ordering::Relaxed),
+                delayed: f.delayed.load(Ordering::Relaxed),
+            },
+            None => FaultStats::default(),
         }
     }
+
+    /// Delivers any fault-delayed messages whose due time has passed.
+    /// Sends flush the queue opportunistically; hosts and download loops
+    /// call this each tick so delayed traffic cannot wedge a quiet network.
+    pub fn pump(&self) {
+        let mut due = Vec::new();
+        {
+            let guard = self.fault.read();
+            let Some(fault) = guard.as_ref() else {
+                return;
+            };
+            let now = Instant::now();
+            let mut held = fault.held.lock().expect("delay queue lock");
+            let mut i = 0;
+            while i < held.len() {
+                if held[i].0 <= now {
+                    due.push(held.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // Deliver oldest-first so delayed traffic stays roughly ordered.
+        due.sort_by_key(|(at, _, _)| *at);
+        let registry = self.registry.read();
+        for (_, to, envelope) in due {
+            if let Some(tx) = registry.get(&to) {
+                let _ = tx.send(envelope);
+            }
+        }
+    }
+
+    /// Sends a wire message from `from` to `to`. Returns whether the
+    /// destination was registered — `false` means the peer is gone and the
+    /// caller should treat the connection as dead. (An injected fault may
+    /// still drop or corrupt the payload of a `true` send, mirroring UDP:
+    /// the address resolved, the datagram may not survive.)
+    pub fn send(&self, from: u64, to: u64, wire: &Wire) -> bool {
+        self.send_bytes(from, to, wire.encode())
+    }
+
+    /// Sends pre-serialized bytes; same contract as [`send`](Self::send).
+    pub fn send_bytes(&self, from: u64, to: u64, bytes: Bytes) -> bool {
+        self.pump();
+        if !self.is_registered(to) {
+            return false;
+        }
+        let mut bytes = bytes;
+        let guard = self.fault.read();
+        if let Some(fault) = guard.as_ref() {
+            let mut rng = fault.rng.lock().expect("fault rng lock");
+            if fault.plan.loss_prob > 0.0 && rng.next_f64() < fault.plan.loss_prob {
+                fault.dropped.fetch_add(1, Ordering::Relaxed);
+                return true; // address resolved; datagram lost in transit
+            }
+            if fault.plan.corrupt_prob > 0.0
+                && rng.next_f64() < fault.plan.corrupt_prob
+                && bytes.first() == Some(&crate::protocol::TAG_MESSAGE_DATA)
+                && bytes.len() > MESSAGE_PAYLOAD_OFFSET
+            {
+                // Flip one bit inside the coded payload (never the framing),
+                // so the damage is caught by digest authentication.
+                let mut buf = bytes.to_vec();
+                let span = buf.len() - MESSAGE_PAYLOAD_OFFSET;
+                let at = MESSAGE_PAYLOAD_OFFSET + rng.next_u64() as usize % span;
+                buf[at] ^= 1 << (rng.next_u64() % 8);
+                bytes = Bytes::from(buf);
+                fault.corrupted.fetch_add(1, Ordering::Relaxed);
+            }
+            let delay_nanos = fault.plan.max_delay.as_nanos() as u64;
+            if delay_nanos > 0 {
+                let extra = Duration::from_nanos(rng.next_u64() % delay_nanos);
+                drop(rng);
+                if !extra.is_zero() {
+                    fault.delayed.fetch_add(1, Ordering::Relaxed);
+                    fault.held.lock().expect("delay queue lock").push((
+                        Instant::now() + extra,
+                        to,
+                        Envelope { from, bytes },
+                    ));
+                    return true;
+                }
+            }
+        }
+        drop(guard);
+        if let Some(tx) = self.registry.read().get(&to) {
+            let _ = tx.send(Envelope { from, bytes });
+        }
+        true
+    }
 }
+
+/// Byte offset of the coded payload inside a serialized
+/// [`Wire::MessageData`] frame: tag (1) + length (4) + file id (8) +
+/// message id (8).
+const MESSAGE_PAYLOAD_OFFSET: usize = 21;
 
 #[cfg(test)]
 mod tests {
@@ -110,16 +336,17 @@ mod tests {
     }
 
     #[test]
-    fn send_to_unknown_address_is_dropped() {
+    fn send_to_unknown_address_reports_failure() {
         let net = RtNetwork::new();
-        net.send(
+        let delivered = net.send(
             1,
             999,
             &Wire::AuthResult {
                 ok: true,
                 ack: [0u8; 96],
             },
-        ); // no panic
+        );
+        assert!(!delivered, "unknown destination is reported, not silent");
     }
 
     #[test]
@@ -153,5 +380,54 @@ mod tests {
         let inbox = net.register(3);
         clone.send(2, 3, &Wire::StopTransmission { file_id: 1 });
         assert!(inbox.try_recv().is_some());
+    }
+
+    #[test]
+    fn certain_loss_drops_payload_but_resolves_address() {
+        let net = RtNetwork::new();
+        let inbox = net.register(4);
+        net.install_faults(FaultPlan::new(9).with_loss(1.0));
+        assert!(net.send(1, 4, &Wire::FileRequest { file_id: 1 }));
+        assert!(inbox.try_recv().is_none(), "payload lost in transit");
+        assert_eq!(net.fault_stats().dropped, 1);
+        net.clear_faults();
+        assert!(net.send(1, 4, &Wire::FileRequest { file_id: 1 }));
+        assert!(inbox.try_recv().is_some(), "healthy again after clearing");
+    }
+
+    #[test]
+    fn corruption_touches_only_data_payloads() {
+        use asymshare_rlnc::{EncodedMessage, FileId, MessageId};
+        let net = RtNetwork::new();
+        let inbox = net.register(6);
+        net.install_faults(FaultPlan::new(11).with_corruption(1.0));
+        // Control frames pass through unharmed.
+        net.send(1, 6, &Wire::FileRequest { file_id: 3 });
+        let e = inbox.try_recv().unwrap();
+        assert_eq!(e.decode().unwrap(), Wire::FileRequest { file_id: 3 });
+        assert_eq!(net.fault_stats().corrupted, 0);
+        // Data frames arrive parseable but with a flipped payload bit.
+        let msg = EncodedMessage::new(FileId(3), MessageId(0), vec![0xAA; 32]);
+        net.send(1, 6, &Wire::MessageData(msg.clone()));
+        let e = inbox.try_recv().unwrap();
+        let Wire::MessageData(got) = e.decode().expect("framing intact") else {
+            panic!("still a data frame");
+        };
+        assert_eq!(got.file_id(), msg.file_id());
+        assert_eq!(got.message_id(), msg.message_id());
+        assert_ne!(got.payload(), msg.payload(), "one payload bit flipped");
+        assert_eq!(net.fault_stats().corrupted, 1);
+    }
+
+    #[test]
+    fn delayed_messages_arrive_after_pump() {
+        let net = RtNetwork::new();
+        let inbox = net.register(8);
+        net.install_faults(FaultPlan::new(13).with_delay(Duration::from_millis(5)));
+        net.send(1, 8, &Wire::FileRequest { file_id: 1 });
+        std::thread::sleep(Duration::from_millis(10));
+        net.pump();
+        assert!(inbox.try_recv().is_some(), "held message flushed as due");
+        assert_eq!(net.fault_stats().delayed, 1);
     }
 }

@@ -12,11 +12,15 @@ use crate::error::SystemError;
 use crate::identity::Identity;
 use crate::peer::{KeyBytes, Peer};
 use crate::protocol::Wire;
-use crate::user::User;
+use crate::user::{ConnStage, SessionStats, User};
 use asymshare_crypto::chacha20::ChaChaRng;
 use asymshare_gf::{FieldKind, Gf2p32};
-use asymshare_netsim::{LinkSpeed, NodeId, SimNet, SimTime};
-use asymshare_rlnc::{ChunkedEncoder, DigestKind, FileId, FileManifest};
+use asymshare_netsim::{
+    Event, EventKind, FaultPlan, FaultStats, LinkSpeed, NodeId, SimNet, SimTime,
+};
+use asymshare_rlnc::{
+    ChunkedEncoder, CodecError, DigestKind, EncodedMessage, FileId, FileManifest, MessageId,
+};
 use std::collections::HashMap;
 
 /// Runtime tuning knobs.
@@ -35,6 +39,15 @@ pub struct RuntimeConfig {
     /// One-way propagation delay on every transfer, seconds (default 0;
     /// set ~0.02–0.1 to model WAN RTTs — it mostly taxes the handshake).
     pub latency_secs: f64,
+    /// Simulated seconds without progress on a connection before the
+    /// downloader declares it stalled and starts recovery.
+    pub stall_timeout_secs: f64,
+    /// Base delay between recovery attempts on a stalled connection,
+    /// seconds; doubles with each consecutive retry.
+    pub retry_backoff_secs: f64,
+    /// Consecutive fruitless recoveries before a connection is written off
+    /// and its demand re-planned onto a surviving peer.
+    pub max_peer_retries: u32,
 }
 
 impl Default for RuntimeConfig {
@@ -46,6 +59,9 @@ impl Default for RuntimeConfig {
             k: 8,
             chunk_size: asymshare_rlnc::CHUNK_SIZE,
             latency_secs: 0.0,
+            stall_timeout_secs: 10.0,
+            retry_backoff_secs: 2.0,
+            max_peer_retries: 3,
         }
     }
 }
@@ -73,6 +89,16 @@ pub struct DownloadReport {
     pub redundant: u64,
     /// Bytes received per serving participant.
     pub per_peer_bytes: HashMap<usize, u64>,
+    /// Fault/recovery counters accumulated by the session's user.
+    pub stats: SessionStats,
+}
+
+/// Liveness bookkeeping for one user→peer connection.
+struct ConnHealth {
+    last_activity: SimTime,
+    next_attempt: SimTime,
+    retries: u32,
+    dead: bool,
 }
 
 struct Participant {
@@ -90,6 +116,8 @@ struct Session {
     home: usize,
     remote_node: NodeId,
     conns: HashMap<u64, usize>, // conn id -> participant index
+    health: HashMap<u64, ConnHealth>,
+    replace_rr: usize,
     started_at: SimTime,
     finished_at: Option<SimTime>,
     bytes_by_peer: HashMap<usize, u64>,
@@ -192,6 +220,38 @@ impl SimRuntime {
         self.net.now()
     }
 
+    /// Installs a deterministic fault plan (loss, corruption, jitter,
+    /// outages) on the underlying network simulator.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.net.set_fault_plan(plan);
+    }
+
+    /// Removes any installed fault plan; subsequent traffic is clean.
+    pub fn clear_fault_plan(&mut self) {
+        self.net.clear_fault_plan();
+    }
+
+    /// Counters of faults injected since the plan was installed.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.net.fault_stats()
+    }
+
+    /// The simulator node backing a participant — the handle fault plans
+    /// and outages target.
+    pub fn participant_node(&self, id: ParticipantId) -> NodeId {
+        self.participants[id.0].node
+    }
+
+    /// The simulator node hosting a session's remote downloader.
+    pub fn session_node(&self, id: SessionId) -> NodeId {
+        self.sessions[id.0].remote_node
+    }
+
+    /// A session's fault/recovery counters so far.
+    pub fn session_stats(&self, id: SessionId) -> &SessionStats {
+        self.sessions[id.0].user.stats()
+    }
+
     /// Runs the paper's initialization phase: encodes `data` under the
     /// owner's secret and uploads one decodable batch per target peer over
     /// the owner's (slow) uplink. Returns the manifest and the simulated
@@ -251,7 +311,7 @@ impl SimRuntime {
         }
         // Drain the upload phase to completion.
         while let Some(event) = self.net.step() {
-            self.deliver(event.tag);
+            self.deliver(event);
         }
         let duration = (self.net.now() - start).as_secs();
         Ok((enc.manifest().clone(), duration))
@@ -300,12 +360,29 @@ impl SimRuntime {
                 },
             );
         }
+        let now = self.net.now();
+        let health = conns
+            .keys()
+            .map(|&conn| {
+                (
+                    conn,
+                    ConnHealth {
+                        last_activity: now,
+                        next_attempt: now,
+                        retries: 0,
+                        dead: false,
+                    },
+                )
+            })
+            .collect();
         self.sessions.push(Session {
             user,
             home: owner.0,
             remote_node,
             conns,
-            started_at: self.net.now(),
+            health,
+            replace_rr: 0,
+            started_at: now,
             finished_at: None,
             bytes_by_peer: HashMap::new(),
         });
@@ -316,13 +393,14 @@ impl SimRuntime {
     pub fn run_slots(&mut self, slots: u64) {
         for _ in 0..slots {
             self.slot += 1;
+            self.heal_sessions();
             self.start_bulk_bursts();
             if self.slot.is_multiple_of(self.cfg.feedback_every_slots) {
                 self.send_feedback_reports();
             }
             let deadline = self.net.now().advance(self.cfg.slot_secs);
             while let Some(event) = self.net.step_until(deadline) {
-                self.deliver(event.tag);
+                self.deliver(event);
             }
         }
     }
@@ -331,7 +409,9 @@ impl SimRuntime {
     ///
     /// # Errors
     ///
-    /// [`SystemError::Codec`] if the deadline passes before completion.
+    /// [`SystemError::AllPeersUnavailable`] once every serving connection
+    /// has been written off; [`SystemError::Codec`] with the real message
+    /// counts if the deadline passes before completion.
     pub fn run_to_completion(
         &mut self,
         session: SessionId,
@@ -339,16 +419,21 @@ impl SimRuntime {
     ) -> Result<DownloadReport, SystemError> {
         for _ in 0..max_slots {
             self.run_slots(1);
-            if self.sessions[session.0].user.is_complete() {
+            let s = &self.sessions[session.0];
+            if s.user.is_complete() {
                 return self.report(session);
             }
+            if !s.health.is_empty() && s.health.values().all(|h| h.dead) {
+                return Err(SystemError::AllPeersUnavailable {
+                    have: s.user.independent_count(),
+                    need: s.user.messages_needed(),
+                });
+            }
         }
-        Err(SystemError::Codec(
-            asymshare_rlnc::CodecError::NotEnoughMessages {
-                have: (self.sessions[session.0].user.progress() * 100.0) as usize,
-                need: 100,
-            },
-        ))
+        Err(SystemError::Codec(CodecError::NotEnoughMessages {
+            have: self.sessions[session.0].user.independent_count(),
+            need: self.sessions[session.0].user.messages_needed(),
+        }))
     }
 
     /// Builds the report for a completed session.
@@ -369,6 +454,7 @@ impl SimRuntime {
             innovative: s.user.innovative_count(),
             redundant: s.user.redundant_count(),
             per_peer_bytes: s.bytes_by_peer.clone(),
+            stats: s.user.stats().clone(),
             data,
         })
     }
@@ -407,6 +493,9 @@ impl SimRuntime {
                 }
                 for (&conn, &pid) in &session.conns {
                     if pid != p_idx {
+                        continue;
+                    }
+                    if session.health.get(&conn).is_some_and(|h| h.dead) {
                         continue;
                     }
                     let peer = &self.participants[p_idx].peer;
@@ -530,8 +619,13 @@ impl SimRuntime {
     }
 
     /// Routes a completed flow's payload to its destination state machine.
-    fn deliver(&mut self, tag: u64) {
-        let Some(pending) = self.pending.remove(&tag) else {
+    ///
+    /// Fault injection surfaces here: a [`EventKind::FlowLost`] flow spent
+    /// its bytes on the links but delivers nothing, and a
+    /// [`EventKind::FlowCorrupted`] data message reaches the user with a
+    /// flipped payload bit so the digest check rejects it downstream.
+    fn deliver(&mut self, event: Event) {
+        let Some(pending) = self.pending.remove(&event.tag) else {
             return;
         };
         let refill = pending.bulk_from;
@@ -539,13 +633,33 @@ impl SimRuntime {
             let count = self.participants[p_idx].inflight.entry(conn).or_insert(1);
             *count = count.saturating_sub(1);
         }
+        if event.kind == EventKind::FlowLost {
+            // The payload is gone in transit; only the (omniscient)
+            // user-side drop counter observes it.
+            if let Endpoint::ToUser { session, .. } = pending.endpoint {
+                self.sessions[session].user.stats_mut().drops += 1;
+            }
+            self.repump(refill);
+            return;
+        }
+        let corrupted = event.kind == EventKind::FlowCorrupted;
         match pending.endpoint {
             Endpoint::StoreDeposit { participant } => {
+                if corrupted {
+                    // The depositing owner's transfer layer drops garbage.
+                    self.repump(refill);
+                    return;
+                }
                 if let Some(msg) = pending.msg {
                     self.participants[participant].peer.store_mut().insert(msg);
                 }
             }
             Endpoint::ToPeer { participant, conn } => {
+                if corrupted {
+                    // Peers discard control frames that fail to parse.
+                    self.repump(refill);
+                    return;
+                }
                 let Some(wire) = pending.wire else { return };
                 let replies = {
                     let peer = &mut self.participants[participant].peer;
@@ -581,6 +695,33 @@ impl SimRuntime {
                     self.repump(refill);
                     return;
                 };
+                let wire = match (corrupted, wire) {
+                    (true, Wire::MessageData(msg)) => {
+                        // Flip one payload bit (position keyed off the
+                        // message id so replays stay deterministic); the
+                        // MD5 digest check downstream rejects it.
+                        let mut payload = msg.payload().to_vec();
+                        if payload.is_empty() {
+                            self.repump(refill);
+                            return;
+                        }
+                        let at = (msg.message_id().0 as usize).wrapping_mul(7919) % payload.len();
+                        payload[at] ^= 1;
+                        Wire::MessageData(EncodedMessage::new(
+                            msg.file_id(),
+                            msg.message_id(),
+                            payload,
+                        ))
+                    }
+                    (true, _) => {
+                        // A mangled control frame fails to parse: the user
+                        // sees nothing but a drop.
+                        self.sessions[session].user.stats_mut().drops += 1;
+                        self.repump(refill);
+                        return;
+                    }
+                    (false, wire) => wire,
+                };
                 // Account data bytes per contributing peer.
                 if let Wire::MessageData(_) = &wire {
                     if let Some(&p_idx) = self.sessions[session].conns.get(&conn) {
@@ -591,11 +732,49 @@ impl SimRuntime {
                             .or_insert(0) += len;
                     }
                 }
+                // Anything arriving on the connection — even a rejected
+                // message — proves the peer is alive.
+                let now = self.net.now();
+                if let Some(h) = self.sessions[session].health.get_mut(&conn) {
+                    h.last_activity = now;
+                    h.retries = 0;
+                }
                 let was_complete = self.sessions[session].user.is_complete();
-                let replies = self.sessions[session]
-                    .user
-                    .on_message(conn, wire, &mut self.rng)
-                    .unwrap_or_default();
+                let replies =
+                    match self.sessions[session]
+                        .user
+                        .on_message(conn, wire, &mut self.rng)
+                    {
+                        Ok(replies) => replies,
+                        Err(SystemError::Codec(CodecError::AuthenticationFailed { id })) => {
+                            // Digest-rejected message: ask the sender for a
+                            // different one covering the same chunk.
+                            self.sessions[session].user.stats_mut().replacements += 1;
+                            let request = Wire::ReplacementRequest {
+                                file_id: self.sessions[session].user.file_id(),
+                                chunk: FileManifest::chunk_of(MessageId(id)),
+                            };
+                            if let Some(&p_idx) = self.sessions[session].conns.get(&conn) {
+                                let remote = self.sessions[session].remote_node;
+                                let node = self.participants[p_idx].node;
+                                self.send_control(
+                                    remote,
+                                    node,
+                                    Pending {
+                                        endpoint: Endpoint::ToPeer {
+                                            participant: p_idx,
+                                            conn,
+                                        },
+                                        wire: Some(request),
+                                        msg: None,
+                                        bulk_from: None,
+                                    },
+                                );
+                            }
+                            Vec::new()
+                        }
+                        Err(_) => Vec::new(),
+                    };
                 if !was_complete && self.sessions[session].user.is_complete() {
                     self.sessions[session].finished_at = Some(self.net.now());
                 }
@@ -623,6 +802,136 @@ impl SimRuntime {
         self.repump(refill);
     }
 
+    /// Per-slot self-healing pass: every live connection that has gone
+    /// quiet past the stall timeout is nudged with a fresh
+    /// [`Wire::FileRequest`] under exponential backoff; after
+    /// `max_peer_retries` fruitless nudges the connection is written off
+    /// and its demand re-planned onto a surviving peer.
+    fn heal_sessions(&mut self) {
+        let now = self.net.now();
+        for s_idx in 0..self.sessions.len() {
+            let session = &self.sessions[s_idx];
+            if session.finished_at.is_some() || session.user.is_complete() {
+                continue;
+            }
+            let mut conns: Vec<u64> = session.health.keys().copied().collect();
+            conns.sort_unstable(); // deterministic recovery order
+            for conn in conns {
+                let h = &self.sessions[s_idx].health[&conn];
+                if h.dead
+                    || (now - h.last_activity).as_secs() < self.cfg.stall_timeout_secs
+                    || now < h.next_attempt
+                {
+                    continue;
+                }
+                if h.retries >= self.cfg.max_peer_retries {
+                    self.write_off(s_idx, conn);
+                    self.reassign(s_idx);
+                    continue;
+                }
+                {
+                    let h = self.sessions[s_idx].health.get_mut(&conn).unwrap();
+                    h.retries += 1;
+                    let backoff = self.cfg.retry_backoff_secs * (1u32 << h.retries.min(3)) as f64;
+                    h.next_attempt = now.advance(backoff);
+                }
+                self.sessions[s_idx].user.stats_mut().retries += 1;
+                let file_id = self.sessions[s_idx].user.file_id();
+                let Some(&p_idx) = self.sessions[s_idx].conns.get(&conn) else {
+                    continue;
+                };
+                // A downloading connection is nudged with a fresh file
+                // request (the peer restarts its sweep; the decoder
+                // rejects anything it already absorbed). A connection
+                // stuck mid-handshake restarts the handshake instead.
+                let wire = if self.sessions[s_idx].user.stage(conn) == Some(ConnStage::Downloading)
+                {
+                    Wire::FileRequest { file_id }
+                } else {
+                    let peer_key = self.participants[p_idx]
+                        .peer
+                        .identity()
+                        .public_key()
+                        .to_bytes();
+                    self.sessions[s_idx]
+                        .user
+                        .connect(conn, peer_key, &mut self.rng)
+                };
+                let remote = self.sessions[s_idx].remote_node;
+                let node = self.participants[p_idx].node;
+                self.send_control(
+                    remote,
+                    node,
+                    Pending {
+                        endpoint: Endpoint::ToPeer {
+                            participant: p_idx,
+                            conn,
+                        },
+                        wire: Some(wire),
+                        msg: None,
+                        bulk_from: None,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Marks a connection dead and drops the user-side state.
+    fn write_off(&mut self, s_idx: usize, conn: u64) {
+        if let Some(h) = self.sessions[s_idx].health.get_mut(&conn) {
+            h.dead = true;
+        }
+        self.sessions[s_idx].user.drop_conn(conn);
+    }
+
+    /// Re-plans a dead connection's demand onto the next live downloading
+    /// survivor (round-robin): a fresh file request restarts that peer's
+    /// sweep, and re-declared chunk stops keep it off finished chunks.
+    fn reassign(&mut self, s_idx: usize) {
+        let session = &self.sessions[s_idx];
+        let mut live: Vec<u64> = session
+            .health
+            .iter()
+            .filter(|(&c, h)| !h.dead && session.user.stage(c) == Some(ConnStage::Downloading))
+            .map(|(&c, _)| c)
+            .collect();
+        if live.is_empty() {
+            return;
+        }
+        live.sort_unstable();
+        let target = live[session.replace_rr % live.len()];
+        self.sessions[s_idx].replace_rr += 1;
+        self.sessions[s_idx].user.stats_mut().reassignments += 1;
+        let file_id = self.sessions[s_idx].user.file_id();
+        let chunks = self.sessions[s_idx].user.completed_chunks();
+        let Some(&p_idx) = self.sessions[s_idx].conns.get(&target) else {
+            return;
+        };
+        let remote = self.sessions[s_idx].remote_node;
+        let node = self.participants[p_idx].node;
+        let mut wires = vec![Wire::FileRequest { file_id }];
+        wires.extend(
+            chunks
+                .into_iter()
+                .map(|chunk| Wire::StopChunk { file_id, chunk }),
+        );
+        for wire in wires {
+            self.send_control(
+                remote,
+                node,
+                Pending {
+                    endpoint: Endpoint::ToPeer {
+                        participant: p_idx,
+                        conn: target,
+                    },
+                    wire: Some(wire),
+                    msg: None,
+                    bulk_from: None,
+                },
+            );
+        }
+    }
+
     /// Restarts a connection's bulk pipeline after one of its flows
     /// completed (remaining deficit permitting).
     fn repump(&mut self, refill: Option<(usize, u64)>) {
@@ -648,12 +957,10 @@ mod tests {
 
     fn small_cfg() -> RuntimeConfig {
         RuntimeConfig {
-            slot_secs: 1.0,
             feedback_every_slots: 5,
-            initial_credit_bytes: 1_000.0,
             k: 4,
             chunk_size: 16 * 1024,
-            latency_secs: 0.0,
+            ..RuntimeConfig::default()
         }
     }
 

@@ -9,8 +9,35 @@ use crate::protocol::{FeedbackEntry, FeedbackReport, Wire};
 use crate::session::Prover;
 use asymshare_crypto::chacha20::ChaChaRng;
 use asymshare_gf::Field;
-use asymshare_rlnc::{ChunkedDecoder, FileManifest};
+use asymshare_rlnc::{ChunkedDecoder, CodecError, FileManifest};
 use std::collections::HashMap;
+
+/// Fault and recovery counters for one download session.
+///
+/// Filled in by the user core (corruptions, duplicates, cumulative bytes)
+/// and by the self-healing drivers in the runtimes (drops, retries,
+/// reassignments, replacements), so tests and benches can assert recovery
+/// behavior instead of eyeballing logs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionStats {
+    /// Messages lost in transit (never usable at the receiver).
+    pub drops: u64,
+    /// Messages rejected by per-message digest authentication (bit
+    /// corruption or tampering).
+    pub corruptions: u64,
+    /// Exact-duplicate messages rejected by the decoder (typically re-sent
+    /// after a reconnect).
+    pub duplicates: u64,
+    /// Reconnect attempts made to stalled or dropped peers.
+    pub retries: u64,
+    /// Times demand was re-planned from a dead peer onto a survivor.
+    pub reassignments: u64,
+    /// Replacement requests sent for digest-rejected messages.
+    pub replacements: u64,
+    /// Cumulative payload bytes per contributing peer (unlike the feedback
+    /// window tallies, never reset).
+    pub bytes_by_peer: HashMap<KeyBytes, u64>,
+}
 
 /// Per-connection download state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +76,7 @@ pub struct User<F: Field> {
     received_from: HashMap<KeyBytes, u64>,
     innovative: u64,
     redundant: u64,
+    stats: SessionStats,
 }
 
 impl<F: Field> User<F> {
@@ -69,6 +97,7 @@ impl<F: Field> User<F> {
             received_from: HashMap::new(),
             innovative: 0,
             redundant: 0,
+            stats: SessionStats::default(),
         })
     }
 
@@ -176,8 +205,19 @@ impl<F: Field> User<F> {
                 }
                 let chunk = asymshare_rlnc::FileManifest::chunk_of(msg.message_id());
                 let chunk_was_complete = self.decoder.chunk_complete(chunk).unwrap_or(false);
-                let innovative = self.decoder.add_message(msg)?;
+                let innovative = match self.decoder.add_message(msg) {
+                    Ok(innovative) => innovative,
+                    Err(e) => {
+                        match &e {
+                            CodecError::AuthenticationFailed { .. } => self.stats.corruptions += 1,
+                            CodecError::DuplicateMessage { .. } => self.stats.duplicates += 1,
+                            _ => {}
+                        }
+                        return Err(e.into());
+                    }
+                };
                 *self.received_from.entry(peer_key).or_insert(0) += wire_len;
+                *self.stats.bytes_by_peer.entry(peer_key).or_insert(0) += wire_len;
                 if innovative {
                     self.innovative += 1;
                 } else {
@@ -276,6 +316,41 @@ impl<F: Field> User<F> {
     /// Bytes received per contributor in the current feedback window.
     pub fn window_bytes(&self) -> &HashMap<KeyBytes, u64> {
         &self.received_from
+    }
+
+    /// Fault and recovery counters for this session.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Mutable access for the runtime's self-healing driver, which records
+    /// drops, retries, and reassignments it performs on the user's behalf.
+    pub fn stats_mut(&mut self) -> &mut SessionStats {
+        &mut self.stats
+    }
+
+    /// Forgets a connection (the peer died or stalled past its deadline).
+    /// Returns the peer key it pointed at, if the connection existed.
+    pub fn drop_conn(&mut self, conn: u64) -> Option<KeyBytes> {
+        self.conns.remove(&conn).map(|c| c.peer_key)
+    }
+
+    /// Chunks that are already decodable — a reconnecting peer is told to
+    /// skip these immediately instead of re-streaming them.
+    pub fn completed_chunks(&self) -> Vec<u32> {
+        (0..self.decoder.manifest().chunk_count())
+            .filter(|&i| self.decoder.chunk_complete(i).unwrap_or(false))
+            .collect()
+    }
+
+    /// Linearly independent messages received so far.
+    pub fn independent_count(&self) -> usize {
+        self.decoder.independent_count()
+    }
+
+    /// Independent messages required to decode the whole file.
+    pub fn messages_needed(&self) -> usize {
+        self.decoder.messages_needed()
     }
 }
 

@@ -1,0 +1,314 @@
+//! Deterministic, seeded fault injection for the simulated network.
+//!
+//! A [`FaultPlan`] describes the misbehaviour to impose on the network:
+//! per-link loss probability, payload bit-corruption probability, latency
+//! jitter, and scheduled node outages (including permanent "churn" kills).
+//! Install one with [`SimNet::set_fault_plan`](crate::SimNet::set_fault_plan);
+//! every decision is drawn from a seeded [`SplitMix64`] stream, so a given
+//! `(plan, workload)` pair replays byte-for-byte.
+//!
+//! The simulator itself only marks flows as lost or corrupted — the
+//! application layer above decides what a lost or corrupted payload means
+//! (a discarded wire message, a flipped payload bit that fails digest
+//! authentication, ...). Outages zero a node's link capacities for the
+//! scheduled window, stalling its flows without destroying them, which is
+//! exactly how a crashed or partitioned host looks from the outside.
+
+use crate::node::NodeId;
+use std::collections::HashMap;
+
+/// Loss/corruption/jitter knobs for flows leaving one node (or, as the
+/// plan-wide default, any node).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkFault {
+    /// Probability in `[0, 1]` that a flow's payload is lost in transit.
+    /// The bytes still traverse (and congest) the links; the receiver just
+    /// never gets a usable payload — a checksum-failing transfer.
+    pub loss_prob: f64,
+    /// Probability in `[0, 1]` that the payload arrives bit-corrupted.
+    pub corrupt_prob: f64,
+    /// Maximum extra one-way delay in seconds, drawn uniformly per flow.
+    pub jitter_secs: f64,
+}
+
+impl LinkFault {
+    fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.loss_prob) && (0.0..=1.0).contains(&self.corrupt_prob),
+            "fault probabilities must lie in [0, 1]"
+        );
+        assert!(
+            self.jitter_secs.is_finite() && self.jitter_secs >= 0.0,
+            "jitter must be finite and non-negative"
+        );
+    }
+
+    fn is_noop(&self) -> bool {
+        self.loss_prob == 0.0 && self.corrupt_prob == 0.0 && self.jitter_secs == 0.0
+    }
+}
+
+/// A scheduled node outage: the node's uplink and downlink are zero for
+/// `[from_secs, until_secs)`. An infinite `until_secs` models churn — the
+/// node leaves and never comes back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outage {
+    /// The affected node.
+    pub node: NodeId,
+    /// Outage start, seconds of simulated time.
+    pub from_secs: f64,
+    /// Outage end (exclusive); `f64::INFINITY` for a permanent kill.
+    pub until_secs: f64,
+}
+
+/// Counters of faults actually realized (not merely configured).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Flows whose payload was dropped in transit.
+    pub lost_flows: u64,
+    /// Flows whose payload was delivered corrupted.
+    pub corrupted_flows: u64,
+    /// Flows that received extra jitter delay.
+    pub delayed_flows: u64,
+}
+
+/// A deterministic, seeded description of network misbehaviour.
+///
+/// # Example
+///
+/// ```rust
+/// use asymshare_netsim::{FaultPlan, LinkSpeed, SimNet};
+///
+/// let mut net = SimNet::new();
+/// let a = net.add_node(LinkSpeed::kbps(256.0), LinkSpeed::kbps(3000.0));
+/// let b = net.add_node(LinkSpeed::kbps(256.0), LinkSpeed::kbps(3000.0));
+/// net.set_fault_plan(
+///     FaultPlan::new(42)
+///         .with_loss(0.05)
+///         .with_corruption(0.01)
+///         .with_jitter(0.02)
+///         .with_kill(b, 30.0), // b churns out of the system at t = 30 s
+/// );
+/// net.start_flow(a, b, 10_000, 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    default: LinkFault,
+    per_node: HashMap<usize, LinkFault>,
+    outages: Vec<Outage>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given RNG seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets the default per-flow loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics for probabilities outside `[0, 1]`.
+    #[must_use]
+    pub fn with_loss(mut self, prob: f64) -> FaultPlan {
+        self.default.loss_prob = prob;
+        self.default.validate();
+        self
+    }
+
+    /// Sets the default per-flow payload corruption probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics for probabilities outside `[0, 1]`.
+    #[must_use]
+    pub fn with_corruption(mut self, prob: f64) -> FaultPlan {
+        self.default.corrupt_prob = prob;
+        self.default.validate();
+        self
+    }
+
+    /// Sets the default maximum per-flow jitter in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a negative or non-finite jitter.
+    #[must_use]
+    pub fn with_jitter(mut self, max_secs: f64) -> FaultPlan {
+        self.default.jitter_secs = max_secs;
+        self.default.validate();
+        self
+    }
+
+    /// Overrides the fault knobs for flows *leaving* `node` (a per-link
+    /// fault: this node's uplink path is lossier/noisier than the rest).
+    ///
+    /// # Panics
+    ///
+    /// Panics for invalid probabilities or jitter.
+    #[must_use]
+    pub fn with_node_fault(mut self, node: NodeId, fault: LinkFault) -> FaultPlan {
+        fault.validate();
+        self.per_node.insert(node.index(), fault);
+        self
+    }
+
+    /// Schedules an outage window for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a negative start or an end before the start.
+    #[must_use]
+    pub fn with_outage(mut self, node: NodeId, from_secs: f64, until_secs: f64) -> FaultPlan {
+        assert!(
+            from_secs.is_finite() && from_secs >= 0.0 && until_secs > from_secs,
+            "outage window must be non-negative and non-empty"
+        );
+        self.outages.push(Outage {
+            node,
+            from_secs,
+            until_secs,
+        });
+        self
+    }
+
+    /// Kills `node` permanently at `at_secs` (peer churn).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a negative or non-finite kill time.
+    #[must_use]
+    pub fn with_kill(self, node: NodeId, at_secs: f64) -> FaultPlan {
+        self.with_outage(node, at_secs, f64::INFINITY)
+    }
+
+    /// The RNG seed the plan replays from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault knobs that apply to flows leaving `src`.
+    pub fn fault_for(&self, src: NodeId) -> LinkFault {
+        self.per_node
+            .get(&src.index())
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    /// Whether the plan can affect any flow at all.
+    pub fn is_noop(&self) -> bool {
+        self.default.is_noop()
+            && self.per_node.values().all(LinkFault::is_noop)
+            && self.outages.is_empty()
+    }
+
+    /// Whether `node` is inside an outage window at time `now`.
+    pub fn node_down(&self, node: NodeId, now_secs: f64) -> bool {
+        self.outages
+            .iter()
+            .any(|o| o.node == node && o.from_secs <= now_secs && now_secs < o.until_secs)
+    }
+
+    /// Whether any outage is active at `now` (capacities need masking).
+    pub(crate) fn any_outage_active(&self, now_secs: f64) -> bool {
+        self.outages
+            .iter()
+            .any(|o| o.from_secs <= now_secs && now_secs < o.until_secs)
+    }
+
+    /// The next instant strictly after `now` at which an outage begins or
+    /// ends — a point where flow rates must be recomputed.
+    pub(crate) fn next_transition_after(&self, now_secs: f64) -> Option<f64> {
+        self.outages
+            .iter()
+            .flat_map(|o| [o.from_secs, o.until_secs])
+            .filter(|&t| t.is_finite() && t > now_secs)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite transition times"))
+    }
+}
+
+/// SplitMix64 — the tiny deterministic PRNG driving fault decisions.
+///
+/// Not cryptographic (the coding RNG elsewhere in the workspace is
+/// ChaCha20-based); fault injection only needs replayable uniform draws.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniformish() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let draws: Vec<f64> = (0..1000).map(|_| a.next_f64()).collect();
+        assert!(draws.iter().all(|&x| (0.0..1.0).contains(&x)));
+        assert!((0..1000).all(|i| b.next_f64() == draws[i]));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn plan_selects_per_node_overrides() {
+        let node = NodeId(3);
+        let other = NodeId(4);
+        let plan = FaultPlan::new(1).with_loss(0.1).with_node_fault(
+            node,
+            LinkFault {
+                loss_prob: 0.9,
+                ..LinkFault::default()
+            },
+        );
+        assert_eq!(plan.fault_for(node).loss_prob, 0.9);
+        assert_eq!(plan.fault_for(other).loss_prob, 0.1);
+        assert!(!plan.is_noop());
+        assert!(FaultPlan::new(5).is_noop());
+    }
+
+    #[test]
+    fn outage_windows_and_transitions() {
+        let n = NodeId(0);
+        let plan = FaultPlan::new(2)
+            .with_outage(n, 10.0, 20.0)
+            .with_kill(NodeId(1), 15.0);
+        assert!(!plan.node_down(n, 9.99));
+        assert!(plan.node_down(n, 10.0));
+        assert!(plan.node_down(n, 19.99));
+        assert!(!plan.node_down(n, 20.0));
+        assert!(plan.node_down(NodeId(1), 1e12), "kill is permanent");
+        assert_eq!(plan.next_transition_after(0.0), Some(10.0));
+        assert_eq!(plan.next_transition_after(10.0), Some(15.0));
+        assert_eq!(plan.next_transition_after(15.0), Some(20.0));
+        assert_eq!(plan.next_transition_after(20.0), None, "infinity excluded");
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities must lie in [0, 1]")]
+    fn invalid_probability_panics() {
+        let _ = FaultPlan::new(0).with_loss(1.5);
+    }
+}

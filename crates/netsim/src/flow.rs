@@ -40,6 +40,10 @@ pub(crate) struct Flow {
     /// Propagation delay: the flow carries no bytes before this time.
     pub starts_at: f64, // seconds
     pub tag: u64,
+    /// Fault injection decided the payload is dropped in transit.
+    pub lost: bool,
+    /// Fault injection decided the payload arrives bit-corrupted.
+    pub corrupted: bool,
 }
 
 /// Computes max-min fair rates by progressive filling.
@@ -140,6 +144,8 @@ mod tests {
             rate: 0.0,
             starts_at: 0.0,
             tag: 0,
+            lost: false,
+            corrupted: false,
         }
     }
 

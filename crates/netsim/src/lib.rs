@@ -31,11 +31,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod flow;
 mod net;
 mod node;
 mod time;
 
+pub use fault::{FaultPlan, FaultStats, LinkFault, Outage};
 pub use flow::{FlowId, FlowProgress};
 pub use net::{Event, EventKind, SimNet};
 pub use node::{LinkSpeed, NodeId, NodeStats};

@@ -1,5 +1,6 @@
 //! The discrete-event engine.
 
+use crate::fault::{FaultPlan, FaultStats, SplitMix64};
 use crate::flow::{assign_max_min_rates, Flow, FlowId, FlowProgress};
 use crate::node::{LinkSpeed, Node, NodeId, NodeStats};
 use crate::time::SimTime;
@@ -9,6 +10,12 @@ use crate::time::SimTime;
 pub enum EventKind {
     /// A flow delivered all its bytes.
     FlowCompleted,
+    /// A flow finished transferring but fault injection dropped the
+    /// payload in transit: the receiver gets nothing usable.
+    FlowLost,
+    /// A flow finished transferring but fault injection corrupted the
+    /// payload: the receiver gets damaged bytes.
+    FlowCorrupted,
 }
 
 /// A simulation event.
@@ -45,6 +52,15 @@ pub struct SimNet {
     /// One-way propagation delay applied to every flow started from now on
     /// (seconds; default 0).
     propagation_delay: f64,
+    /// Installed fault plan plus its RNG stream and realized-fault counters.
+    fault: Option<FaultState>,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    stats: FaultStats,
 }
 
 impl SimNet {
@@ -71,6 +87,42 @@ impl SimNet {
             "propagation delay must be finite and non-negative"
         );
         self.propagation_delay = secs;
+    }
+
+    /// Installs a [`FaultPlan`]: flows started from now on may be lost,
+    /// corrupted, or jittered, and scheduled outages zero the affected
+    /// node's links for their window. Replaces any previous plan (and
+    /// restarts its RNG stream from the plan's seed); realized-fault
+    /// counters reset. With no plan installed the engine draws no random
+    /// numbers at all, so fault-free runs are byte-identical to runs on a
+    /// build without fault injection.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let rng = SplitMix64::new(plan.seed());
+        self.fault = Some(FaultState {
+            plan,
+            rng,
+            stats: FaultStats::default(),
+        });
+        self.rates_dirty = true;
+    }
+
+    /// Removes the fault plan; in-flight fault decisions (already-sampled
+    /// lost/corrupted flows) still play out.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault = None;
+        self.rates_dirty = true;
+    }
+
+    /// Counters of faults realized so far (zero if no plan installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Whether `node` is currently inside a scheduled outage window.
+    pub fn node_down(&self, node: NodeId) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|f| f.plan.node_down(node, self.now.as_secs()))
     }
 
     /// Adds a node with the given uplink and downlink capacities.
@@ -125,6 +177,26 @@ impl SimNet {
         self.settle_progress();
         let id = FlowId(self.next_flow_id);
         self.next_flow_id += 1;
+        let mut starts_at = self.now.as_secs() + self.propagation_delay;
+        let mut lost = false;
+        let mut corrupted = false;
+        // Fault decisions are sampled once, at flow start, from the plan's
+        // seeded stream — the whole run replays from the seed.
+        if let Some(fault) = &mut self.fault {
+            let knobs = fault.plan.fault_for(src);
+            if knobs.jitter_secs > 0.0 {
+                starts_at += fault.rng.next_f64() * knobs.jitter_secs;
+                fault.stats.delayed_flows += 1;
+            }
+            if knobs.loss_prob > 0.0 && fault.rng.next_f64() < knobs.loss_prob {
+                lost = true;
+                fault.stats.lost_flows += 1;
+            }
+            if !lost && knobs.corrupt_prob > 0.0 && fault.rng.next_f64() < knobs.corrupt_prob {
+                corrupted = true;
+                fault.stats.corrupted_flows += 1;
+            }
+        }
         self.flows.push(Flow {
             id,
             src,
@@ -132,8 +204,10 @@ impl SimNet {
             total_bytes: bytes,
             remaining: bytes as f64,
             rate: 0.0,
-            starts_at: self.now.as_secs() + self.propagation_delay,
+            starts_at,
             tag,
+            lost,
+            corrupted,
         });
         self.rates_dirty = true;
         id
@@ -188,15 +262,26 @@ impl SimNet {
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite etas"))
     }
 
-    /// Seconds until the next pending flow leaves its propagation-delay
-    /// window (rates must be recomputed at that instant).
+    /// Seconds until the next instant at which rates must be recomputed for
+    /// a reason other than a completion: a pending flow leaving its
+    /// propagation-delay window, or a scheduled outage beginning/ending.
     fn next_start(&self) -> Option<f64> {
         let now = self.now.as_secs();
-        self.flows
+        let flow_wake = self
+            .flows
             .iter()
             .filter(|f| f.starts_at > now)
             .map(|f| f.starts_at - now)
-            .min_by(|a, b| a.partial_cmp(b).expect("finite starts"))
+            .min_by(|a, b| a.partial_cmp(b).expect("finite starts"));
+        // Outage boundaries only matter while flows exist to re-rate.
+        let outage_wake = match &self.fault {
+            Some(f) if !self.flows.is_empty() => f.plan.next_transition_after(now).map(|t| t - now),
+            _ => None,
+        };
+        [flow_wake, outage_wake]
+            .into_iter()
+            .flatten()
+            .min_by(|a, b| a.partial_cmp(b).expect("finite wakes"))
     }
 
     /// Advances to the next flow completion and returns it, or `None` when
@@ -222,9 +307,18 @@ impl SimNet {
                 self.nodes[flow.src.0].stats.bytes_sent += flow.total_bytes;
                 self.nodes[flow.dst.0].stats.bytes_received += flow.total_bytes;
                 self.rates_dirty = true;
+                // Lost/corrupted payloads still traversed (and congested)
+                // the links; only the delivered event kind differs.
+                let kind = if flow.lost {
+                    EventKind::FlowLost
+                } else if flow.corrupted {
+                    EventKind::FlowCorrupted
+                } else {
+                    EventKind::FlowCompleted
+                };
                 return Some(Event {
                     at,
-                    kind: EventKind::FlowCompleted,
+                    kind,
                     flow: flow.id,
                     src: flow.src,
                     dst: flow.dst,
@@ -311,10 +405,35 @@ impl SimNet {
     }
 
     fn refresh_rates(&mut self) {
-        if self.rates_dirty {
-            assign_max_min_rates(&self.nodes, &mut self.flows, self.now.as_secs());
-            self.rates_dirty = false;
+        if !self.rates_dirty {
+            return;
         }
+        let now = self.now.as_secs();
+        match &self.fault {
+            // A node in outage has zero effective capacity: its flows stall
+            // at rate 0 (but stay queued) until the window ends.
+            Some(f) if f.plan.any_outage_active(now) => {
+                let masked: Vec<Node> = self
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, nd)| {
+                        if f.plan.node_down(NodeId(i), now) {
+                            Node {
+                                up: 0.0,
+                                down: 0.0,
+                                stats: nd.stats,
+                            }
+                        } else {
+                            nd.clone()
+                        }
+                    })
+                    .collect();
+                assign_max_min_rates(&masked, &mut self.flows, now);
+            }
+            _ => assign_max_min_rates(&self.nodes, &mut self.flows, now),
+        }
+        self.rates_dirty = false;
     }
 }
 
@@ -538,5 +657,92 @@ mod tests {
         let mut net = SimNet::new();
         let a = net.add_node(kbps(1.0), kbps(1.0));
         net.start_flow(a, a, 1, 0);
+    }
+
+    #[test]
+    fn certain_loss_marks_every_flow_lost() {
+        let mut net = SimNet::new();
+        let a = net.add_node(kbps(100.0), kbps(10_000.0));
+        let b = net.add_node(kbps(100.0), kbps(10_000.0));
+        net.set_fault_plan(FaultPlan::new(1).with_loss(1.0));
+        net.start_flow(a, b, 12_500, 0);
+        let e = net.step().unwrap();
+        assert_eq!(e.kind, EventKind::FlowLost);
+        assert_eq!(net.fault_stats().lost_flows, 1);
+        // Lost bytes still congested the links, so they are still booked.
+        assert_eq!(net.stats(b).bytes_received, 12_500);
+    }
+
+    #[test]
+    fn certain_corruption_marks_flows_corrupted() {
+        let mut net = SimNet::new();
+        let a = net.add_node(kbps(100.0), kbps(10_000.0));
+        let b = net.add_node(kbps(100.0), kbps(10_000.0));
+        net.set_fault_plan(FaultPlan::new(1).with_corruption(1.0));
+        net.start_flow(a, b, 12_500, 0);
+        assert_eq!(net.step().unwrap().kind, EventKind::FlowCorrupted);
+        assert_eq!(net.fault_stats().corrupted_flows, 1);
+    }
+
+    #[test]
+    fn fault_runs_replay_from_the_seed() {
+        let run = |seed: u64| {
+            let mut net = SimNet::new();
+            let a = net.add_node(kbps(100.0), kbps(10_000.0));
+            let b = net.add_node(kbps(100.0), kbps(10_000.0));
+            net.set_fault_plan(
+                FaultPlan::new(seed)
+                    .with_loss(0.3)
+                    .with_corruption(0.2)
+                    .with_jitter(0.05),
+            );
+            let mut events = Vec::new();
+            for i in 0..50 {
+                net.start_flow(a, b, 1_000 + i, i);
+            }
+            while let Some(e) = net.step() {
+                events.push((e.tag, e.kind, e.at));
+            }
+            (events, net.fault_stats())
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7).0, run(8).0, "different seed, different schedule");
+        let (_, stats) = run(7);
+        assert!(stats.lost_flows > 0 && stats.corrupted_flows > 0);
+        assert_eq!(stats.delayed_flows, 50, "every flow drew jitter");
+    }
+
+    #[test]
+    fn outage_stalls_flows_until_the_window_ends() {
+        let mut net = SimNet::new();
+        let a = net.add_node(kbps(100.0), kbps(10_000.0));
+        let b = net.add_node(kbps(100.0), kbps(10_000.0));
+        // 2 s of transfer, but the sender is down for t ∈ [1, 4): the flow
+        // runs 1 s, stalls 3 s, then finishes its last second at t = 5.
+        net.set_fault_plan(FaultPlan::new(3).with_outage(a, 1.0, 4.0));
+        net.start_flow(a, b, 25_000, 0);
+        assert!(net.node_down(a) || net.now().as_secs() < 1.0);
+        let e = net.step().unwrap();
+        assert!(
+            (e.at.as_secs() - 5.0).abs() < 1e-9,
+            "got {}",
+            e.at.as_secs()
+        );
+    }
+
+    #[test]
+    fn killed_node_never_finishes_its_flow() {
+        let mut net = SimNet::new();
+        let a = net.add_node(kbps(100.0), kbps(10_000.0));
+        let b = net.add_node(kbps(100.0), kbps(10_000.0));
+        let c = net.add_node(kbps(100.0), kbps(10_000.0));
+        net.set_fault_plan(FaultPlan::new(4).with_kill(a, 0.5));
+        net.start_flow(a, b, 25_000, 1); // would finish at t = 2
+        net.start_flow(c, b, 25_000, 2); // finishes at t = 2 regardless
+        let e = net.step().unwrap();
+        assert_eq!(e.tag, 2, "only the live sender completes");
+        assert!(net.step().is_none(), "dead sender's flow is stuck");
+        assert!(net.node_down(a));
+        assert_eq!(net.active_flows(), 1);
     }
 }

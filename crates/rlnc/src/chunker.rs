@@ -461,8 +461,22 @@ impl<F: Field> ChunkedDecoder<F> {
 
     /// Fraction of required independent messages received, in `[0, 1]`.
     pub fn progress(&self) -> f64 {
-        let have: usize = self.chunks.iter().map(|d| d.rank()).sum();
-        have as f64 / self.manifest.messages_needed() as f64
+        self.independent_count() as f64 / self.manifest.messages_needed() as f64
+    }
+
+    /// Number of linearly independent messages received across all chunks.
+    pub fn independent_count(&self) -> usize {
+        self.chunks.iter().map(|d| d.rank()).sum()
+    }
+
+    /// Total independent messages required to decode the whole file.
+    pub fn messages_needed(&self) -> usize {
+        self.manifest.messages_needed()
+    }
+
+    /// The manifest this decoder was built from.
+    pub fn manifest(&self) -> &FileManifest {
+        &self.manifest
     }
 
     /// Decodes the whole file.

@@ -1,8 +1,8 @@
 //! Whole-system integration tests: every layer together, from finite-field
 //! arithmetic up through the simulated deployment.
 
-use asymshare::{Identity, RuntimeConfig, SimRuntime};
-use asymshare_netsim::LinkSpeed;
+use asymshare::{Identity, RuntimeConfig, SimRuntime, SystemError};
+use asymshare_netsim::{FaultPlan, LinkSpeed};
 use asymshare_rlnc::FileId;
 
 fn kbps(v: f64) -> LinkSpeed {
@@ -224,4 +224,178 @@ fn download_adapts_to_capacity_drop() {
         degraded > healthy,
         "losing 448 kbps of uplink must cost time ({degraded:.1}s vs {healthy:.1}s)"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Seeded fault injection: the CI matrix exports ASYMSHARE_FAULT_SEED so the
+// same scenarios replay under several deterministic fault schedules.
+// ---------------------------------------------------------------------------
+
+fn fault_seed() -> u64 {
+    std::env::var("ASYMSHARE_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// A config with recovery knobs tight enough that stalls resolve within a
+/// few simulated seconds instead of the production-scale defaults.
+fn healing_cfg() -> RuntimeConfig {
+    RuntimeConfig {
+        stall_timeout_secs: 1.5,
+        retry_backoff_secs: 0.5,
+        max_peer_retries: 1,
+        ..cfg()
+    }
+}
+
+/// Random link loss eats flows in transit; the self-healing download
+/// re-requests until the decoder is satisfied and still decodes exactly.
+#[test]
+fn fault_download_survives_lossy_links() {
+    let mut rt = SimRuntime::new(healing_cfg());
+    let peers: Vec<_> = (0..4u8)
+        .map(|i| rt.add_participant(Identity::from_seed(&[b'z', i]), kbps(256.0), kbps(3000.0)))
+        .collect();
+    let data = payload(256 * 1024, 9);
+    let (manifest, _) = rt.disseminate(peers[0], FileId(20), &data, &peers).unwrap();
+    rt.set_fault_plan(FaultPlan::new(fault_seed()).with_loss(0.05));
+    let session = rt
+        .start_download(peers[0], manifest, kbps(256.0), kbps(3000.0), &peers)
+        .unwrap();
+    let report = rt.run_to_completion(session, 3600).unwrap();
+    assert_eq!(report.data, data);
+    assert!(
+        rt.fault_stats().lost_flows > 0,
+        "5% loss must claim at least one flow: {:?}",
+        rt.fault_stats()
+    );
+    assert!(
+        report.stats.drops >= 1,
+        "some lost flow was headed for the user: {:?}",
+        report.stats
+    );
+}
+
+/// The acceptance scenario: 2 of 5 peers die mid-download under 5% link
+/// loss. Stall detection retries the silent connections, writes them off,
+/// re-plans their demand onto survivors, and the fetch decodes exactly.
+#[test]
+fn fault_peer_churn_reassigns_demand() {
+    let mut rt = SimRuntime::new(healing_cfg());
+    let peers: Vec<_> = (0..5u8)
+        .map(|i| rt.add_participant(Identity::from_seed(&[b'y', i]), kbps(256.0), kbps(3000.0)))
+        .collect();
+    let data = payload(1024 * 1024, 10);
+    let (manifest, _) = rt.disseminate(peers[0], FileId(21), &data, &peers).unwrap();
+    let t0 = rt.now().as_secs();
+    rt.set_fault_plan(
+        FaultPlan::new(fault_seed())
+            .with_loss(0.05)
+            .with_kill(rt.participant_node(peers[3]), t0 + 3.0)
+            .with_kill(rt.participant_node(peers[4]), t0 + 3.0),
+    );
+    let session = rt
+        .start_download(peers[0], manifest, kbps(256.0), kbps(3000.0), &peers)
+        .unwrap();
+    let report = rt.run_to_completion(session, 3600).unwrap();
+    assert_eq!(report.data, data, "decode must be exact despite churn");
+    assert!(
+        report.stats.reassignments >= 1,
+        "dead peers' demand re-planned: {:?}",
+        report.stats
+    );
+    assert!(
+        report.stats.retries >= 1,
+        "stalled connections retried before write-off: {:?}",
+        report.stats
+    );
+}
+
+/// Payload corruption flips bits in transit; the digest check rejects the
+/// damaged messages and replacement requests fill the gaps.
+#[test]
+fn fault_corrupted_messages_are_replaced() {
+    let mut rt = SimRuntime::new(healing_cfg());
+    let peers: Vec<_> = (0..4u8)
+        .map(|i| rt.add_participant(Identity::from_seed(&[b'x', i]), kbps(256.0), kbps(3000.0)))
+        .collect();
+    let data = payload(384 * 1024, 11);
+    let (manifest, _) = rt.disseminate(peers[0], FileId(22), &data, &peers).unwrap();
+    rt.set_fault_plan(FaultPlan::new(fault_seed()).with_corruption(0.08));
+    let session = rt
+        .start_download(peers[0], manifest, kbps(256.0), kbps(3000.0), &peers)
+        .unwrap();
+    let report = rt.run_to_completion(session, 3600).unwrap();
+    assert_eq!(report.data, data, "corruption never reaches the decode");
+    assert!(
+        report.stats.corruptions >= 1,
+        "the digest check caught damaged messages: {:?}",
+        report.stats
+    );
+    assert!(
+        report.stats.replacements >= 1,
+        "damaged messages were re-requested: {:?}",
+        report.stats
+    );
+}
+
+/// When every serving peer dies the download reports a typed error with
+/// the real message counts instead of hanging.
+#[test]
+fn fault_all_peers_dead_fails_gracefully() {
+    let mut rt = SimRuntime::new(healing_cfg());
+    let a = rt.add_participant(Identity::from_seed(b"deadA"), kbps(256.0), kbps(3000.0));
+    let b = rt.add_participant(Identity::from_seed(b"deadB"), kbps(256.0), kbps(3000.0));
+    let data = payload(256 * 1024, 12);
+    let (manifest, _) = rt.disseminate(a, FileId(23), &data, &[a, b]).unwrap();
+    let t0 = rt.now().as_secs();
+    rt.set_fault_plan(
+        FaultPlan::new(fault_seed())
+            .with_kill(rt.participant_node(a), t0 + 0.5)
+            .with_kill(rt.participant_node(b), t0 + 0.5),
+    );
+    let session = rt
+        .start_download(a, manifest, kbps(256.0), kbps(3000.0), &[a, b])
+        .unwrap();
+    match rt.run_to_completion(session, 600) {
+        Err(SystemError::AllPeersUnavailable { have, need }) => {
+            assert!(have < need, "download cannot have finished: {have}/{need}");
+        }
+        other => panic!("expected AllPeersUnavailable, got {other:?}"),
+    }
+}
+
+/// With fault injection disabled the runtime draws zero fault randomness:
+/// the same scenario replays byte- and timing-identically with and without
+/// a no-op plan installed.
+#[test]
+fn fault_disabled_plan_is_byte_identical() {
+    let run = |noop_plan: bool| {
+        let mut rt = SimRuntime::new(healing_cfg());
+        let peers: Vec<_> = (0..3u8)
+            .map(|i| rt.add_participant(Identity::from_seed(&[b'w', i]), kbps(512.0), kbps(3000.0)))
+            .collect();
+        let data = payload(192 * 1024, 13);
+        let (manifest, _) = rt.disseminate(peers[0], FileId(24), &data, &peers).unwrap();
+        if noop_plan {
+            rt.set_fault_plan(FaultPlan::new(fault_seed()));
+        }
+        let session = rt
+            .start_download(peers[0], manifest, kbps(256.0), kbps(3000.0), &peers)
+            .unwrap();
+        let report = rt.run_to_completion(session, 3600).unwrap();
+        assert_eq!(report.data, data);
+        report
+    };
+    let clean = run(false);
+    let noop = run(true);
+    assert_eq!(clean.data, noop.data);
+    assert_eq!(
+        clean.duration_secs, noop.duration_secs,
+        "a no-op plan must not perturb timing"
+    );
+    assert_eq!(clean.innovative, noop.innovative);
+    assert_eq!(clean.redundant, noop.redundant);
+    assert_eq!(clean.per_peer_bytes, noop.per_peer_bytes);
 }
