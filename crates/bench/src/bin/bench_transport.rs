@@ -1,0 +1,226 @@
+//! Committed transport-plane baseline: end-to-end rt serving throughput —
+//! peer store → wire frames → in-process transport → parsed payload
+//! handles at the receiver — written to `BENCH_transport.json` so data-plane
+//! regressions show up as a diff against the checked-in numbers.
+//!
+//! This measures the *data plane*, not the codec (that is `bench_baseline`'s
+//! job): three `PeerHost` threads with effectively unshaped uplinks serve
+//! their full stock of pre-fabricated messages to a sink that authenticates,
+//! requests the file, and parses every arriving `MessageData` frame into a
+//! payload handle. Throughput is payload bytes over wall time; a counting
+//! global allocator reports heap allocations and allocated bytes per
+//! delivered message. Run with `--quick` for one sample, from the repo root:
+//!
+//! ```text
+//! cargo run --release -p asymshare-bench --bin bench_transport
+//! ```
+
+use asymshare::rt::{PeerHost, RtNetwork};
+use asymshare::{Identity, Peer, Prover, Wire};
+use asymshare_crypto::chacha20::ChaChaRng;
+use asymshare_gf::{FieldKind, Gf2p32};
+use asymshare_rlnc::{ChunkedEncoder, DigestKind, FileId};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// `System` wrapped with atomic counters, so the bench can report
+/// allocations per delivered message.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counters are plain atomics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// File size served by each peer (its full decodable batch).
+const FILE_BYTES: usize = 8 << 20;
+/// Chunk size; with k = 8 every message carries a 32 KiB payload.
+const CHUNK_BYTES: usize = 256 << 10;
+const K: usize = 8;
+const PEERS: usize = 3;
+
+const OUT_PATH: &str = "BENCH_transport.json";
+
+/// Pre-refactor data plane (commit 13ca589: clone-per-serve, copy-per-frame,
+/// `to_vec` on receive), measured by this same bench at that commit —
+/// median of 5 samples: 1963 MB/s, 5.1 allocs and 164.9 KiB allocated per
+/// delivered message. The committed "after" numbers must stay ≥ 2x this
+/// rate.
+const BASELINE_MB_PER_S: f64 = 1963.0;
+const BASELINE_ALLOCS_PER_MSG: f64 = 5.1;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+struct Sample {
+    mb_per_s: f64,
+    allocs_per_msg: f64,
+    alloc_kib_per_msg: f64,
+}
+
+fn run_once(owner: &Identity, batches: &[Vec<asymshare_rlnc::EncodedMessage>]) -> Sample {
+    let network = RtNetwork::new();
+    let mut hosts = Vec::new();
+    let mut peer_addrs = Vec::new();
+    for (i, batch) in batches.iter().enumerate() {
+        let identity = Identity::from_seed(&[b'b', b't', i as u8]);
+        let mut peer = Peer::new(identity, 1_000.0);
+        peer.add_subscriber(owner.public_key().to_bytes());
+        for m in batch {
+            peer.store_mut().insert(m.clone());
+        }
+        let addr = 100 + i as u64;
+        hosts.push(PeerHost::spawn(
+            &network,
+            addr,
+            peer,
+            u64::MAX / 2, // effectively unshaped: measure the data plane
+            Duration::from_micros(200),
+        ));
+        peer_addrs.push(addr);
+    }
+
+    let my_addr = 1u64;
+    let inbox = network.register(my_addr);
+    let mut rng = ChaChaRng::new([0xB7; 32], *b"bench-transp");
+    // Authenticate to every peer, then request the file from each.
+    let mut provers: Vec<(u64, Prover)> = peer_addrs
+        .iter()
+        .map(|&addr| {
+            let mut p = Prover::new(owner.auth_keys().clone());
+            let commit = p.start(&mut rng);
+            assert!(network.send(my_addr, addr, &commit));
+            (addr, p)
+        })
+        .collect();
+    let mut pending = provers.len();
+    while pending > 0 {
+        let envelope = inbox
+            .recv_timeout(Duration::from_secs(5))
+            .expect("handshake reply");
+        let wire = envelope.decode().expect("parse");
+        let (_, prover) = provers
+            .iter_mut()
+            .find(|(a, _)| *a == envelope.from)
+            .expect("known peer");
+        match wire {
+            Wire::AuthChallenge { .. } => {
+                let response = prover.on_challenge(&wire).expect("challenge");
+                assert!(network.send(my_addr, envelope.from, &response));
+            }
+            Wire::AuthResult { ok, .. } => {
+                assert!(ok, "peer accepted");
+                pending -= 1;
+            }
+            other => panic!("unexpected handshake reply: {other:?}"),
+        }
+    }
+    // Only request once every handshake is done, so the timed section below
+    // measures a pure message stream.
+    for &addr in &peer_addrs {
+        assert!(network.send(my_addr, addr, &Wire::FileRequest { file_id: 7 }));
+    }
+
+    let expect_msgs: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let expect_bytes: u64 = batches
+        .iter()
+        .flatten()
+        .map(|m| m.payload().len() as u64)
+        .sum();
+
+    let allocs0 = ALLOCS.load(Ordering::Relaxed);
+    let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let mut got_msgs = 0u64;
+    let mut got_bytes = 0u64;
+    while got_msgs < expect_msgs {
+        let envelope = inbox
+            .recv_timeout(Duration::from_secs(10))
+            .expect("message stream");
+        // Serving coalesces up to MAX_COALESCE frames per datagram; walk
+        // them all, each payload a zero-copy view into the envelope.
+        for frame in envelope.decode_all() {
+            if let Wire::MessageData(msg) = frame.expect("parse frame") {
+                got_msgs += 1;
+                got_bytes += msg.payload().len() as u64;
+            }
+        }
+        network.recycle_envelope(envelope);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs0;
+    let alloc_bytes = ALLOC_BYTES.load(Ordering::Relaxed) - bytes0;
+    assert_eq!(got_bytes, expect_bytes, "every payload byte arrived");
+
+    for host in hosts {
+        host.shutdown();
+    }
+    Sample {
+        mb_per_s: got_bytes as f64 / 1e6 / elapsed,
+        allocs_per_msg: allocs as f64 / got_msgs as f64,
+        alloc_kib_per_msg: alloc_bytes as f64 / 1024.0 / got_msgs as f64,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 1 } else { 5 };
+
+    let owner = Identity::from_seed(b"bench-transport-owner");
+    let data: Vec<u8> = (0..FILE_BYTES).map(|i| (i * 131 % 251) as u8).collect();
+    let mut enc = ChunkedEncoder::<Gf2p32>::with_chunk_size(
+        FieldKind::Gf2p32,
+        K,
+        DigestKind::Md5,
+        owner.coding_secret().clone(),
+        FileId(7),
+        &data,
+        CHUNK_BYTES,
+    )
+    .expect("encoder");
+    let batches = enc.encode_for_peers(PEERS).expect("batches");
+    let msgs: usize = batches.iter().map(Vec::len).sum();
+    println!(
+        "serving {PEERS} x {} MiB ({msgs} messages of {} KiB payload), {samples} sample(s)...",
+        FILE_BYTES >> 20,
+        (CHUNK_BYTES / K) >> 10,
+    );
+
+    let runs: Vec<Sample> = (0..samples).map(|_| run_once(&owner, &batches)).collect();
+    let mb_per_s = median(runs.iter().map(|s| s.mb_per_s).collect());
+    let allocs_per_msg = median(runs.iter().map(|s| s.allocs_per_msg).collect());
+    let alloc_kib_per_msg = median(runs.iter().map(|s| s.alloc_kib_per_msg).collect());
+
+    println!("  throughput: {mb_per_s:.0} MB/s (baseline {BASELINE_MB_PER_S:.0})");
+    println!("  allocs/msg: {allocs_per_msg:.1} (baseline {BASELINE_ALLOCS_PER_MSG:.1})");
+    println!("  alloc KiB/msg: {alloc_kib_per_msg:.1}");
+
+    let json = format!(
+        "{{\n  \"config\": {{\n    \"peers\": {PEERS},\n    \"file_bytes\": {FILE_BYTES},\n    \"chunk_bytes\": {CHUNK_BYTES},\n    \"k\": {K},\n    \"messages\": {msgs},\n    \"samples\": {samples},\n    \"statistic\": \"median\"\n  }},\n  \"before\": {{\n    \"mb_per_s\": {BASELINE_MB_PER_S:.0},\n    \"allocs_per_msg\": {BASELINE_ALLOCS_PER_MSG:.1}\n  }},\n  \"after\": {{\n    \"mb_per_s\": {mb_per_s:.0},\n    \"allocs_per_msg\": {allocs_per_msg:.1},\n    \"alloc_kib_per_msg\": {alloc_kib_per_msg:.1}\n  }}\n}}\n"
+    );
+    std::fs::write(OUT_PATH, json).expect("write transport baseline");
+    println!("wrote {OUT_PATH}");
+}

@@ -8,7 +8,7 @@ use asymshare_crypto::chacha20::ChaChaRng;
 use asymshare_crypto::schnorr::{self, KeyPair, PublicKey, Signature};
 use asymshare_crypto::u256::U256;
 use asymshare_rlnc::EncodedMessage;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes};
 
 /// A protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -157,10 +157,34 @@ const TAG_FEEDBACK: u8 = 8;
 const TAG_STOP_CHUNK: u8 = 9;
 const TAG_REPLACEMENT: u8 = 10;
 
+fn need(buf: &[u8], n: usize, what: &str) -> Result<(), SystemError> {
+    if buf.len() < n {
+        Err(SystemError::BadMessage {
+            reason: format!("truncated {what}: {} < {n} bytes", buf.len()),
+        })
+    } else {
+        Ok(())
+    }
+}
+
 impl Wire {
     /// Serializes to the wire format (1-byte tag + body).
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        Bytes::from(buf)
+    }
+
+    /// Appends the wire form to `buf` without allocating intermediates.
+    ///
+    /// This is the frame-assembly primitive of the zero-copy data plane:
+    /// [`Wire::MessageData`] writes its 5-byte framing and 16-byte message
+    /// header directly into `buf`, then the payload bytes from the shared
+    /// slice — the single payload copy of a send, into the transport's
+    /// (pooled) frame buffer. Several frames appended to one buffer form a
+    /// coalesced batch whose bytes equal the concatenation of individual
+    /// [`encode`](Self::encode) outputs.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
         match self {
             Wire::AuthCommit {
                 commitment,
@@ -189,9 +213,10 @@ impl Wire {
             }
             Wire::MessageData(msg) => {
                 buf.put_u8(TAG_MESSAGE_DATA);
-                let wire = msg.to_wire();
-                buf.put_u32_le(wire.len() as u32);
-                buf.put_slice(&wire);
+                buf.put_u32_le(msg.wire_len() as u32);
+                buf.put_u64_le(msg.file_id().0);
+                buf.put_u64_le(msg.message_id().0);
+                buf.put_slice(msg.payload());
             }
             Wire::StopTransmission { file_id } => {
                 buf.put_u8(TAG_STOP);
@@ -219,7 +244,6 @@ impl Wire {
                 buf.put_slice(&report.signature.to_bytes());
             }
         }
-        buf.freeze()
     }
 
     /// Size of [`encode`](Self::encode)'s output in bytes — what the flow
@@ -239,21 +263,14 @@ impl Wire {
         }
     }
 
-    /// Parses a message from its wire form.
+    /// Parses a message from its wire form. Trailing bytes after the first
+    /// frame are ignored; use [`decode_prefix`](Self::decode_prefix) to walk
+    /// a coalesced batch.
     ///
     /// # Errors
     ///
     /// Returns [`SystemError::BadMessage`] on truncated or unknown input.
     pub fn decode(mut buf: &[u8]) -> Result<Wire, SystemError> {
-        fn need(buf: &[u8], n: usize, what: &str) -> Result<(), SystemError> {
-            if buf.len() < n {
-                Err(SystemError::BadMessage {
-                    reason: format!("truncated {what}: {} < {n} bytes", buf.len()),
-                })
-            } else {
-                Ok(())
-            }
-        }
         need(buf, 1, "tag")?;
         let tag = buf.get_u8();
         match tag {
@@ -354,6 +371,92 @@ impl Wire {
             }),
         }
     }
+
+    /// Parses the first frame in `buf` and returns it with the number of
+    /// bytes it occupied, for walking a coalesced batch of frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::BadMessage`] on truncated or unknown input.
+    pub fn decode_prefix(buf: &[u8]) -> Result<(Wire, usize), SystemError> {
+        let wire = Wire::decode(buf)?;
+        // `decode` reads exactly the declared layout, so the parsed value's
+        // encoded length is the number of bytes consumed (pinned by the
+        // round-trip tests below).
+        let consumed = wire.encoded_len();
+        Ok((wire, consumed))
+    }
+
+    /// Like [`decode_prefix`](Self::decode_prefix), but parses the frame at
+    /// `offset` in a shared buffer: a [`Wire::MessageData`] frame's payload
+    /// becomes a sub-slice handle into `buf`'s allocation instead of a copy,
+    /// so a received datagram feeds the decoders without materializing any
+    /// intermediate `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::BadMessage`] on truncated or unknown input.
+    pub fn decode_shared(buf: &Bytes, offset: usize) -> Result<(Wire, usize), SystemError> {
+        let frame = &buf[offset..];
+        if frame.first() == Some(&TAG_MESSAGE_DATA) {
+            let mut rd = &frame[1..];
+            need(rd, 4, "message length")?;
+            let len = rd.get_u32_le() as usize;
+            need(rd, len, "message body")?;
+            let body = buf.slice(offset + 5..offset + 5 + len);
+            let msg =
+                EncodedMessage::from_wire_shared(&body).map_err(|e| SystemError::BadMessage {
+                    reason: format!("inner message: {e}"),
+                })?;
+            Ok((Wire::MessageData(msg), 5 + len))
+        } else {
+            Wire::decode_prefix(frame)
+        }
+    }
+
+    /// Wire size of the `MessageData` frame carrying `msg` (tag + u32
+    /// length + message), computed without constructing the variant.
+    pub fn message_data_frame_len(msg: &EncodedMessage) -> usize {
+        1 + 4 + msg.wire_len()
+    }
+}
+
+/// Sizes the frame starting at `buf[0]` without decoding it: returns the
+/// frame's byte length, plus `(offset, len)` of its coded payload when it is
+/// a non-empty `MessageData` frame. `None` on truncated or unknown input.
+///
+/// The transport's fault injector uses this to walk a coalesced batch and
+/// flip bits only inside coded payloads, allocation-free.
+pub(crate) fn scan_frame(buf: &[u8]) -> Option<(usize, Option<(usize, usize)>)> {
+    let tag = *buf.first()?;
+    let body = match tag {
+        TAG_AUTH_COMMIT => 128,
+        TAG_AUTH_CHALLENGE | TAG_AUTH_RESPONSE => 32,
+        TAG_AUTH_RESULT => 97,
+        TAG_FILE_REQUEST | TAG_STOP => 8,
+        TAG_STOP_CHUNK | TAG_REPLACEMENT => 12,
+        TAG_MESSAGE_DATA => {
+            if buf.len() < 5 {
+                return None;
+            }
+            let len = u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes")) as usize;
+            if buf.len() < 5 + len {
+                return None;
+            }
+            // Payload begins after the 16-byte id header inside the message.
+            let payload = (len > 16).then_some((5 + 16, len - 16));
+            return Some((5 + len, payload));
+        }
+        TAG_FEEDBACK => {
+            if buf.len() < 1 + 76 {
+                return None;
+            }
+            let count = u32::from_le_bytes(buf[73..77].try_into().expect("4 bytes")) as usize;
+            76 + count * 72 + 96
+        }
+        _ => return None,
+    };
+    (buf.len() > body).then_some((1 + body, None))
 }
 
 /// The transcript a peer countersigns in its [`Wire::AuthResult`]: domain
@@ -443,6 +546,111 @@ mod tests {
             &mut rng(),
         );
         round_trip(Wire::Feedback(report));
+    }
+
+    #[test]
+    fn decode_prefix_walks_coalesced_frames() {
+        let frames = [
+            Wire::FileRequest { file_id: 1 },
+            Wire::MessageData(EncodedMessage::new(FileId(1), MessageId(2), vec![9u8; 10])),
+            Wire::StopTransmission { file_id: 1 },
+        ];
+        let mut batch = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut batch);
+        }
+        let shared = Bytes::from(batch.clone());
+        let mut off = 0;
+        for f in &frames {
+            let (w, n) = Wire::decode_prefix(&batch[off..]).unwrap();
+            assert_eq!(&w, f);
+            let (ws, ns) = Wire::decode_shared(&shared, off).unwrap();
+            assert_eq!(&ws, f);
+            assert_eq!(n, ns);
+            off += n;
+        }
+        assert_eq!(off, batch.len(), "batch fully consumed");
+    }
+
+    #[test]
+    fn decode_shared_message_payload_views_buffer() {
+        let msg = EncodedMessage::new(FileId(1), MessageId(2), vec![0xCD; 64]);
+        let frame = Wire::MessageData(msg.clone()).encode();
+        let (parsed, consumed) = Wire::decode_shared(&frame, 0).unwrap();
+        assert_eq!(consumed, frame.len());
+        let Wire::MessageData(got) = parsed else {
+            panic!("expected MessageData");
+        };
+        assert_eq!(got, msg);
+        assert_eq!(
+            got.payload().as_ptr(),
+            frame[5 + 16..].as_ptr(),
+            "payload views the frame buffer"
+        );
+    }
+
+    #[test]
+    fn scan_frame_agrees_with_encoded_len() {
+        let keys = KeyPair::from_secret(U256::from_u64(9));
+        let variants = [
+            Wire::AuthCommit {
+                commitment: [1u8; 64],
+                claimed_key: [2u8; 64],
+            },
+            Wire::AuthChallenge {
+                challenge: [3u8; 32],
+            },
+            Wire::AuthResponse { s: [4u8; 32] },
+            Wire::AuthResult {
+                ok: true,
+                ack: [5u8; 96],
+            },
+            Wire::FileRequest { file_id: 6 },
+            Wire::MessageData(EncodedMessage::new(FileId(1), MessageId(2), vec![7u8; 33])),
+            Wire::MessageData(EncodedMessage::new(FileId(1), MessageId(2), vec![])),
+            Wire::StopTransmission { file_id: 8 },
+            Wire::StopChunk {
+                file_id: 8,
+                chunk: 9,
+            },
+            Wire::ReplacementRequest {
+                file_id: 8,
+                chunk: 9,
+            },
+            Wire::Feedback(FeedbackReport::sign(
+                &keys,
+                10,
+                vec![FeedbackEntry {
+                    contributor: [6u8; 64],
+                    bytes: 11,
+                }],
+                &mut rng(),
+            )),
+        ];
+        for w in &variants {
+            let enc = w.encode();
+            let (len, span) = scan_frame(&enc).expect("scannable");
+            assert_eq!(len, enc.len(), "{w:?}");
+            match w {
+                Wire::MessageData(m) if !m.payload().is_empty() => {
+                    assert_eq!(span, Some((21, m.payload().len())), "{w:?}");
+                }
+                _ => assert_eq!(span, None, "{w:?}"),
+            }
+        }
+        assert_eq!(scan_frame(&[]), None);
+        assert_eq!(scan_frame(&[99]), None, "unknown tag");
+        let enc = variants[0].encode();
+        assert_eq!(scan_frame(&enc[..enc.len() - 1]), None, "truncated");
+    }
+
+    #[test]
+    fn message_data_frame_len_matches_encoded_len() {
+        let msg = EncodedMessage::new(FileId(1), MessageId(2), vec![1u8; 37]);
+        assert_eq!(
+            Wire::message_data_frame_len(&msg),
+            Wire::MessageData(msg).encoded_len()
+        );
     }
 
     #[test]

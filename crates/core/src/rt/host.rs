@@ -9,6 +9,12 @@ use crossbeam::channel::{bounded, Sender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Serve-side coalescing bound `B`: at most this many `MessageData` frames
+/// share one datagram. Large enough to amortize per-send channel and fault
+/// bookkeeping, small enough that one datagram never monopolizes a tick's
+/// quota (with 32 KiB payloads, 8 frames ≈ 256 KiB ≈ one default burst).
+pub const MAX_COALESCE: usize = 8;
+
 /// A peer running on its own OS thread, serving its message store to
 /// authenticated users with token-bucket-shaped uplink and Eq.-2 weighted
 /// scheduling across concurrent downloads.
@@ -50,32 +56,39 @@ impl PeerHost {
                 });
                 let rate = upload_bytes_per_sec as f64;
                 let mut bucket = TokenBucket::new(rate, (rate * 0.1).max(65_536.0), Instant::now());
+                // Reused across ticks so steady-state serving allocates
+                // nothing; holds cheap message handles, not payload bytes.
+                let mut batch: Vec<Wire> = Vec::with_capacity(MAX_COALESCE);
                 loop {
                     if shutdown_rx.try_recv().is_ok() {
                         break;
                     }
                     // Flush any fault-delayed traffic due this tick.
                     net.pump();
-                    // Inbound protocol handling.
+                    // Inbound protocol handling (a datagram may coalesce
+                    // several frames).
                     if let Some(envelope) = inbox.recv_timeout(tick) {
-                        let Ok(wire) = envelope.decode() else {
-                            continue;
-                        };
-                        match peer.on_message(envelope.from, wire, &mut rng) {
-                            Ok(replies) => {
-                                for reply in replies {
-                                    if !net.send(addr, envelope.from, &reply) {
-                                        // The user vanished mid-handshake.
-                                        peer.disconnect(envelope.from);
-                                        break;
+                        for frame in envelope.decode_all() {
+                            let Ok(wire) = frame else {
+                                break;
+                            };
+                            match peer.on_message(envelope.from, wire, &mut rng) {
+                                Ok(replies) => {
+                                    for reply in replies {
+                                        if !net.send(addr, envelope.from, &reply) {
+                                            // The user vanished mid-handshake.
+                                            peer.disconnect(envelope.from);
+                                            break;
+                                        }
                                     }
                                 }
-                            }
-                            Err(_) => {
-                                // Protocol violation: drop the session.
-                                peer.disconnect(envelope.from);
+                                Err(_) => {
+                                    // Protocol violation: drop the session.
+                                    peer.disconnect(envelope.from);
+                                }
                             }
                         }
+                        net.recycle_envelope(envelope);
                     }
                     // Serving phase: divide the tick's uplink budget among
                     // active connections per Eq.-2 weights.
@@ -105,21 +118,31 @@ impl PeerHost {
                         // quota may overdraw slightly; the bucket carries
                         // the debt and the next ticks repay it, so the
                         // long-run rate is exactly the configured uplink.
+                        // Frames are coalesced up to MAX_COALESCE per
+                        // datagram to amortize per-send transport cost.
                         let mut quota = available * w / total;
-                        while quota > 0.0 {
+                        let mut alive = true;
+                        while alive && quota > 0.0 {
                             let Some(msg) = peer.next_message(conn) else {
                                 break;
                             };
-                            let wire = Wire::MessageData(msg);
-                            let size = wire.encoded_len() as f64;
+                            let size = Wire::message_data_frame_len(&msg) as f64;
                             bucket.take_with_debt(size, now);
                             quota -= size;
-                            if !net.send(addr, conn, &wire) {
-                                // The downloader deregistered: stop burning
-                                // uplink on a dead connection.
-                                peer.disconnect(conn);
-                                break;
+                            batch.push(Wire::MessageData(msg));
+                            if batch.len() >= MAX_COALESCE {
+                                alive = net.send_frames(addr, conn, &batch);
+                                batch.clear();
                             }
+                        }
+                        if alive && !batch.is_empty() {
+                            alive = net.send_frames(addr, conn, &batch);
+                        }
+                        batch.clear();
+                        if !alive {
+                            // The downloader deregistered: stop burning
+                            // uplink on a dead connection.
+                            peer.disconnect(conn);
                         }
                     }
                 }

@@ -24,11 +24,13 @@
 
 mod host;
 mod limiter;
+mod pool;
 mod transport;
 
-pub use host::PeerHost;
+pub use host::{PeerHost, MAX_COALESCE};
 pub use limiter::TokenBucket;
-pub use transport::{Envelope, FaultPlan, FaultStats, RtNetwork};
+pub use pool::BufferPool;
+pub use transport::{Envelope, FaultPlan, FaultStats, FrameIter, RtNetwork};
 
 use crate::error::SystemError;
 use crate::protocol::Wire;
@@ -175,41 +177,48 @@ pub fn download_file_with(
                 t.last_activity = Instant::now();
                 t.retries = 0;
             }
-            let wire = envelope.decode()?;
-            match user.on_message(envelope.from, wire, &mut rng) {
-                Ok(replies) => {
-                    let mut lost = Vec::new();
-                    for (conn, reply) in replies {
-                        if !network.send(my_addr, conn, &reply) {
-                            lost.push(conn);
+            // A serving peer coalesces several frames into one datagram;
+            // each MessageData payload is a zero-copy handle into the
+            // envelope's buffer, fed straight to the decoder.
+            for frame in envelope.decode_all() {
+                let wire = frame?;
+                match user.on_message(envelope.from, wire, &mut rng) {
+                    Ok(replies) => {
+                        let mut lost = Vec::new();
+                        for (conn, reply) in replies {
+                            if !network.send(my_addr, conn, &reply) {
+                                lost.push(conn);
+                            }
+                        }
+                        for conn in lost {
+                            write_off(user, &mut tracks, conn);
+                            reassign(network, my_addr, user, &tracks, &mut reassign_rr, file_id);
                         }
                     }
-                    for conn in lost {
-                        write_off(user, &mut tracks, conn);
-                        reassign(network, my_addr, user, &tracks, &mut reassign_rr, file_id);
+                    // Digest-rejected message: corrupted or tampered in
+                    // transit. Ask the sender for a replacement from the
+                    // same chunk and move on.
+                    Err(SystemError::Codec(CodecError::AuthenticationFailed { id })) => {
+                        user.stats_mut().replacements += 1;
+                        let request = Wire::ReplacementRequest {
+                            file_id,
+                            chunk: FileManifest::chunk_of(MessageId(id)),
+                        };
+                        if !network.send(my_addr, envelope.from, &request) {
+                            write_off(user, &mut tracks, envelope.from);
+                            reassign(network, my_addr, user, &tracks, &mut reassign_rr, file_id);
+                        }
                     }
+                    // A reconnect replayed a message we already hold —
+                    // harmless redundancy, not an error.
+                    Err(SystemError::Codec(CodecError::DuplicateMessage { .. })) => {}
+                    // Every other error (decoder parameters, protocol
+                    // state, MITM) is genuine and must surface.
+                    Err(e) => return Err(e),
                 }
-                // Digest-rejected message: corrupted or tampered in
-                // transit. Ask the sender for a replacement from the same
-                // chunk and move on.
-                Err(SystemError::Codec(CodecError::AuthenticationFailed { id })) => {
-                    user.stats_mut().replacements += 1;
-                    let request = Wire::ReplacementRequest {
-                        file_id,
-                        chunk: FileManifest::chunk_of(MessageId(id)),
-                    };
-                    if !network.send(my_addr, envelope.from, &request) {
-                        write_off(user, &mut tracks, envelope.from);
-                        reassign(network, my_addr, user, &tracks, &mut reassign_rr, file_id);
-                    }
-                }
-                // A reconnect replayed a message we already hold —
-                // harmless redundancy, not an error.
-                Err(SystemError::Codec(CodecError::DuplicateMessage { .. })) => {}
-                // Every other error (decoder parameters, protocol state,
-                // MITM) is genuine and must surface.
-                Err(e) => return Err(e),
             }
+            // The decoder copied what it needed; hand the buffer back.
+            network.recycle_envelope(envelope);
         }
         if user.is_complete() {
             break;

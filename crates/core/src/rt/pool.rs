@@ -1,0 +1,105 @@
+//! Reusable frame buffers for the threaded transport.
+//!
+//! Every send assembles its wire frames into a `Vec<u8>` drawn from a
+//! [`BufferPool`]; the vector is frozen into a shared [`Bytes`] handle for
+//! delivery and returns to the pool once the receiver (and any payload
+//! handles sliced from it) let go. After warm-up the data plane therefore
+//! recirculates a small set of steady-state buffers instead of allocating
+//! per frame.
+
+use bytes::Bytes;
+use std::sync::Mutex;
+
+/// Buffers retained per pool. Each in-flight send holds one buffer, so this
+/// bounds pool memory at roughly `MAX_SLOTS x` the largest frame batch; the
+/// serving loop's coalescing bound keeps batches small, and excess buffers
+/// are simply dropped to the allocator.
+const MAX_SLOTS: usize = 32;
+
+/// A bounded free-list of byte buffers.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    slots: Mutex<Vec<Vec<u8>>>,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> BufferPool {
+        BufferPool::default()
+    }
+
+    /// Takes a cleared buffer with at least `min_capacity` bytes reserved,
+    /// reusing a pooled allocation when one is available.
+    pub fn acquire(&self, min_capacity: usize) -> Vec<u8> {
+        let recycled = self.slots.lock().expect("pool lock").pop();
+        match recycled {
+            Some(mut buf) => {
+                buf.clear();
+                buf.reserve(min_capacity);
+                buf
+            }
+            None => Vec::with_capacity(min_capacity),
+        }
+    }
+
+    /// Returns a buffer to the pool (dropped if the pool is full).
+    pub fn recycle(&self, buf: Vec<u8>) {
+        let mut slots = self.slots.lock().expect("pool lock");
+        if slots.len() < MAX_SLOTS {
+            slots.push(buf);
+        }
+    }
+
+    /// Reclaims a frozen buffer's allocation when `bytes` is the last
+    /// handle referencing it; a no-op while payload slices are still alive.
+    pub fn recycle_bytes(&self, bytes: Bytes) {
+        if let Some(buf) = bytes.try_reclaim() {
+            self.recycle(buf);
+        }
+    }
+
+    /// Buffers currently waiting in the pool.
+    pub fn idle(&self) -> usize {
+        self.slots.lock().expect("pool lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_reuses_recycled_allocation() {
+        let pool = BufferPool::new();
+        let mut buf = pool.acquire(64);
+        buf.extend_from_slice(&[1, 2, 3]);
+        let ptr = buf.as_ptr();
+        let cap = buf.capacity();
+        pool.recycle(buf);
+        assert_eq!(pool.idle(), 1);
+        let again = pool.acquire(16);
+        assert_eq!(again.as_ptr(), ptr, "same allocation comes back");
+        assert!(again.capacity() >= cap);
+        assert!(again.is_empty(), "recycled buffers are cleared");
+    }
+
+    #[test]
+    fn recycle_bytes_waits_for_last_handle() {
+        let pool = BufferPool::new();
+        let bytes = Bytes::from(vec![7u8; 32]);
+        let view = bytes.slice(4..8);
+        pool.recycle_bytes(bytes);
+        assert_eq!(pool.idle(), 0, "a payload slice is still alive");
+        pool.recycle_bytes(view);
+        assert_eq!(pool.idle(), 1, "last handle releases the buffer");
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let pool = BufferPool::new();
+        for _ in 0..2 * MAX_SLOTS {
+            pool.recycle(Vec::with_capacity(8));
+        }
+        assert_eq!(pool.idle(), MAX_SLOTS);
+    }
+}

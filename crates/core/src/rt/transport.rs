@@ -1,8 +1,16 @@
 //! In-process datagram transport: addressed inboxes over crossbeam
 //! channels, with every message crossing as serialized wire bytes.
+//!
+//! Sends assemble their frames into a buffer drawn from a shared
+//! [`BufferPool`] and may coalesce several frames into one datagram
+//! ([`RtNetwork::send_frames`]); receivers walk the batch with
+//! [`Envelope::decode_all`], which parses `MessageData` payloads as
+//! zero-copy handles into the delivery buffer, and hand the buffer back via
+//! [`RtNetwork::recycle_envelope`].
 
 use crate::error::SystemError;
-use crate::protocol::Wire;
+use crate::protocol::{self, Wire};
+use crate::rt::pool::BufferPool;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
@@ -134,13 +142,52 @@ pub struct Envelope {
 }
 
 impl Envelope {
-    /// Decodes the carried protocol message.
+    /// Decodes the first carried protocol message. A `MessageData` payload
+    /// comes back as a zero-copy handle into this envelope's buffer.
     ///
     /// # Errors
     ///
     /// [`SystemError::BadMessage`] on malformed bytes.
     pub fn decode(&self) -> Result<Wire, SystemError> {
-        Wire::decode(&self.bytes)
+        Wire::decode_shared(&self.bytes, 0).map(|(wire, _)| wire)
+    }
+
+    /// Iterates over every frame in the envelope — sends may coalesce
+    /// several into one datagram. `MessageData` payloads are zero-copy
+    /// handles into the envelope's buffer. A malformed frame yields one
+    /// `Err` and ends the iteration.
+    pub fn decode_all(&self) -> FrameIter<'_> {
+        FrameIter {
+            bytes: &self.bytes,
+            offset: 0,
+        }
+    }
+}
+
+/// Iterator over the coalesced frames of an [`Envelope`].
+#[derive(Debug)]
+pub struct FrameIter<'a> {
+    bytes: &'a Bytes,
+    offset: usize,
+}
+
+impl Iterator for FrameIter<'_> {
+    type Item = Result<Wire, SystemError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.offset >= self.bytes.len() {
+            return None;
+        }
+        match Wire::decode_shared(self.bytes, self.offset) {
+            Ok((wire, consumed)) => {
+                self.offset += consumed;
+                Some(Ok(wire))
+            }
+            Err(e) => {
+                self.offset = self.bytes.len();
+                Some(Err(e))
+            }
+        }
     }
 }
 
@@ -170,6 +217,7 @@ impl Inbox {
 pub struct RtNetwork {
     registry: Arc<RwLock<HashMap<u64, Sender<Envelope>>>>,
     fault: Arc<RwLock<Option<FaultState>>>,
+    pool: Arc<BufferPool>,
 }
 
 impl RtNetwork {
@@ -256,41 +304,58 @@ impl RtNetwork {
         }
     }
 
+    /// The frame-buffer pool this network's sends draw from. Receivers hand
+    /// spent envelopes back via [`recycle_envelope`](Self::recycle_envelope).
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Returns an envelope's buffer to the frame pool. A no-op while any
+    /// payload handle sliced from the envelope is still alive.
+    pub fn recycle_envelope(&self, envelope: Envelope) {
+        self.pool.recycle_bytes(envelope.bytes);
+    }
+
     /// Sends a wire message from `from` to `to`. Returns whether the
     /// destination was registered — `false` means the peer is gone and the
     /// caller should treat the connection as dead. (An injected fault may
     /// still drop or corrupt the payload of a `true` send, mirroring UDP:
     /// the address resolved, the datagram may not survive.)
     pub fn send(&self, from: u64, to: u64, wire: &Wire) -> bool {
-        self.send_bytes(from, to, wire.encode())
+        self.send_frames(from, to, std::slice::from_ref(wire))
     }
 
-    /// Sends pre-serialized bytes; same contract as [`send`](Self::send).
-    pub fn send_bytes(&self, from: u64, to: u64, bytes: Bytes) -> bool {
+    /// Sends a coalesced batch of frames as one datagram; same contract as
+    /// [`send`](Self::send). The delivered bytes are exactly the
+    /// concatenation of each frame's individual encoding, so the on-wire
+    /// layout is unchanged — batching only amortizes the per-send transport
+    /// cost. Faults apply per *send*: a loss drops the whole datagram, a
+    /// corruption flips one bit in one coded payload of the batch.
+    pub fn send_frames(&self, from: u64, to: u64, frames: &[Wire]) -> bool {
         self.pump();
         if !self.is_registered(to) {
             return false;
         }
-        let mut bytes = bytes;
+        if frames.is_empty() {
+            return true;
+        }
+        let total: usize = frames.iter().map(Wire::encoded_len).sum();
+        let mut buf = self.pool.acquire(total);
+        for frame in frames {
+            frame.encode_into(&mut buf);
+        }
         let guard = self.fault.read();
         if let Some(fault) = guard.as_ref() {
             let mut rng = fault.rng.lock().expect("fault rng lock");
             if fault.plan.loss_prob > 0.0 && rng.next_f64() < fault.plan.loss_prob {
                 fault.dropped.fetch_add(1, Ordering::Relaxed);
+                self.pool.recycle(buf);
                 return true; // address resolved; datagram lost in transit
             }
             if fault.plan.corrupt_prob > 0.0
                 && rng.next_f64() < fault.plan.corrupt_prob
-                && bytes.first() == Some(&crate::protocol::TAG_MESSAGE_DATA)
-                && bytes.len() > MESSAGE_PAYLOAD_OFFSET
+                && corrupt_in_place(&mut buf, &mut rng)
             {
-                // Flip one bit inside the coded payload (never the framing),
-                // so the damage is caught by digest authentication.
-                let mut buf = bytes.to_vec();
-                let span = buf.len() - MESSAGE_PAYLOAD_OFFSET;
-                let at = MESSAGE_PAYLOAD_OFFSET + rng.next_u64() as usize % span;
-                buf[at] ^= 1 << (rng.next_u64() % 8);
-                bytes = Bytes::from(buf);
                 fault.corrupted.fetch_add(1, Ordering::Relaxed);
             }
             let delay_nanos = fault.plan.max_delay.as_nanos() as u64;
@@ -302,7 +367,10 @@ impl RtNetwork {
                     fault.held.lock().expect("delay queue lock").push((
                         Instant::now() + extra,
                         to,
-                        Envelope { from, bytes },
+                        Envelope {
+                            from,
+                            bytes: Bytes::from(buf),
+                        },
                     ));
                     return true;
                 }
@@ -310,16 +378,55 @@ impl RtNetwork {
         }
         drop(guard);
         if let Some(tx) = self.registry.read().get(&to) {
-            let _ = tx.send(Envelope { from, bytes });
+            let _ = tx.send(Envelope {
+                from,
+                bytes: Bytes::from(buf),
+            });
+        } else {
+            self.pool.recycle(buf);
         }
         true
     }
 }
 
-/// Byte offset of the coded payload inside a serialized
-/// [`Wire::MessageData`] frame: tag (1) + length (4) + file id (8) +
-/// message id (8).
-const MESSAGE_PAYLOAD_OFFSET: usize = 21;
+/// Flips one bit inside one coded payload byte of the (possibly coalesced)
+/// frame batch in `buf` — never framing or control frames, so the damage
+/// surfaces as a digest-authentication failure, not a parse error. Mutates
+/// in place: corruption costs no extra copy. Returns `false`, drawing no
+/// positional randoms, when the batch carries no payload bytes.
+fn corrupt_in_place(buf: &mut [u8], rng: &mut SplitMix64) -> bool {
+    let mut total = 0usize;
+    let mut off = 0usize;
+    while off < buf.len() {
+        let Some((frame_len, span)) = protocol::scan_frame(&buf[off..]) else {
+            break;
+        };
+        if let Some((_, payload_len)) = span {
+            total += payload_len;
+        }
+        off += frame_len;
+    }
+    if total == 0 {
+        return false;
+    }
+    let mut target = (rng.next_u64() as usize) % total;
+    let bit = 1u8 << (rng.next_u64() % 8);
+    let mut off = 0usize;
+    while off < buf.len() {
+        let Some((frame_len, span)) = protocol::scan_frame(&buf[off..]) else {
+            break;
+        };
+        if let Some((payload_start, payload_len)) = span {
+            if target < payload_len {
+                buf[off + payload_start + target] ^= bit;
+                return true;
+            }
+            target -= payload_len;
+        }
+        off += frame_len;
+    }
+    unreachable!("target lies within the batch's payload bytes")
+}
 
 #[cfg(test)]
 mod tests {
@@ -417,6 +524,112 @@ mod tests {
         assert_eq!(got.message_id(), msg.message_id());
         assert_ne!(got.payload(), msg.payload(), "one payload bit flipped");
         assert_eq!(net.fault_stats().corrupted, 1);
+    }
+
+    #[test]
+    fn coalesced_frames_arrive_in_order() {
+        use asymshare_rlnc::{EncodedMessage, FileId, MessageId};
+        let net = RtNetwork::new();
+        let inbox = net.register(9);
+        let frames = vec![
+            Wire::MessageData(EncodedMessage::new(FileId(1), MessageId(0), vec![1u8; 8])),
+            Wire::MessageData(EncodedMessage::new(FileId(1), MessageId(1), vec![2u8; 8])),
+            Wire::StopTransmission { file_id: 1 },
+        ];
+        assert!(net.send_frames(2, 9, &frames));
+        let e = inbox.try_recv().expect("one datagram");
+        let got: Vec<Wire> = e.decode_all().map(|f| f.unwrap()).collect();
+        assert_eq!(got, frames);
+        // The batch's bytes are the concatenation of individual encodings.
+        let concat: Vec<u8> = frames.iter().flat_map(|f| f.encode().to_vec()).collect();
+        assert_eq!(&e.bytes[..], &concat[..], "coalescing keeps wire layout");
+    }
+
+    #[test]
+    fn batch_corruption_flips_one_payload_bit() {
+        use asymshare_rlnc::{EncodedMessage, FileId, MessageId};
+        let net = RtNetwork::new();
+        let inbox = net.register(10);
+        net.install_faults(FaultPlan::new(17).with_corruption(1.0));
+        let frames = vec![
+            Wire::FileRequest { file_id: 1 },
+            Wire::MessageData(EncodedMessage::new(FileId(1), MessageId(0), vec![0u8; 64])),
+            Wire::MessageData(EncodedMessage::new(FileId(1), MessageId(1), vec![0u8; 64])),
+        ];
+        assert!(net.send_frames(2, 10, &frames));
+        let e = inbox.try_recv().unwrap();
+        let mut flipped_payload_bits = 0u32;
+        for (frame, sent) in e.decode_all().zip(&frames) {
+            match (frame.unwrap(), sent) {
+                (Wire::MessageData(got), Wire::MessageData(want)) => {
+                    assert_eq!(got.file_id(), want.file_id(), "framing intact");
+                    assert_eq!(got.message_id(), want.message_id());
+                    flipped_payload_bits += got
+                        .payload()
+                        .iter()
+                        .zip(want.payload())
+                        .map(|(a, b)| (a ^ b).count_ones())
+                        .sum::<u32>();
+                }
+                (got, want) => assert_eq!(&got, want, "control frames unharmed"),
+            }
+        }
+        assert_eq!(flipped_payload_bits, 1, "exactly one bit, in a payload");
+        assert_eq!(net.fault_stats().corrupted, 1);
+    }
+
+    #[test]
+    fn control_only_batch_is_never_corrupted() {
+        let net = RtNetwork::new();
+        let inbox = net.register(11);
+        net.install_faults(FaultPlan::new(17).with_corruption(1.0));
+        let frames = vec![
+            Wire::FileRequest { file_id: 1 },
+            Wire::StopChunk {
+                file_id: 1,
+                chunk: 2,
+            },
+        ];
+        assert!(net.send_frames(2, 11, &frames));
+        let e = inbox.try_recv().unwrap();
+        let got: Vec<Wire> = e.decode_all().map(|f| f.unwrap()).collect();
+        assert_eq!(got, frames);
+        assert_eq!(net.fault_stats().corrupted, 0);
+    }
+
+    #[test]
+    fn recycled_envelope_buffer_is_reused() {
+        let net = RtNetwork::new();
+        let inbox = net.register(12);
+        assert!(net.send(1, 12, &Wire::FileRequest { file_id: 1 }));
+        let e = inbox.try_recv().unwrap();
+        net.recycle_envelope(e);
+        assert_eq!(net.buffer_pool().idle(), 1);
+        assert!(net.send(1, 12, &Wire::FileRequest { file_id: 2 }));
+        assert_eq!(net.buffer_pool().idle(), 0, "send drew from the pool");
+        let e = inbox.try_recv().unwrap();
+        assert_eq!(e.decode().unwrap(), Wire::FileRequest { file_id: 2 });
+    }
+
+    #[test]
+    fn payload_handle_defers_buffer_recycling() {
+        use asymshare_rlnc::{EncodedMessage, FileId, MessageId};
+        let net = RtNetwork::new();
+        let inbox = net.register(13);
+        let msg = EncodedMessage::new(FileId(1), MessageId(0), vec![9u8; 32]);
+        assert!(net.send(1, 13, &Wire::MessageData(msg)));
+        let e = inbox.try_recv().unwrap();
+        let Wire::MessageData(got) = e.decode().unwrap() else {
+            panic!("data frame");
+        };
+        net.recycle_envelope(e);
+        assert_eq!(
+            net.buffer_pool().idle(),
+            0,
+            "payload handle still references the buffer"
+        );
+        drop(got);
+        assert_eq!(net.buffer_pool().idle(), 0, "handle dropped too late");
     }
 
     #[test]

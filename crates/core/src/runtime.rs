@@ -292,15 +292,15 @@ impl SimRuntime {
                 continue;
             }
             for m in batch {
+                let size = Wire::message_data_frame_len(&m) as u64;
                 let tag = self.alloc_tag(Pending {
                     endpoint: Endpoint::StoreDeposit {
                         participant: target.0,
                     },
                     wire: None,
-                    msg: Some(m.clone()),
+                    msg: Some(m),
                     bulk_from: None,
                 });
-                let size = Wire::MessageData(m).encoded_len() as u64;
                 self.net.start_flow(
                     self.participants[owner.0].node,
                     self.participants[target.0].node,
@@ -584,8 +584,7 @@ impl SimRuntime {
         // All data messages of a chunked file share the per-chunk payload
         // size; approximate with the first pending message's wire size.
         let msgs = peer.store().messages(file);
-        msgs.first()
-            .map(|m| Wire::MessageData(m.clone()).encoded_len())
+        msgs.first().map(Wire::message_data_frame_len)
     }
 
     /// Slot phase 2: users send signed feedback to their home peers.

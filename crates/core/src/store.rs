@@ -23,8 +23,16 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct MessageStore {
     per_file_cap: Option<usize>,
-    files: HashMap<u64, Vec<EncodedMessage>>,
+    files: HashMap<u64, FileEntry>,
     total_bytes: u64,
+}
+
+/// One file's stored messages plus a running wire-byte tally, so both
+/// per-file and whole-store byte accounting stay O(1).
+#[derive(Debug, Clone, Default)]
+struct FileEntry {
+    messages: Vec<EncodedMessage>,
+    bytes: u64,
 }
 
 impl MessageStore {
@@ -43,25 +51,33 @@ impl MessageStore {
     }
 
     /// Inserts a message; returns `false` if dropped (per-file cap reached
-    /// or duplicate id).
+    /// or duplicate id). Stores the message's payload *handle* — the caller
+    /// keeps sharing the same allocation, and serving later hands out more
+    /// handles to it, never copies.
     pub fn insert(&mut self, msg: EncodedMessage) -> bool {
         let entry = self.files.entry(msg.file_id().0).or_default();
         if let Some(cap) = self.per_file_cap {
-            if entry.len() >= cap {
+            if entry.messages.len() >= cap {
                 return false;
             }
         }
-        if entry.iter().any(|m| m.message_id() == msg.message_id()) {
+        if entry
+            .messages
+            .iter()
+            .any(|m| m.message_id() == msg.message_id())
+        {
             return false;
         }
-        self.total_bytes += msg.wire_len() as u64;
-        entry.push(msg);
+        let len = msg.wire_len() as u64;
+        self.total_bytes += len;
+        entry.bytes += len;
+        entry.messages.push(msg);
         true
     }
 
     /// Messages stored for a file, in insertion order.
     pub fn messages(&self, file: FileId) -> &[EncodedMessage] {
-        self.files.get(&file.0).map_or(&[], Vec::as_slice)
+        self.files.get(&file.0).map_or(&[], |e| &e.messages)
     }
 
     /// Number of messages stored for a file.
@@ -82,17 +98,24 @@ impl MessageStore {
     }
 
     /// Total stored bytes (wire size) — the disk cost of participating,
-    /// which the paper prices at "under a dollar per gigabyte".
+    /// which the paper prices at "under a dollar per gigabyte". O(1): a
+    /// running counter maintained by `insert`/`remove_file`.
     pub fn total_bytes(&self) -> u64 {
         self.total_bytes
     }
 
+    /// Stored bytes (wire size) of one file, O(1).
+    pub fn file_bytes(&self, file: FileId) -> u64 {
+        self.files.get(&file.0).map_or(0, |e| e.bytes)
+    }
+
     /// Drops all messages of a file (owner revoked or re-encoded it).
+    /// O(1) byte accounting via the per-file tally.
     pub fn remove_file(&mut self, file: FileId) -> usize {
         match self.files.remove(&file.0) {
-            Some(msgs) => {
-                self.total_bytes -= msgs.iter().map(|m| m.wire_len() as u64).sum::<u64>();
-                msgs.len()
+            Some(entry) => {
+                self.total_bytes -= entry.bytes;
+                entry.messages.len()
             }
             None => 0,
         }
@@ -144,10 +167,39 @@ mod tests {
         let mut s = MessageStore::unbounded();
         s.insert(msg(1, 0, 100));
         s.insert(msg(1, 1, 50));
-        assert_eq!(s.total_bytes(), (16 + 100) + (16 + 50));
+        s.insert(msg(2, 0, 30));
+        assert_eq!(s.total_bytes(), (16 + 100) + (16 + 50) + (16 + 30));
+        assert_eq!(s.file_bytes(FileId(1)), (16 + 100) + (16 + 50));
+        assert_eq!(s.file_bytes(FileId(2)), 16 + 30);
+        assert_eq!(s.file_bytes(FileId(9)), 0);
         assert_eq!(s.remove_file(FileId(1)), 2);
-        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.total_bytes(), 16 + 30);
+        assert_eq!(s.file_bytes(FileId(1)), 0);
         assert_eq!(s.remove_file(FileId(1)), 0);
+    }
+
+    #[test]
+    fn rejected_inserts_do_not_count_bytes() {
+        let mut s = MessageStore::with_per_file_cap(1);
+        assert!(s.insert(msg(1, 0, 10)));
+        assert!(!s.insert(msg(1, 1, 10)), "cap");
+        assert!(!s.insert(msg(1, 0, 10)), "duplicate");
+        assert_eq!(s.total_bytes(), 16 + 10);
+        assert_eq!(s.file_bytes(FileId(1)), 16 + 10);
+    }
+
+    #[test]
+    fn stored_messages_share_payload_allocations() {
+        let mut s = MessageStore::unbounded();
+        let m = msg(1, 0, 64);
+        let ptr = m.payload().as_ptr();
+        s.insert(m);
+        let served = s.messages(FileId(1))[0].clone();
+        assert_eq!(
+            served.payload().as_ptr(),
+            ptr,
+            "store keeps and serves handles, not copies"
+        );
     }
 
     #[test]

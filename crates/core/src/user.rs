@@ -198,7 +198,7 @@ impl<F: Field> User<F> {
                     })?;
                     c.peer_key
                 };
-                let wire_len = Wire::MessageData(msg.clone()).encoded_len() as u64;
+                let wire_len = Wire::message_data_frame_len(&msg) as u64;
                 if self.decoder.is_complete() {
                     self.redundant += 1;
                     return Ok(vec![]);

@@ -1,0 +1,188 @@
+//! Proves the zero-copy data plane: serving a stored message performs no
+//! payload-byte copies until the transport write, and the receive path hands
+//! out payload views into the delivered frame buffer.
+//!
+//! Two angles:
+//!
+//! * **Pointer identity** — the payload handle returned by
+//!   `Peer::next_message` points at the very allocation the store ingested.
+//! * **Allocation counting** — a counting global allocator (allowed here:
+//!   the library forbids `unsafe`, integration tests are separate crates)
+//!   measures the steady-state serve → frame → deliver → parse loop. With
+//!   pooled frame buffers the only per-datagram heap traffic is the shared
+//!   handle's control block, so allocations per *message* stay far below 1
+//!   and allocated bytes per message are a rounding error next to the
+//!   payload size. Any accidental copy (clone-per-serve, `to_vec` on
+//!   receive) blows both budgets immediately.
+
+use asymshare::rt::{RtNetwork, MAX_COALESCE};
+use asymshare::{Identity, Peer, Prover, Wire};
+use asymshare_crypto::chacha20::ChaChaRng;
+use asymshare_rlnc::{EncodedMessage, FileId, MessageId};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counters are plain atomics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const PAYLOAD_LEN: usize = 8 << 10;
+const FILE: FileId = FileId(7);
+const CONN: u64 = 1;
+
+/// A peer with `count` stored messages and one authenticated session (the
+/// owner's) already serving `FILE`.
+fn serving_peer(count: usize) -> Peer {
+    let owner = Identity::from_seed(b"zero-copy-owner");
+    let mut peer = Peer::new(Identity::from_seed(b"zero-copy-peer"), 1_000.0);
+    peer.add_subscriber(owner.public_key().to_bytes());
+    for id in 0..count {
+        peer.store_mut().insert(EncodedMessage::new(
+            FILE,
+            MessageId(id as u64),
+            vec![id as u8; PAYLOAD_LEN],
+        ));
+    }
+
+    let mut rng = ChaChaRng::new([0x2C; 32], *b"zerocopytest");
+    let mut prover = Prover::new(owner.auth_keys().clone());
+    let commit = prover.start(&mut rng);
+    let challenge = peer
+        .on_message(CONN, commit, &mut rng)
+        .expect("commit")
+        .remove(0);
+    let response = prover.on_challenge(&challenge).expect("challenge");
+    let result = peer
+        .on_message(CONN, response, &mut rng)
+        .expect("response")
+        .remove(0);
+    assert!(matches!(result, Wire::AuthResult { ok: true, .. }));
+    peer.on_message(CONN, Wire::FileRequest { file_id: FILE.0 }, &mut rng)
+        .expect("request");
+    peer
+}
+
+#[test]
+fn next_message_hands_out_the_stored_allocation() {
+    let mut peer = serving_peer(4);
+    let stored: Vec<*const u8> = peer
+        .store()
+        .messages(FILE)
+        .iter()
+        .map(|m| m.payload().as_ptr())
+        .collect();
+    for _ in 0..4 {
+        let served = peer.next_message(CONN).expect("stocked");
+        let idx = served.message_id().0 as usize;
+        assert_eq!(
+            served.payload().as_ptr(),
+            stored[idx],
+            "serving hands out a handle to the ingested bytes, not a copy"
+        );
+    }
+}
+
+#[test]
+fn received_payload_views_the_delivered_frame() {
+    let mut peer = serving_peer(1);
+    let network = RtNetwork::new();
+    let inbox = network.register(9);
+    let msg = peer.next_message(CONN).expect("stocked");
+    assert!(network.send(100, 9, &Wire::MessageData(msg)));
+    let envelope = inbox.recv_timeout(Duration::from_secs(1)).expect("frame");
+    let frame_range =
+        envelope.bytes.as_ptr() as usize..envelope.bytes.as_ptr() as usize + envelope.bytes.len();
+    let Ok(Wire::MessageData(received)) = envelope.decode() else {
+        panic!("message frame");
+    };
+    assert!(
+        frame_range.contains(&(received.payload().as_ptr() as usize)),
+        "received payload is a view into the envelope buffer, not a copy"
+    );
+    assert_eq!(received.payload(), &vec![0u8; PAYLOAD_LEN][..]);
+}
+
+/// Steady-state serve loop: batches of `MAX_COALESCE` stored messages flow
+/// peer → pooled frame → transport → parsed payload handles. After warmup
+/// the only heap traffic left is the per-datagram shared-buffer control
+/// block — nowhere near one allocation (let alone one payload) per message.
+#[test]
+fn steady_state_serving_allocates_no_payload_bytes() {
+    const WARMUP_BATCHES: usize = 4;
+    const MEASURED_BATCHES: usize = 32;
+    let total = (WARMUP_BATCHES + MEASURED_BATCHES) * MAX_COALESCE;
+    let mut peer = serving_peer(total);
+    let network = RtNetwork::new();
+    let inbox = network.register(9);
+
+    let mut batch: Vec<Wire> = Vec::with_capacity(MAX_COALESCE);
+    let mut measured_msgs = 0u64;
+    let mut measured_payload = 0u64;
+    let mut allocs0 = 0u64;
+    let mut bytes0 = 0u64;
+    for round in 0..WARMUP_BATCHES + MEASURED_BATCHES {
+        if round == WARMUP_BATCHES {
+            allocs0 = ALLOCS.load(Ordering::Relaxed);
+            bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
+        }
+        for _ in 0..MAX_COALESCE {
+            batch.push(Wire::MessageData(peer.next_message(CONN).expect("stocked")));
+        }
+        assert!(network.send_frames(100, 9, &batch));
+        batch.clear();
+        let envelope = inbox.recv_timeout(Duration::from_secs(1)).expect("frames");
+        let mut in_envelope = 0;
+        for frame in envelope.decode_all() {
+            let Ok(Wire::MessageData(msg)) = frame else {
+                panic!("message frame");
+            };
+            in_envelope += 1;
+            if round >= WARMUP_BATCHES {
+                measured_msgs += 1;
+                measured_payload += msg.payload().len() as u64;
+            }
+        }
+        assert_eq!(in_envelope, MAX_COALESCE, "coalesced datagram");
+        network.recycle_envelope(envelope);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs0;
+    let alloc_bytes = ALLOC_BYTES.load(Ordering::Relaxed) - bytes0;
+
+    assert_eq!(measured_msgs as usize, MEASURED_BATCHES * MAX_COALESCE);
+    assert_eq!(measured_payload, measured_msgs * PAYLOAD_LEN as u64);
+    let allocs_per_msg = allocs as f64 / measured_msgs as f64;
+    let bytes_per_msg = alloc_bytes as f64 / measured_msgs as f64;
+    assert!(
+        allocs_per_msg < 1.0,
+        "expected sub-allocation-per-message serving, got {allocs_per_msg:.2} allocs/msg"
+    );
+    assert!(
+        bytes_per_msg < PAYLOAD_LEN as f64 / 16.0,
+        "expected no payload-byte copies ({PAYLOAD_LEN} B payloads), \
+         got {bytes_per_msg:.0} allocated B/msg"
+    );
+}

@@ -53,11 +53,27 @@ pub enum MessageDigest {
 
 impl MessageDigest {
     /// Computes the digest of `msg` with the given algorithm.
+    ///
+    /// Hashes the 16-byte wire header and the payload incrementally, so the
+    /// verify path never materializes the full wire form. Equivalent to
+    /// digesting `msg.to_wire()`.
     pub fn compute(kind: DigestKind, msg: &EncodedMessage) -> MessageDigest {
-        let wire = msg.to_wire();
+        let mut header = [0u8; crate::message::HEADER_LEN];
+        header[..8].copy_from_slice(&msg.file_id().0.to_le_bytes());
+        header[8..].copy_from_slice(&msg.message_id().0.to_le_bytes());
         match kind {
-            DigestKind::Md5 => MessageDigest::Md5(Md5::digest(&wire)),
-            DigestKind::Sha256 => MessageDigest::Sha256(Sha256::digest(&wire)),
+            DigestKind::Md5 => {
+                let mut h = Md5::new();
+                h.update(&header);
+                h.update(msg.payload());
+                MessageDigest::Md5(h.finalize())
+            }
+            DigestKind::Sha256 => {
+                let mut h = Sha256::new();
+                h.update(&header);
+                h.update(msg.payload());
+                MessageDigest::Sha256(h.finalize())
+            }
         }
     }
 
@@ -272,6 +288,19 @@ mod tests {
         assert!(m.verify(&msg(0, 1)).is_ok());
         assert!(m.verify(&msg(1, 2)).is_ok());
         assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn incremental_digest_matches_wire_digest() {
+        let m = msg(3, 7);
+        assert_eq!(
+            MessageDigest::compute(DigestKind::Md5, &m),
+            MessageDigest::Md5(Md5::digest(&m.to_wire()))
+        );
+        assert_eq!(
+            MessageDigest::compute(DigestKind::Sha256, &m),
+            MessageDigest::Sha256(Sha256::digest(&m.to_wire()))
+        );
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //!
 //! The paper's Figure 3: a stored message is an 8-byte file-id, an 8-byte
 //! message-id, and an `m`-symbol encoded payload. Peers store these
-//! "pre-fabricated" messages and forward them verbatim.
+//! "pre-fabricated" messages and forward them verbatim — so the payload is
+//! held as an [`Bytes`] handle: cloning a message (store → peer → frame)
+//! shares one allocation instead of copying payload bytes.
 
 use crate::error::CodecError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -36,6 +38,9 @@ pub const HEADER_LEN: usize = 16;
 
 /// One encoded message `Y_i` with its plaintext identifiers.
 ///
+/// Cloning is cheap: the payload is a shared handle, so a clone references
+/// the same bytes rather than copying them.
+///
 /// # Example
 ///
 /// ```rust
@@ -50,16 +55,17 @@ pub const HEADER_LEN: usize = 16;
 pub struct EncodedMessage {
     file_id: FileId,
     message_id: MessageId,
-    payload: Vec<u8>,
+    payload: Bytes,
 }
 
 impl EncodedMessage {
-    /// Assembles a message from parts.
-    pub fn new(file_id: FileId, message_id: MessageId, payload: Vec<u8>) -> Self {
+    /// Assembles a message from parts. Accepts a `Vec<u8>` (wrapped without
+    /// copying) or an existing [`Bytes`] handle.
+    pub fn new(file_id: FileId, message_id: MessageId, payload: impl Into<Bytes>) -> Self {
         EncodedMessage {
             file_id,
             message_id,
-            payload,
+            payload: payload.into(),
         }
     }
 
@@ -78,6 +84,12 @@ impl EncodedMessage {
         &self.payload
     }
 
+    /// The payload as a shared handle; cloning the result shares the
+    /// underlying allocation.
+    pub fn payload_bytes(&self) -> &Bytes {
+        &self.payload
+    }
+
     /// Total wire size in bytes (header + payload).
     pub fn wire_len(&self) -> usize {
         HEADER_LEN + self.payload.len()
@@ -92,7 +104,11 @@ impl EncodedMessage {
         buf.freeze()
     }
 
-    /// Parses a message from its wire format.
+    /// Parses a message from its wire format, copying the payload.
+    ///
+    /// When the source buffer is a shared [`Bytes`], prefer
+    /// [`from_wire_shared`](Self::from_wire_shared), which borrows the
+    /// payload instead.
     ///
     /// # Errors
     ///
@@ -109,12 +125,36 @@ impl EncodedMessage {
         Ok(EncodedMessage {
             file_id,
             message_id,
-            payload: wire.to_vec(),
+            payload: Bytes::from(wire.to_vec()),
         })
     }
 
-    /// Consumes the message, returning its payload buffer.
-    pub fn into_payload(self) -> Vec<u8> {
+    /// Parses a message from a shared wire buffer without copying the
+    /// payload: the resulting message's payload is a sub-slice handle into
+    /// `wire`'s allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Malformed`] when the buffer is shorter than the
+    /// 16-byte header.
+    pub fn from_wire_shared(wire: &Bytes) -> Result<Self, CodecError> {
+        if wire.len() < HEADER_LEN {
+            return Err(CodecError::Malformed {
+                reason: format!("{} bytes is shorter than the 16-byte header", wire.len()),
+            });
+        }
+        let mut head: &[u8] = wire;
+        let file_id = FileId(head.get_u64_le());
+        let message_id = MessageId(head.get_u64_le());
+        Ok(EncodedMessage {
+            file_id,
+            message_id,
+            payload: wire.slice(HEADER_LEN..),
+        })
+    }
+
+    /// Consumes the message, returning its payload handle.
+    pub fn into_payload(self) -> Bytes {
         self.payload
     }
 }
@@ -141,6 +181,8 @@ mod tests {
     fn short_buffer_is_malformed() {
         let err = EncodedMessage::from_wire(&[0u8; 15]).unwrap_err();
         assert!(matches!(err, CodecError::Malformed { .. }));
+        let err = EncodedMessage::from_wire_shared(&Bytes::from(vec![0u8; 15])).unwrap_err();
+        assert!(matches!(err, CodecError::Malformed { .. }));
     }
 
     #[test]
@@ -150,6 +192,30 @@ mod tests {
         assert_eq!(&wire[..8], &0x0102_0304u64.to_le_bytes());
         assert_eq!(&wire[8..16], &0x0A0Bu64.to_le_bytes());
         assert_eq!(wire[16], 0xFF);
+    }
+
+    #[test]
+    fn clone_shares_payload_storage() {
+        let msg = EncodedMessage::new(FileId(1), MessageId(2), vec![7u8; 64]);
+        let dup = msg.clone();
+        assert_eq!(
+            msg.payload().as_ptr(),
+            dup.payload().as_ptr(),
+            "clone must not copy payload bytes"
+        );
+    }
+
+    #[test]
+    fn from_wire_shared_borrows_payload() {
+        let msg = EncodedMessage::new(FileId(3), MessageId(4), vec![5u8; 32]);
+        let wire = msg.to_wire();
+        let parsed = EncodedMessage::from_wire_shared(&wire).unwrap();
+        assert_eq!(parsed, msg);
+        assert_eq!(
+            parsed.payload().as_ptr(),
+            wire[HEADER_LEN..].as_ptr(),
+            "payload must view the wire buffer, not copy it"
+        );
     }
 
     #[test]

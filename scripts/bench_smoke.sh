@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Bench smoke check: rerun the committed benchmarks in --quick mode and fail
+# on malformed JSON output or a >30% regression against the checked-in
+# snapshots (BENCH_rlnc.json, BENCH_transport.json). This is a CI noise
+# guard, not a precision benchmark — the committed numbers themselves come
+# from full (median-of-5) runs on a quiet machine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+snapshot=$(mktemp -d)
+# The bench binaries overwrite the committed JSON in place; always restore
+# the committed snapshots afterwards so the tree stays clean.
+trap 'cp "$snapshot"/*.json . 2>/dev/null || true; rm -rf "$snapshot"' EXIT
+cp BENCH_rlnc.json BENCH_transport.json "$snapshot"/
+
+cargo run --release -p asymshare-bench --bin bench_baseline -- --quick
+cargo run --release -p asymshare-bench --bin bench_transport -- --quick
+
+python3 - "$snapshot" <<'EOF'
+import json
+import sys
+
+snap = sys.argv[1]
+TOLERANCE = 0.30
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"malformed bench output {path}: {err}")
+        sys.exit(1)
+
+# (file, label, getter, direction): "higher" metrics regress by dropping,
+# "lower" metrics regress by growing. Tiny "lower" metrics also need an
+# absolute slack so 0.4 -> 0.6 allocs/msg jitter does not trip the gate.
+CHECKS = [
+    ("BENCH_rlnc.json", "encode_mb_per_s", lambda d: d["encode_mb_per_s"], "higher"),
+    ("BENCH_rlnc.json", "decode_mb_per_s", lambda d: d["decode_mb_per_s"], "higher"),
+    ("BENCH_transport.json", "after.mb_per_s", lambda d: d["after"]["mb_per_s"], "higher"),
+    ("BENCH_transport.json", "after.allocs_per_msg", lambda d: d["after"]["allocs_per_msg"], "lower"),
+]
+
+failed = False
+for name, label, get, direction in CHECKS:
+    committed = get(load(f"{snap}/{name}"))
+    fresh = get(load(name))
+    if direction == "higher":
+        regressed = fresh < committed * (1 - TOLERANCE)
+    else:
+        regressed = fresh > committed * (1 + TOLERANCE) and fresh - committed > 0.5
+    status = "REGRESSED" if regressed else "ok"
+    print(f"{name} {label}: committed {committed}, quick rerun {fresh} [{status}]")
+    failed = failed or regressed
+
+sys.exit(1 if failed else 0)
+EOF

@@ -1,19 +1,34 @@
 //! Offline stand-in for the `bytes` crate.
 //!
-//! Provides [`Bytes`] (cheaply cloneable immutable buffer), [`BytesMut`]
-//! (growable builder that freezes into `Bytes`), and the little-endian
-//! [`Buf`]/[`BufMut`] accessors the workspace's wire codecs use. No
-//! zero-copy slicing or vtable tricks — `Bytes` is an `Arc<[u8]>`, which
-//! preserves the O(1)-clone property the transport layer relies on.
+//! Provides [`Bytes`] (cheaply cloneable immutable buffer with zero-copy
+//! [`slice`](Bytes::slice) views), [`BytesMut`] (growable builder that
+//! freezes into `Bytes` without copying), and the little-endian
+//! [`Buf`]/[`BufMut`] accessors the workspace's wire codecs use.
+//!
+//! `Bytes` is a `(Arc<Vec<u8>>, start, end)` view: clones and sub-slices
+//! share one allocation, which is what the zero-copy data plane relies on —
+//! a received datagram is sliced into per-message payload handles that all
+//! point into the delivery buffer. [`Bytes::try_reclaim`] hands the backing
+//! `Vec` back to the caller once every view is gone, enabling buffer pools.
 
 #![forbid(unsafe_code)]
 
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// A cheaply cloneable, immutable byte buffer.
-#[derive(Clone, Default)]
-pub struct Bytes(Arc<[u8]>);
+/// A cheaply cloneable, immutable byte buffer supporting zero-copy slicing.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+}
 
 impl Bytes {
     /// An empty buffer.
@@ -23,42 +38,76 @@ impl Bytes {
 
     /// A buffer that copies `data`.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes(Arc::from(data))
+        Bytes::from(data.to_vec())
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
     }
 
     /// Copies the contents into a `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.to_vec()
+        self[..].to_vec()
+    }
+
+    /// A zero-copy sub-view sharing this buffer's allocation. The range is
+    /// relative to this view.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range falls outside the view, like slice indexing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(lo <= hi && hi <= len, "slice {lo}..{hi} out of 0..{len}");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Recovers the backing `Vec` when this is the only remaining view
+    /// (pool recycling); otherwise returns `None` and drops this view.
+    /// The returned `Vec` is the *whole* original allocation, not just this
+    /// view's window.
+    pub fn try_reclaim(self) -> Option<Vec<u8>> {
+        Arc::try_unwrap(self.data).ok()
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self
     }
 }
 
 impl core::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.0.iter() {
+        for &b in self.iter() {
             write!(f, "\\x{b:02x}")?;
         }
         write!(f, "\"")
@@ -67,33 +116,45 @@ impl core::fmt::Debug for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.0 == other.0
+        self[..] == other[..]
     }
 }
 
 impl Eq for Bytes {}
 
+impl core::hash::Hash for Bytes {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &*self.0 == other
+        &self[..] == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &*self.0 == other.as_slice()
+        &self[..] == other.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Zero-copy: wraps the `Vec` without reallocating.
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Bytes {
-        Bytes(Arc::from(v))
+        Bytes::from(v.to_vec())
     }
 }
 
@@ -127,7 +188,7 @@ impl BytesMut {
         self.0.extend_from_slice(data);
     }
 
-    /// Converts into an immutable [`Bytes`].
+    /// Converts into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.0)
     }
@@ -267,6 +328,51 @@ mod tests {
         let c = b.clone();
         assert_eq!(b, c);
         assert_eq!(&b[..2], &[1, 2]);
+        assert_eq!(b.as_ptr(), c.as_ptr(), "clone is a view, not a copy");
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_relative() {
+        let b = Bytes::from((0u8..32).collect::<Vec<u8>>());
+        let mid = b.slice(8..24);
+        assert_eq!(mid.len(), 16);
+        assert_eq!(mid[0], 8);
+        assert_eq!(mid.as_ptr(), b[8..].as_ptr(), "same allocation");
+        let inner = mid.slice(4..);
+        assert_eq!(inner[0], 12, "nested slices are relative to the view");
+        assert_eq!(b.slice(..).len(), 32);
+        assert_eq!(b.slice(32..).len(), 0, "empty tail slice allowed");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn slice_past_end_panics() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let _ = b.slice(2..5);
+    }
+
+    #[test]
+    fn from_vec_and_freeze_do_not_copy() {
+        let v = vec![9u8; 100];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ptr(), ptr, "From<Vec> wraps in place");
+
+        let mut m = BytesMut::with_capacity(64);
+        m.put_slice(&[1, 2, 3]);
+        let ptr = m.as_ptr();
+        assert_eq!(m.freeze().as_ptr(), ptr, "freeze wraps in place");
+    }
+
+    #[test]
+    fn try_reclaim_returns_sole_allocation() {
+        let b = Bytes::from(vec![5u8; 16]);
+        let view = b.slice(4..8);
+        let c = view.clone();
+        assert!(c.try_reclaim().is_none(), "other views still alive");
+        drop(b);
+        let vec = view.try_reclaim().expect("last view reclaims");
+        assert_eq!(vec.len(), 16, "whole allocation comes back");
     }
 
     #[test]
