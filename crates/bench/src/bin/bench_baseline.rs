@@ -14,8 +14,10 @@
 //! cargo run --release -p asymshare-bench --bin bench_baseline
 //! ```
 
+use asymshare::{Identity, ParticipantId, RuntimeConfig, SimRuntime};
 use asymshare_crypto::rng::SecretKey;
 use asymshare_gf::Gf256;
+use asymshare_netsim::LinkSpeed;
 use asymshare_rlnc::{BlockDecoder, CodingParams, Encoder, FileId, MEGABYTE};
 use std::time::Instant;
 
@@ -29,6 +31,78 @@ const OUT_PATH: &str = "BENCH_rlnc.json";
 fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     xs[xs.len() / 2]
+}
+
+/// Jain's fairness index: 1.0 when all shares are equal, 1/n when one
+/// party takes everything.
+fn jain_index(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (n * sq)
+}
+
+/// Fairness columns: a small seeded slotted-simulator download with the
+/// observability layer on. Everything here is deterministic, so re-runs
+/// never churn the committed JSON.
+fn fairness_section() -> String {
+    const FAIR_PEERS: usize = 3;
+    const FAIR_BYTES: usize = 64 * 1024;
+    let mut rt = SimRuntime::new(RuntimeConfig {
+        k: 4,
+        chunk_size: 16 * 1024,
+        ..RuntimeConfig::default()
+    });
+    rt.enable_observability();
+    let ids: Vec<ParticipantId> = (0..FAIR_PEERS as u8)
+        .map(|i| {
+            rt.add_participant(
+                Identity::from_seed(&[b'f', i]),
+                LinkSpeed::kbps(512.0),
+                LinkSpeed::kbps(3000.0),
+            )
+        })
+        .collect();
+    let payload: Vec<u8> = (0..FAIR_BYTES).map(|i| (i * 31 % 251) as u8).collect();
+    let (manifest, _) = rt
+        .disseminate(ids[0], FileId(9), &payload, &ids)
+        .expect("disseminate");
+    let session = rt
+        .start_download(
+            ids[0],
+            manifest,
+            LinkSpeed::kbps(512.0),
+            LinkSpeed::kbps(3000.0),
+            &ids,
+        )
+        .expect("session");
+    let report = rt.run_to_completion(session, 600).expect("download");
+    // Flush the final feedback round so Eq.-2 credit reflects served bytes.
+    rt.run_slots(rt.config().feedback_every_slots + 2);
+
+    let bytes: Vec<f64> = report.per_peer_bytes.values().map(|&b| b as f64).collect();
+    let jain_bytes = jain_index(&bytes);
+    let matrix = rt.credit_matrix();
+    // The home peer's ledger row for the other participants' keys.
+    let credits: Vec<f64> = (1..FAIR_PEERS).map(|j| matrix[0][j]).collect();
+    let credit_min = credits.iter().cloned().fold(f64::INFINITY, f64::min);
+    let credit_max = credits.iter().cloned().fold(0.0, f64::max);
+    let slot_shares = rt
+        .event_log()
+        .iter()
+        .filter(|e| e.component == "sim.alloc")
+        .count();
+    println!(
+        "  fairness: jain(bytes) {jain_bytes:.3} over {} peers, home credit [{credit_min:.0}, {credit_max:.0}]",
+        bytes.len()
+    );
+    format!(
+        "  \"fairness\": {{\n    \"peers\": {FAIR_PEERS},\n    \"payload_bytes\": {FAIR_BYTES},\n    \"contributors\": {},\n    \"jain_index_bytes\": {jain_bytes:.3},\n    \"home_credit_min\": {credit_min:.0},\n    \"home_credit_max\": {credit_max:.0},\n    \"slot_share_events\": {slot_shares}\n  }}",
+        bytes.len()
+    )
 }
 
 fn main() {
@@ -71,11 +145,13 @@ fn main() {
     println!("  encode: {encode_mbps:.1} MB/s");
     println!("  decode: {decode_mbps:.1} MB/s");
 
+    let fairness = fairness_section();
+
     // Hand-rolled JSON: two significant decimals are plenty for a baseline,
     // and the rounding keeps re-runs from churning the committed file on
     // every timing wobble.
     let json = format!(
-        "{{\n  \"config\": {{\n    \"field\": \"GF(2^8)\",\n    \"k\": {k},\n    \"m\": {M},\n    \"chunk_bytes\": {MEGABYTE},\n    \"samples\": {samples},\n    \"statistic\": \"median\"\n  }},\n  \"encode_mb_per_s\": {encode_mbps:.1},\n  \"decode_mb_per_s\": {decode_mbps:.1}\n}}\n"
+        "{{\n  \"config\": {{\n    \"field\": \"GF(2^8)\",\n    \"k\": {k},\n    \"m\": {M},\n    \"chunk_bytes\": {MEGABYTE},\n    \"samples\": {samples},\n    \"statistic\": \"median\"\n  }},\n  \"encode_mb_per_s\": {encode_mbps:.1},\n  \"decode_mb_per_s\": {decode_mbps:.1},\n{fairness}\n}}\n"
     );
     std::fs::write(OUT_PATH, json).expect("write baseline json");
     println!("wrote {OUT_PATH}");

@@ -19,6 +19,7 @@ use asymshare::rt::{PeerHost, RtNetwork};
 use asymshare::{Identity, Peer, Prover, Wire};
 use asymshare_crypto::chacha20::ChaChaRng;
 use asymshare_gf::{FieldKind, Gf2p32};
+use asymshare_obs::{EventSink, Registry, Snapshot};
 use asymshare_rlnc::{ChunkedEncoder, DigestKind, FileId};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -75,14 +76,25 @@ fn median(mut xs: Vec<f64>) -> f64 {
     xs[xs.len() / 2]
 }
 
+/// Committed-throughput statistic. Successive in-process runs get steadily
+/// faster (allocator reuse, page cache, branch history), so a median over
+/// them overstates what a fresh single-sample `--quick` process can reach;
+/// the minimum is both conservative and position-aligned with quick mode.
+fn minimum(xs: Vec<f64>) -> f64 {
+    xs.into_iter().fold(f64::INFINITY, f64::min)
+}
+
 struct Sample {
     mb_per_s: f64,
     allocs_per_msg: f64,
     alloc_kib_per_msg: f64,
 }
 
-fn run_once(owner: &Identity, batches: &[Vec<asymshare_rlnc::EncodedMessage>]) -> Sample {
-    let network = RtNetwork::new();
+fn run_once(
+    owner: &Identity,
+    batches: &[Vec<asymshare_rlnc::EncodedMessage>],
+    network: RtNetwork,
+) -> (Sample, Snapshot) {
     let mut hosts = Vec::new();
     let mut peer_addrs = Vec::new();
     for (i, batch) in batches.iter().enumerate() {
@@ -178,11 +190,15 @@ fn run_once(owner: &Identity, batches: &[Vec<asymshare_rlnc::EncodedMessage>]) -
     for host in hosts {
         host.shutdown();
     }
-    Sample {
-        mb_per_s: got_bytes as f64 / 1e6 / elapsed,
-        allocs_per_msg: allocs as f64 / got_msgs as f64,
-        alloc_kib_per_msg: alloc_bytes as f64 / 1024.0 / got_msgs as f64,
-    }
+    let snapshot = network.metrics_snapshot();
+    (
+        Sample {
+            mb_per_s: got_bytes as f64 / 1e6 / elapsed,
+            allocs_per_msg: allocs as f64 / got_msgs as f64,
+            alloc_kib_per_msg: alloc_bytes as f64 / 1024.0 / got_msgs as f64,
+        },
+        snapshot,
+    )
 }
 
 fn main() {
@@ -209,17 +225,63 @@ fn main() {
         (CHUNK_BYTES / K) >> 10,
     );
 
-    let runs: Vec<Sample> = (0..samples).map(|_| run_once(&owner, &batches)).collect();
-    let mb_per_s = median(runs.iter().map(|s| s.mb_per_s).collect());
+    // Discarded warmup runs: early passes through the data plane pay for
+    // thread spawn, page faults, allocator growth and CPU frequency ramp,
+    // which would otherwise dominate a --quick (single-sample) measurement.
+    for _ in 0..3 {
+        let _ = run_once(&owner, &batches, RtNetwork::new());
+    }
+    let runs: Vec<Sample> = (0..samples)
+        .map(|_| run_once(&owner, &batches, RtNetwork::new()).0)
+        .collect();
+    let mb_per_s = minimum(runs.iter().map(|s| s.mb_per_s).collect());
     let allocs_per_msg = median(runs.iter().map(|s| s.allocs_per_msg).collect());
     let alloc_kib_per_msg = median(runs.iter().map(|s| s.alloc_kib_per_msg).collect());
+
+    // Observability overhead: alternate metrics-disabled and metrics-enabled
+    // runs in ABBA order so the machine's monotonic warmup drift cancels out
+    // of the comparison (cross-process numbers drift far more than the
+    // effect being measured). The last enabled run's snapshot supplies the
+    // queue/pool columns; bench_smoke gates overhead_pct at 5%.
+    let observed_net = || RtNetwork::with_observability(Registry::new(), EventSink::new());
+    let cycles = if quick { 2 } else { 5 };
+    let mut disabled_runs = Vec::new();
+    let mut observed_runs = Vec::new();
+    let mut snapshot = None;
+    for _ in 0..cycles {
+        disabled_runs.push(run_once(&owner, &batches, RtNetwork::new()).0.mb_per_s);
+        observed_runs.push(run_once(&owner, &batches, observed_net()).0.mb_per_s);
+        let (s, snap) = run_once(&owner, &batches, observed_net());
+        observed_runs.push(s.mb_per_s);
+        snapshot = Some(snap);
+        disabled_runs.push(run_once(&owner, &batches, RtNetwork::new()).0.mb_per_s);
+    }
+    let snapshot = snapshot.expect("at least one observed run");
+    let disabled_mb_per_s = median(disabled_runs);
+    let observed_mb_per_s = median(observed_runs);
+    let overhead_pct =
+        ((disabled_mb_per_s - observed_mb_per_s) / disabled_mb_per_s * 100.0).max(0.0);
+    let pool_hits = snapshot.gauge("rt.pool.hits").unwrap_or(0.0);
+    let pool_misses = snapshot.gauge("rt.pool.misses").unwrap_or(0.0);
+    let pool_hit_rate = pool_hits / (pool_hits + pool_misses).max(1.0);
+    let coalesce_mean = snapshot
+        .histogram("rt.host.coalesce_frames")
+        .map(|h| h.mean())
+        .unwrap_or(0.0);
+    let served_frames = snapshot.counter("rt.host.served_frames").unwrap_or(0);
+    let sends = snapshot.counter("rt.transport.sends").unwrap_or(0);
 
     println!("  throughput: {mb_per_s:.0} MB/s (baseline {BASELINE_MB_PER_S:.0})");
     println!("  allocs/msg: {allocs_per_msg:.1} (baseline {BASELINE_ALLOCS_PER_MSG:.1})");
     println!("  alloc KiB/msg: {alloc_kib_per_msg:.1}");
+    println!(
+        "  metrics: disabled {disabled_mb_per_s:.0} vs observed {observed_mb_per_s:.0} MB/s \
+         ({overhead_pct:.1}% overhead), pool hit rate {pool_hit_rate:.3}, \
+         {coalesce_mean:.1} frames/datagram"
+    );
 
     let json = format!(
-        "{{\n  \"config\": {{\n    \"peers\": {PEERS},\n    \"file_bytes\": {FILE_BYTES},\n    \"chunk_bytes\": {CHUNK_BYTES},\n    \"k\": {K},\n    \"messages\": {msgs},\n    \"samples\": {samples},\n    \"statistic\": \"median\"\n  }},\n  \"before\": {{\n    \"mb_per_s\": {BASELINE_MB_PER_S:.0},\n    \"allocs_per_msg\": {BASELINE_ALLOCS_PER_MSG:.1}\n  }},\n  \"after\": {{\n    \"mb_per_s\": {mb_per_s:.0},\n    \"allocs_per_msg\": {allocs_per_msg:.1},\n    \"alloc_kib_per_msg\": {alloc_kib_per_msg:.1}\n  }}\n}}\n"
+        "{{\n  \"config\": {{\n    \"peers\": {PEERS},\n    \"file_bytes\": {FILE_BYTES},\n    \"chunk_bytes\": {CHUNK_BYTES},\n    \"k\": {K},\n    \"messages\": {msgs},\n    \"samples\": {samples},\n    \"statistic\": \"min of samples (throughput), median (allocs)\"\n  }},\n  \"before\": {{\n    \"mb_per_s\": {BASELINE_MB_PER_S:.0},\n    \"allocs_per_msg\": {BASELINE_ALLOCS_PER_MSG:.1}\n  }},\n  \"after\": {{\n    \"mb_per_s\": {mb_per_s:.0},\n    \"allocs_per_msg\": {allocs_per_msg:.1},\n    \"alloc_kib_per_msg\": {alloc_kib_per_msg:.1}\n  }},\n  \"metrics\": {{\n    \"disabled_mb_per_s\": {disabled_mb_per_s:.0},\n    \"observed_mb_per_s\": {observed_mb_per_s:.0},\n    \"overhead_pct\": {overhead_pct:.1},\n    \"pool_hit_rate\": {pool_hit_rate:.3},\n    \"coalesce_mean_frames\": {coalesce_mean:.1},\n    \"served_frames\": {served_frames},\n    \"transport_sends\": {sends}\n  }}\n}}\n"
     );
     std::fs::write(OUT_PATH, json).expect("write transport baseline");
     println!("wrote {OUT_PATH}");

@@ -347,7 +347,16 @@ impl Wire {
                 buf.copy_to_slice(&mut reporter);
                 let window_end_secs = buf.get_u64_le();
                 let count = buf.get_u32_le() as usize;
-                need(buf, count * 72 + 96, "feedback body")?;
+                // `count` is untrusted: the body size must be computed with
+                // checked math (`count * 72` overflows usize on 32-bit
+                // targets) and rejected when it cannot fit the buffer.
+                let body_len = count
+                    .checked_mul(72)
+                    .and_then(|n| n.checked_add(96))
+                    .ok_or_else(|| SystemError::BadMessage {
+                        reason: "feedback entry count overflows".to_owned(),
+                    })?;
+                need(buf, body_len, "feedback body")?;
                 let mut entries = Vec::with_capacity(count);
                 for _ in 0..count {
                     let mut contributor = [0u8; 64];
@@ -440,23 +449,34 @@ pub(crate) fn scan_frame(buf: &[u8]) -> Option<(usize, Option<(usize, usize)>)> 
                 return None;
             }
             let len = u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes")) as usize;
-            if buf.len() < 5 + len {
+            // `len` is untrusted wire data: `5 + len` can wrap on 32-bit
+            // targets, so size the frame with checked math.
+            let frame = len.checked_add(5)?;
+            if buf.len() < frame {
                 return None;
             }
             // Payload begins after the 16-byte id header inside the message.
             let payload = (len > 16).then_some((5 + 16, len - 16));
-            return Some((5 + len, payload));
+            return Some((frame, payload));
         }
         TAG_FEEDBACK => {
             if buf.len() < 1 + 76 {
                 return None;
             }
+            // `count` is untrusted: `count * 72` overflows usize on 32-bit
+            // targets, so reject declared counts that cannot fit any buffer
+            // instead of computing a wrapped (tiny) body size.
             let count = u32::from_le_bytes(buf[73..77].try_into().expect("4 bytes")) as usize;
-            76 + count * 72 + 96
+            count.checked_mul(72).and_then(|n| n.checked_add(76 + 96))?
         }
         _ => return None,
     };
-    (buf.len() > body).then_some((1 + body, None))
+    let frame = body.checked_add(1)?;
+    if buf.len() >= frame {
+        Some((frame, None))
+    } else {
+        None
+    }
 }
 
 /// The transcript a peer countersigns in its [`Wire::AuthResult`]: domain
@@ -485,6 +505,7 @@ pub fn challenge_from_bytes(b: &[u8; 32]) -> U256 {
 mod tests {
     use super::*;
     use asymshare_rlnc::{FileId, MessageId};
+    use proptest::prelude::*;
 
     fn rng() -> ChaChaRng {
         ChaChaRng::new([3u8; 32], [0u8; 12])
@@ -642,6 +663,66 @@ mod tests {
         assert_eq!(scan_frame(&[99]), None, "unknown tag");
         let enc = variants[0].encode();
         assert_eq!(scan_frame(&enc[..enc.len() - 1]), None, "truncated");
+    }
+
+    #[test]
+    fn oversized_feedback_count_is_rejected() {
+        // A feedback header whose declared entry count would overflow the
+        // body-size arithmetic (count * 72) must be rejected, not wrapped
+        // into a tiny bogus length.
+        let mut frame = vec![0u8; 1 + 64 + 8 + 4 + 96];
+        frame[0] = TAG_FEEDBACK;
+        frame[73..77].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Wire::decode(&frame).is_err(), "decode rejects");
+        assert_eq!(scan_frame(&frame), None, "scan rejects");
+        // A count that fits arithmetic but not the buffer is also rejected.
+        frame[73..77].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(Wire::decode(&frame).is_err());
+        assert_eq!(scan_frame(&frame), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// `scan_frame` and `Wire::decode` face raw network bytes: they must
+        /// never panic, and any window `scan_frame` reports must lie inside
+        /// the frame it sized.
+        #[test]
+        fn scan_frame_never_panics_or_overruns(
+            bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            if let Some((frame_len, span)) = scan_frame(&bytes) {
+                prop_assert!(frame_len <= bytes.len(), "frame within buffer");
+                prop_assert!(frame_len >= 1, "frame covers at least the tag");
+                if let Some((off, len)) = span {
+                    let end = off.checked_add(len);
+                    prop_assert!(end.is_some_and(|e| e <= frame_len), "payload window in frame");
+                }
+            }
+            let _ = Wire::decode(&bytes); // must not panic
+        }
+
+        /// Same adversarial guarantee with a forged MessageData tag in front,
+        /// which exercises the length-prefixed path specifically.
+        #[test]
+        fn scan_message_data_never_overruns(
+            body in proptest::collection::vec(any::<u8>(), 0..64),
+            declared in any::<u32>(),
+        ) {
+            let mut frame = vec![TAG_MESSAGE_DATA];
+            frame.extend_from_slice(&declared.to_le_bytes());
+            frame.extend_from_slice(&body);
+            if let Some((frame_len, span)) = scan_frame(&frame) {
+                prop_assert!(frame_len <= frame.len());
+                prop_assert_eq!(frame_len, 5 + declared as usize);
+                if let Some((off, len)) = span {
+                    prop_assert!(off + len <= frame_len);
+                }
+            } else {
+                prop_assert!(declared as usize > body.len(), "only truncation is rejected");
+            }
+            let _ = Wire::decode(&frame);
+        }
     }
 
     #[test]

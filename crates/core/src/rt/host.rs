@@ -56,6 +56,13 @@ impl PeerHost {
                 });
                 let rate = upload_bytes_per_sec as f64;
                 let mut bucket = TokenBucket::new(rate, (rate * 0.1).max(65_536.0), Instant::now());
+                // Metric handles resolved once, outside the serving loop;
+                // inert single-branch no-ops when observability is off.
+                let metrics = net.metrics();
+                let served_frames = metrics.counter("rt.host.served_frames");
+                let served_bytes = metrics.counter("rt.host.served_bytes");
+                let coalesce_frames = metrics.histogram("rt.host.coalesce_frames");
+                let debt_bytes = metrics.histogram("rt.host.debt_bytes");
                 // Reused across ticks so steady-state serving allocates
                 // nothing; holds cheap message handles, not payload bytes.
                 let mut batch: Vec<Wire> = Vec::with_capacity(MAX_COALESCE);
@@ -129,16 +136,26 @@ impl PeerHost {
                             let size = Wire::message_data_frame_len(&msg) as f64;
                             bucket.take_with_debt(size, now);
                             quota -= size;
+                            served_frames.inc();
+                            served_bytes.add(size as u64);
                             batch.push(Wire::MessageData(msg));
                             if batch.len() >= MAX_COALESCE {
+                                coalesce_frames.record(batch.len() as u64);
                                 alive = net.send_frames(addr, conn, &batch);
                                 batch.clear();
                             }
                         }
                         if alive && !batch.is_empty() {
+                            coalesce_frames.record(batch.len() as u64);
                             alive = net.send_frames(addr, conn, &batch);
                         }
                         batch.clear();
+                        // Depth of the bucket's overdraft after this
+                        // connection's quota (0 while still in credit).
+                        let debt = -bucket.available(now);
+                        if debt > 0.0 {
+                            debt_bytes.record(debt as u64);
+                        }
                         if !alive {
                             // The downloader deregistered: stop burning
                             // uplink on a dead connection.

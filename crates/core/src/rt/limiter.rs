@@ -63,9 +63,14 @@ impl TokenBucket {
     /// Spends `amount` tokens unconditionally, allowing the balance to go
     /// negative (packet-granularity overdraft; future refills repay the
     /// debt, so the long-run rate still converges to `rate`).
+    ///
+    /// Debt is clamped at `-burst`: one oversized coalesced batch can stall
+    /// the bucket for at most `burst / rate` seconds, never longer. Without
+    /// the clamp a single pathological send could drive the balance
+    /// arbitrarily negative and silence a peer indefinitely.
     pub fn take_with_debt(&mut self, amount: f64, now: Instant) {
         self.refill(now);
-        self.tokens -= amount;
+        self.tokens = (self.tokens - amount).max(-self.burst);
     }
 
     /// Tokens currently available (may be negative while in debt).
@@ -103,11 +108,31 @@ mod tests {
     fn debt_is_repaid_over_time() {
         let t0 = Instant::now();
         let mut b = TokenBucket::new(100.0, 100.0, t0);
-        b.take_with_debt(250.0, t0); // 150 in debt
-        assert!(b.available(t0) < 0.0);
+        b.take_with_debt(150.0, t0); // 50 in debt, within the clamp
+        assert!((b.available(t0) - -50.0).abs() < 1e-9);
         assert!(!b.try_take(1.0, t0));
         let t1 = t0 + Duration::from_secs(2);
-        assert!((b.available(t1) - 50.0).abs() < 1e-9);
+        assert!((b.available(t1) - 100.0).abs() < 1e-9, "repaid and capped");
+    }
+
+    #[test]
+    fn overdraft_debt_is_clamped_at_burst() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(100.0, 100.0, t0);
+        // A pathological batch far larger than the burst must not stall the
+        // bucket for longer than burst/rate = 1s.
+        b.take_with_debt(1_000_000.0, t0);
+        assert!(
+            (b.available(t0) - -100.0).abs() < 1e-9,
+            "debt clamped at -burst"
+        );
+        let just_past_bound = t0 + Duration::from_millis(1_001);
+        assert!(
+            b.available(just_past_bound) > 0.0,
+            "positive again within burst/rate seconds"
+        );
+        let t2 = t0 + Duration::from_secs(2);
+        assert!((b.available(t2) - 100.0).abs() < 1e-9, "fully refilled");
     }
 
     #[test]

@@ -29,7 +29,7 @@ mod transport;
 
 pub use host::{PeerHost, MAX_COALESCE};
 pub use limiter::TokenBucket;
-pub use pool::BufferPool;
+pub use pool::{BufferPool, PoolStats};
 pub use transport::{Envelope, FaultPlan, FaultStats, FrameIter, RtNetwork};
 
 use crate::error::SystemError;
@@ -137,6 +137,19 @@ pub fn download_file_with(
     let mut rng = ChaChaRng::new([0x5D; 32], *b"rt-download!");
     let file_id = user.file_id();
     let started = Instant::now();
+    // Observability: handles resolved once (inert when the network was not
+    // built with `with_observability`); the span records the wall-clock
+    // duration of the whole download, error paths included.
+    let events = network.events().clone();
+    let digest_rejections = network.metrics().counter("rt.download.digest_rejections");
+    let replacement_rtt_us = network
+        .metrics()
+        .histogram("rt.download.replacement_rtt_us");
+    let _download_span = events.span("rt.download", "download");
+    // Chunks with an outstanding replacement request, for round-trip timing
+    // (first request wins; resolved when any message of the chunk arrives).
+    let mut pending_repl: std::collections::HashMap<u32, Instant> =
+        std::collections::HashMap::new();
     // Connect to every peer; the connection id is the peer's address so
     // both sides key their session state consistently.
     let mut tracks: Vec<PeerTrack> = peers
@@ -182,6 +195,16 @@ pub fn download_file_with(
             // envelope's buffer, fed straight to the decoder.
             for frame in envelope.decode_all() {
                 let wire = frame?;
+                // An arriving message closes any open replacement round-trip
+                // for its chunk (checked only while one is outstanding).
+                if !pending_repl.is_empty() {
+                    if let Wire::MessageData(msg) = &wire {
+                        let chunk = FileManifest::chunk_of(msg.message_id());
+                        if let Some(t0) = pending_repl.remove(&chunk) {
+                            replacement_rtt_us.record(t0.elapsed().as_micros() as u64);
+                        }
+                    }
+                }
                 match user.on_message(envelope.from, wire, &mut rng) {
                     Ok(replies) => {
                         let mut lost = Vec::new();
@@ -191,8 +214,16 @@ pub fn download_file_with(
                             }
                         }
                         for conn in lost {
-                            write_off(user, &mut tracks, conn);
-                            reassign(network, my_addr, user, &tracks, &mut reassign_rr, file_id);
+                            write_off(user, &mut tracks, conn, &events);
+                            reassign(
+                                network,
+                                my_addr,
+                                user,
+                                &tracks,
+                                &mut reassign_rr,
+                                file_id,
+                                &events,
+                            );
                         }
                     }
                     // Digest-rejected message: corrupted or tampered in
@@ -200,13 +231,21 @@ pub fn download_file_with(
                     // same chunk and move on.
                     Err(SystemError::Codec(CodecError::AuthenticationFailed { id })) => {
                         user.stats_mut().replacements += 1;
-                        let request = Wire::ReplacementRequest {
-                            file_id,
-                            chunk: FileManifest::chunk_of(MessageId(id)),
-                        };
+                        digest_rejections.inc();
+                        let chunk = FileManifest::chunk_of(MessageId(id));
+                        pending_repl.entry(chunk).or_insert_with(Instant::now);
+                        let request = Wire::ReplacementRequest { file_id, chunk };
                         if !network.send(my_addr, envelope.from, &request) {
-                            write_off(user, &mut tracks, envelope.from);
-                            reassign(network, my_addr, user, &tracks, &mut reassign_rr, file_id);
+                            write_off(user, &mut tracks, envelope.from, &events);
+                            reassign(
+                                network,
+                                my_addr,
+                                user,
+                                &tracks,
+                                &mut reassign_rr,
+                                file_id,
+                                &events,
+                            );
                         }
                     }
                     // A reconnect replayed a message we already hold —
@@ -250,8 +289,16 @@ pub fn download_file_with(
             }
             if t.retries >= options.max_peer_retries {
                 let addr = t.addr;
-                write_off(user, &mut tracks, addr);
-                reassign(network, my_addr, user, &tracks, &mut reassign_rr, file_id);
+                write_off(user, &mut tracks, addr, &events);
+                reassign(
+                    network,
+                    my_addr,
+                    user,
+                    &tracks,
+                    &mut reassign_rr,
+                    file_id,
+                    &events,
+                );
                 continue;
             }
             let t = &mut tracks[i];
@@ -260,6 +307,11 @@ pub fn download_file_with(
             let factor = 1u32 << t.retries.min(3);
             t.next_attempt = now + options.retry_backoff * factor;
             user.stats_mut().retries += 1;
+            events.emit(
+                "rt.heal",
+                "retry",
+                &[("peer", t.addr.into()), ("attempt", t.retries.into())],
+            );
             let delivered = if user.stage(t.addr) == Some(ConnStage::Downloading) {
                 // The stream dried up or its messages were lost: restart
                 // the peer's sweep (duplicates are rejected cheaply) and
@@ -276,8 +328,16 @@ pub fn download_file_with(
             };
             if !delivered {
                 let addr = tracks[i].addr;
-                write_off(user, &mut tracks, addr);
-                reassign(network, my_addr, user, &tracks, &mut reassign_rr, file_id);
+                write_off(user, &mut tracks, addr, &events);
+                reassign(
+                    network,
+                    my_addr,
+                    user,
+                    &tracks,
+                    &mut reassign_rr,
+                    file_id,
+                    &events,
+                );
             }
         }
         if tracks.iter().all(|t| t.dead) {
@@ -295,11 +355,17 @@ pub fn download_file_with(
 }
 
 /// Marks `addr` dead and forgets its connection state.
-fn write_off(user: &mut User<Gf2p32>, tracks: &mut [PeerTrack], addr: u64) {
+fn write_off(
+    user: &mut User<Gf2p32>,
+    tracks: &mut [PeerTrack],
+    addr: u64,
+    events: &asymshare_obs::EventSink,
+) {
     user.drop_conn(addr);
     if let Some(t) = tracks.iter_mut().find(|t| t.addr == addr) {
         t.dead = true;
     }
+    events.emit("rt.heal", "write_off", &[("peer", addr.into())]);
 }
 
 /// Re-plans a dead peer's demand onto the next live downloading survivor:
@@ -313,6 +379,7 @@ fn reassign(
     tracks: &[PeerTrack],
     rr: &mut usize,
     file_id: u64,
+    events: &asymshare_obs::EventSink,
 ) {
     let live: Vec<u64> = tracks
         .iter()
@@ -327,6 +394,7 @@ fn reassign(
     if network.send(my_addr, target, &Wire::FileRequest { file_id }) {
         let _ = send_stops(network, my_addr, user, target, file_id);
         user.stats_mut().reassignments += 1;
+        events.emit("rt.heal", "reassign", &[("target", target.into())]);
     }
 }
 

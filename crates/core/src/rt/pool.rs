@@ -8,6 +8,7 @@
 //! per frame.
 
 use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Buffers retained per pool. Each in-flight send holds one buffer, so this
@@ -16,10 +17,27 @@ use std::sync::Mutex;
 /// are simply dropped to the allocator.
 const MAX_SLOTS: usize = 32;
 
+/// Point-in-time traffic counters for one [`BufferPool`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquires served from a recycled allocation.
+    pub hits: u64,
+    /// Acquires that had to allocate fresh.
+    pub misses: u64,
+    /// Buffers accepted back into the free list.
+    pub recycled: u64,
+    /// Buffers dropped because the free list was full.
+    pub dropped: u64,
+}
+
 /// A bounded free-list of byte buffers.
 #[derive(Debug, Default)]
 pub struct BufferPool {
     slots: Mutex<Vec<Vec<u8>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl BufferPool {
@@ -34,11 +52,15 @@ impl BufferPool {
         let recycled = self.slots.lock().expect("pool lock").pop();
         match recycled {
             Some(mut buf) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 buf.clear();
                 buf.reserve(min_capacity);
                 buf
             }
-            None => Vec::with_capacity(min_capacity),
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(min_capacity)
+            }
         }
     }
 
@@ -47,6 +69,9 @@ impl BufferPool {
         let mut slots = self.slots.lock().expect("pool lock");
         if slots.len() < MAX_SLOTS {
             slots.push(buf);
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -61,6 +86,17 @@ impl BufferPool {
     /// Buffers currently waiting in the pool.
     pub fn idle(&self) -> usize {
         self.slots.lock().expect("pool lock").len()
+    }
+
+    /// Lifetime hit/miss/recycle traffic (relaxed reads; counters never
+    /// reset).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            recycled: self.recycled.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -101,5 +137,18 @@ mod tests {
             pool.recycle(Vec::with_capacity(8));
         }
         assert_eq!(pool.idle(), MAX_SLOTS);
+        let stats = pool.stats();
+        assert_eq!(stats.recycled, MAX_SLOTS as u64);
+        assert_eq!(stats.dropped, MAX_SLOTS as u64);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let pool = BufferPool::new();
+        let a = pool.acquire(8); // miss: empty pool
+        pool.recycle(a);
+        let _b = pool.acquire(8); // hit: recycled allocation
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses, stats.recycled), (1, 1, 1));
     }
 }

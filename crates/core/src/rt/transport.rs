@@ -11,6 +11,7 @@
 use crate::error::SystemError;
 use crate::protocol::{self, Wire};
 use crate::rt::pool::BufferPool;
+use asymshare_obs::{Counter, EventSink, Histogram, Registry, Snapshot};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
@@ -209,6 +210,39 @@ impl Inbox {
     }
 }
 
+/// Pre-resolved metric handles for the transport hot path: looked up once
+/// at construction so `send_frames` never touches the registry's name maps.
+/// With observability disabled every handle is inert (one branch per use).
+#[derive(Debug, Clone, Default)]
+struct TransportObs {
+    metrics: Registry,
+    events: EventSink,
+    /// Datagrams handed to a registered inbox sender.
+    sends: Counter,
+    /// Wire bytes encoded into outgoing datagrams.
+    send_bytes: Counter,
+    /// Wire bytes that actually reached an inbox (immediate or delayed).
+    recv_bytes: Counter,
+    /// Sends addressed to an unregistered destination.
+    send_failures: Counter,
+    /// Frames coalesced per datagram.
+    batch_frames: Histogram,
+}
+
+impl TransportObs {
+    fn new(metrics: Registry, events: EventSink) -> TransportObs {
+        TransportObs {
+            sends: metrics.counter("rt.transport.sends"),
+            send_bytes: metrics.counter("rt.transport.send_bytes"),
+            recv_bytes: metrics.counter("rt.transport.recv_bytes"),
+            send_failures: metrics.counter("rt.transport.send_failures"),
+            batch_frames: metrics.histogram("rt.transport.batch_frames"),
+            metrics,
+            events,
+        }
+    }
+}
+
 /// The in-process network: a registry of address → inbox senders.
 ///
 /// Cloning shares the registry (it is an `Arc` internally), so hosts and
@@ -218,12 +252,48 @@ pub struct RtNetwork {
     registry: Arc<RwLock<HashMap<u64, Sender<Envelope>>>>,
     fault: Arc<RwLock<Option<FaultState>>>,
     pool: Arc<BufferPool>,
+    obs: TransportObs,
 }
 
 impl RtNetwork {
-    /// An empty network.
+    /// An empty network with observability disabled (the default: metric
+    /// hooks cost one branch each).
     pub fn new() -> RtNetwork {
         RtNetwork::default()
+    }
+
+    /// An empty network recording into `metrics` and `events`. Hosts and
+    /// download loops cloned from this handle share the same instruments.
+    pub fn with_observability(metrics: Registry, events: EventSink) -> RtNetwork {
+        RtNetwork {
+            obs: TransportObs::new(metrics, events),
+            ..RtNetwork::default()
+        }
+    }
+
+    /// The metrics registry this network records into (disabled by default).
+    pub fn metrics(&self) -> &Registry {
+        &self.obs.metrics
+    }
+
+    /// The event sink this network records into (disabled by default).
+    pub fn events(&self) -> &EventSink {
+        &self.obs.events
+    }
+
+    /// A point-in-time copy of every metric, with the buffer-pool gauges
+    /// (`rt.pool.*`) refreshed first.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let metrics = &self.obs.metrics;
+        if metrics.is_enabled() {
+            let stats = self.pool.stats();
+            metrics.gauge("rt.pool.hits").set(stats.hits as f64);
+            metrics.gauge("rt.pool.misses").set(stats.misses as f64);
+            metrics.gauge("rt.pool.recycled").set(stats.recycled as f64);
+            metrics.gauge("rt.pool.dropped").set(stats.dropped as f64);
+            metrics.gauge("rt.pool.idle").set(self.pool.idle() as f64);
+        }
+        metrics.snapshot()
     }
 
     /// Registers `addr` and returns its inbox.
@@ -299,6 +369,7 @@ impl RtNetwork {
         let registry = self.registry.read();
         for (_, to, envelope) in due {
             if let Some(tx) = registry.get(&to) {
+                self.obs.recv_bytes.add(envelope.bytes.len() as u64);
                 let _ = tx.send(envelope);
             }
         }
@@ -334,12 +405,16 @@ impl RtNetwork {
     pub fn send_frames(&self, from: u64, to: u64, frames: &[Wire]) -> bool {
         self.pump();
         if !self.is_registered(to) {
+            self.obs.send_failures.inc();
             return false;
         }
         if frames.is_empty() {
             return true;
         }
         let total: usize = frames.iter().map(Wire::encoded_len).sum();
+        self.obs.sends.inc();
+        self.obs.send_bytes.add(total as u64);
+        self.obs.batch_frames.record(frames.len() as u64);
         let mut buf = self.pool.acquire(total);
         for frame in frames {
             frame.encode_into(&mut buf);
@@ -378,6 +453,7 @@ impl RtNetwork {
         }
         drop(guard);
         if let Some(tx) = self.registry.read().get(&to) {
+            self.obs.recv_bytes.add(buf.len() as u64);
             let _ = tx.send(Envelope {
                 from,
                 bytes: Bytes::from(buf),
@@ -630,6 +706,44 @@ mod tests {
         );
         drop(got);
         assert_eq!(net.buffer_pool().idle(), 0, "handle dropped too late");
+    }
+
+    #[test]
+    fn observed_network_records_transport_metrics() {
+        use asymshare_rlnc::{EncodedMessage, FileId, MessageId};
+        let net = RtNetwork::with_observability(Registry::new(), EventSink::new());
+        let inbox = net.register(20);
+        let frames = vec![
+            Wire::MessageData(EncodedMessage::new(FileId(1), MessageId(0), vec![1u8; 8])),
+            Wire::StopTransmission { file_id: 1 },
+        ];
+        assert!(net.send_frames(2, 20, &frames));
+        assert!(!net.send(2, 999, &Wire::FileRequest { file_id: 1 }));
+        let e = inbox.try_recv().unwrap();
+        let wire_len = e.bytes.len() as u64;
+        net.recycle_envelope(e);
+        let snap = net.metrics_snapshot();
+        assert_eq!(snap.counter("rt.transport.sends"), Some(1));
+        assert_eq!(snap.counter("rt.transport.send_bytes"), Some(wire_len));
+        assert_eq!(snap.counter("rt.transport.recv_bytes"), Some(wire_len));
+        assert_eq!(snap.counter("rt.transport.send_failures"), Some(1));
+        let batches = snap.histogram("rt.transport.batch_frames").unwrap();
+        assert_eq!((batches.count, batches.sum), (1, 2), "one 2-frame batch");
+        assert_eq!(snap.gauge("rt.pool.recycled"), Some(1.0));
+        assert_eq!(snap.gauge("rt.pool.idle"), Some(1.0));
+    }
+
+    #[test]
+    fn default_network_snapshot_is_empty() {
+        let net = RtNetwork::new();
+        let inbox = net.register(21);
+        assert!(net.send(1, 21, &Wire::FileRequest { file_id: 1 }));
+        assert!(inbox.try_recv().is_some());
+        assert!(!net.metrics().is_enabled());
+        assert!(
+            net.metrics_snapshot().is_empty(),
+            "disabled path records nothing"
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@ use asymshare_gf::{FieldKind, Gf2p32};
 use asymshare_netsim::{
     Event, EventKind, FaultPlan, FaultStats, LinkSpeed, NodeId, SimNet, SimTime,
 };
+use asymshare_obs::{Counter, EventSink, Histogram, Registry, Snapshot};
 use asymshare_rlnc::{
     ChunkedEncoder, CodecError, DigestKind, EncodedMessage, FileId, FileManifest, MessageId,
 };
@@ -91,6 +92,9 @@ pub struct DownloadReport {
     pub per_peer_bytes: HashMap<usize, u64>,
     /// Fault/recovery counters accumulated by the session's user.
     pub stats: SessionStats,
+    /// Deployment-wide metrics at report time (empty unless
+    /// [`SimRuntime::enable_observability`] was called).
+    pub metrics: Snapshot,
 }
 
 /// Liveness bookkeeping for one user→peer connection.
@@ -137,6 +141,39 @@ struct Pending {
     bulk_from: Option<(usize, u64)>,
 }
 
+/// Pre-resolved observability handles for the simulated deployment — inert
+/// (single-branch no-ops) until [`SimRuntime::enable_observability`] swaps
+/// in live instruments. Hooks are pure bookkeeping: they draw no randomness
+/// and never touch simulated time, so an observed run's schedule is
+/// byte-identical to an unobserved one.
+#[derive(Debug, Clone, Default)]
+struct SimObs {
+    metrics: Registry,
+    events: EventSink,
+    /// Flows whose payload fault injection dropped in transit.
+    drops: Counter,
+    /// Data messages delivered with a corrupted payload.
+    corruptions: Counter,
+    /// Messages the user's digest check rejected.
+    digest_rejections: Counter,
+    /// Per-slot per-connection Eq.-2 budgets, bytes.
+    alloc_budget_bytes: Histogram,
+}
+
+impl SimObs {
+    fn enabled() -> SimObs {
+        let metrics = Registry::new();
+        SimObs {
+            drops: metrics.counter("sim.deliver.drops"),
+            corruptions: metrics.counter("sim.deliver.corruptions"),
+            digest_rejections: metrics.counter("sim.deliver.digest_rejections"),
+            alloc_budget_bytes: metrics.histogram("sim.alloc.budget_bytes"),
+            metrics,
+            events: EventSink::new(),
+        }
+    }
+}
+
 /// The simulated deployment.
 pub struct SimRuntime {
     cfg: RuntimeConfig,
@@ -148,6 +185,7 @@ pub struct SimRuntime {
     next_conn: u64,
     slot: u64,
     rng: ChaChaRng,
+    obs: SimObs,
 }
 
 impl SimRuntime {
@@ -165,7 +203,97 @@ impl SimRuntime {
             next_conn: 0,
             slot: 0,
             rng: ChaChaRng::new([0xE7; 32], *b"sim-runtime!"),
+            obs: SimObs::default(),
         }
+    }
+
+    /// The configuration this deployment runs under.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Turns on metrics and event tracing for this deployment. Events carry
+    /// simulated timestamps and the hooks draw no randomness, so enabling
+    /// observability never changes a seeded run's schedule.
+    pub fn enable_observability(&mut self) {
+        self.obs = SimObs::enabled();
+    }
+
+    /// The deployment's event log so far (empty unless observability is on).
+    pub fn event_log(&self) -> Vec<asymshare_obs::Event> {
+        self.obs.events.events()
+    }
+
+    /// The event log serialized as JSONL, one event per line.
+    pub fn events_jsonl(&self) -> String {
+        self.obs.events.to_jsonl()
+    }
+
+    /// A point-in-time copy of every deployment metric, with the per-peer
+    /// Eq.-2 credit matrix (`sim.credit.p{i}.u{j}` — peer `i`'s ledger
+    /// weight for participant `j`'s user key), per-peer store bytes,
+    /// per-session decode progress, and network totals refreshed first.
+    /// Empty unless [`enable_observability`](Self::enable_observability)
+    /// was called.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let metrics = &self.obs.metrics;
+        if metrics.is_enabled() {
+            let keys: Vec<KeyBytes> = self
+                .participants
+                .iter()
+                .map(|p| p.peer.identity().public_key().to_bytes())
+                .collect();
+            for (i, p) in self.participants.iter().enumerate() {
+                for (j, key) in keys.iter().enumerate() {
+                    metrics
+                        .gauge(&format!("sim.credit.p{i}.u{j}"))
+                        .set(p.peer.upload_weight(key));
+                }
+                metrics
+                    .gauge(&format!("sim.store.p{i}.bytes"))
+                    .set(p.peer.store().total_bytes() as f64);
+            }
+            for (i, s) in self.sessions.iter().enumerate() {
+                metrics
+                    .gauge(&format!("sim.session.s{i}.progress"))
+                    .set(s.user.progress());
+                metrics
+                    .gauge(&format!("sim.session.s{i}.rank"))
+                    .set(s.user.independent_count() as f64);
+            }
+            let totals = self.net.totals();
+            metrics
+                .gauge("sim.net.flows_started")
+                .set(totals.flows_started as f64);
+            metrics
+                .gauge("sim.net.flows_completed")
+                .set(totals.flows_completed as f64);
+            metrics
+                .gauge("sim.net.flows_lost")
+                .set(totals.flows_lost as f64);
+            metrics
+                .gauge("sim.net.flows_corrupted")
+                .set(totals.flows_corrupted as f64);
+            metrics
+                .gauge("sim.net.bytes_delivered")
+                .set(totals.bytes_delivered as f64);
+        }
+        metrics.snapshot()
+    }
+
+    /// The Eq.-2 credit matrix: `matrix[i][j]` is peer `i`'s upload weight
+    /// for participant `j`'s user key (initial credit plus bytes credited
+    /// through signed feedback). Available with or without observability.
+    pub fn credit_matrix(&self) -> Vec<Vec<f64>> {
+        let keys: Vec<KeyBytes> = self
+            .participants
+            .iter()
+            .map(|p| p.peer.identity().public_key().to_bytes())
+            .collect();
+        self.participants
+            .iter()
+            .map(|p| keys.iter().map(|k| p.peer.upload_weight(k)).collect())
+            .collect()
     }
 
     /// Registers a participant: a home peer with the given identity and
@@ -443,6 +571,7 @@ impl SimRuntime {
     /// Decoder errors when the session is incomplete.
     pub fn report(&mut self, session: SessionId) -> Result<DownloadReport, SystemError> {
         let now = self.net.now();
+        let metrics = self.metrics_snapshot();
         let s = &mut self.sessions[session.0];
         let data = s.user.decode()?;
         let finished = *s.finished_at.get_or_insert(now);
@@ -455,6 +584,7 @@ impl SimRuntime {
             redundant: s.user.redundant_count(),
             per_peer_bytes: s.bytes_by_peer.clone(),
             stats: s.user.stats().clone(),
+            metrics,
             data,
         })
     }
@@ -517,9 +647,25 @@ impl SimRuntime {
             let total_w: f64 = conns.iter().map(|c| c.2).sum();
             let cap_bytes_per_slot =
                 self.participants[p_idx].up_kbps * 1_000.0 / 8.0 * self.cfg.slot_secs;
+            let ts = self.net.now().as_secs();
             for (conn, s_idx, w) in conns {
                 let share = if total_w > 0.0 { w / total_w } else { 0.0 };
                 let budget = cap_bytes_per_slot * share;
+                self.obs.alloc_budget_bytes.record(budget as u64);
+                self.obs.events.emit_at(
+                    ts,
+                    "sim.alloc",
+                    "slot_share",
+                    &[
+                        ("slot", self.slot.into()),
+                        ("peer", p_idx.into()),
+                        ("session", s_idx.into()),
+                        ("conn", conn.into()),
+                        ("weight", w.into()),
+                        ("share", share.into()),
+                        ("budget_bytes", budget.into()),
+                    ],
+                );
                 let deficit = self.participants[p_idx].deficits.entry(conn).or_insert(0.0);
                 *deficit = (*deficit + budget).min(cap_bytes_per_slot.max(budget) * 4.0);
                 self.pump(p_idx, s_idx, conn);
@@ -597,6 +743,15 @@ impl SimRuntime {
             let report = self.sessions[s_idx]
                 .user
                 .make_feedback(now_secs, &mut self.rng);
+            self.obs.events.emit_at(
+                self.net.now().as_secs(),
+                "sim.feedback",
+                "report",
+                &[
+                    ("session", s_idx.into()),
+                    ("entries", report.entries.len().into()),
+                ],
+            );
             let home = self.sessions[s_idx].home;
             let remote = self.sessions[s_idx].remote_node;
             let home_node = self.participants[home].node;
@@ -635,6 +790,7 @@ impl SimRuntime {
         if event.kind == EventKind::FlowLost {
             // The payload is gone in transit; only the (omniscient)
             // user-side drop counter observes it.
+            self.obs.drops.inc();
             if let Endpoint::ToUser { session, .. } = pending.endpoint {
                 self.sessions[session].user.stats_mut().drops += 1;
             }
@@ -695,23 +851,19 @@ impl SimRuntime {
                     return;
                 };
                 let wire = match (corrupted, wire) {
-                    (true, Wire::MessageData(msg)) => {
-                        // Flip one payload bit (position keyed off the
-                        // message id so replays stay deterministic); the
-                        // MD5 digest check downstream rejects it.
-                        let mut payload = msg.payload().to_vec();
-                        if payload.is_empty() {
+                    (true, Wire::MessageData(msg)) => match corrupt_message(&msg) {
+                        Some(mangled) => {
+                            self.obs.corruptions.inc();
+                            mangled
+                        }
+                        None => {
+                            // Empty payload: nothing to flip, the frame
+                            // silently evaporates (no stats change, keeping
+                            // seeded replays identical).
                             self.repump(refill);
                             return;
                         }
-                        let at = (msg.message_id().0 as usize).wrapping_mul(7919) % payload.len();
-                        payload[at] ^= 1;
-                        Wire::MessageData(EncodedMessage::new(
-                            msg.file_id(),
-                            msg.message_id(),
-                            payload,
-                        ))
-                    }
+                    },
                     (true, _) => {
                         // A mangled control frame fails to parse: the user
                         // sees nothing but a drop.
@@ -749,9 +901,21 @@ impl SimRuntime {
                             // Digest-rejected message: ask the sender for a
                             // different one covering the same chunk.
                             self.sessions[session].user.stats_mut().replacements += 1;
+                            let chunk = FileManifest::chunk_of(MessageId(id));
+                            self.obs.digest_rejections.inc();
+                            self.obs.events.emit_at(
+                                now.as_secs(),
+                                "sim.deliver",
+                                "replacement_request",
+                                &[
+                                    ("session", session.into()),
+                                    ("conn", conn.into()),
+                                    ("chunk", chunk.into()),
+                                ],
+                            );
                             let request = Wire::ReplacementRequest {
                                 file_id: self.sessions[session].user.file_id(),
-                                chunk: FileManifest::chunk_of(MessageId(id)),
+                                chunk,
                             };
                             if let Some(&p_idx) = self.sessions[session].conns.get(&conn) {
                                 let remote = self.sessions[session].remote_node;
@@ -828,13 +992,24 @@ impl SimRuntime {
                     self.reassign(s_idx);
                     continue;
                 }
-                {
+                let attempt = {
                     let h = self.sessions[s_idx].health.get_mut(&conn).unwrap();
                     h.retries += 1;
                     let backoff = self.cfg.retry_backoff_secs * (1u32 << h.retries.min(3)) as f64;
                     h.next_attempt = now.advance(backoff);
-                }
+                    h.retries
+                };
                 self.sessions[s_idx].user.stats_mut().retries += 1;
+                self.obs.events.emit_at(
+                    now.as_secs(),
+                    "sim.heal",
+                    "retry",
+                    &[
+                        ("session", s_idx.into()),
+                        ("conn", conn.into()),
+                        ("attempt", attempt.into()),
+                    ],
+                );
                 let file_id = self.sessions[s_idx].user.file_id();
                 let Some(&p_idx) = self.sessions[s_idx].conns.get(&conn) else {
                     continue;
@@ -881,6 +1056,12 @@ impl SimRuntime {
             h.dead = true;
         }
         self.sessions[s_idx].user.drop_conn(conn);
+        self.obs.events.emit_at(
+            self.net.now().as_secs(),
+            "sim.heal",
+            "write_off",
+            &[("session", s_idx.into()), ("conn", conn.into())],
+        );
     }
 
     /// Re-plans a dead connection's demand onto the next live downloading
@@ -901,6 +1082,12 @@ impl SimRuntime {
         let target = live[session.replace_rr % live.len()];
         self.sessions[s_idx].replace_rr += 1;
         self.sessions[s_idx].user.stats_mut().reassignments += 1;
+        self.obs.events.emit_at(
+            self.net.now().as_secs(),
+            "sim.heal",
+            "reassign",
+            &[("session", s_idx.into()), ("target", target.into())],
+        );
         let file_id = self.sessions[s_idx].user.file_id();
         let chunks = self.sessions[s_idx].user.completed_chunks();
         let Some(&p_idx) = self.sessions[s_idx].conns.get(&target) else {
@@ -944,6 +1131,24 @@ impl SimRuntime {
         };
         self.pump(p_idx, s_idx, conn);
     }
+}
+
+/// The sim's corruption model: flips one payload bit of a data message, with
+/// the position keyed off the message id so seeded replays stay identical.
+/// Returns `None` for an empty payload — there is no bit to flip, and the
+/// index computation (`% payload.len()`) would otherwise divide by zero.
+fn corrupt_message(msg: &EncodedMessage) -> Option<Wire> {
+    let mut payload = msg.payload().to_vec();
+    if payload.is_empty() {
+        return None;
+    }
+    let at = (msg.message_id().0 as usize).wrapping_mul(7919) % payload.len();
+    payload[at] ^= 1;
+    Some(Wire::MessageData(EncodedMessage::new(
+        msg.file_id(),
+        msg.message_id(),
+        payload,
+    )))
 }
 
 #[cfg(test)]
@@ -1046,6 +1251,49 @@ mod tests {
     }
 
     #[test]
+    fn observability_records_without_perturbing_results() {
+        let run = |observed: bool| {
+            let mut rt = SimRuntime::new(small_cfg());
+            if observed {
+                rt.enable_observability();
+            }
+            let ids: Vec<ParticipantId> = (0..3u8)
+                .map(|i| {
+                    rt.add_participant(Identity::from_seed(&[b'o', i]), kbps(512.0), kbps(3000.0))
+                })
+                .collect();
+            let payload = data(64 * 1024);
+            let (manifest, _) = rt.disseminate(ids[0], FileId(7), &payload, &ids).unwrap();
+            let session = rt
+                .start_download(ids[0], manifest, kbps(512.0), kbps(3000.0), &ids)
+                .unwrap();
+            let report = rt.run_to_completion(session, 600).unwrap();
+            (report, rt)
+        };
+        let (plain, _) = run(false);
+        let (observed, rt) = run(true);
+        // Observation is pure bookkeeping: the simulated outcome is identical.
+        assert_eq!(plain.duration_secs, observed.duration_secs);
+        assert_eq!(plain.per_peer_bytes, observed.per_peer_bytes);
+        // The disabled run yields an empty snapshot; the enabled one carries
+        // per-peer credit gauges and netsim totals.
+        assert!(plain.metrics.is_empty());
+        assert!(!observed.metrics.is_empty());
+        assert!(observed.metrics.gauge("sim.net.bytes_delivered").unwrap() > 0.0);
+        assert!(observed.metrics.gauge("sim.credit.p0.u0").is_some());
+        // Credit matrix rows cover every participant pair.
+        let matrix = rt.credit_matrix();
+        assert_eq!(matrix.len(), 3);
+        assert!(matrix.iter().all(|row| row.len() == 3));
+        // Allocation decisions were traced.
+        assert!(rt
+            .event_log()
+            .iter()
+            .any(|e| e.component == "sim.alloc" && e.kind == "slot_share"));
+        assert!(rt.events_jsonl().contains("\"component\": \"sim.alloc\""));
+    }
+
+    #[test]
     fn propagation_delay_slows_small_downloads() {
         let run = |latency: f64| {
             let mut rt = SimRuntime::new(RuntimeConfig {
@@ -1087,5 +1335,42 @@ mod tests {
         // 2 slots is nowhere near enough for 256 KB over 512 kbps aggregate.
         assert!(rt.run_to_completion(session, 2).is_err());
         assert!(rt.progress(session) < 1.0);
+    }
+
+    #[test]
+    fn corrupt_message_guards_empty_payloads() {
+        // Empty payload: `% payload.len()` would divide by zero — the model
+        // must decline to corrupt instead of panicking.
+        let empty = EncodedMessage::new(FileId(1), MessageId(7), vec![]);
+        assert_eq!(corrupt_message(&empty), None);
+
+        // Non-empty payloads flip exactly one deterministic bit, seeded by
+        // the message id.
+        for id in [0u64, 1, 42, u64::MAX] {
+            let payload = data(100);
+            let msg = EncodedMessage::new(FileId(1), MessageId(id), payload.clone());
+            let Some(Wire::MessageData(mangled)) = corrupt_message(&msg) else {
+                panic!("non-empty payload must corrupt");
+            };
+            let expected_at = (id as usize).wrapping_mul(7919) % payload.len();
+            let diffs: Vec<usize> = (0..payload.len())
+                .filter(|&i| mangled.payload()[i] != payload[i])
+                .collect();
+            assert_eq!(diffs, vec![expected_at], "one bit at the seeded position");
+            assert_eq!(
+                mangled.payload()[expected_at],
+                payload[expected_at] ^ 1,
+                "low bit flipped"
+            );
+            // Deterministic: the same message corrupts identically.
+            assert_eq!(corrupt_message(&msg), corrupt_message(&msg));
+        }
+
+        // A single-byte payload exercises the smallest legal modulus.
+        let tiny = EncodedMessage::new(FileId(1), MessageId(3), vec![0xFF]);
+        let Some(Wire::MessageData(m)) = corrupt_message(&tiny) else {
+            panic!("single byte corrupts");
+        };
+        assert_eq!(m.payload()[0], 0xFE);
     }
 }

@@ -39,6 +39,6 @@ mod time;
 
 pub use fault::{FaultPlan, FaultStats, LinkFault, Outage};
 pub use flow::{FlowId, FlowProgress};
-pub use net::{Event, EventKind, SimNet};
+pub use net::{Event, EventKind, NetTotals, SimNet};
 pub use node::{LinkSpeed, NodeId, NodeStats};
 pub use time::SimTime;

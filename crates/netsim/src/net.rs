@@ -37,6 +37,25 @@ pub struct Event {
     pub tag: u64,
 }
 
+/// Whole-network aggregate counters, for observability snapshots: what the
+/// per-node [`NodeStats`] cannot answer without a full scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetTotals {
+    /// Flows ever started.
+    pub flows_started: u64,
+    /// Flows that delivered all their bytes intact.
+    pub flows_completed: u64,
+    /// Flows whose payload was lost by fault injection.
+    pub flows_lost: u64,
+    /// Flows whose payload was corrupted by fault injection.
+    pub flows_corrupted: u64,
+    /// Flows cancelled mid-transfer.
+    pub flows_cancelled: u64,
+    /// Bytes booked at receivers (including partial bytes of cancelled
+    /// flows, and the link-congesting bytes of lost/corrupted ones).
+    pub bytes_delivered: u64,
+}
+
 /// The simulated network: nodes with asymmetric links plus active flows.
 ///
 /// Rates are max-min fair and recomputed whenever the flow set changes;
@@ -54,6 +73,9 @@ pub struct SimNet {
     propagation_delay: f64,
     /// Installed fault plan plus its RNG stream and realized-fault counters.
     fault: Option<FaultState>,
+    /// Aggregate lifetime counters (pure bookkeeping: never read by the
+    /// engine, so enabling observability cannot change a schedule).
+    totals: NetTotals,
 }
 
 #[derive(Debug)]
@@ -116,6 +138,11 @@ impl SimNet {
     /// Counters of faults realized so far (zero if no plan installed).
     pub fn fault_stats(&self) -> FaultStats {
         self.fault.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Whole-network aggregate counters since construction.
+    pub fn totals(&self) -> NetTotals {
+        self.totals
     }
 
     /// Whether `node` is currently inside a scheduled outage window.
@@ -209,6 +236,7 @@ impl SimNet {
             lost,
             corrupted,
         });
+        self.totals.flows_started += 1;
         self.rates_dirty = true;
         id
     }
@@ -225,6 +253,8 @@ impl SimNet {
         let delivered = (flow.total_bytes as f64 - flow.remaining).round() as u64;
         self.nodes[flow.src.0].stats.bytes_sent += delivered;
         self.nodes[flow.dst.0].stats.bytes_received += delivered;
+        self.totals.flows_cancelled += 1;
+        self.totals.bytes_delivered += delivered;
         self.rates_dirty = true;
         true
     }
@@ -306,14 +336,18 @@ impl SimNet {
                 let flow = self.flows.swap_remove(idx);
                 self.nodes[flow.src.0].stats.bytes_sent += flow.total_bytes;
                 self.nodes[flow.dst.0].stats.bytes_received += flow.total_bytes;
+                self.totals.bytes_delivered += flow.total_bytes;
                 self.rates_dirty = true;
                 // Lost/corrupted payloads still traversed (and congested)
                 // the links; only the delivered event kind differs.
                 let kind = if flow.lost {
+                    self.totals.flows_lost += 1;
                     EventKind::FlowLost
                 } else if flow.corrupted {
+                    self.totals.flows_corrupted += 1;
                     EventKind::FlowCorrupted
                 } else {
+                    self.totals.flows_completed += 1;
                     EventKind::FlowCompleted
                 };
                 return Some(Event {
@@ -649,6 +683,24 @@ mod tests {
         // No flows left: clock still advances to the deadline.
         assert!(net.step_until(SimTime::from_secs(3.0)).is_none());
         assert_eq!(net.now(), SimTime::from_secs(3.0));
+    }
+
+    #[test]
+    fn totals_track_flow_lifecycle() {
+        let mut net = SimNet::new();
+        let a = net.add_node(kbps(100.0), kbps(10_000.0));
+        let b = net.add_node(kbps(100.0), kbps(10_000.0));
+        net.start_flow(a, b, 12_500, 0); // completes
+        let cancelled = net.start_flow(a, b, 100_000, 1);
+        net.run_until(SimTime::from_secs(0.5));
+        net.cancel_flow(cancelled); // ~3125 bytes delivered at half rate
+        while net.step().is_some() {}
+        let t = net.totals();
+        assert_eq!(t.flows_started, 2);
+        assert_eq!(t.flows_completed, 1);
+        assert_eq!(t.flows_cancelled, 1);
+        assert_eq!((t.flows_lost, t.flows_corrupted), (0, 0));
+        assert_eq!(t.bytes_delivered, 12_500 + 3_125);
     }
 
     #[test]

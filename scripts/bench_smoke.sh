@@ -41,7 +41,42 @@ CHECKS = [
     ("BENCH_transport.json", "after.allocs_per_msg", lambda d: d["after"]["allocs_per_msg"], "lower"),
 ]
 
+# Observability columns both benches must now emit: their absence means a
+# bench binary silently stopped sampling the instrumentation layer.
+REQUIRED_FIELDS = [
+    ("BENCH_transport.json", ["metrics.disabled_mb_per_s", "metrics.observed_mb_per_s",
+                              "metrics.overhead_pct", "metrics.pool_hit_rate",
+                              "metrics.coalesce_mean_frames", "metrics.served_frames",
+                              "metrics.transport_sends"]),
+    ("BENCH_rlnc.json", ["fairness.jain_index_bytes", "fairness.home_credit_min",
+                         "fairness.home_credit_max", "fairness.slot_share_events"]),
+]
+
 failed = False
+for name, paths in REQUIRED_FIELDS:
+    fresh = load(name)
+    for dotted in paths:
+        node = fresh
+        try:
+            for part in dotted.split("."):
+                node = node[part]
+        except (KeyError, TypeError):
+            print(f"{name} missing required field {dotted} [MISSING]")
+            failed = True
+
+# Metrics must stay near-free on the transport hot path. The bench measures
+# this in-process with ABBA-interleaved disabled/observed runs (so machine
+# warmup drift cancels). The gate reads the *committed* full-run figure
+# (median of 10 pairs) — a quick rerun's 4-run estimate is far too noisy to
+# hold a 5% line, so it is reported for information only.
+committed_overhead = load(f"{snap}/BENCH_transport.json").get("metrics", {}).get("overhead_pct", 100.0)
+fresh_overhead = load("BENCH_transport.json").get("metrics", {}).get("overhead_pct")
+if committed_overhead > 5.0:
+    print(f"BENCH_transport.json metrics.overhead_pct: committed {committed_overhead}% > 5% [REGRESSED]")
+    failed = True
+else:
+    print(f"BENCH_transport.json metrics.overhead_pct: committed {committed_overhead}% "
+          f"(quick rerun {fresh_overhead}%, informational) [ok]")
 for name, label, get, direction in CHECKS:
     committed = get(load(f"{snap}/{name}"))
     fresh = get(load(name))
