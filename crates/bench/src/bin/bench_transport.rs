@@ -15,10 +15,11 @@
 //! cargo run --release -p asymshare-bench --bin bench_transport
 //! ```
 
-use asymshare::rt::{PeerHost, RtNetwork};
+use asymshare::rt::{HealthMonitor, PeerHost, RtNetwork};
 use asymshare::{Identity, Peer, Prover, Wire};
 use asymshare_crypto::chacha20::ChaChaRng;
 use asymshare_gf::{FieldKind, Gf2p32};
+use asymshare_obs::health::HealthConfig;
 use asymshare_obs::{EventSink, Registry, Snapshot};
 use asymshare_rlnc::{ChunkedEncoder, DigestKind, FileId};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -168,21 +169,51 @@ fn run_once(
     let t0 = Instant::now();
     let mut got_msgs = 0u64;
     let mut got_bytes = 0u64;
+    // Per-peer message counts flushed as `rt.download`/`window` events every
+    // 250 ms, as the real download loop does — the health engine's rate
+    // denominators. Only touched when the network records events at all.
+    let events = network.events().clone();
+    let mut window_msgs: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut window_flushed = t0;
     while got_msgs < expect_msgs {
         let envelope = inbox
             .recv_timeout(Duration::from_secs(10))
             .expect("message stream");
         // Serving coalesces up to MAX_COALESCE frames per datagram; walk
         // them all, each payload a zero-copy view into the envelope.
+        let mut frames_here = 0u64;
         for frame in envelope.decode_all() {
             if let Wire::MessageData(msg) = frame.expect("parse frame") {
                 got_msgs += 1;
+                frames_here += 1;
                 got_bytes += msg.payload().len() as u64;
+            }
+        }
+        if events.is_enabled() {
+            *window_msgs.entry(envelope.from).or_insert(0) += frames_here;
+            if window_flushed.elapsed() >= Duration::from_millis(250) {
+                for (&peer, &msgs) in &window_msgs {
+                    events.emit(
+                        "rt.download",
+                        "window",
+                        &[("peer", peer.into()), ("msgs", msgs.into())],
+                    );
+                }
+                window_msgs.clear();
+                window_flushed = Instant::now();
             }
         }
         network.recycle_envelope(envelope);
     }
     let elapsed = t0.elapsed().as_secs_f64();
+    // Close the last partial window so short runs still score every peer.
+    for (&peer, &msgs) in &window_msgs {
+        events.emit(
+            "rt.download",
+            "window",
+            &[("peer", peer.into()), ("msgs", msgs.into())],
+        );
+    }
     let allocs = ALLOCS.load(Ordering::Relaxed) - allocs0;
     let alloc_bytes = ALLOC_BYTES.load(Ordering::Relaxed) - bytes0;
     assert_eq!(got_bytes, expect_bytes, "every payload byte arrived");
@@ -264,12 +295,42 @@ fn main() {
     let pool_hits = snapshot.gauge("rt.pool.hits").unwrap_or(0.0);
     let pool_misses = snapshot.gauge("rt.pool.misses").unwrap_or(0.0);
     let pool_hit_rate = pool_hits / (pool_hits + pool_misses).max(1.0);
-    let coalesce_mean = snapshot
-        .histogram("rt.host.coalesce_frames")
-        .map(|h| h.mean())
-        .unwrap_or(0.0);
+    let coalesce = snapshot.histogram("rt.host.coalesce_frames");
+    let coalesce_mean = coalesce.as_ref().map(|h| h.mean()).unwrap_or(0.0);
+    let coalesce_p50 = coalesce.as_ref().map(|h| h.percentile(0.50)).unwrap_or(0.0);
+    let coalesce_p95 = coalesce.as_ref().map(|h| h.percentile(0.95)).unwrap_or(0.0);
     let served_frames = snapshot.counter("rt.host.served_frames").unwrap_or(0);
     let sends = snapshot.counter("rt.transport.sends").unwrap_or(0);
+
+    // Health-engine overhead: same ABBA discipline, but both sides run with
+    // observability ON — the comparison isolates the cost of the streaming
+    // detector bank (event cursor drain + evaluation on a sampling thread)
+    // on top of the already-measured instrumentation cost.
+    let mut plain_runs = Vec::new();
+    let mut health_runs = Vec::new();
+    let mut last_report = None;
+    for _ in 0..cycles {
+        plain_runs.push(run_once(&owner, &batches, observed_net()).0.mb_per_s);
+        let net = observed_net();
+        let monitor = HealthMonitor::spawn(&net, HealthConfig::default(), Duration::from_millis(50));
+        health_runs.push(run_once(&owner, &batches, net).0.mb_per_s);
+        last_report = Some(monitor.shutdown());
+        plain_runs.push(run_once(&owner, &batches, observed_net()).0.mb_per_s);
+        let net = observed_net();
+        let monitor = HealthMonitor::spawn(&net, HealthConfig::default(), Duration::from_millis(50));
+        health_runs.push(run_once(&owner, &batches, net).0.mb_per_s);
+        monitor.shutdown();
+    }
+    let report = last_report.expect("at least one health run");
+    let plain_mb_per_s = median(plain_runs);
+    let health_mb_per_s = median(health_runs);
+    let health_overhead_pct =
+        ((plain_mb_per_s - health_mb_per_s) / plain_mb_per_s * 100.0).max(0.0);
+    let min_score = report
+        .peers
+        .iter()
+        .map(|p| p.score)
+        .fold(100.0f64, f64::min);
 
     println!("  throughput: {mb_per_s:.0} MB/s (baseline {BASELINE_MB_PER_S:.0})");
     println!("  allocs/msg: {allocs_per_msg:.1} (baseline {BASELINE_ALLOCS_PER_MSG:.1})");
@@ -277,11 +338,20 @@ fn main() {
     println!(
         "  metrics: disabled {disabled_mb_per_s:.0} vs observed {observed_mb_per_s:.0} MB/s \
          ({overhead_pct:.1}% overhead), pool hit rate {pool_hit_rate:.3}, \
-         {coalesce_mean:.1} frames/datagram"
+         {coalesce_mean:.1} frames/datagram (p50 {coalesce_p50:.1}, p95 {coalesce_p95:.1})"
+    );
+    println!(
+        "  health: plain {plain_mb_per_s:.0} vs engine-on {health_mb_per_s:.0} MB/s \
+         ({health_overhead_pct:.1}% overhead), {} peer(s) scored, {} alert(s), min score {min_score:.1}",
+        report.peers.len(),
+        report.total_alerts
     );
 
     let json = format!(
-        "{{\n  \"config\": {{\n    \"peers\": {PEERS},\n    \"file_bytes\": {FILE_BYTES},\n    \"chunk_bytes\": {CHUNK_BYTES},\n    \"k\": {K},\n    \"messages\": {msgs},\n    \"samples\": {samples},\n    \"statistic\": \"min of samples (throughput), median (allocs)\"\n  }},\n  \"before\": {{\n    \"mb_per_s\": {BASELINE_MB_PER_S:.0},\n    \"allocs_per_msg\": {BASELINE_ALLOCS_PER_MSG:.1}\n  }},\n  \"after\": {{\n    \"mb_per_s\": {mb_per_s:.0},\n    \"allocs_per_msg\": {allocs_per_msg:.1},\n    \"alloc_kib_per_msg\": {alloc_kib_per_msg:.1}\n  }},\n  \"metrics\": {{\n    \"disabled_mb_per_s\": {disabled_mb_per_s:.0},\n    \"observed_mb_per_s\": {observed_mb_per_s:.0},\n    \"overhead_pct\": {overhead_pct:.1},\n    \"pool_hit_rate\": {pool_hit_rate:.3},\n    \"coalesce_mean_frames\": {coalesce_mean:.1},\n    \"served_frames\": {served_frames},\n    \"transport_sends\": {sends}\n  }}\n}}\n"
+        "{{\n  \"config\": {{\n    \"peers\": {PEERS},\n    \"file_bytes\": {FILE_BYTES},\n    \"chunk_bytes\": {CHUNK_BYTES},\n    \"k\": {K},\n    \"messages\": {msgs},\n    \"samples\": {samples},\n    \"statistic\": \"min of samples (throughput), median (allocs)\"\n  }},\n  \"before\": {{\n    \"mb_per_s\": {BASELINE_MB_PER_S:.0},\n    \"allocs_per_msg\": {BASELINE_ALLOCS_PER_MSG:.1}\n  }},\n  \"after\": {{\n    \"mb_per_s\": {mb_per_s:.0},\n    \"allocs_per_msg\": {allocs_per_msg:.1},\n    \"alloc_kib_per_msg\": {alloc_kib_per_msg:.1}\n  }},\n  \"metrics\": {{\n    \"disabled_mb_per_s\": {disabled_mb_per_s:.0},\n    \"observed_mb_per_s\": {observed_mb_per_s:.0},\n    \"overhead_pct\": {overhead_pct:.1},\n    \"pool_hit_rate\": {pool_hit_rate:.3},\n    \"coalesce_mean_frames\": {coalesce_mean:.1},\n    \"coalesce_p50_frames\": {coalesce_p50:.1},\n    \"coalesce_p95_frames\": {coalesce_p95:.1},\n    \"served_frames\": {served_frames},\n    \"transport_sends\": {sends}\n  }},\n  \"health\": {{\n    \"plain_mb_per_s\": {plain_mb_per_s:.0},\n    \"enabled_mb_per_s\": {health_mb_per_s:.0},\n    \"overhead_pct\": {health_overhead_pct:.1},\n    \"windows\": {},\n    \"peers_scored\": {},\n    \"alerts\": {},\n    \"min_score\": {min_score:.1}\n  }}\n}}\n",
+        report.windows,
+        report.peers.len(),
+        report.total_alerts
     );
     std::fs::write(OUT_PATH, json).expect("write transport baseline");
     println!("wrote {OUT_PATH}");

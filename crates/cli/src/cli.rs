@@ -13,7 +13,9 @@ pub const USAGE: &str = "usage:
   asymshare encode  --key <keyfile> --input <file> [--peers N] [--k K] [--file-id ID] [--out DIR]
   asymshare decode  --key <keyfile> --manifest <path> --output <file> <bundle>...
   asymshare inspect --manifest <path>
-  asymshare metrics [--peers N] [--size BYTES] [--json] [--events FILE]";
+  asymshare metrics [--peers N] [--size BYTES] [--json] [--events FILE]
+  asymshare trace   [--peers N] [--size BYTES] [--width COLS] [--faults]
+  asymshare top     [--peers N] [--size BYTES] [--listen ADDR] [--once]";
 
 /// Entry point; returns a user-facing error string on failure.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -23,6 +25,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         Some("decode") => decode(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
         Some("metrics") => metrics(&args[1..]),
+        Some("trace") => trace(&args[1..]),
+        Some("top") => top(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("no command given".to_owned()),
     }
@@ -291,6 +295,284 @@ fn metrics(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs a seeded download on the slotted simulator with health analytics
+/// on and renders the resulting span timeline as a text waterfall, followed
+/// by the per-peer health scores. `--faults` makes one serving peer lossy
+/// and corrupting so the replacement/heal spans and alerts have something
+/// to show.
+fn trace(args: &[String]) -> Result<(), String> {
+    use asymshare::{Identity, ParticipantId, RuntimeConfig, SimRuntime};
+    use asymshare_netsim::{FaultPlan, LinkFault, LinkSpeed};
+    use asymshare_obs::health::HealthConfig;
+    use asymshare_obs::stream::TraceTree;
+
+    let peers: usize = flag_value(args, "--peers")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "--peers must be a number")?;
+    let size: usize = flag_value(args, "--size")
+        .unwrap_or("131072")
+        .parse()
+        .map_err(|_| "--size must be a number of bytes")?;
+    let width: usize = flag_value(args, "--width")
+        .unwrap_or("72")
+        .parse()
+        .map_err(|_| "--width must be a number of columns")?;
+    if !(2..=64).contains(&peers) {
+        return Err("--peers must be between 2 and 64".to_owned());
+    }
+    if size == 0 || size > 16 << 20 {
+        return Err("--size must be between 1 byte and 16 MiB".to_owned());
+    }
+
+    let mut rt = SimRuntime::new(RuntimeConfig {
+        k: 4,
+        chunk_size: 16 * 1024,
+        ..RuntimeConfig::default()
+    });
+    rt.enable_health(HealthConfig::default());
+    let ids: Vec<ParticipantId> = (0..peers as u8)
+        .map(|i| {
+            rt.add_participant(
+                Identity::from_seed(&[b't', i]),
+                LinkSpeed::kbps(256.0),
+                LinkSpeed::kbps(3000.0),
+            )
+        })
+        .collect();
+    let payload: Vec<u8> = (0..size).map(|i| (i * 31 % 251) as u8).collect();
+    let (manifest, _) = rt
+        .disseminate(ids[0], FileId(1), &payload, &ids)
+        .map_err(|e| e.to_string())?;
+    if args.iter().any(|a| a == "--faults") {
+        // One serving peer's uplink turns lossy and corrupting.
+        let node = rt.participant_node(ids[peers - 1]);
+        rt.set_fault_plan(FaultPlan::new(7).with_node_fault(
+            node,
+            LinkFault {
+                loss_prob: 0.15,
+                corrupt_prob: 0.10,
+                jitter_secs: 0.0,
+            },
+        ));
+    }
+    let session = rt
+        .start_download(
+            ids[0],
+            manifest,
+            LinkSpeed::kbps(256.0),
+            LinkSpeed::kbps(3000.0),
+            &ids,
+        )
+        .map_err(|e| e.to_string())?;
+    rt.run_to_completion(session, 3_600)
+        .map_err(|e| e.to_string())?;
+
+    print!("{}", TraceTree::build(&rt.event_log()).render(width));
+    if let Some(report) = rt.health_report() {
+        println!(
+            "health: {} window(s), {} alert(s)",
+            report.windows, report.total_alerts
+        );
+        for p in &report.peers {
+            println!(
+                "  peer p{}: score {:>5.1} {} ({} alert(s))",
+                p.peer,
+                p.score,
+                if p.healthy { "healthy" } else { "DEGRADED" },
+                p.alerts
+            );
+        }
+    }
+    Ok(())
+}
+
+/// One rendered frame of the `top` dashboard.
+fn render_top(network: &asymshare::rt::RtNetwork, elapsed: std::time::Duration) -> String {
+    let snap = network.metrics_snapshot();
+    let recv = snap.counter("rt.transport.recv_bytes").unwrap_or(0);
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let mut out = format!(
+        "asymshare top — {:.1}s, {:.2} MB received ({:.2} MB/s)\n",
+        secs,
+        recv as f64 / 1e6,
+        recv as f64 / 1e6 / secs
+    );
+    let hits = snap.gauge("rt.pool.hits").unwrap_or(0.0);
+    let misses = snap.gauge("rt.pool.misses").unwrap_or(0.0);
+    let hit_rate = if hits + misses > 0.0 {
+        100.0 * hits / (hits + misses)
+    } else {
+        0.0
+    };
+    let coalesce = snap
+        .histogram("rt.transport.batch_frames")
+        .map(|h| {
+            if h.count > 0 {
+                h.sum as f64 / h.count as f64
+            } else {
+                0.0
+            }
+        })
+        .unwrap_or(0.0);
+    out.push_str(&format!(
+        "pool hit rate {hit_rate:.0}%   coalesce {coalesce:.1} frames/datagram   events dropped {}\n",
+        network.events().dropped_events()
+    ));
+    match network.health_report() {
+        Some(report) => {
+            out.push_str(&format!(
+                "health: {} window(s), {} alert(s)\n",
+                report.windows, report.total_alerts
+            ));
+            for p in &report.peers {
+                let bar_len = (p.score / 5.0).round().clamp(0.0, 20.0) as usize;
+                out.push_str(&format!(
+                    "  peer {:>4}  [{:<20}] {:>5.1} {}  {} alert(s)\n",
+                    p.peer,
+                    "#".repeat(bar_len),
+                    p.score,
+                    if p.healthy { "healthy " } else { "DEGRADED" },
+                    p.alerts
+                ));
+            }
+        }
+        None => out.push_str("health: engine not installed\n"),
+    }
+    out
+}
+
+/// Runs a seeded real-time download (threaded peer hosts, lossy transport,
+/// sampling health monitor) and renders a live terminal dashboard: per-peer
+/// health, throughput, pool hit rate and coalesce ratio. `--once` waits for
+/// completion and prints a single frame (no escape codes); `--listen ADDR`
+/// additionally serves `/metrics` and `/health` over HTTP while running.
+fn top(args: &[String]) -> Result<(), String> {
+    use asymshare::rt::{
+        download_file_with, DownloadOptions, FaultPlan, HealthMonitor, MetricsServer, PeerHost,
+        RtNetwork,
+    };
+    use asymshare::{Identity, Peer, User};
+    use asymshare_obs::health::HealthConfig;
+    use asymshare_obs::{EventSink, Registry};
+    use std::time::{Duration, Instant};
+
+    let peers: usize = flag_value(args, "--peers")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "--peers must be a number")?;
+    let size: usize = flag_value(args, "--size")
+        .unwrap_or("262144")
+        .parse()
+        .map_err(|_| "--size must be a number of bytes")?;
+    if !(2..=16).contains(&peers) {
+        return Err("--peers must be between 2 and 16".to_owned());
+    }
+    if size == 0 || size > 16 << 20 {
+        return Err("--size must be between 1 byte and 16 MiB".to_owned());
+    }
+    let once = args.iter().any(|a| a == "--once");
+
+    let network = RtNetwork::with_observability(Registry::new(), EventSink::new());
+    let server = match flag_value(args, "--listen") {
+        Some(bind) => Some(MetricsServer::spawn(&network, bind).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    if let Some(s) = &server {
+        eprintln!("serving /metrics and /health on http://{}", s.addr());
+    }
+    let monitor = HealthMonitor::spawn(
+        &network,
+        HealthConfig::default(),
+        Duration::from_millis(200),
+    );
+
+    // A seeded file spread over threaded hosts, downloaded over a mildly
+    // lossy link so the detectors and heal path have work to do.
+    let owner = Identity::from_seed(b"cli-top-owner");
+    let data: Vec<u8> = (0..size).map(|i| (i * 37 % 251) as u8).collect();
+    let mut enc = ChunkedEncoder::<Gf2p32>::with_chunk_size(
+        FieldKind::Gf2p32,
+        4,
+        DigestKind::Md5,
+        owner.coding_secret().clone(),
+        FileId(9),
+        &data,
+        16 * 1024,
+    )
+    .map_err(|e| e.to_string())?;
+    let batches = enc.encode_for_peers(peers).map_err(|e| e.to_string())?;
+    let manifest = enc.manifest().clone();
+    let mut hosts = Vec::new();
+    let mut peer_addrs = Vec::new();
+    for (i, batch) in batches.into_iter().enumerate() {
+        let identity = Identity::from_seed(&[b't', b'p', i as u8]);
+        let key = identity.public_key().to_bytes();
+        let mut peer = Peer::new(identity, 1_000.0);
+        peer.add_subscriber(owner.public_key().to_bytes());
+        for m in batch {
+            peer.store_mut().insert(m);
+        }
+        let addr = 100 + i as u64;
+        hosts.push(PeerHost::spawn(
+            &network,
+            addr,
+            peer,
+            1 << 20,
+            Duration::from_millis(5),
+        ));
+        peer_addrs.push((addr, key));
+    }
+    network.install_faults(FaultPlan::new(7).with_loss(0.03).with_corruption(0.02));
+
+    let started = Instant::now();
+    let net = network.clone();
+    let home = peer_addrs[0].0;
+    let addrs = peer_addrs.clone();
+    let download = std::thread::spawn(move || {
+        let mut user = User::<Gf2p32>::new(owner, manifest).map_err(|e| e.to_string())?;
+        download_file_with(
+            &net,
+            1,
+            &mut user,
+            &addrs,
+            home,
+            DownloadOptions {
+                timeout: Duration::from_secs(120),
+                stall_timeout: Duration::from_millis(300),
+                retry_backoff: Duration::from_millis(100),
+                max_peer_retries: 10,
+            },
+        )
+        .map(|d| d.len())
+        .map_err(|e| e.to_string())
+    });
+    if !once {
+        while !download.is_finished() {
+            // Clear screen + home, then one frame.
+            print!("\x1b[2J\x1b[H{}", render_top(&network, started.elapsed()));
+            std::thread::sleep(Duration::from_millis(500));
+        }
+    }
+    let outcome = download.join().expect("download thread panicked");
+    let report = monitor.shutdown();
+    print!("{}", render_top(&network, started.elapsed()));
+    for host in hosts {
+        host.shutdown();
+    }
+    if let Some(s) = server {
+        s.shutdown();
+    }
+    let bytes = outcome?;
+    println!(
+        "downloaded {bytes} bytes in {:.2}s — health: {} alert(s), all healthy: {}",
+        started.elapsed().as_secs_f64(),
+        report.total_alerts,
+        report.all_healthy()
+    );
+    Ok(())
+}
+
 fn inspect(args: &[String]) -> Result<(), String> {
     let manifest_path = flag_value(args, "--manifest").ok_or("--manifest is required")?;
     let bytes = fs::read(manifest_path).map_err(|e| format!("reading {manifest_path}: {e}"))?;
@@ -422,6 +704,23 @@ mod tests {
         // Bad arguments are rejected before any simulation work happens.
         assert!(run(&s(&["metrics", "--peers", "1"])).is_err());
         assert!(run(&s(&["metrics", "--size", "0"])).is_err());
+    }
+
+    #[test]
+    fn trace_demo_renders_waterfall() {
+        run(&s(&["trace", "--peers", "3", "--size", "32768", "--width", "48"])).unwrap();
+        run(&s(&["trace", "--peers", "3", "--size", "32768", "--faults"])).unwrap();
+        assert!(run(&s(&["trace", "--peers", "1"])).is_err());
+        assert!(run(&s(&["trace", "--size", "0"])).is_err());
+    }
+
+    #[test]
+    fn top_once_completes_with_listener() {
+        run(&s(&[
+            "top", "--peers", "2", "--size", "32768", "--once", "--listen", "127.0.0.1:0",
+        ]))
+        .unwrap();
+        assert!(run(&s(&["top", "--peers", "1"])).is_err());
     }
 
     #[test]

@@ -63,6 +63,11 @@ impl PeerHost {
                 let served_bytes = metrics.counter("rt.host.served_bytes");
                 let coalesce_frames = metrics.histogram("rt.host.coalesce_frames");
                 let debt_bytes = metrics.histogram("rt.host.debt_bytes");
+                let events = net.events().clone();
+                // Fairness telemetry is time-gated so a millisecond tick
+                // does not flood the event ring.
+                const SHARE_EMIT_EVERY: Duration = Duration::from_millis(250);
+                let mut last_share_emit: Option<Instant> = None;
                 // Reused across ticks so steady-state serving allocates
                 // nothing; holds cheap message handles, not payload bytes.
                 let mut batch: Vec<Wire> = Vec::with_capacity(MAX_COALESCE);
@@ -119,6 +124,26 @@ impl PeerHost {
                     let total: f64 = weights.iter().sum();
                     if total <= 0.0 {
                         continue;
+                    }
+                    // One `slot_share` event per connection, at most every
+                    // SHARE_EMIT_EVERY: the Eq.-2 budget split this host is
+                    // about to serve, feeding the health engine's
+                    // Jain-fairness detector.
+                    if events.is_enabled()
+                        && last_share_emit.is_none_or(|t| now.duration_since(t) >= SHARE_EMIT_EVERY)
+                    {
+                        last_share_emit = Some(now);
+                        for (&conn, &w) in conns.iter().zip(&weights) {
+                            events.emit(
+                                "rt.host",
+                                "slot_share",
+                                &[
+                                    ("peer", addr.into()),
+                                    ("conn", conn.into()),
+                                    ("budget_bytes", (available * w / total).into()),
+                                ],
+                            );
+                        }
                     }
                     for (&conn, &w) in conns.iter().zip(&weights) {
                         // Message granularity means the last send of a

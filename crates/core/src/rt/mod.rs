@@ -24,11 +24,15 @@
 
 mod host;
 mod limiter;
+mod metrics_http;
+mod monitor;
 mod pool;
 mod transport;
 
 pub use host::{PeerHost, MAX_COALESCE};
 pub use limiter::TokenBucket;
+pub use metrics_http::MetricsServer;
+pub use monitor::HealthMonitor;
 pub use pool::{BufferPool, PoolStats};
 pub use transport::{Envelope, FaultPlan, FaultStats, FrameIter, RtNetwork};
 
@@ -150,6 +154,12 @@ pub fn download_file_with(
     // (first request wins; resolved when any message of the chunk arrives).
     let mut pending_repl: std::collections::HashMap<u32, Instant> =
         std::collections::HashMap::new();
+    // Per-peer message counts flushed a few times a second as
+    // `rt.download`/`window` events — the health engine's rate
+    // denominators. Idle (and with observability off, always empty).
+    let mut window_msgs: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut window_flushed = started;
+    const WINDOW_FLUSH: Duration = Duration::from_millis(250);
     // Connect to every peer; the connection id is the peer's address so
     // both sides key their session state consistently.
     let mut tracks: Vec<PeerTrack> = peers
@@ -175,6 +185,10 @@ pub fn download_file_with(
     let mut reassign_rr = 0usize;
     while !user.is_complete() {
         network.pump();
+        if !window_msgs.is_empty() && window_flushed.elapsed() >= WINDOW_FLUSH {
+            flush_windows(&mut window_msgs, &events);
+            window_flushed = Instant::now();
+        }
         let now = Instant::now();
         let remaining = deadline.saturating_duration_since(now);
         if remaining.is_zero() {
@@ -195,13 +209,27 @@ pub fn download_file_with(
             // envelope's buffer, fed straight to the decoder.
             for frame in envelope.decode_all() {
                 let wire = frame?;
-                // An arriving message closes any open replacement round-trip
-                // for its chunk (checked only while one is outstanding).
-                if !pending_repl.is_empty() {
-                    if let Wire::MessageData(msg) = &wire {
+                if let Wire::MessageData(msg) = &wire {
+                    if events.is_enabled() {
+                        *window_msgs.entry(envelope.from).or_insert(0) += 1;
+                    }
+                    // An arriving message closes any open replacement
+                    // round-trip for its chunk (checked only while one is
+                    // outstanding).
+                    if !pending_repl.is_empty() {
                         let chunk = FileManifest::chunk_of(msg.message_id());
                         if let Some(t0) = pending_repl.remove(&chunk) {
-                            replacement_rtt_us.record(t0.elapsed().as_micros() as u64);
+                            let rtt = t0.elapsed().as_micros() as u64;
+                            replacement_rtt_us.record(rtt);
+                            events.emit(
+                                "rt.download",
+                                "replacement_served",
+                                &[
+                                    ("peer", envelope.from.into()),
+                                    ("chunk", chunk.into()),
+                                    ("rtt_us", rtt.into()),
+                                ],
+                            );
                         }
                     }
                 }
@@ -233,6 +261,11 @@ pub fn download_file_with(
                         user.stats_mut().replacements += 1;
                         digest_rejections.inc();
                         let chunk = FileManifest::chunk_of(MessageId(id));
+                        events.emit(
+                            "rt.download",
+                            "digest_reject",
+                            &[("peer", envelope.from.into()), ("chunk", chunk.into())],
+                        );
                         pending_repl.entry(chunk).or_insert_with(Instant::now);
                         let request = Wire::ReplacementRequest { file_id, chunk };
                         if !network.send(my_addr, envelope.from, &request) {
@@ -347,11 +380,33 @@ pub fn download_file_with(
             });
         }
     }
+    // Close the last partial health window before reporting back.
+    flush_windows(&mut window_msgs, &events);
     // Final feedback to the home peer (the off-line informational update).
     let now_secs = started.elapsed().as_secs();
     let report = user.make_feedback(now_secs, &mut rng);
     network.send(my_addr, home_peer, &Wire::Feedback(report));
     user.decode()
+}
+
+/// Emits the accumulated per-peer message counts as `rt.download`/`window`
+/// events (peer order ascending, so logs are stable) and clears the map.
+fn flush_windows(
+    window_msgs: &mut std::collections::HashMap<u64, u64>,
+    events: &asymshare_obs::EventSink,
+) {
+    if window_msgs.is_empty() {
+        return;
+    }
+    let mut counts: Vec<(u64, u64)> = window_msgs.drain().collect();
+    counts.sort_unstable();
+    for (peer, msgs) in counts {
+        events.emit(
+            "rt.download",
+            "window",
+            &[("peer", peer.into()), ("msgs", msgs.into())],
+        );
+    }
 }
 
 /// Marks `addr` dead and forgets its connection state.
@@ -389,12 +444,26 @@ fn reassign(
     if live.is_empty() {
         return;
     }
-    let target = live[*rr % live.len()];
+    // Deprioritize (never ban) survivors the health engine currently marks
+    // sick; if every survivor is sick, the full pool still serves. With no
+    // engine installed nobody is sick, so the round-robin is unchanged.
+    let healthy: Vec<u64> = live
+        .iter()
+        .copied()
+        .filter(|&addr| !network.peer_is_sick(addr))
+        .collect();
+    let pool = if healthy.is_empty() { &live } else { &healthy };
+    let deprioritized = (live.len() - pool.len()) as u64;
+    let target = pool[*rr % pool.len()];
     *rr += 1;
     if network.send(my_addr, target, &Wire::FileRequest { file_id }) {
         let _ = send_stops(network, my_addr, user, target, file_id);
         user.stats_mut().reassignments += 1;
-        events.emit("rt.heal", "reassign", &[("target", target.into())]);
+        events.emit(
+            "rt.heal",
+            "reassign",
+            &[("target", target.into()), ("deprioritized", deprioritized.into())],
+        );
     }
 }
 

@@ -1,0 +1,125 @@
+//! The sampling health evaluator for the real-time runtime.
+//!
+//! The simulated runtime closes a health window at every slot boundary;
+//! real time has no slots, so a [`HealthMonitor`] thread samples instead:
+//! every `interval` it drains the network's event stream into the shared
+//! [`HealthEngine`](asymshare_obs::health::HealthEngine) and runs the
+//! detector bank, exactly as [`RtNetwork::evaluate_health`] would inline.
+//! Because the engine itself is deterministic, the alerts depend only on
+//! the observed events and the sampling instants — the thread adds no
+//! state of its own.
+
+use super::transport::RtNetwork;
+use asymshare_obs::health::{HealthConfig, HealthReport};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A thread periodically evaluating an [`RtNetwork`]'s health engine.
+///
+/// Spawning installs the engine (replacing any previous one); dropping or
+/// [`shutdown`](HealthMonitor::shutdown) stops the thread after one final
+/// evaluation, so short-lived runs still close their last window.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    network: RtNetwork,
+    shutdown_tx: Sender<()>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HealthMonitor {
+    /// Installs a fresh engine on `network` and starts sampling it every
+    /// `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn the thread.
+    pub fn spawn(network: &RtNetwork, cfg: HealthConfig, interval: Duration) -> HealthMonitor {
+        network.enable_health(cfg);
+        let net = network.clone();
+        let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
+        let handle = std::thread::Builder::new()
+            .name("asymshare-health".to_owned())
+            .spawn(move || loop {
+                match shutdown_rx.recv_timeout(interval) {
+                    Err(RecvTimeoutError::Timeout) => {
+                        net.evaluate_health();
+                    }
+                    Ok(()) | Err(RecvTimeoutError::Disconnected) => {
+                        // Close the final (partial) window before exiting.
+                        net.evaluate_health();
+                        break;
+                    }
+                }
+            })
+            .expect("spawn health monitor thread");
+        HealthMonitor {
+            network: network.clone(),
+            shutdown_tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// The engine's current per-peer report.
+    pub fn report(&self) -> HealthReport {
+        self.network.health_report().unwrap_or_default()
+    }
+
+    /// Stops the thread (after one final evaluation) and returns the
+    /// closing report. The engine stays installed on the network, so
+    /// scores remain queryable afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor thread panicked.
+    pub fn shutdown(mut self) -> HealthReport {
+        let _ = self.shutdown_tx.send(());
+        self.handle
+            .take()
+            .expect("handle present until shutdown")
+            .join()
+            .expect("health monitor thread panicked");
+        self.report()
+    }
+}
+
+impl Drop for HealthMonitor {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = self.shutdown_tx.send(());
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asymshare_obs::{EventSink, Registry};
+
+    #[test]
+    fn monitor_samples_and_scores() {
+        let net = RtNetwork::with_observability(Registry::new(), EventSink::new());
+        let monitor = HealthMonitor::spawn(
+            &net,
+            HealthConfig::default(),
+            Duration::from_millis(10),
+        );
+        for _ in 0..8 {
+            net.events()
+                .emit("rt.download", "window", &[("peer", 9u64.into()), ("msgs", 50u64.into())]);
+            std::thread::sleep(Duration::from_millis(12));
+        }
+        let report = monitor.shutdown();
+        assert!(report.windows >= 2, "sampled repeatedly: {report:?}");
+        assert_eq!(net.health_score(9), Some(100.0), "clean peer is pristine");
+        // The heartbeat trail marks every evaluation instant.
+        let beats = net
+            .events()
+            .events()
+            .iter()
+            .filter(|e| e.component == "health" && e.kind == "window")
+            .count() as u64;
+        assert_eq!(beats, report.windows);
+    }
+}

@@ -11,6 +11,8 @@
 use crate::error::SystemError;
 use crate::protocol::{self, Wire};
 use crate::rt::pool::BufferPool;
+use asymshare_obs::health::{HealthConfig, HealthEngine, HealthReport};
+use asymshare_obs::stream::EventCursor;
 use asymshare_obs::{Counter, EventSink, Histogram, Registry, Snapshot};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -243,6 +245,15 @@ impl TransportObs {
     }
 }
 
+/// The health engine plus its private read cursor over the shared event
+/// stream. Guarded by one mutex so evaluation (drain + evaluate + emit)
+/// is atomic with respect to score reads from the download loop.
+#[derive(Debug)]
+struct RtHealth {
+    engine: HealthEngine,
+    cursor: EventCursor,
+}
+
 /// The in-process network: a registry of address → inbox senders.
 ///
 /// Cloning shares the registry (it is an `Arc` internally), so hosts and
@@ -253,6 +264,7 @@ pub struct RtNetwork {
     fault: Arc<RwLock<Option<FaultState>>>,
     pool: Arc<BufferPool>,
     obs: TransportObs,
+    health: Arc<Mutex<Option<RtHealth>>>,
 }
 
 impl RtNetwork {
@@ -294,6 +306,87 @@ impl RtNetwork {
             metrics.gauge("rt.pool.idle").set(self.pool.idle() as f64);
         }
         metrics.snapshot()
+    }
+
+    /// Installs a streaming [`HealthEngine`] fed from this network's event
+    /// sink. Meaningful only on a network built with
+    /// [`with_observability`](Self::with_observability) — without an event
+    /// stream the engine never sees a signal. Replaces any previous engine.
+    ///
+    /// Nothing evaluates automatically: call
+    /// [`evaluate_health`](Self::evaluate_health) at your chosen cadence,
+    /// or spawn a [`HealthMonitor`](crate::rt::HealthMonitor) to sample on
+    /// a thread.
+    pub fn enable_health(&self, cfg: HealthConfig) {
+        *self.health.lock().expect("health lock") = Some(RtHealth {
+            engine: HealthEngine::new(cfg),
+            cursor: EventCursor::new(&self.obs.events),
+        });
+    }
+
+    /// Closes the current health window: drains every event emitted since
+    /// the previous evaluation into the engine, runs the detector bank at
+    /// the sink's current timeline instant, emits one `health`/`alert`
+    /// event per raised alert plus a `health`/`window` heartbeat, and
+    /// refreshes the `health.score.p{addr}` gauges. Returns the number of
+    /// alerts raised (`None` when no engine is installed).
+    pub fn evaluate_health(&self) -> Option<usize> {
+        let mut guard = self.health.lock().expect("health lock");
+        let h = guard.as_mut()?;
+        let ts = self.obs.events.now_secs();
+        for event in h.cursor.drain() {
+            h.engine.observe_event(&event);
+        }
+        let alerts = h.engine.evaluate(ts);
+        for alert in &alerts {
+            self.obs
+                .events
+                .emit_at(ts, "health", "alert", &alert.to_fields());
+        }
+        self.obs.events.emit_at(
+            ts,
+            "health",
+            "window",
+            &[("alerts", alerts.len().into())],
+        );
+        for peer in h.engine.report().peers {
+            self.obs
+                .metrics
+                .gauge(&format!("health.score.p{}", peer.peer))
+                .set(peer.score);
+        }
+        Some(alerts.len())
+    }
+
+    /// The health engine's current per-peer report (`None` unless
+    /// [`enable_health`](Self::enable_health) was called).
+    pub fn health_report(&self) -> Option<HealthReport> {
+        self.health
+            .lock()
+            .expect("health lock")
+            .as_ref()
+            .map(|h| h.engine.report())
+    }
+
+    /// A peer address's current 0–100 health score, if the engine has
+    /// scored it.
+    pub fn health_score(&self, addr: u64) -> Option<f64> {
+        self.health
+            .lock()
+            .expect("health lock")
+            .as_ref()
+            .and_then(|h| h.engine.score(addr))
+    }
+
+    /// Whether `addr` sits in the sick band (score strictly below
+    /// [`HealthConfig::sick_score`]). `false` with no engine installed or
+    /// for never-scored peers, so callers can consult it unconditionally.
+    pub fn peer_is_sick(&self, addr: u64) -> bool {
+        self.health
+            .lock()
+            .expect("health lock")
+            .as_ref()
+            .is_some_and(|h| h.engine.is_sick(addr))
     }
 
     /// Registers `addr` and returns its inbox.
@@ -424,6 +517,11 @@ impl RtNetwork {
             let mut rng = fault.rng.lock().expect("fault rng lock");
             if fault.plan.loss_prob > 0.0 && rng.next_f64() < fault.plan.loss_prob {
                 fault.dropped.fetch_add(1, Ordering::Relaxed);
+                self.obs.events.emit(
+                    "rt.transport",
+                    "drop",
+                    &[("peer", from.into()), ("to", to.into())],
+                );
                 self.pool.recycle(buf);
                 return true; // address resolved; datagram lost in transit
             }
@@ -432,6 +530,11 @@ impl RtNetwork {
                 && corrupt_in_place(&mut buf, &mut rng)
             {
                 fault.corrupted.fetch_add(1, Ordering::Relaxed);
+                self.obs.events.emit(
+                    "rt.transport",
+                    "corruption",
+                    &[("peer", from.into()), ("to", to.into())],
+                );
             }
             let delay_nanos = fault.plan.max_delay.as_nanos() as u64;
             if delay_nanos > 0 {
@@ -744,6 +847,80 @@ mod tests {
             net.metrics_snapshot().is_empty(),
             "disabled path records nothing"
         );
+    }
+
+    #[test]
+    fn faults_emit_peer_attributed_events() {
+        use asymshare_rlnc::{EncodedMessage, FileId, MessageId};
+        let net = RtNetwork::with_observability(Registry::new(), EventSink::new());
+        let _inbox = net.register(30);
+        net.install_faults(FaultPlan::new(9).with_loss(1.0));
+        net.send(31, 30, &Wire::FileRequest { file_id: 1 });
+        net.clear_faults();
+        net.install_faults(FaultPlan::new(11).with_corruption(1.0));
+        let msg = EncodedMessage::new(FileId(1), MessageId(0), vec![0xAA; 32]);
+        net.send(32, 30, &Wire::MessageData(msg));
+        let events = net.events().events();
+        let drop = events
+            .iter()
+            .find(|e| e.kind == "drop")
+            .expect("loss emits a drop event");
+        assert_eq!(drop.component, "rt.transport");
+        assert!(drop.fields.contains(&("peer", 31u64.into())));
+        let corruption = events
+            .iter()
+            .find(|e| e.kind == "corruption")
+            .expect("corruption emits an event");
+        assert!(corruption.fields.contains(&("peer", 32u64.into())));
+    }
+
+    #[test]
+    fn health_engine_scores_faulty_sender() {
+        let net = RtNetwork::with_observability(Registry::new(), EventSink::new());
+        let _inbox = net.register(40);
+        net.enable_health(HealthConfig {
+            warmup_windows: 2,
+            ..HealthConfig::default()
+        });
+        assert_eq!(net.health_score(41), None, "no traffic yet");
+        // Clean warmup windows: peer 41 sends healthy traffic.
+        for _ in 0..6 {
+            for _ in 0..20 {
+                net.events()
+                    .emit("rt.download", "window", &[("peer", 41u64.into()), ("msgs", 20u64.into())]);
+            }
+            assert_eq!(net.evaluate_health(), Some(0));
+        }
+        assert_eq!(net.health_score(41), Some(100.0));
+        assert!(!net.peer_is_sick(41));
+        // Then the link to 41 turns hostile: every send is dropped.
+        net.install_faults(FaultPlan::new(5).with_loss(1.0));
+        for _ in 0..4 {
+            for _ in 0..30 {
+                net.send(41, 40, &Wire::FileRequest { file_id: 1 });
+            }
+            net.evaluate_health();
+        }
+        let score = net.health_score(41).expect("scored");
+        assert!(score < 100.0, "drop burst must cost score, got {score}");
+        let report = net.health_report().expect("engine installed");
+        assert!(report.total_alerts >= 1, "{report:?}");
+        // Alerts were mirrored into the event stream.
+        let alerts = net
+            .events()
+            .events()
+            .iter()
+            .filter(|e| e.component == "health" && e.kind == "alert")
+            .count() as u64;
+        assert_eq!(alerts, report.total_alerts);
+    }
+
+    #[test]
+    fn health_disabled_is_inert() {
+        let net = RtNetwork::new();
+        assert_eq!(net.evaluate_health(), None);
+        assert!(net.health_report().is_none());
+        assert!(!net.peer_is_sick(1));
     }
 
     #[test]

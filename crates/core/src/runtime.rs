@@ -18,11 +18,13 @@ use asymshare_gf::{FieldKind, Gf2p32};
 use asymshare_netsim::{
     Event, EventKind, FaultPlan, FaultStats, LinkSpeed, NodeId, SimNet, SimTime,
 };
+use asymshare_obs::health::{HealthConfig, HealthEngine, HealthReport};
+use asymshare_obs::stream::EventCursor;
 use asymshare_obs::{Counter, EventSink, Histogram, Registry, Snapshot};
 use asymshare_rlnc::{
     ChunkedEncoder, CodecError, DigestKind, EncodedMessage, FileId, FileManifest, MessageId,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Runtime tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -119,12 +121,34 @@ struct Session {
     user: User<Gf2p32>,
     home: usize,
     remote_node: NodeId,
-    conns: HashMap<u64, usize>, // conn id -> participant index
+    // Conn id -> participant index. Ordered: the slot driver iterates this
+    // map to start flows, and flow-start order pairs each flow with the
+    // fault plan's next RNG draws — hash order here would make seeded runs
+    // diverge between runtime instances.
+    conns: BTreeMap<u64, usize>,
     health: HashMap<u64, ConnHealth>,
     replace_rr: usize,
     started_at: SimTime,
     finished_at: Option<SimTime>,
     bytes_by_peer: HashMap<usize, u64>,
+    /// Lifecycle instants for the trace timeline (filled only while the
+    /// event sink is enabled; emitted as closed spans at completion).
+    trace: SessionTrace,
+}
+
+/// Download→request→chunk→replacement lifecycle instants, reassembled into
+/// nested spans when the session completes.
+#[derive(Debug, Default)]
+struct SessionTrace {
+    conn_started: HashMap<u64, f64>,
+    conn_last: HashMap<u64, f64>,
+    chunk_first: HashMap<u32, f64>,
+    chunk_done: HashMap<u32, f64>,
+    /// Pending replacement requests: `(conn, chunk)` → request instant.
+    pending_repl: HashMap<(u64, u32), f64>,
+    /// Served replacements: `(conn, chunk, requested_at, served_at)`.
+    repl_spans: Vec<(u64, u32, f64, f64)>,
+    spans_emitted: bool,
 }
 
 enum Endpoint {
@@ -158,6 +182,8 @@ struct SimObs {
     digest_rejections: Counter,
     /// Per-slot per-connection Eq.-2 budgets, bytes.
     alloc_budget_bytes: Histogram,
+    /// Request-to-serve latency of digest-replacement round trips, µs.
+    replacement_rtt_us: Histogram,
 }
 
 impl SimObs {
@@ -168,10 +194,23 @@ impl SimObs {
             corruptions: metrics.counter("sim.deliver.corruptions"),
             digest_rejections: metrics.counter("sim.deliver.digest_rejections"),
             alloc_budget_bytes: metrics.histogram("sim.alloc.budget_bytes"),
+            replacement_rtt_us: metrics.histogram("sim.deliver.replacement_rtt_us"),
             metrics,
             events: EventSink::new(),
         }
     }
+}
+
+/// Streaming health analytics bolted onto the simulated deployment: the
+/// engine consumes the deployment's own event log through an incremental
+/// cursor and is evaluated once per allocation slot on simulated time.
+struct SimHealth {
+    engine: HealthEngine,
+    cursor: EventCursor,
+    /// Data messages accepted per serving participant this slot, flushed
+    /// as `sim.deliver`/`window` events at slot end so the engine (and any
+    /// replay of the log) sees identical inputs.
+    slot_msgs: HashMap<usize, u64>,
 }
 
 /// The simulated deployment.
@@ -186,6 +225,7 @@ pub struct SimRuntime {
     slot: u64,
     rng: ChaChaRng,
     obs: SimObs,
+    health: Option<SimHealth>,
 }
 
 impl SimRuntime {
@@ -204,6 +244,7 @@ impl SimRuntime {
             slot: 0,
             rng: ChaChaRng::new([0xE7; 32], *b"sim-runtime!"),
             obs: SimObs::default(),
+            health: None,
         }
     }
 
@@ -217,6 +258,37 @@ impl SimRuntime {
     /// observability never changes a seeded run's schedule.
     pub fn enable_observability(&mut self) {
         self.obs = SimObs::enabled();
+    }
+
+    /// Turns on streaming health analytics (implies
+    /// [`enable_observability`](Self::enable_observability)): detectors are
+    /// evaluated once per allocation slot on simulated time, alerts appear
+    /// as `health`/`alert` events, per-peer scores as `health.score.p{i}`
+    /// gauges, and the heal path deprioritizes sick peers during
+    /// reassignment. Like every observability hook, the engine draws no
+    /// randomness and never touches simulated time.
+    pub fn enable_health(&mut self, cfg: HealthConfig) {
+        if !self.obs.metrics.is_enabled() {
+            self.enable_observability();
+        }
+        self.health = Some(SimHealth {
+            engine: HealthEngine::new(cfg),
+            cursor: EventCursor::new(&self.obs.events),
+            slot_msgs: HashMap::new(),
+        });
+    }
+
+    /// The health engine's current per-peer report (`None` unless
+    /// [`enable_health`](Self::enable_health) was called).
+    pub fn health_report(&self) -> Option<HealthReport> {
+        self.health.as_ref().map(|h| h.engine.report())
+    }
+
+    /// A peer's current 0–100 health score, if the engine has scored it.
+    pub fn health_score(&self, id: ParticipantId) -> Option<f64> {
+        self.health
+            .as_ref()
+            .and_then(|h| h.engine.score(id.0 as u64))
     }
 
     /// The deployment's event log so far (empty unless observability is on).
@@ -462,7 +534,7 @@ impl SimRuntime {
         let identity = self.participants[owner.0].peer.identity().clone();
         let mut user = User::<Gf2p32>::new(identity, manifest)?;
         let remote_node = self.net.add_node(remote_up, remote_down);
-        let mut conns = HashMap::new();
+        let mut conns = BTreeMap::new();
         let session_idx = self.sessions.len();
         for &pid in peers {
             let conn = self.next_conn;
@@ -503,6 +575,12 @@ impl SimRuntime {
                 )
             })
             .collect();
+        let mut trace = SessionTrace::default();
+        if self.obs.events.is_enabled() {
+            for &conn in conns.keys() {
+                trace.conn_started.insert(conn, now.as_secs());
+            }
+        }
         self.sessions.push(Session {
             user,
             home: owner.0,
@@ -513,6 +591,7 @@ impl SimRuntime {
             started_at: now,
             finished_at: None,
             bytes_by_peer: HashMap::new(),
+            trace,
         });
         Ok(SessionId(session_idx))
     }
@@ -530,7 +609,13 @@ impl SimRuntime {
             while let Some(event) = self.net.step_until(deadline) {
                 self.deliver(event);
             }
+            self.evaluate_health();
         }
+    }
+
+    /// Whether a session's download has decoded completely.
+    pub fn session_complete(&self, session: SessionId) -> bool {
+        self.sessions[session.0].user.is_complete()
     }
 
     /// Runs until the session completes or `max_slots` elapse.
@@ -791,8 +876,22 @@ impl SimRuntime {
             // The payload is gone in transit; only the (omniscient)
             // user-side drop counter observes it.
             self.obs.drops.inc();
-            if let Endpoint::ToUser { session, .. } = pending.endpoint {
+            if let Endpoint::ToUser { session, conn } = pending.endpoint {
                 self.sessions[session].user.stats_mut().drops += 1;
+                if self.obs.events.is_enabled() {
+                    if let Some(&p_idx) = self.sessions[session].conns.get(&conn) {
+                        self.obs.events.emit_at(
+                            self.net.now().as_secs(),
+                            "sim.deliver",
+                            "drop",
+                            &[
+                                ("peer", p_idx.into()),
+                                ("session", session.into()),
+                                ("conn", conn.into()),
+                            ],
+                        );
+                    }
+                }
             }
             self.repump(refill);
             return;
@@ -854,6 +953,20 @@ impl SimRuntime {
                     (true, Wire::MessageData(msg)) => match corrupt_message(&msg) {
                         Some(mangled) => {
                             self.obs.corruptions.inc();
+                            if self.obs.events.is_enabled() {
+                                if let Some(&p_idx) = self.sessions[session].conns.get(&conn) {
+                                    self.obs.events.emit_at(
+                                        self.net.now().as_secs(),
+                                        "sim.deliver",
+                                        "corruption",
+                                        &[
+                                            ("peer", p_idx.into()),
+                                            ("session", session.into()),
+                                            ("conn", conn.into()),
+                                        ],
+                                    );
+                                }
+                            }
                             mangled
                         }
                         None => {
@@ -874,13 +987,41 @@ impl SimRuntime {
                     (false, wire) => wire,
                 };
                 // Account data bytes per contributing peer.
-                if let Wire::MessageData(_) = &wire {
+                if let Wire::MessageData(msg) = &wire {
                     if let Some(&p_idx) = self.sessions[session].conns.get(&conn) {
                         let len = wire.encoded_len() as u64;
                         *self.sessions[session]
                             .bytes_by_peer
                             .entry(p_idx)
                             .or_insert(0) += len;
+                        if let Some(h) = &mut self.health {
+                            *h.slot_msgs.entry(p_idx).or_insert(0) += 1;
+                        }
+                        if self.obs.events.is_enabled() {
+                            let ts = self.net.now().as_secs();
+                            let chunk = FileManifest::chunk_of(msg.message_id());
+                            let trace = &mut self.sessions[session].trace;
+                            trace.chunk_first.entry(chunk).or_insert(ts);
+                            // A data message covering a pending replacement
+                            // closes that round trip.
+                            if let Some(t_req) = trace.pending_repl.remove(&(conn, chunk)) {
+                                trace.repl_spans.push((conn, chunk, t_req, ts));
+                                let rtt_us = ((ts - t_req) * 1e6).round();
+                                self.obs.replacement_rtt_us.record(rtt_us as u64);
+                                self.obs.events.emit_at(
+                                    ts,
+                                    "sim.deliver",
+                                    "replacement_served",
+                                    &[
+                                        ("peer", p_idx.into()),
+                                        ("session", session.into()),
+                                        ("conn", conn.into()),
+                                        ("chunk", chunk.into()),
+                                        ("rtt_us", rtt_us.into()),
+                                    ],
+                                );
+                            }
+                        }
                     }
                 }
                 // Anything arriving on the connection — even a rejected
@@ -889,6 +1030,12 @@ impl SimRuntime {
                 if let Some(h) = self.sessions[session].health.get_mut(&conn) {
                     h.last_activity = now;
                     h.retries = 0;
+                }
+                if self.obs.events.is_enabled() {
+                    self.sessions[session]
+                        .trace
+                        .conn_last
+                        .insert(conn, now.as_secs());
                 }
                 let was_complete = self.sessions[session].user.is_complete();
                 let replies =
@@ -903,16 +1050,28 @@ impl SimRuntime {
                             self.sessions[session].user.stats_mut().replacements += 1;
                             let chunk = FileManifest::chunk_of(MessageId(id));
                             self.obs.digest_rejections.inc();
+                            let peer = self.sessions[session]
+                                .conns
+                                .get(&conn)
+                                .map_or(u64::MAX, |&p| p as u64);
                             self.obs.events.emit_at(
                                 now.as_secs(),
                                 "sim.deliver",
                                 "replacement_request",
                                 &[
+                                    ("peer", peer.into()),
                                     ("session", session.into()),
                                     ("conn", conn.into()),
                                     ("chunk", chunk.into()),
                                 ],
                             );
+                            if self.obs.events.is_enabled() {
+                                self.sessions[session]
+                                    .trace
+                                    .pending_repl
+                                    .entry((conn, chunk))
+                                    .or_insert(now.as_secs());
+                            }
                             let request = Wire::ReplacementRequest {
                                 file_id: self.sessions[session].user.file_id(),
                                 chunk,
@@ -938,8 +1097,21 @@ impl SimRuntime {
                         }
                         Err(_) => Vec::new(),
                     };
+                if self.obs.events.is_enabled() {
+                    // Record newly completed chunks at the instant they
+                    // finish, so chunk spans end when decoding did.
+                    let ts = self.net.now().as_secs();
+                    let done: Vec<u32> = self.sessions[session].user.completed_chunks();
+                    let trace = &mut self.sessions[session].trace;
+                    for chunk in done {
+                        trace.chunk_done.entry(chunk).or_insert(ts);
+                    }
+                }
                 if !was_complete && self.sessions[session].user.is_complete() {
                     self.sessions[session].finished_at = Some(self.net.now());
+                    if self.obs.events.is_enabled() {
+                        self.emit_trace_spans(session);
+                    }
                 }
                 for (target_conn, reply) in replies {
                     let Some(&p_idx) = self.sessions[session].conns.get(&target_conn) else {
@@ -1000,11 +1172,16 @@ impl SimRuntime {
                     h.retries
                 };
                 self.sessions[s_idx].user.stats_mut().retries += 1;
+                let peer = self.sessions[s_idx]
+                    .conns
+                    .get(&conn)
+                    .map_or(u64::MAX, |&p| p as u64);
                 self.obs.events.emit_at(
                     now.as_secs(),
                     "sim.heal",
                     "retry",
                     &[
+                        ("peer", peer.into()),
                         ("session", s_idx.into()),
                         ("conn", conn.into()),
                         ("attempt", attempt.into()),
@@ -1056,17 +1233,31 @@ impl SimRuntime {
             h.dead = true;
         }
         self.sessions[s_idx].user.drop_conn(conn);
+        let peer = self.sessions[s_idx]
+            .conns
+            .get(&conn)
+            .map_or(u64::MAX, |&p| p as u64);
         self.obs.events.emit_at(
             self.net.now().as_secs(),
             "sim.heal",
             "write_off",
-            &[("session", s_idx.into()), ("conn", conn.into())],
+            &[
+                ("peer", peer.into()),
+                ("session", s_idx.into()),
+                ("conn", conn.into()),
+            ],
         );
     }
 
     /// Re-plans a dead connection's demand onto the next live downloading
     /// survivor (round-robin): a fresh file request restarts that peer's
     /// sweep, and re-declared chunk stops keep it off finished chunks.
+    ///
+    /// With health analytics enabled, peers whose `HealthScore` sits in
+    /// the sick band are deprioritized — they only receive reassigned
+    /// demand when no healthier survivor exists. Without an engine (or
+    /// with every survivor healthy) the choice is byte-identical to the
+    /// plain round-robin.
     fn reassign(&mut self, s_idx: usize) {
         let session = &self.sessions[s_idx];
         let mut live: Vec<u64> = session
@@ -1079,14 +1270,34 @@ impl SimRuntime {
             return;
         }
         live.sort_unstable();
-        let target = live[session.replace_rr % live.len()];
+        let pool: Vec<u64> = match &self.health {
+            Some(h) => {
+                let healthy: Vec<u64> = live
+                    .iter()
+                    .copied()
+                    .filter(|c| !h.engine.is_sick(session.conns[c] as u64))
+                    .collect();
+                if healthy.is_empty() {
+                    live.clone()
+                } else {
+                    healthy
+                }
+            }
+            None => live.clone(),
+        };
+        let deprioritized = live.len() - pool.len();
+        let target = pool[session.replace_rr % pool.len()];
         self.sessions[s_idx].replace_rr += 1;
         self.sessions[s_idx].user.stats_mut().reassignments += 1;
         self.obs.events.emit_at(
             self.net.now().as_secs(),
             "sim.heal",
             "reassign",
-            &[("session", s_idx.into()), ("target", target.into())],
+            &[
+                ("session", s_idx.into()),
+                ("target", target.into()),
+                ("deprioritized", deprioritized.into()),
+            ],
         );
         let file_id = self.sessions[s_idx].user.file_id();
         let chunks = self.sessions[s_idx].user.completed_chunks();
@@ -1114,6 +1325,159 @@ impl SimRuntime {
                     msg: None,
                     bulk_from: None,
                 },
+            );
+        }
+    }
+
+    /// Slot epilogue with health analytics on: flush the slot's per-peer
+    /// aggregates as events, feed the engine everything new in the log,
+    /// and evaluate the detectors at the slot boundary. The evaluation
+    /// instants are exact slot deadlines, so the same event log replayed
+    /// against the same cadence reproduces the alert sequence bit for bit.
+    fn evaluate_health(&mut self) {
+        if self.health.is_none() {
+            return;
+        }
+        let ts = self.net.now().as_secs();
+        let mut msgs: Vec<(usize, u64)> = self
+            .health
+            .as_mut()
+            .map(|h| h.slot_msgs.drain().collect())
+            .unwrap_or_default();
+        msgs.sort_unstable();
+        for (p_idx, n) in msgs {
+            self.obs.events.emit_at(
+                ts,
+                "sim.deliver",
+                "window",
+                &[("peer", p_idx.into()), ("msgs", n.into())],
+            );
+        }
+        self.emit_credit_balances(ts);
+        let mut h = self.health.take().expect("checked above");
+        for event in h.cursor.drain() {
+            h.engine.observe_event(&event);
+        }
+        let alerts = h.engine.evaluate(ts);
+        for alert in &alerts {
+            self.obs
+                .events
+                .emit_at(ts, "health", "alert", &alert.to_fields());
+        }
+        self.obs.events.emit_at(
+            ts,
+            "health",
+            "window",
+            &[("slot", self.slot.into()), ("alerts", alerts.len().into())],
+        );
+        for peer in h.engine.report().peers {
+            self.obs
+                .metrics
+                .gauge(&format!("health.score.p{}", peer.peer))
+                .set(peer.score);
+        }
+        self.health = Some(h);
+    }
+
+    /// Emits one `sim.credit`/`balance` event per serving participant:
+    /// `drift` is the credit the session's home peer has ledgered for that
+    /// participant (Eq. 2, beyond the initial allowance) minus the wire
+    /// bytes it actually delivered. Honest feedback lags deliveries, so
+    /// drift sits at or below zero; a positive excursion means credit was
+    /// claimed for bytes never served — the inflation ROADMAP item 4 wants
+    /// caught.
+    fn emit_credit_balances(&mut self, ts: f64) {
+        let mut drift: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+        for session in &self.sessions {
+            let home = &self.participants[session.home].peer;
+            for &p_idx in session.conns.values() {
+                if p_idx == session.home {
+                    continue;
+                }
+                let key = self.participants[p_idx]
+                    .peer
+                    .identity()
+                    .public_key()
+                    .to_bytes();
+                let credited = home.upload_weight(&key) - self.cfg.initial_credit_bytes;
+                let delivered = session.bytes_by_peer.get(&p_idx).copied().unwrap_or(0) as f64;
+                *drift.entry(p_idx).or_insert(0.0) += credited - delivered;
+            }
+        }
+        for (p_idx, d) in drift {
+            self.obs.events.emit_at(
+                ts,
+                "sim.credit",
+                "balance",
+                &[("peer", p_idx.into()), ("drift", d.into())],
+            );
+        }
+    }
+
+    /// Lays a completed session's lifecycle down as nested spans: one
+    /// `download` root, a `request` child per connection, a `chunk` child
+    /// per decoded chunk and a `replacement` child per served digest
+    /// replacement. All events are stamped at the completion instant (the
+    /// log stays monotonic) and carry explicit `start`/`dur_us` fields for
+    /// the waterfall.
+    fn emit_trace_spans(&mut self, s_idx: usize) {
+        if self.sessions[s_idx].trace.spans_emitted {
+            return;
+        }
+        self.sessions[s_idx].trace.spans_emitted = true;
+        let ts = self.net.now().as_secs();
+        let start = self.sessions[s_idx].started_at.as_secs();
+        let events = self.obs.events.clone();
+        let root = events.emit_span_at(
+            ts,
+            start,
+            ts,
+            "sim.trace",
+            "download",
+            None,
+            &[("session", s_idx.into())],
+        );
+        let session = &self.sessions[s_idx];
+        let mut conns: Vec<u64> = session.trace.conn_started.keys().copied().collect();
+        conns.sort_unstable();
+        for conn in conns {
+            let t0 = session.trace.conn_started[&conn];
+            let t1 = session.trace.conn_last.get(&conn).copied().unwrap_or(t0);
+            let peer = session.conns.get(&conn).map_or(u64::MAX, |&p| p as u64);
+            events.emit_span_at(
+                ts,
+                t0,
+                t1,
+                "sim.trace",
+                "request",
+                Some(root),
+                &[("conn", conn.into()), ("peer", peer.into())],
+            );
+        }
+        let mut chunks: Vec<u32> = session.trace.chunk_first.keys().copied().collect();
+        chunks.sort_unstable();
+        for chunk in chunks {
+            let t0 = session.trace.chunk_first[&chunk];
+            let t1 = session.trace.chunk_done.get(&chunk).copied().unwrap_or(ts);
+            events.emit_span_at(
+                ts,
+                t0,
+                t1,
+                "sim.trace",
+                "chunk",
+                Some(root),
+                &[("chunk", chunk.into())],
+            );
+        }
+        for &(conn, chunk, t_req, t_served) in &session.trace.repl_spans {
+            events.emit_span_at(
+                ts,
+                t_req,
+                t_served,
+                "sim.trace",
+                "replacement",
+                Some(root),
+                &[("conn", conn.into()), ("chunk", chunk.into())],
             );
         }
     }

@@ -10,7 +10,7 @@ use crate::session::Prover;
 use asymshare_crypto::chacha20::ChaChaRng;
 use asymshare_gf::Field;
 use asymshare_rlnc::{ChunkedDecoder, CodecError, FileManifest};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Fault and recovery counters for one download session.
 ///
@@ -72,7 +72,11 @@ pub struct User<F: Field> {
     identity: Identity,
     file_id: u64,
     decoder: ChunkedDecoder<F>,
-    conns: HashMap<u64, Conn>,
+    // Conn id -> connection state. Ordered: stop-control fan-outs iterate
+    // this map, and the order those frames hit the wire pairs them with the
+    // fault injector's RNG stream — hash order would make seeded runs
+    // diverge between otherwise-identical sessions.
+    conns: BTreeMap<u64, Conn>,
     received_from: HashMap<KeyBytes, u64>,
     innovative: u64,
     redundant: u64,
@@ -93,7 +97,7 @@ impl<F: Field> User<F> {
             identity,
             file_id,
             decoder,
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
             received_from: HashMap::new(),
             innovative: 0,
             redundant: 0,

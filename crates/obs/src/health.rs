@@ -1,0 +1,671 @@
+//! Streaming health analytics over the obs event stream.
+//!
+//! A [`HealthEngine`] consumes [`Event`]s incrementally ([`observe_event`])
+//! and, at a cadence the caller chooses ([`evaluate`]), runs a bank of
+//! per-peer detectors over the accumulated window:
+//!
+//! * **EWMA z-score detectors** keep an exponentially-weighted mean and
+//!   variance per `(peer, signal)` and raise an alert when a window's value
+//!   sits more than `z_threshold` deviations above its own baseline. Covered
+//!   signals: digest-rejection rate, drop rate, corruption rate, heal
+//!   retry rate, replacement RTT, and Eq.-2 credit-balance drift.
+//! * A **Jain-fairness floor detector** computes Jain's index over the
+//!   per-connection `slot_share` budgets seen in the window and alerts on
+//!   the largest-share peer when the index falls below `jain_floor`.
+//!
+//! Every alert subtracts from the peer's 0–100 [`HealthScore`]; clean
+//! active windows slowly restore it. The engine is a pure, deterministic
+//! function of the observed event sequence and the evaluation instants —
+//! no clocks, no randomness — which is what makes the sim-vs-rt golden
+//! test possible: replaying one runtime's event log through the other
+//! runtime's evaluation cadence must produce the identical alert sequence.
+//!
+//! [`observe_event`]: HealthEngine::observe_event
+//! [`evaluate`]: HealthEngine::evaluate
+//! [`HealthScore`]: PeerHealth::score
+
+use crate::{Event, Value};
+use std::collections::BTreeMap;
+
+/// Tuning knobs for the detector bank. The defaults are deliberately
+/// conservative: a detector should page on a misbehaving peer, not on an
+/// honest peer having a bursty second.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// EWMA smoothing factor in `(0, 1]` for baselines and variance.
+    pub ewma_alpha: f64,
+    /// Alert when a window value exceeds `baseline + z_threshold * std`.
+    pub z_threshold: f64,
+    /// Windows a `(peer, signal)` baseline must see before it may alert.
+    pub warmup_windows: u32,
+    /// Jain-index floor; a window below it alerts on the largest consumer.
+    pub jain_floor: f64,
+    /// Windows with ≥2 share consumers before the Jain detector may alert.
+    pub jain_warmup_windows: u32,
+    /// Scores at or above this are "healthy" (reports, `/health`).
+    pub healthy_score: f64,
+    /// Scores strictly below this are "sick": the heal path deprioritizes
+    /// (but does not ban) such peers during reassignment.
+    pub sick_score: f64,
+    /// Score subtracted per alert.
+    pub alert_penalty: f64,
+    /// Score restored per clean active window.
+    pub recovery_per_window: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            ewma_alpha: 0.25,
+            z_threshold: 4.0,
+            warmup_windows: 4,
+            jain_floor: 0.55,
+            jain_warmup_windows: 4,
+            healthy_score: 70.0,
+            sick_score: 40.0,
+            alert_penalty: 12.0,
+            recovery_per_window: 1.5,
+        }
+    }
+}
+
+/// The signals the EWMA detector bank watches, with their alert names and
+/// absolute standard-deviation floors (a baseline that has only ever seen
+/// zeros would otherwise alert on any nonzero value, however tiny).
+const DETECTORS: &[(&str, f64)] = &[
+    ("digest_reject_rate", 0.02),
+    ("drop_rate", 0.03),
+    ("corruption_rate", 0.02),
+    ("retry_rate", 0.5),
+    ("replacement_rtt_us", 10_000.0),
+    ("credit_drift", 4096.0),
+];
+
+const D_REJECT: usize = 0;
+const D_DROP: usize = 1;
+const D_CORRUPT: usize = 2;
+const D_RETRY: usize = 3;
+const D_RTT: usize = 4;
+const D_CREDIT: usize = 5;
+
+/// Detector name used by the Jain floor alert.
+pub const JAIN_DETECTOR: &str = "jain_fairness";
+
+/// One raised alert: which peer, which detector, the offending window value
+/// against its baseline, and the peer's score after the penalty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthAlert {
+    /// Evaluation instant (the caller's timeline).
+    pub ts: f64,
+    /// The implicated peer.
+    pub peer: u64,
+    /// Detector name, e.g. `"digest_reject_rate"`.
+    pub detector: &'static str,
+    /// The window value that tripped the detector.
+    pub value: f64,
+    /// The EWMA baseline at test time (the Jain index's floor for
+    /// [`JAIN_DETECTOR`]).
+    pub baseline: f64,
+    /// Standardized deviation from baseline (0 for [`JAIN_DETECTOR`]).
+    pub z: f64,
+    /// The peer's health score after this alert's penalty.
+    pub score: f64,
+}
+
+impl HealthAlert {
+    /// This alert as event fields, for emission as a `health`/`alert`
+    /// event.
+    pub fn to_fields(&self) -> Vec<(&'static str, Value)> {
+        vec![
+            ("peer", self.peer.into()),
+            ("detector", self.detector.into()),
+            ("value", self.value.into()),
+            ("baseline", self.baseline.into()),
+            ("z", self.z.into()),
+            ("score", self.score.into()),
+        ]
+    }
+}
+
+/// EWMA mean/variance baseline with update-after-test semantics.
+#[derive(Debug, Clone, Default)]
+struct Baseline {
+    mean: f64,
+    var: f64,
+    n: u32,
+}
+
+impl Baseline {
+    /// Tests `x` against the current baseline, then folds `x` in. Returns
+    /// `(mean_before, z)` where `z` uses a floored standard deviation;
+    /// `None` while warming up.
+    fn test_and_update(&mut self, x: f64, alpha: f64, warmup: u32, std_floor: f64) -> Option<(f64, f64)> {
+        let result = if self.n >= warmup {
+            let std = self.var.sqrt().max(std_floor).max(0.25 * self.mean.abs());
+            Some((self.mean, (x - self.mean) / std))
+        } else {
+            None
+        };
+        if self.n == 0 {
+            self.mean = x;
+            self.var = 0.0;
+        } else {
+            let d = x - self.mean;
+            self.mean += alpha * d;
+            self.var = (1.0 - alpha) * (self.var + alpha * d * d);
+        }
+        self.n = self.n.saturating_add(1);
+        result
+    }
+}
+
+/// Per-peer accumulators for the current window, cleared at every
+/// [`HealthEngine::evaluate`].
+#[derive(Debug, Clone, Default)]
+struct Window {
+    msgs: u64,
+    rejects: u64,
+    drops: u64,
+    corruptions: u64,
+    retries: u64,
+    rtt_sum: f64,
+    rtt_n: u64,
+    credit_drift: Option<f64>,
+}
+
+impl Window {
+    fn active(&self) -> bool {
+        self.msgs + self.rejects + self.drops + self.corruptions + self.retries + self.rtt_n > 0
+            || self.credit_drift.is_some()
+    }
+}
+
+/// Per-peer score state.
+#[derive(Debug, Clone)]
+struct ScoreState {
+    score: f64,
+    alerts: u64,
+    last_alert_ts: Option<f64>,
+}
+
+impl Default for ScoreState {
+    fn default() -> ScoreState {
+        ScoreState {
+            score: 100.0,
+            alerts: 0,
+            last_alert_ts: None,
+        }
+    }
+}
+
+/// One peer's line in a [`HealthReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerHealth {
+    /// Peer id (sim participant index, rt peer address).
+    pub peer: u64,
+    /// 0–100 health score; 100 is pristine.
+    pub score: f64,
+    /// Alerts raised against this peer so far.
+    pub alerts: u64,
+    /// Whether the score clears [`HealthConfig::healthy_score`].
+    pub healthy: bool,
+}
+
+/// Point-in-time summary of the engine: every scored peer plus totals.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HealthReport {
+    /// Per-peer state, peer ids ascending.
+    pub peers: Vec<PeerHealth>,
+    /// Evaluation windows processed.
+    pub windows: u64,
+    /// Alerts raised in total.
+    pub total_alerts: u64,
+}
+
+impl HealthReport {
+    /// Whether every scored peer is healthy (vacuously true when none).
+    pub fn all_healthy(&self) -> bool {
+        self.peers.iter().all(|p| p.healthy)
+    }
+
+    /// Serializes to one JSON object (used by the `/health` endpoint).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"status\": ");
+        out.push_str(if self.all_healthy() { "\"ok\"" } else { "\"sick\"" });
+        out.push_str(&format!(
+            ", \"windows\": {}, \"alerts\": {}, \"peers\": [",
+            self.windows, self.total_alerts
+        ));
+        for (i, p) in self.peers.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"peer\": {}, \"score\": {:.1}, \"alerts\": {}, \"healthy\": {}}}",
+                p.peer, p.score, p.alerts, p.healthy
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The streaming detector bank. See the module docs for the model; the
+/// engine itself is deterministic and clock-free.
+#[derive(Debug)]
+pub struct HealthEngine {
+    cfg: HealthConfig,
+    windows: BTreeMap<u64, Window>,
+    /// Per-connection slot-share budgets seen this window, plus the serving
+    /// peer each connection maps to (for alert attribution).
+    shares: BTreeMap<u64, (f64, u64)>,
+    baselines: BTreeMap<(u64, usize), Baseline>,
+    jain_windows: u32,
+    scores: BTreeMap<u64, ScoreState>,
+    evaluations: u64,
+    total_alerts: u64,
+}
+
+impl HealthEngine {
+    /// A fresh engine with the given configuration.
+    pub fn new(cfg: HealthConfig) -> HealthEngine {
+        HealthEngine {
+            cfg,
+            windows: BTreeMap::new(),
+            shares: BTreeMap::new(),
+            baselines: BTreeMap::new(),
+            jain_windows: 0,
+            scores: BTreeMap::new(),
+            evaluations: 0,
+            total_alerts: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    fn field_u64(event: &Event, name: &str) -> Option<u64> {
+        event.fields.iter().find(|(n, _)| *n == name).and_then(|(_, v)| match v {
+            Value::U64(x) => Some(*x),
+            Value::I64(x) if *x >= 0 => Some(*x as u64),
+            _ => None,
+        })
+    }
+
+    fn field_f64(event: &Event, name: &str) -> Option<f64> {
+        event.fields.iter().find(|(n, _)| *n == name).and_then(|(_, v)| match v {
+            Value::F64(x) => Some(*x),
+            Value::U64(x) => Some(*x as f64),
+            Value::I64(x) => Some(*x as f64),
+            _ => None,
+        })
+    }
+
+    /// Feeds one event into the current window. Events without a `peer`
+    /// field, and the engine's own `health` events, are ignored, so the
+    /// engine can safely be pointed at a whole event log.
+    pub fn observe_event(&mut self, event: &Event) {
+        if event.component == "health" {
+            return;
+        }
+        let Some(peer) = Self::field_u64(event, "peer") else {
+            return;
+        };
+        match event.kind {
+            "window" => {
+                let msgs = Self::field_u64(event, "msgs").unwrap_or(0);
+                self.windows.entry(peer).or_default().msgs += msgs;
+            }
+            "replacement_request" | "digest_reject" => {
+                self.windows.entry(peer).or_default().rejects += 1;
+            }
+            "drop" => self.windows.entry(peer).or_default().drops += 1,
+            "corruption" => self.windows.entry(peer).or_default().corruptions += 1,
+            "retry" => self.windows.entry(peer).or_default().retries += 1,
+            "replacement_served" => {
+                if let Some(rtt) = Self::field_f64(event, "rtt_us") {
+                    let w = self.windows.entry(peer).or_default();
+                    w.rtt_sum += rtt;
+                    w.rtt_n += 1;
+                }
+            }
+            "balance" => {
+                if let Some(drift) = Self::field_f64(event, "drift") {
+                    self.windows.entry(peer).or_default().credit_drift = Some(drift);
+                }
+            }
+            "slot_share" => {
+                let conn = Self::field_u64(event, "conn").unwrap_or(peer);
+                let budget = Self::field_f64(event, "budget_bytes")
+                    .or_else(|| Self::field_f64(event, "share"))
+                    .unwrap_or(0.0);
+                let entry = self.shares.entry(conn).or_insert((0.0, peer));
+                entry.0 += budget;
+                entry.1 = peer;
+            }
+            _ => {}
+        }
+    }
+
+    /// Closes the current window at `ts`: every active peer's signals are
+    /// tested against their baselines, scores are updated, and the raised
+    /// alerts are returned (deterministically ordered by peer then
+    /// detector).
+    pub fn evaluate(&mut self, ts: f64) -> Vec<HealthAlert> {
+        self.evaluations += 1;
+        let mut alerts = Vec::new();
+        let alpha = self.cfg.ewma_alpha;
+        let warmup = self.cfg.warmup_windows;
+        let z_thresh = self.cfg.z_threshold;
+
+        let windows = std::mem::take(&mut self.windows);
+        let mut alerted: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut active_peers: Vec<u64> = Vec::new();
+        for (&peer, w) in &windows {
+            if !w.active() {
+                continue;
+            }
+            active_peers.push(peer);
+            let denom = (w.msgs + w.rejects + w.drops + w.corruptions) as f64;
+            let mut signals: Vec<(usize, f64)> = Vec::with_capacity(6);
+            if denom > 0.0 {
+                signals.push((D_REJECT, w.rejects as f64 / denom));
+                signals.push((D_DROP, w.drops as f64 / denom));
+                signals.push((D_CORRUPT, w.corruptions as f64 / denom));
+            }
+            signals.push((D_RETRY, w.retries as f64));
+            if w.rtt_n > 0 {
+                signals.push((D_RTT, w.rtt_sum / w.rtt_n as f64));
+            }
+            if let Some(drift) = w.credit_drift {
+                signals.push((D_CREDIT, drift));
+            }
+            for (idx, value) in signals {
+                let (name, floor) = DETECTORS[idx];
+                let baseline = self.baselines.entry((peer, idx)).or_default();
+                if let Some((mean, z)) = baseline.test_and_update(value, alpha, warmup, floor) {
+                    if z > z_thresh {
+                        *alerted.entry(peer).or_default() += 1;
+                        alerts.push(HealthAlert {
+                            ts,
+                            peer,
+                            detector: name,
+                            value,
+                            baseline: mean,
+                            z,
+                            score: 0.0, // filled in after scoring below
+                        });
+                    }
+                }
+            }
+        }
+
+        // Jain fairness across the window's per-connection budgets.
+        if self.shares.len() >= 2 {
+            self.jain_windows += 1;
+            let values: Vec<f64> = self.shares.values().map(|&(v, _)| v).collect();
+            let sum: f64 = values.iter().sum();
+            let sq: f64 = values.iter().map(|v| v * v).sum();
+            if sum > 0.0 && sq > 0.0 {
+                let jain = sum * sum / (values.len() as f64 * sq);
+                if self.jain_windows > self.cfg.jain_warmup_windows && jain < self.cfg.jain_floor {
+                    let (_, &(_, hog_peer)) = self
+                        .shares
+                        .iter()
+                        .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite shares"))
+                        .expect("non-empty shares");
+                    *alerted.entry(hog_peer).or_default() += 1;
+                    if !active_peers.contains(&hog_peer) {
+                        active_peers.push(hog_peer);
+                    }
+                    alerts.push(HealthAlert {
+                        ts,
+                        peer: hog_peer,
+                        detector: JAIN_DETECTOR,
+                        value: jain,
+                        baseline: self.cfg.jain_floor,
+                        z: 0.0,
+                        score: 0.0,
+                    });
+                }
+            }
+        }
+        self.shares.clear();
+
+        // Scoring: penalties for alerted peers, slow recovery for clean
+        // active ones.
+        for &peer in &active_peers {
+            let state = self.scores.entry(peer).or_default();
+            match alerted.get(&peer) {
+                Some(&n) => {
+                    state.score = (state.score - self.cfg.alert_penalty * n as f64).max(0.0);
+                    state.alerts += n;
+                    state.last_alert_ts = Some(ts);
+                }
+                None => state.score = (state.score + self.cfg.recovery_per_window).min(100.0),
+            }
+        }
+        for alert in &mut alerts {
+            alert.score = self.scores[&alert.peer].score;
+        }
+        self.total_alerts += alerts.len() as u64;
+        alerts
+    }
+
+    /// The current score of `peer`, if it has ever been active.
+    pub fn score(&self, peer: u64) -> Option<f64> {
+        self.scores.get(&peer).map(|s| s.score)
+    }
+
+    /// Whether `peer` is in the sick band (strictly below
+    /// [`HealthConfig::sick_score`]). Unknown peers are not sick.
+    pub fn is_sick(&self, peer: u64) -> bool {
+        self.score(peer).is_some_and(|s| s < self.cfg.sick_score)
+    }
+
+    /// A point-in-time report over every scored peer.
+    pub fn report(&self) -> HealthReport {
+        HealthReport {
+            peers: self
+                .scores
+                .iter()
+                .map(|(&peer, s)| PeerHealth {
+                    peer,
+                    score: s.score,
+                    alerts: s.alerts,
+                    healthy: s.score >= self.cfg.healthy_score,
+                })
+                .collect(),
+            windows: self.evaluations,
+            total_alerts: self.total_alerts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_event(peer: u64, msgs: u64) -> Event {
+        Event {
+            ts: 0.0,
+            component: "sim.deliver",
+            kind: "window",
+            fields: vec![("peer", peer.into()), ("msgs", msgs.into())],
+        }
+    }
+
+    fn reject_event(peer: u64) -> Event {
+        Event {
+            ts: 0.0,
+            component: "sim.deliver",
+            kind: "replacement_request",
+            fields: vec![("peer", peer.into()), ("chunk", 0u64.into())],
+        }
+    }
+
+    fn drop_event(peer: u64) -> Event {
+        Event {
+            ts: 0.0,
+            component: "sim.deliver",
+            kind: "drop",
+            fields: vec![("peer", peer.into())],
+        }
+    }
+
+    fn share_event(peer: u64, conn: u64, budget: f64) -> Event {
+        Event {
+            ts: 0.0,
+            component: "sim.alloc",
+            kind: "slot_share",
+            fields: vec![
+                ("peer", peer.into()),
+                ("conn", conn.into()),
+                ("budget_bytes", budget.into()),
+            ],
+        }
+    }
+
+    /// A step change in the digest-rejection rate alerts once warmed up,
+    /// and the peer's score drops while a clean peer's does not.
+    #[test]
+    fn step_change_raises_alert_and_sinks_score() {
+        let mut engine = HealthEngine::new(HealthConfig::default());
+        for t in 0..10 {
+            engine.observe_event(&window_event(1, 100));
+            engine.observe_event(&window_event(2, 100));
+            assert!(engine.evaluate(t as f64).is_empty(), "clean warmup");
+        }
+        // Peer 1 turns malicious: 40% of its messages now fail the digest.
+        let mut alerted = false;
+        for t in 10..14 {
+            engine.observe_event(&window_event(1, 60));
+            for _ in 0..40 {
+                engine.observe_event(&reject_event(1));
+            }
+            engine.observe_event(&window_event(2, 100));
+            for alert in engine.evaluate(t as f64) {
+                assert_eq!(alert.peer, 1);
+                assert_eq!(alert.detector, "digest_reject_rate");
+                assert!(alert.z > 4.0, "strong deviation: z {}", alert.z);
+                alerted = true;
+            }
+        }
+        assert!(alerted, "step change must alert");
+        // One penalty minus the recovery of the post-step windows where the
+        // adapted baseline no longer alerts.
+        assert!(engine.score(1).unwrap() < 95.0);
+        assert_eq!(engine.score(2), Some(100.0));
+        assert!(engine.is_sick(1) || engine.score(1).unwrap() < 100.0);
+        let report = engine.report();
+        assert!(report.total_alerts >= 1);
+        assert!(report.to_json().contains("\"peer\": 1"));
+    }
+
+    /// A slow drift stays inside the moving baseline: no alerts.
+    #[test]
+    fn slow_drift_tracks_without_alert() {
+        let mut engine = HealthEngine::new(HealthConfig::default());
+        for t in 0..60 {
+            // Drop rate creeps up by 0.25% per window — the EWMA follows.
+            let drops = t / 4;
+            engine.observe_event(&window_event(1, 100 - drops));
+            for _ in 0..drops {
+                engine.observe_event(&drop_event(1));
+            }
+            let alerts = engine.evaluate(t as f64);
+            assert!(alerts.is_empty(), "drift alerted at window {t}: {alerts:?}");
+        }
+        assert_eq!(engine.score(1), Some(100.0));
+    }
+
+    /// Bursty but honest: traffic volume swings wildly, fault rates stay
+    /// flat — no alerts, pristine score.
+    #[test]
+    fn bursty_honest_peer_stays_clean() {
+        let mut engine = HealthEngine::new(HealthConfig::default());
+        for t in 0..40 {
+            let msgs = if t % 2 == 0 { 10 } else { 1000 };
+            engine.observe_event(&window_event(7, msgs));
+            engine.observe_event(&share_event(7, 70, msgs as f64 * 100.0));
+            engine.observe_event(&share_event(8, 80, msgs as f64 * 90.0));
+            assert!(engine.evaluate(t as f64).is_empty(), "burst alerted at {t}");
+        }
+        assert_eq!(engine.score(7), Some(100.0));
+    }
+
+    /// Scores recover slowly on clean windows after an alert.
+    #[test]
+    fn score_recovers_after_alert() {
+        let cfg = HealthConfig::default();
+        let recovery = cfg.recovery_per_window;
+        let mut engine = HealthEngine::new(cfg);
+        for t in 0..8 {
+            engine.observe_event(&window_event(1, 100));
+            engine.evaluate(t as f64).is_empty().then_some(()).unwrap();
+        }
+        engine.observe_event(&window_event(1, 10));
+        for _ in 0..50 {
+            engine.observe_event(&reject_event(1));
+        }
+        assert!(!engine.evaluate(8.0).is_empty());
+        let low = engine.score(1).unwrap();
+        assert!(low < 100.0);
+        engine.observe_event(&window_event(1, 100));
+        engine.evaluate(9.0);
+        assert!((engine.score(1).unwrap() - (low + recovery)).abs() < 1e-9);
+    }
+
+    /// A starved share distribution trips the Jain floor and blames the
+    /// peer hogging the budget.
+    #[test]
+    fn jain_floor_blames_the_hog() {
+        let mut engine = HealthEngine::new(HealthConfig {
+            jain_floor: 0.7,
+            ..HealthConfig::default()
+        });
+        for t in 0..6 {
+            engine.observe_event(&share_event(1, 10, 100.0));
+            engine.observe_event(&share_event(2, 20, 100.0));
+            engine.observe_event(&share_event(3, 30, 100.0));
+            assert!(engine.evaluate(t as f64).is_empty());
+        }
+        engine.observe_event(&share_event(1, 10, 1000.0));
+        engine.observe_event(&share_event(2, 20, 10.0));
+        engine.observe_event(&share_event(3, 30, 10.0));
+        let alerts = engine.evaluate(6.0);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].detector, JAIN_DETECTOR);
+        assert_eq!(alerts[0].peer, 1, "largest consumer is blamed");
+        assert!(alerts[0].value < 0.7);
+        assert!(!alerts[0].to_fields().is_empty());
+    }
+
+    /// Determinism: the same event sequence with the same evaluation
+    /// instants produces bit-identical alert sequences.
+    #[test]
+    fn engine_is_deterministic() {
+        let run = || {
+            let mut engine = HealthEngine::new(HealthConfig::default());
+            let mut all = Vec::new();
+            for t in 0..20 {
+                engine.observe_event(&window_event(1, 50 + (t % 3)));
+                if t > 12 {
+                    for _ in 0..30 {
+                        engine.observe_event(&reject_event(1));
+                    }
+                }
+                engine.observe_event(&drop_event(2));
+                engine.observe_event(&window_event(2, 40));
+                all.extend(engine.evaluate(t as f64 * 0.5));
+            }
+            all
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+}

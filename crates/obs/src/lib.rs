@@ -38,7 +38,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::BTreeMap;
+pub mod export;
+pub mod health;
+pub mod stream;
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -293,6 +298,31 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `p`-quantile (`p` in `[0, 1]`) estimated from the power-of-two
+    /// buckets by linear interpolation inside the containing bucket. The
+    /// overflow bucket has no finite upper bound; observations there report
+    /// the last finite bound (an underestimate, flagged by `sum`/`mean`).
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0);
+        let mut cumulative = 0u64;
+        let mut lower = 0u64;
+        for &(le, n) in &self.buckets {
+            if (cumulative + n) as f64 >= rank {
+                if le == u64::MAX {
+                    return lower as f64;
+                }
+                let within = (rank - cumulative as f64) / n as f64;
+                return lower as f64 + (le - lower) as f64 * within;
+            }
+            cumulative += n;
+            lower = if le == u64::MAX { lower } else { le };
+        }
+        lower as f64
+    }
 }
 
 /// Point-in-time copy of a whole [`Registry`], names sorted.
@@ -381,10 +411,13 @@ impl Snapshot {
             out.push_str("histograms:\n");
             for (name, h) in &self.histograms {
                 out.push_str(&format!(
-                    "  {name:<44} count {} sum {} mean {:.1}\n",
+                    "  {name:<44} count {} sum {} mean {:.1} p50 {:.1} p95 {:.1} p99 {:.1}\n",
                     h.count,
                     h.sum,
-                    h.mean()
+                    h.mean(),
+                    h.percentile(0.50),
+                    h.percentile(0.95),
+                    h.percentile(0.99)
                 ));
             }
         }
@@ -540,10 +573,42 @@ impl Event {
     }
 }
 
+/// Default [`EventSink`] ring capacity: old events are evicted past this.
+pub const DEFAULT_EVENT_CAPACITY: usize = 64 * 1024;
+
+struct SinkState {
+    /// Ring of the most recent events; older ones were evicted (and counted
+    /// in `dropped` unless a drain streamed them out first).
+    events: VecDeque<Event>,
+    capacity: usize,
+    /// Total events ever emitted; `total - events.len()` is the sequence
+    /// number of the oldest retained event.
+    total: u64,
+    /// Events evicted from the ring without having been drained anywhere.
+    dropped: u64,
+    /// Optional streaming drain: every event is written as one JSONL line
+    /// at emission time, so eviction loses nothing.
+    drain: Option<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for SinkState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinkState")
+            .field("events", &self.events.len())
+            .field("capacity", &self.capacity)
+            .field("total", &self.total)
+            .field("dropped", &self.dropped)
+            .field("drain", &self.drain.is_some())
+            .finish()
+    }
+}
+
 #[derive(Debug)]
 struct SinkInner {
-    events: Mutex<Vec<Event>>,
+    state: Mutex<SinkState>,
     epoch: Instant,
+    /// Span-id allocator; 0 is reserved for "no span" (disabled sinks).
+    next_span: AtomicU64,
 }
 
 /// An in-memory structured event log. Cloning shares the log; a
@@ -555,13 +620,28 @@ pub struct EventSink {
 }
 
 impl EventSink {
-    /// An enabled, empty sink. Wall-clock [`emit`](Self::emit) timestamps
-    /// count from this moment.
+    /// An enabled, empty sink with the default ring capacity
+    /// ([`DEFAULT_EVENT_CAPACITY`]). Wall-clock [`emit`](Self::emit)
+    /// timestamps count from this moment.
     pub fn new() -> EventSink {
+        EventSink::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An enabled sink retaining at most `capacity` events in memory; older
+    /// events are evicted (see [`dropped_events`](Self::dropped_events) and
+    /// [`set_drain`](Self::set_drain)).
+    pub fn with_capacity(capacity: usize) -> EventSink {
         EventSink {
             inner: Some(Arc::new(SinkInner {
-                events: Mutex::new(Vec::new()),
+                state: Mutex::new(SinkState {
+                    events: VecDeque::new(),
+                    capacity: capacity.max(1),
+                    total: 0,
+                    dropped: 0,
+                    drain: None,
+                }),
                 epoch: Instant::now(),
+                next_span: AtomicU64::new(1),
             })),
         }
     }
@@ -576,6 +656,16 @@ impl EventSink {
         self.inner.is_some()
     }
 
+    /// Installs a streaming drain: from now on every emitted event is also
+    /// written as one JSONL line to `w` at emission time, so ring eviction
+    /// loses nothing. Write errors are silently ignored (observability must
+    /// never take down the data path).
+    pub fn set_drain(&self, w: impl Write + Send + 'static) {
+        if let Some(inner) = &self.inner {
+            inner.state.lock().expect("event sink lock").drain = Some(Box::new(w));
+        }
+    }
+
     /// Records an event with an explicit timestamp (simulated runtimes pass
     /// simulated seconds so replays are deterministic).
     pub fn emit_at(
@@ -585,13 +675,33 @@ impl EventSink {
         kind: &'static str,
         fields: &[(&'static str, Value)],
     ) {
-        if let Some(inner) = &self.inner {
-            inner.events.lock().expect("event sink lock").push(Event {
+        if self.inner.is_some() {
+            self.push(Event {
                 ts,
                 component,
                 kind,
                 fields: fields.to_vec(),
             });
+        }
+    }
+
+    fn push(&self, event: Event) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.state.lock().expect("event sink lock");
+        let drained = if let Some(drain) = &mut state.drain {
+            let mut line = event.to_json();
+            line.push('\n');
+            drain.write_all(line.as_bytes()).is_ok()
+        } else {
+            false
+        };
+        state.events.push_back(event);
+        state.total += 1;
+        if state.events.len() > state.capacity {
+            state.events.pop_front();
+            if !drained {
+                state.dropped += 1;
+            }
         }
     }
 
@@ -608,37 +718,129 @@ impl EventSink {
         }
     }
 
-    /// Opens a span: the returned guard emits one `kind` event with a
-    /// `dur_us` field when dropped, stamped at the span's *start*.
+    /// Seconds elapsed since sink creation — the wall-clock timeline
+    /// [`emit`](Self::emit) stamps events on. 0.0 when disabled.
+    pub fn now_secs(&self) -> f64 {
+        self.inner
+            .as_ref()
+            .map_or(0.0, |inner| inner.epoch.elapsed().as_secs_f64())
+    }
+
+    fn alloc_span_id(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.next_span.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Opens a span: the returned guard emits one `kind` event with
+    /// `dur_us` and `span` fields when dropped, stamped at the span's
+    /// *start*. Spans nest via [`Span::child`].
     pub fn span(&self, component: &'static str, kind: &'static str) -> Span {
         Span {
             sink: self.clone(),
             component,
             kind,
             start: Instant::now(),
+            id: self.alloc_span_id(),
+            parent: None,
         }
     }
 
-    /// Number of recorded events.
+    /// Records an already-closed span covering `[start, end]` (seconds on
+    /// the emitter's timeline), stamped at `ts` — pass the current time so
+    /// the event log stays monotonic even for lifecycles reconstructed
+    /// after the fact. Returns the new span's id (0 when disabled).
+    pub fn emit_span_at(
+        &self,
+        ts: f64,
+        start: f64,
+        end: f64,
+        component: &'static str,
+        kind: &'static str,
+        parent: Option<u64>,
+        fields: &[(&'static str, Value)],
+    ) -> u64 {
+        if self.inner.is_none() {
+            return 0;
+        }
+        let id = self.alloc_span_id();
+        let dur_us = ((end - start).max(0.0) * 1e6).round() as u64;
+        let mut all: Vec<(&'static str, Value)> = vec![
+            ("dur_us", dur_us.into()),
+            ("span", id.into()),
+            ("start", start.into()),
+        ];
+        if let Some(parent) = parent {
+            all.push(("parent", parent.into()));
+        }
+        all.extend_from_slice(fields);
+        self.push(Event {
+            ts,
+            component,
+            kind,
+            fields: all,
+        });
+        id
+    }
+
+    /// Number of events currently retained in the ring.
     pub fn len(&self) -> usize {
         self.inner.as_ref().map_or(0, |inner| {
-            inner.events.lock().expect("event sink lock").len()
+            inner.state.lock().expect("event sink lock").events.len()
         })
     }
 
-    /// Whether nothing was recorded.
+    /// Whether nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// A copy of every recorded event, in emission order.
-    pub fn events(&self) -> Vec<Event> {
-        self.inner.as_ref().map_or_else(Vec::new, |inner| {
-            inner.events.lock().expect("event sink lock").clone()
+    /// Total events ever emitted, including ones since evicted.
+    pub fn total_emitted(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| {
+            inner.state.lock().expect("event sink lock").total
         })
     }
 
-    /// Serializes the whole log as JSONL (one event object per line).
+    /// Events evicted from the ring without reaching any drain.
+    pub fn dropped_events(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| {
+            inner.state.lock().expect("event sink lock").dropped
+        })
+    }
+
+    /// A copy of every retained event, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.as_ref().map_or_else(Vec::new, |inner| {
+            inner
+                .state
+                .lock()
+                .expect("event sink lock")
+                .events
+                .iter()
+                .cloned()
+                .collect()
+        })
+    }
+
+    /// Retained events with sequence number `>= seq`, plus the cursor to
+    /// pass next time. Sequence numbers count all emissions ever, so a
+    /// caller polling with the returned cursor sees each event exactly once
+    /// (minus any evicted between polls).
+    pub fn events_since(&self, seq: u64) -> (Vec<Event>, u64) {
+        let Some(inner) = &self.inner else {
+            return (Vec::new(), 0);
+        };
+        let state = inner.state.lock().expect("event sink lock");
+        let first = state.total - state.events.len() as u64;
+        let skip = seq.saturating_sub(first).min(state.events.len() as u64) as usize;
+        (
+            state.events.iter().skip(skip).cloned().collect(),
+            state.total,
+        )
+    }
+
+    /// Serializes the retained log as JSONL (one event object per line).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for event in self.events() {
@@ -650,12 +852,35 @@ impl EventSink {
 }
 
 /// Guard returned by [`EventSink::span`]; emits its duration on drop.
+/// Spans carry an id and an optional parent id so lifecycles nest into a
+/// trace tree (see [`stream::TraceTree`]).
 #[derive(Debug)]
 pub struct Span {
     sink: EventSink,
     component: &'static str,
     kind: &'static str,
     start: Instant,
+    id: u64,
+    parent: Option<u64>,
+}
+
+impl Span {
+    /// This span's id (0 for a disabled sink).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Opens a child span under this one, in the same component.
+    pub fn child(&self, kind: &'static str) -> Span {
+        Span {
+            sink: self.sink.clone(),
+            component: self.component,
+            kind,
+            start: Instant::now(),
+            id: self.sink.alloc_span_id(),
+            parent: Some(self.id),
+        }
+    }
 }
 
 impl Drop for Span {
@@ -663,8 +888,15 @@ impl Drop for Span {
         if let Some(inner) = &self.sink.inner {
             let ts = (self.start - inner.epoch).as_secs_f64();
             let dur_us = self.start.elapsed().as_micros() as u64;
-            self.sink
-                .emit_at(ts, self.component, self.kind, &[("dur_us", dur_us.into())]);
+            let mut fields: Vec<(&'static str, Value)> = vec![
+                ("dur_us", dur_us.into()),
+                ("span", self.id.into()),
+                ("start", ts.into()),
+            ];
+            if let Some(parent) = self.parent {
+                fields.push(("parent", parent.into()));
+            }
+            self.sink.emit_at(ts, self.component, self.kind, &fields);
         }
     }
 }
@@ -805,6 +1037,116 @@ mod tests {
         drop(_span);
         assert!(sink.is_empty());
         assert_eq!(sink.to_jsonl(), "");
+    }
+
+    #[test]
+    fn percentiles_from_buckets() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = registry.snapshot();
+        let hs = snap.histogram("lat").unwrap();
+        // Bucketing is power-of-two, so percentiles are coarse: p50 of
+        // 1..=100 must land inside (32, 64], p99 inside (64, 128].
+        let p50 = hs.percentile(0.50);
+        assert!((32.0..=64.0).contains(&p50), "p50 {p50}");
+        let p99 = hs.percentile(0.99);
+        assert!((64.0..=128.0).contains(&p99), "p99 {p99}");
+        assert!(hs.percentile(0.0) <= hs.percentile(1.0));
+        assert_eq!(HistogramSnapshot::default().percentile(0.5), 0.0);
+        // Overflow-bucket observations report the last finite bound.
+        let o = registry.histogram("of");
+        o.record(u64::MAX);
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("of").unwrap().percentile(0.99), 0.0);
+    }
+
+    #[test]
+    fn ring_bounds_memory_and_counts_drops() {
+        let sink = EventSink::with_capacity(4);
+        for i in 0..10u64 {
+            sink.emit_at(i as f64, "c", "k", &[("i", i.into())]);
+        }
+        assert_eq!(sink.len(), 4);
+        assert_eq!(sink.total_emitted(), 10);
+        assert_eq!(sink.dropped_events(), 6);
+        let events = sink.events();
+        assert_eq!(events[0].ts, 6.0, "oldest retained is #6");
+        // events_since sees only what is still retained.
+        let (tail, cursor) = sink.events_since(8);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(cursor, 10);
+        let (rest, cursor2) = sink.events_since(cursor);
+        assert!(rest.is_empty());
+        assert_eq!(cursor2, 10);
+        // A cursor older than the ring snaps to the oldest retained event.
+        let (all, _) = sink.events_since(0);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn drain_streams_evicted_events() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Shared(Arc::new(Mutex::new(Vec::new())));
+        let sink = EventSink::with_capacity(2);
+        sink.set_drain(buf.clone());
+        for i in 0..5u64 {
+            sink.emit_at(i as f64, "c", "k", &[("i", i.into())]);
+        }
+        assert_eq!(sink.dropped_events(), 0, "drained evictions are not drops");
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 5, "every event streamed");
+        assert!(text.lines().all(|l| l.starts_with("{\"ts\": ")));
+    }
+
+    #[test]
+    fn spans_nest_and_closed_spans_carry_ids() {
+        let sink = EventSink::new();
+        let root_id;
+        {
+            let root = sink.span("rt.download", "download");
+            root_id = root.id();
+            assert!(root_id > 0);
+            let _child = root.child("chunk");
+        }
+        let id = sink.emit_span_at(9.0, 2.0, 5.0, "sim.trace", "request", Some(root_id), &[]);
+        assert!(id > root_id);
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        // Child dropped first; it links back to the root.
+        let child = &events[0];
+        let find = |e: &Event, name: &str| {
+            e.fields
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(find(child, "parent"), Some(Value::U64(root_id)));
+        let closed = &events[2];
+        assert_eq!(closed.ts, 9.0, "stamped at emission time");
+        assert_eq!(find(closed, "start"), Some(Value::F64(2.0)));
+        assert_eq!(find(closed, "dur_us"), Some(Value::U64(3_000_000)));
+        assert_eq!(find(closed, "parent"), Some(Value::U64(root_id)));
+        assert_eq!(sink.emit_span_at(0.0, 0.0, 0.0, "c", "k", None, &[]), id + 1);
+        assert_eq!(
+            EventSink::disabled().emit_span_at(0.0, 0.0, 1.0, "c", "k", None, &[]),
+            0
+        );
     }
 
     #[test]

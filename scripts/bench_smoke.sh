@@ -46,8 +46,12 @@ CHECKS = [
 REQUIRED_FIELDS = [
     ("BENCH_transport.json", ["metrics.disabled_mb_per_s", "metrics.observed_mb_per_s",
                               "metrics.overhead_pct", "metrics.pool_hit_rate",
-                              "metrics.coalesce_mean_frames", "metrics.served_frames",
-                              "metrics.transport_sends"]),
+                              "metrics.coalesce_mean_frames", "metrics.coalesce_p50_frames",
+                              "metrics.coalesce_p95_frames", "metrics.served_frames",
+                              "metrics.transport_sends",
+                              "health.plain_mb_per_s", "health.enabled_mb_per_s",
+                              "health.overhead_pct", "health.windows",
+                              "health.peers_scored", "health.min_score"]),
     ("BENCH_rlnc.json", ["fairness.jain_index_bytes", "fairness.home_credit_min",
                          "fairness.home_credit_max", "fairness.slot_share_events"]),
 ]
@@ -77,6 +81,18 @@ if committed_overhead > 5.0:
 else:
     print(f"BENCH_transport.json metrics.overhead_pct: committed {committed_overhead}% "
           f"(quick rerun {fresh_overhead}%, informational) [ok]")
+
+# Same discipline for the health engine: the streaming detector bank must
+# stay near-free on the data plane. The committed full-run figure is gated
+# at 5%; the quick rerun is informational.
+committed_health = load(f"{snap}/BENCH_transport.json").get("health", {}).get("overhead_pct", 100.0)
+fresh_health = load("BENCH_transport.json").get("health", {}).get("overhead_pct")
+if committed_health > 5.0:
+    print(f"BENCH_transport.json health.overhead_pct: committed {committed_health}% > 5% [REGRESSED]")
+    failed = True
+else:
+    print(f"BENCH_transport.json health.overhead_pct: committed {committed_health}% "
+          f"(quick rerun {fresh_health}%, informational) [ok]")
 for name, label, get, direction in CHECKS:
     committed = get(load(f"{snap}/{name}"))
     fresh = get(load(name))

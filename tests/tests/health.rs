@@ -1,0 +1,591 @@
+//! Health-analytics integration: the streaming detector bank must produce
+//! the same alert sequence no matter which runtime feeds it, score faulty
+//! peers out of the healthy band without perturbing seeded runs, and the
+//! export surfaces (JSONL escaping, the `/metrics` + `/health` listener)
+//! must round-trip faithfully.
+
+use asymshare::{Identity, ParticipantId, RuntimeConfig, SimRuntime};
+use asymshare_netsim::{FaultPlan, LinkFault, LinkSpeed};
+use asymshare_obs::health::{HealthConfig, HealthEngine};
+use asymshare_obs::stream::EventCursor;
+use asymshare_obs::{Event, EventSink, Value};
+use asymshare_rlnc::FileId;
+
+fn kbps(v: f64) -> LinkSpeed {
+    LinkSpeed::kbps(v)
+}
+
+fn cfg() -> RuntimeConfig {
+    RuntimeConfig {
+        k: 4,
+        chunk_size: 16 * 1024,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn payload(n: usize, salt: u8) -> Vec<u8> {
+    (0..n).map(|i| ((i * 37) as u8) ^ salt).collect()
+}
+
+fn field_u64(e: &Event, name: &str) -> Option<u64> {
+    e.fields.iter().find(|(n, _)| *n == name).and_then(|(_, v)| match v {
+        Value::U64(v) => Some(*v),
+        _ => None,
+    })
+}
+
+fn field_f64(e: &Event, name: &str) -> Option<f64> {
+    e.fields.iter().find(|(n, _)| *n == name).and_then(|(_, v)| match v {
+        Value::F64(v) => Some(*v),
+        Value::U64(v) => Some(*v as f64),
+        _ => None,
+    })
+}
+
+fn field_str(e: &Event, name: &str) -> Option<String> {
+    e.fields.iter().find(|(n, _)| *n == name).and_then(|(_, v)| match v {
+        Value::Str(v) => Some(v.clone()),
+        _ => None,
+    })
+}
+
+/// Detector settings for the fault scenarios: short warmup so the clean
+/// phase establishes baselines quickly, and no score recovery so the final
+/// score is a monotone record of every alert the run raised.
+fn detector_cfg() -> HealthConfig {
+    HealthConfig {
+        warmup_windows: 3,
+        recovery_per_window: 0.0,
+        ..HealthConfig::default()
+    }
+}
+
+/// A seeded download where one serving peer's uplink turns lossy and
+/// corrupting mid-run, after the detectors' baselines have warmed up on
+/// clean behavior. Returns the runtime (with its health engine and event
+/// log) and the faulty participant.
+fn faulty_scenario() -> (SimRuntime, Vec<ParticipantId>, ParticipantId) {
+    let mut rt = SimRuntime::new(cfg());
+    rt.enable_health(detector_cfg());
+    let ids: Vec<_> = (0..4u8)
+        .map(|i| rt.add_participant(Identity::from_seed(&[b'h', i]), kbps(128.0), kbps(3000.0)))
+        .collect();
+    let data = payload(384 * 1024, 7);
+    let (manifest, _) = rt.disseminate(ids[0], FileId(41), &data, &ids).unwrap();
+    let session = rt
+        .start_download(ids[0], manifest, kbps(128.0), kbps(3000.0), &ids)
+        .unwrap();
+    // Clean phase: enough evaluated windows to clear warmup.
+    rt.run_slots(6);
+    assert!(
+        !rt.session_complete(session),
+        "scenario bug: download finished before the fault phase began"
+    );
+    let sick = ids[3];
+    let node = rt.participant_node(sick);
+    rt.set_fault_plan(FaultPlan::new(11).with_node_fault(
+        node,
+        LinkFault {
+            loss_prob: 0.35,
+            corrupt_prob: 0.25,
+            jitter_secs: 0.0,
+        },
+    ));
+    let report = rt
+        .run_to_completion(session, 7200)
+        .expect("download completes despite the lossy peer");
+    assert_eq!(report.data, data);
+    (rt, ids, sick)
+}
+
+/// Alert identity for golden comparison: every field the engine computes,
+/// bit-exact (both sides run identical arithmetic over identical inputs).
+type AlertKey = (f64, u64, String, f64, f64, f64, f64);
+
+/// Golden test: the rt runtime consumes the event stream through an
+/// `EventSink` + `EventCursor` and evaluates at sampling instants; the sim
+/// runtime evaluates inline at slot boundaries. Replaying the sim's event
+/// log through the rt-style sink/cursor/engine pipeline at the recorded
+/// evaluation instants must reproduce the sim's alert sequence bit-exactly
+/// — the engine is a pure function of (events, evaluation instants), which
+/// is what makes sim and rt health reports comparable at all.
+#[test]
+fn golden_alert_sequence_sim_vs_rt_replay() {
+    let (rt, _ids, _sick) = faulty_scenario();
+    let log = rt.event_log();
+
+    // The sim's own alert sequence, as recorded in the event stream.
+    let expected: Vec<AlertKey> = log
+        .iter()
+        .filter(|e| e.component == "health" && e.kind == "alert")
+        .map(|e| {
+            (
+                e.ts,
+                field_u64(e, "peer").expect("alert has peer"),
+                field_str(e, "detector").expect("alert has detector"),
+                field_f64(e, "value").expect("alert has value"),
+                field_f64(e, "baseline").expect("alert has baseline"),
+                field_f64(e, "z").expect("alert has z"),
+                field_f64(e, "score").expect("alert has score"),
+            )
+        })
+        .collect();
+    assert!(!expected.is_empty(), "the fault phase must raise alerts");
+
+    // Replay through the rt pipeline: re-emit every non-health event into a
+    // fresh sink, and at each recorded evaluation instant (the sim's
+    // `health`/`window` heartbeat) drain the cursor into a fresh engine and
+    // evaluate — exactly what `RtNetwork::evaluate_health` does on its
+    // sampling thread.
+    let sink = EventSink::new();
+    let mut cursor = EventCursor::new(&sink);
+    let mut engine = HealthEngine::new(detector_cfg());
+    let mut replayed: Vec<AlertKey> = Vec::new();
+    for e in &log {
+        if e.component == "health" {
+            if e.kind == "window" {
+                for ev in cursor.drain() {
+                    engine.observe_event(&ev);
+                }
+                for a in engine.evaluate(e.ts) {
+                    replayed.push((a.ts, a.peer, a.detector.to_owned(), a.value, a.baseline, a.z, a.score));
+                }
+            }
+            continue;
+        }
+        sink.emit_at(e.ts, e.component, e.kind, &e.fields);
+    }
+    assert_eq!(replayed, expected, "rt-style replay must pin the sim's alert sequence");
+
+    // The replayed engine's end state matches the sim's report too.
+    let sim_report = rt.health_report().expect("health enabled");
+    assert_eq!(engine.report(), sim_report);
+}
+
+/// The seeded lossy/corrupting peer must fall out of the healthy band
+/// while the honest peers stay pristine.
+#[test]
+fn lossy_peer_scores_below_healthy_band() {
+    let (rt, ids, sick) = faulty_scenario();
+    let cfg = detector_cfg();
+    let report = rt.health_report().expect("health enabled");
+    assert!(report.windows > 0);
+    assert!(!report.all_healthy(), "the faulty peer must be flagged");
+
+    let sick_score = rt.health_score(sick).expect("faulty peer was scored");
+    assert!(
+        sick_score < cfg.healthy_score,
+        "faulty peer score {sick_score} should sit below the healthy band ({})",
+        cfg.healthy_score
+    );
+    for &id in &ids {
+        if id == sick {
+            continue;
+        }
+        if let Some(score) = rt.health_score(id) {
+            assert!(
+                score >= cfg.healthy_score,
+                "honest peer {id:?} score {score} dropped below the healthy band"
+            );
+        }
+    }
+    // The report agrees with the per-peer accessors.
+    let entry = report
+        .peers
+        .iter()
+        .find(|p| p.peer == sick.0 as u64)
+        .expect("faulty peer in report");
+    assert!(!entry.healthy);
+    assert!(entry.alerts > 0);
+}
+
+/// Observation must not perturb: the same seeded lossy run with the full
+/// health engine enabled and with observability entirely off must produce
+/// byte-identical downloads, identical per-peer byte tallies, identical
+/// fault/recovery counters, and identical simulated duration.
+#[test]
+fn health_engine_does_not_perturb_seeded_run() {
+    let run = |health: bool| {
+        let mut rt = SimRuntime::new(cfg());
+        if health {
+            rt.enable_health(HealthConfig::default());
+        }
+        let ids: Vec<_> = (0..4u8)
+            .map(|i| {
+                rt.add_participant(Identity::from_seed(&[b'p', i]), kbps(256.0), kbps(3000.0))
+            })
+            .collect();
+        let data = payload(128 * 1024, 3);
+        let (manifest, _) = rt.disseminate(ids[0], FileId(42), &data, &ids).unwrap();
+        rt.set_fault_plan(FaultPlan::new(3).with_loss(0.05));
+        let session = rt
+            .start_download(ids[0], manifest, kbps(256.0), kbps(3000.0), &ids)
+            .unwrap();
+        let report = rt.run_to_completion(session, 3600).unwrap();
+        let now = rt.now().as_secs();
+        (report, now)
+    };
+    let (with_health, now_health) = run(true);
+    let (without, now_plain) = run(false);
+    assert_eq!(with_health.data, without.data);
+    assert_eq!(with_health.per_peer_bytes, without.per_peer_bytes);
+    assert_eq!(with_health.stats, without.stats);
+    assert_eq!(with_health.duration_secs, without.duration_secs);
+    assert_eq!(with_health.innovative, without.innovative);
+    assert_eq!(with_health.redundant, without.redundant);
+    assert_eq!(now_health, now_plain);
+}
+
+/// End-to-end export surfaces: a threaded download with the sampling
+/// health monitor attached, scraped live over HTTP — `/metrics` must
+/// render Prometheus text with cumulative `le` buckets and the health
+/// gauges, `/health` must report the engine's verdict, unknown paths 404.
+#[test]
+fn metrics_listener_serves_live_rt_state() {
+    use asymshare::rt::{
+        download_file_with, DownloadOptions, HealthMonitor, MetricsServer, PeerHost, RtNetwork,
+    };
+    use asymshare::{Peer, User};
+    use asymshare_gf::{FieldKind, Gf2p32};
+    use asymshare_obs::{EventSink, Registry};
+    use asymshare_rlnc::{ChunkedEncoder, DigestKind};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response.split_once("\r\n\r\n").expect("has body");
+        (head.to_owned(), body.to_owned())
+    }
+
+    let network = RtNetwork::with_observability(Registry::new(), EventSink::new());
+    let server = MetricsServer::spawn(&network, "127.0.0.1:0").expect("bind listener");
+    let monitor = HealthMonitor::spawn(
+        &network,
+        HealthConfig::default(),
+        Duration::from_millis(10),
+    );
+
+    let owner = Identity::from_seed(b"health-http-owner");
+    let data = payload(128 * 1024, 11);
+    let mut enc = ChunkedEncoder::<Gf2p32>::with_chunk_size(
+        FieldKind::Gf2p32,
+        4,
+        DigestKind::Md5,
+        owner.coding_secret().clone(),
+        FileId(43),
+        &data,
+        16 * 1024,
+    )
+    .unwrap();
+    let batches = enc.encode_for_peers(3).unwrap();
+    let manifest = enc.manifest().clone();
+    let mut hosts = Vec::new();
+    let mut peer_addrs = Vec::new();
+    for (i, batch) in batches.into_iter().enumerate() {
+        let identity = Identity::from_seed(&[b'w', i as u8]);
+        let key = identity.public_key().to_bytes();
+        let mut peer = Peer::new(identity, 1_000.0);
+        peer.add_subscriber(owner.public_key().to_bytes());
+        for m in batch {
+            peer.store_mut().insert(m);
+        }
+        let addr = 200 + i as u64;
+        hosts.push(PeerHost::spawn(
+            &network,
+            addr,
+            peer,
+            1 << 20,
+            Duration::from_millis(2),
+        ));
+        peer_addrs.push((addr, key));
+    }
+
+    let mut user = User::<Gf2p32>::new(owner, manifest).unwrap();
+    let home = peer_addrs[0].0;
+    let got = download_file_with(
+        &network,
+        1,
+        &mut user,
+        &peer_addrs,
+        home,
+        DownloadOptions::new(Duration::from_secs(30)),
+    )
+    .expect("threaded download completes");
+    assert_eq!(got, data);
+
+    // Stop sampling (with a final evaluation) so the scrape sees the
+    // settled verdict; the engine stays installed for `/health`.
+    let report = monitor.shutdown();
+    assert!(report.windows > 0, "monitor must have evaluated");
+    assert!(!report.peers.is_empty(), "serving peers must be scored");
+    assert!(report.all_healthy(), "clean run: every peer healthy");
+
+    let (head, body) = http_get(server.addr(), "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "got: {head}");
+    assert!(body.contains("asymshare_rt_transport_recv_bytes"), "counter missing:\n{body}");
+    assert!(body.contains("_bucket{le=\""), "histogram le labels missing");
+    assert!(body.contains("le=\"+Inf\""), "+Inf bucket missing");
+    assert!(
+        body.contains("asymshare_health_score_p"),
+        "health score gauges missing:\n{body}"
+    );
+
+    let (head, body) = http_get(server.addr(), "/health");
+    assert!(head.starts_with("HTTP/1.1 200"), "got: {head}");
+    assert!(body.contains("\"status\": \"ok\""), "got: {body}");
+    assert!(body.contains("\"peers\""), "got: {body}");
+
+    let (head, _) = http_get(server.addr(), "/nope");
+    assert!(head.starts_with("HTTP/1.1 404"), "got: {head}");
+
+    for host in hosts {
+        host.shutdown();
+    }
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// JSONL escaping: property-based round-trip through a minimal JSON parser
+// ---------------------------------------------------------------------------
+
+/// A deliberately small JSON value model: numbers keep their raw token so
+/// u64-range integers survive without float rounding.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+}
+
+/// Minimal recursive-descent JSON parser — independent of the emitter, so
+/// the round-trip property actually checks conformance rather than
+/// mirroring the writer's bugs.
+fn parse_json(s: &str) -> Result<Json, String> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut pos = 0usize;
+    let value = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing garbage at {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(c: &[char], pos: &mut usize) {
+    while *pos < c.len() && c[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(c: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(c, pos);
+    match c.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(c, pos);
+            if c.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(c, pos);
+                let key = parse_string(c, pos)?;
+                skip_ws(c, pos);
+                if c.get(*pos) != Some(&':') {
+                    return Err(format!("expected ':' at {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(c, pos)?));
+                skip_ws(c, pos);
+                match c.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(c, pos);
+            if c.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(c, pos)?);
+                skip_ws(c, pos);
+                match c.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+        }
+        Some('"') => Ok(Json::Str(parse_string(c, pos)?)),
+        Some('t') if c[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some('f') if c[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some('n') if c[*pos..].starts_with(&['n', 'u', 'l', 'l']) => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(d) if *d == '-' || d.is_ascii_digit() => {
+            let start = *pos;
+            while *pos < c.len()
+                && matches!(c[*pos], '0'..='9' | '-' | '+' | '.' | 'e' | 'E')
+            {
+                *pos += 1;
+            }
+            let token: String = c[start..*pos].iter().collect();
+            token
+                .parse::<f64>()
+                .map_err(|e| format!("bad number {token:?}: {e}"))?;
+            Ok(Json::Num(token))
+        }
+        other => Err(format!("unexpected {other:?} at {pos}")),
+    }
+}
+
+fn parse_string(c: &[char], pos: &mut usize) -> Result<String, String> {
+    if c.get(*pos) != Some(&'"') {
+        return Err(format!("expected '\"' at {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match c.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some('"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some('\\') => {
+                *pos += 1;
+                match c.get(*pos) {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let hex: String = c
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?
+                            .iter()
+                            .collect();
+                        let code =
+                            u32::from_str_radix(&hex, 16).map_err(|e| format!("bad \\u: {e}"))?;
+                        out.push(char::from_u32(code).ok_or("surrogate in \\u escape")?);
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(&ch) => {
+                if (ch as u32) < 0x20 {
+                    return Err(format!("raw control char {:#x} in string", ch as u32));
+                }
+                out.push(ch);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+/// Looks up a top-level field of a parsed event object.
+fn obj_get<'a>(json: &'a Json, key: &str) -> Option<&'a Json> {
+    match json {
+        Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+mod escaping {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Any string — control characters, quotes, backslashes, non-ASCII
+        /// — stored in an event field must survive `Event::to_json` and
+        /// parse back to the identical string, with no raw control bytes
+        /// on the wire.
+        #[test]
+        fn event_json_string_round_trips(
+            raw in proptest::collection::vec(any::<char>(), 0..48),
+        ) {
+            let s: String = raw.into_iter().collect();
+            let event = Event {
+                ts: 0.5,
+                component: "t",
+                kind: "k",
+                fields: vec![("s", Value::Str(s.clone()))],
+            };
+            let line = event.to_json();
+            let parsed = parse_json(&line)
+                .unwrap_or_else(|e| panic!("emitted invalid JSON {line:?}: {e}"));
+            prop_assert_eq!(obj_get(&parsed, "s"), Some(&Json::Str(s)));
+            prop_assert_eq!(obj_get(&parsed, "component"), Some(&Json::Str("t".to_owned())));
+        }
+
+        /// Every `Value` variant round-trips: extreme integers keep their
+        /// exact decimal token (no float rounding), finite floats re-parse
+        /// to the same bits, bools and timestamps survive.
+        #[test]
+        fn event_json_values_round_trip(ts in any::<f64>(), x in any::<f64>()) {
+            let event = Event {
+                ts,
+                component: "bench",
+                kind: "values",
+                fields: vec![
+                    ("umax", Value::U64(u64::MAX)),
+                    ("imin", Value::I64(i64::MIN)),
+                    ("f", Value::F64(x)),
+                    ("yes", Value::Bool(true)),
+                ],
+            };
+            let line = event.to_json();
+            let parsed = parse_json(&line)
+                .unwrap_or_else(|e| panic!("emitted invalid JSON {line:?}: {e}"));
+            prop_assert_eq!(obj_get(&parsed, "umax"), Some(&Json::Num(u64::MAX.to_string())));
+            prop_assert_eq!(obj_get(&parsed, "imin"), Some(&Json::Num(i64::MIN.to_string())));
+            let f_back = match obj_get(&parsed, "f") {
+                Some(Json::Num(tok)) => tok.parse::<f64>().unwrap(),
+                other => return Err(TestCaseError::fail(format!("f not a number: {other:?}"))),
+            };
+            prop_assert_eq!(f_back.to_bits(), x.to_bits());
+            prop_assert_eq!(obj_get(&parsed, "yes"), Some(&Json::Bool(true)));
+            let ts_back = match obj_get(&parsed, "ts") {
+                Some(Json::Num(tok)) => tok.parse::<f64>().unwrap(),
+                other => return Err(TestCaseError::fail(format!("ts not a number: {other:?}"))),
+            };
+            prop_assert_eq!(ts_back.to_bits(), ts.to_bits());
+        }
+    }
+}
