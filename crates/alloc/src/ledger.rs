@@ -6,8 +6,21 @@
 //! `cumulative(j, i)`: what `j` has given `i`. Each peer can measure its
 //! row's incoming transfers locally, which is exactly why the rule needs no
 //! control traffic and cannot be lied to.
+//!
+//! Storage is O(active pairs), not O(n²): each receiver keeps a sorted
+//! [`SparseRow`] of the peers that actually credited it, and every
+//! non-materialized pair carries a shared `baseline` value (the paper's
+//! uniform initial credit). A freshly seeded million-peer ledger therefore
+//! stores nothing at all, and [`discount`](ContributionLedger::discount)
+//! scales the baseline alongside the materialized entries — the exact same
+//! multiply the dense matrix applied to every cell.
 
-/// Dense `n × n` cumulative-contribution matrix.
+use crate::slab::SparseRow;
+
+/// Logically an `n × n` cumulative-contribution matrix; physically one
+/// sparse row per *receiver* plus a baseline for untouched pairs, so the
+/// Eq.-2 weight row (`weight[j] = cumulative(j, i)`) is a single contiguous
+/// row read.
 ///
 /// # Example
 ///
@@ -19,11 +32,13 @@
 /// assert_eq!(ledger.cumulative(0, 1), 256.0);
 /// assert_eq!(ledger.received_by(1), 256.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ContributionLedger {
     n: usize,
-    /// Row-major: `cum[i * n + j]` = total i → j transfer.
-    cum: Vec<f64>,
+    /// The value of every pair no `credit` call has touched.
+    baseline: f64,
+    /// `recv[to]`: sparse row mapping `from` → cumulative transfer.
+    recv: Vec<SparseRow>,
 }
 
 impl ContributionLedger {
@@ -40,7 +55,8 @@ impl ContributionLedger {
         );
         ContributionLedger {
             n,
-            cum: vec![initial_credit; n * n],
+            baseline: initial_credit,
+            recv: vec![SparseRow::new(); n],
         }
     }
 
@@ -54,6 +70,12 @@ impl ContributionLedger {
         self.n == 0
     }
 
+    /// Number of materialized (explicitly credited) pairs; everything else
+    /// sits at the shared baseline.
+    pub fn active_pairs(&self) -> usize {
+        self.recv.iter().map(SparseRow::len).sum()
+    }
+
     /// Total bandwidth peer `from` has uploaded to user `to`.
     ///
     /// # Panics
@@ -62,7 +84,7 @@ impl ContributionLedger {
     #[inline]
     pub fn cumulative(&self, from: usize, to: usize) -> f64 {
         assert!(from < self.n && to < self.n, "peer index out of range");
-        self.cum[from * self.n + to]
+        self.recv[to].get(from as u32, self.baseline)
     }
 
     /// Records `amount` of `from` → `to` transfer during one slot.
@@ -77,29 +99,56 @@ impl ContributionLedger {
             amount >= 0.0 && amount.is_finite(),
             "credit must be finite and non-negative"
         );
-        self.cum[from * self.n + to] += amount;
+        self.recv[to].add(from as u32, self.baseline, amount);
     }
 
     /// Peer `i`'s Eq.-2 weight vector: `weight[j] = cumulative(j, i)`, what
     /// each peer `j` has contributed *to* `i` historically.
     pub fn weights_for_allocator(&self, i: usize) -> Vec<f64> {
-        (0..self.n).map(|j| self.cumulative(j, i)).collect()
+        let mut out = vec![0.0; self.n];
+        self.write_weights_for_allocator(i, &mut out);
+        out
+    }
+
+    /// Zero-allocation variant of
+    /// [`weights_for_allocator`](Self::weights_for_allocator): fills the
+    /// baseline then overwrites the materialized entries of receiver `i`'s
+    /// row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `out` is not `n` long.
+    pub fn write_weights_for_allocator(&self, i: usize, out: &mut [f64]) {
+        assert!(i < self.n, "peer index out of range");
+        assert_eq!(out.len(), self.n, "weight row length mismatch");
+        out.fill(self.baseline);
+        let row = &self.recv[i];
+        for (&j, &v) in row.indices().iter().zip(row.values()) {
+            out[j as usize] = v;
+        }
     }
 
     /// Total bandwidth user `j` has received from everyone.
     pub fn received_by(&self, j: usize) -> f64 {
-        (0..self.n).map(|i| self.cumulative(i, j)).sum()
+        assert!(j < self.n, "peer index out of range");
+        let row = &self.recv[j];
+        let materialized: f64 = row.values().iter().sum();
+        materialized + self.baseline * (self.n - row.len()) as f64
     }
 
     /// Total bandwidth peer `i` has contributed to everyone.
     pub fn contributed_by(&self, i: usize) -> f64 {
-        (0..self.n).map(|j| self.cumulative(i, j)).sum()
+        assert!(i < self.n, "peer index out of range");
+        (0..self.n)
+            .map(|j| self.recv[j].get(i as u32, self.baseline))
+            .sum()
     }
 
     /// Applies exponential discounting to all history (the "disproportionately
     /// weighing newer contributions over older ones" speed-up the paper
     /// suggests for its slow dynamics, §V-A): every entry is multiplied by
-    /// `factor ∈ (0, 1]` once per slot.
+    /// `factor ∈ (0, 1]` once per slot — one baseline multiply plus one per
+    /// materialized pair, never n².
     ///
     /// # Panics
     ///
@@ -112,8 +161,36 @@ impl ContributionLedger {
         if factor == 1.0 {
             return;
         }
-        for v in &mut self.cum {
-            *v *= factor;
+        self.baseline *= factor;
+        for row in &mut self.recv {
+            row.scale(factor);
+        }
+    }
+}
+
+/// Logical (cell-wise) equality: two ledgers are equal when every
+/// `cumulative(i, j)` agrees, regardless of which pairs happen to be
+/// materialized (e.g. a `credit(i, j, 0.0)` materializes a pair at the
+/// baseline without changing any value).
+impl PartialEq for ContributionLedger {
+    fn eq(&self, other: &Self) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        if self.baseline == other.baseline {
+            // Same baseline: only materialized pairs can differ.
+            for (a, b) in self.recv.iter().zip(&other.recv) {
+                for &from in a.indices().iter().chain(b.indices()) {
+                    if a.get(from, self.baseline) != b.get(from, other.baseline) {
+                        return false;
+                    }
+                }
+            }
+            true
+        } else {
+            (0..self.n).all(|to| {
+                (0..self.n).all(|from| self.cumulative(from, to) == other.cumulative(from, to))
+            })
         }
     }
 }
@@ -130,6 +207,7 @@ mod tests {
                 assert_eq!(ledger.cumulative(i, j), 0.5);
             }
         }
+        assert_eq!(ledger.active_pairs(), 0, "seeding materializes nothing");
     }
 
     #[test]
@@ -139,6 +217,7 @@ mod tests {
         ledger.credit(0, 1, 28.0);
         assert_eq!(ledger.cumulative(0, 1), 128.0);
         assert_eq!(ledger.cumulative(1, 0), 0.0);
+        assert_eq!(ledger.active_pairs(), 1);
     }
 
     #[test]
@@ -147,6 +226,9 @@ mod tests {
         ledger.credit(1, 0, 7.0); // peer 1 gave user 0
         ledger.credit(2, 0, 3.0); // peer 2 gave user 0
         assert_eq!(ledger.weights_for_allocator(0), vec![0.0, 7.0, 3.0]);
+        let mut row = vec![f64::NAN; 3];
+        ledger.write_weights_for_allocator(0, &mut row);
+        assert_eq!(row, vec![0.0, 7.0, 3.0]);
     }
 
     #[test]
@@ -160,12 +242,49 @@ mod tests {
     }
 
     #[test]
+    fn baseline_counts_toward_totals() {
+        let mut ledger = ContributionLedger::new(4, 1.0);
+        ledger.credit(0, 2, 5.0);
+        // Column 2: materialized 1 + 5 = 6, plus 3 untouched baselines.
+        assert_eq!(ledger.received_by(2), 9.0);
+        // Row 0: one materialized 6, three baselines.
+        assert_eq!(ledger.contributed_by(0), 9.0);
+    }
+
+    #[test]
     fn discount_scales_everything() {
         let mut ledger = ContributionLedger::new(2, 1.0);
         ledger.credit(0, 1, 1.0);
         ledger.discount(0.5);
         assert_eq!(ledger.cumulative(0, 1), 1.0);
         assert_eq!(ledger.cumulative(1, 0), 0.5);
+    }
+
+    #[test]
+    fn equality_is_logical_not_structural() {
+        let mut a = ContributionLedger::new(3, 2.0);
+        let b = ContributionLedger::new(3, 2.0);
+        a.credit(0, 1, 0.0); // materializes (0, 1) at the baseline
+        assert_eq!(a.active_pairs(), 1);
+        assert_eq!(b.active_pairs(), 0);
+        assert_eq!(a, b, "zero-credit materialization is invisible");
+        a.credit(0, 1, 1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn equality_across_different_baselines() {
+        // All-pairs 1.0 via baseline vs via explicit credits.
+        let a = ContributionLedger::new(2, 1.0);
+        let mut b = ContributionLedger::new(2, 0.0);
+        for i in 0..2 {
+            for j in 0..2 {
+                b.credit(i, j, 1.0);
+            }
+        }
+        assert_eq!(a, b);
+        b.credit(0, 0, 0.5);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -35,7 +35,9 @@
 //! assert!((avg - 1024.0).abs() < 64.0, "dominant peer earns its own rate back");
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the slab SIMD kernels opt back in with a local
+// `#![allow(unsafe_code)]` behind `--features simd`, gf-crate style.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bounds;
@@ -44,6 +46,7 @@ mod ledger;
 mod metrics;
 mod rules;
 mod sim;
+pub mod slab;
 mod strategy;
 mod trace;
 
@@ -51,8 +54,9 @@ pub use bounds::theorem1_lower_bound;
 pub use demand::{random_hour_windows, Demand};
 pub use ledger::ContributionLedger;
 pub use metrics::{gain_over_isolation, jain_index, pairwise_unfairness, smooth};
-pub use rules::{AllocationInputs, RuleKind};
+pub use rules::{allocate, allocate_into, AllocationInputs, RuleKind};
 pub use sim::{InitialCredit, SimConfig, SlotSimulator};
+pub use slab::{AllocScratch, EngineConfig, EngineReport, RequestMask, SlotEngine};
 pub use strategy::{CapacityProfile, PeerConfig, Strategy};
 pub use trace::SimTrace;
 

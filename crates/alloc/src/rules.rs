@@ -2,6 +2,7 @@
 //! proportional) and an equal-split baseline.
 
 use crate::ledger::ContributionLedger;
+use crate::slab::{kernels, AllocScratch};
 
 /// Which allocation rule a peer runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,13 +34,28 @@ pub struct AllocationInputs<'a> {
     pub ledger: &'a ContributionLedger,
 }
 
-/// Computes peer `i`'s allocation vector for one slot: `out[j]` is the
-/// bandwidth devoted to user `j`, with `Σ_j out[j] ≤ capacity` and equality
-/// whenever at least one requester has positive weight.
+/// Computes peer `i`'s allocation for one slot into caller-owned storage:
+/// `out[j]` is the bandwidth devoted to user `j`, with `Σ_j out[j] ≤
+/// capacity` and equality whenever at least one requester has positive
+/// weight. Returns `true` exactly when the full capacity was divided
+/// (otherwise `out` is all zeros — the bandwidth is simply unused that
+/// slot, the "use it or lose it" the system exists to recycle).
 ///
-/// Returns all-zeros when nobody requests (the bandwidth is simply unused
-/// that slot — the "use it or lose it" the system exists to recycle).
-pub fn allocate(rule: RuleKind, inputs: &AllocationInputs<'_>) -> Vec<f64> {
+/// This is the zero-allocation hot path: weights and the packed request
+/// mask live in `scratch` (which settles at its high-water mark after the
+/// first call), and the masked weighted normalize runs through the
+/// vectorized [`slab::kernels`](crate::slab::kernels).
+///
+/// # Panics
+///
+/// Panics if `declared`, the ledger, or `out` disagree with
+/// `requesting.len()`, or if `allocator` is out of range (for `n > 0`).
+pub fn allocate_into(
+    rule: RuleKind,
+    inputs: &AllocationInputs<'_>,
+    scratch: &mut AllocScratch,
+    out: &mut [f64],
+) -> bool {
     let n = inputs.requesting.len();
     assert_eq!(
         inputs.declared.len(),
@@ -47,40 +63,46 @@ pub fn allocate(rule: RuleKind, inputs: &AllocationInputs<'_>) -> Vec<f64> {
         "declared capacities length mismatch"
     );
     assert_eq!(inputs.ledger.len(), n, "ledger size mismatch");
-    let mut weights = vec![0.0f64; n];
+    assert_eq!(out.len(), n, "output length mismatch");
+    if n == 0 {
+        return false;
+    }
+    scratch.mask.fill_from_bools(inputs.requesting);
+    scratch.weights.clear();
     match rule {
         RuleKind::PeerWise => {
-            for (j, w) in weights.iter_mut().enumerate() {
-                if inputs.requesting[j] {
-                    // Σ_{k<t} μ_ji(k): what j has given this allocator.
-                    *w = inputs.ledger.cumulative(j, inputs.allocator);
-                }
-            }
+            // Σ_{k<t} μ_ji(k): what each j has given this allocator — one
+            // contiguous ledger row, no per-pair lookups.
+            scratch.weights.resize(n, 0.0);
+            inputs
+                .ledger
+                .write_weights_for_allocator(inputs.allocator, &mut scratch.weights);
         }
         RuleKind::GlobalProportional => {
-            for (j, w) in weights.iter_mut().enumerate() {
-                if inputs.requesting[j] {
-                    *w = inputs.declared[j].max(0.0);
+            scratch.weights.extend_from_slice(inputs.declared);
+            // A negative declaration contributes nothing (the legacy
+            // `.max(0.0)` clamp), expressed as a cleared mask bit so the
+            // kernels only ever see non-negative selected weights.
+            for (j, &d) in inputs.declared.iter().enumerate() {
+                if d < 0.0 {
+                    scratch.mask.unset(j);
                 }
             }
         }
         RuleKind::EqualSplit => {
-            for (j, w) in weights.iter_mut().enumerate() {
-                if inputs.requesting[j] {
-                    *w = 1.0;
-                }
-            }
+            scratch.weights.resize(n, 1.0);
         }
     }
-    let total: f64 = weights.iter().sum();
-    if total <= 0.0 || inputs.capacity <= 0.0 {
-        return vec![0.0; n];
-    }
-    let scale = inputs.capacity / total;
-    for w in &mut weights {
-        *w *= scale;
-    }
-    weights
+    kernels::normalize_masked_into(&scratch.weights, scratch.mask.words(), inputs.capacity, out)
+}
+
+/// Allocating convenience wrapper around [`allocate_into`], kept for the
+/// existing call sites and tests; per-slot loops should hold an
+/// [`AllocScratch`] and an output row instead.
+pub fn allocate(rule: RuleKind, inputs: &AllocationInputs<'_>) -> Vec<f64> {
+    let mut out = vec![0.0f64; inputs.requesting.len()];
+    allocate_into(rule, inputs, &mut AllocScratch::new(), &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -213,6 +235,50 @@ mod tests {
             },
         );
         assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn allocate_into_reuses_scratch_and_matches_wrapper() {
+        let ledger = ledger_3();
+        let requesting = [false, true, true];
+        let declared = [100.0, -5.0, 100.0];
+        let mut scratch = AllocScratch::new();
+        let mut out = [f64::NAN; 3];
+        for rule in [
+            RuleKind::PeerWise,
+            RuleKind::GlobalProportional,
+            RuleKind::EqualSplit,
+        ] {
+            let inputs = AllocationInputs {
+                allocator: 0,
+                capacity: 400.0,
+                requesting: &requesting,
+                declared: &declared,
+                ledger: &ledger,
+            };
+            let full = allocate_into(rule, &inputs, &mut scratch, &mut out);
+            let legacy = allocate(rule, &inputs);
+            assert_eq!(out.as_slice(), legacy.as_slice(), "{rule:?}");
+            assert!(full, "{rule:?} has a positive-weight requester");
+        }
+    }
+
+    #[test]
+    fn negative_declared_capacity_is_clamped_out() {
+        let ledger = ContributionLedger::new(2, 0.0);
+        let requesting = [true, true];
+        let declared = [-50.0, 100.0];
+        let out = allocate(
+            RuleKind::GlobalProportional,
+            &AllocationInputs {
+                allocator: 0,
+                capacity: 300.0,
+                requesting: &requesting,
+                declared: &declared,
+                ledger: &ledger,
+            },
+        );
+        assert_eq!(out, vec![0.0, 300.0]);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The discrete-time slot simulator (the paper's §V simulator, rebuilt).
 
 use crate::ledger::ContributionLedger;
-use crate::rules::{allocate, AllocationInputs, RuleKind};
+use crate::rules::{allocate_into, AllocationInputs, RuleKind};
+use crate::slab::AllocScratch;
 use crate::strategy::{EffectiveRule, PeerConfig, Strategy};
 use crate::trace::SimTrace;
 use rand::rngs::StdRng;
@@ -147,6 +148,7 @@ impl SlotSimulator {
         let mut capacity = vec![0.0f64; n];
         let mut declared = vec![0.0f64; n];
         let mut alloc = vec![vec![0.0f64; n]; n];
+        let mut scratch = AllocScratch::new();
 
         for t in 0..slots {
             for (j, peer) in self.config.peers.iter().enumerate() {
@@ -164,7 +166,9 @@ impl SlotSimulator {
                     }
                     None | Some(EffectiveRule::SelfOnly) => {}
                     Some(EffectiveRule::Rule(rule)) => {
-                        let out = allocate(
+                        // Zero-alloc slot path: the kernels write straight
+                        // into this peer's allocation row.
+                        allocate_into(
                             rule,
                             &AllocationInputs {
                                 allocator: i,
@@ -173,8 +177,9 @@ impl SlotSimulator {
                                 declared: &declared,
                                 ledger: &self.ledger,
                             },
+                            &mut scratch,
+                            row,
                         );
-                        row.copy_from_slice(&out);
                     }
                 }
             }

@@ -1,0 +1,522 @@
+//! Masked weighted-normalize kernels — the Eq.-2 inner loop as bulk array
+//! code, following the `asymshare-gf` kernel discipline (safe scalar
+//! reference, a safe word-at-a-time fast tier, and an opt-in AVX2 tier
+//! behind `--features simd` with runtime dispatch, all differentially
+//! pinned **bitwise identical**).
+//!
+//! One slot of Eq. 2 for one allocator is
+//!
+//! ```text
+//! total  = Σ_j I_j · w_j                (masked sum)
+//! out_j  = I_j · w_j · (capacity/total) (masked scale)
+//! ```
+//!
+//! over a contiguous weight row `w` and a packed request bitmask `I`.
+//! Floating-point addition is not associative, so "bitwise identical across
+//! tiers" requires pinning one summation order and implementing it in every
+//! tier. The canonical semantics, which every function here implements
+//! exactly, are:
+//!
+//! * **masked sum** — four independent lane accumulators; element `i` adds
+//!   `select(I_i, w_i, 0.0)` into lane `i mod 4`; the final value is
+//!   `(acc0 + acc1) + (acc2 + acc3)`. This is precisely the data flow of a
+//!   256-bit f64 vector accumulator, so the AVX2 tier reproduces it without
+//!   any reordering — and the scalar tiers are the same spec unrolled.
+//! * **masked scale** — elementwise `select(I_i, w_i, 0.0) * scale`; no
+//!   reassociation anywhere, so every tier agrees trivially.
+//!
+//! The fast tiers skip whole all-zero mask words (adding `+0.0` to a lane
+//! is a bitwise no-op for the non-negative accumulations these kernels are
+//! specified for) and drop the select on all-ones words; both shortcuts are
+//! value-preserving, which the differential proptests in
+//! `tests/slab_props.rs` pin across random and adversarial inputs.
+//!
+//! **Input contract:** weights must be non-negative and non-NaN (ledger
+//! credits are asserted non-negative and finite at the API layer; negative
+//! declared capacities are masked out by the caller, never fed through).
+
+use super::mask::words_for;
+
+/// Number of independent accumulator lanes in the canonical sum order
+/// (= f64 lanes in a 256-bit vector).
+pub const LANES: usize = 4;
+
+/// Minimum slice length for the SIMD tier; below this the per-call
+/// dispatch overhead exceeds the work.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+const SIMD_MIN_ELEMS: usize = 16;
+
+#[inline(always)]
+fn bit(mask: &[u64], i: usize) -> bool {
+    (mask[i >> 6] >> (i & 63)) & 1 == 1
+}
+
+#[inline(always)]
+fn check_mask_coverage(len: usize, mask: &[u64]) {
+    assert!(
+        mask.len() >= words_for(len),
+        "mask too short: {} words for {len} elements",
+        mask.len()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Tier 1: scalar reference (the spec, written out literally)
+// ---------------------------------------------------------------------------
+
+/// Scalar reference masked sum: the canonical 4-lane accumulation, one
+/// element at a time. The baseline the differential tests pin every other
+/// tier against.
+///
+/// # Panics
+///
+/// Panics if `mask` has fewer than `ceil(x.len() / 64)` words.
+pub fn masked_sum_scalar(x: &[f64], mask: &[u64]) -> f64 {
+    check_mask_coverage(x.len(), mask);
+    let mut acc = [0.0f64; LANES];
+    for (i, &v) in x.iter().enumerate() {
+        acc[i & 3] += if bit(mask, i) { v } else { 0.0 };
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Scalar reference masked scale: `out[i] = select(I_i, x[i], 0.0) * scale`.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or the mask is too short.
+pub fn masked_scale_scalar(x: &[f64], mask: &[u64], scale: f64, out: &mut [f64]) {
+    assert_eq!(x.len(), out.len(), "masked scale length mismatch");
+    check_mask_coverage(x.len(), mask);
+    for (i, (&v, o)) in x.iter().zip(out.iter_mut()).enumerate() {
+        *o = (if bit(mask, i) { v } else { 0.0 }) * scale;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tier 2: safe word-at-a-time fast path
+// ---------------------------------------------------------------------------
+
+/// Word-tier masked sum: walks the mask one `u64` at a time, skipping
+/// all-zero words outright and dropping the per-element select on all-ones
+/// words. Bitwise identical to [`masked_sum_scalar`] under the input
+/// contract. Safe code only.
+///
+/// # Panics
+///
+/// Panics if the mask is too short.
+pub fn masked_sum_words(x: &[f64], mask: &[u64]) -> f64 {
+    check_mask_coverage(x.len(), mask);
+    let n = x.len();
+    let blocks = n / 64;
+    let mut acc = [0.0f64; LANES];
+    for (b, chunk) in x.chunks_exact(64).enumerate().take(blocks) {
+        let word = mask[b];
+        if word == 0 {
+            continue;
+        }
+        if word == u64::MAX {
+            for (t, &v) in chunk.iter().enumerate() {
+                acc[t & 3] += v;
+            }
+        } else {
+            for (t, &v) in chunk.iter().enumerate() {
+                acc[t & 3] += if (word >> t) & 1 == 1 { v } else { 0.0 };
+            }
+        }
+    }
+    for i in blocks * 64..n {
+        acc[i & 3] += if bit(mask, i) { x[i] } else { 0.0 };
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Word-tier masked scale with the same word shortcuts as
+/// [`masked_sum_words`]; all-zero words fill with the literal `0.0 * scale`
+/// so non-finite scales still propagate identically to the reference.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or the mask is too short.
+pub fn masked_scale_words(x: &[f64], mask: &[u64], scale: f64, out: &mut [f64]) {
+    assert_eq!(x.len(), out.len(), "masked scale length mismatch");
+    check_mask_coverage(x.len(), mask);
+    let n = x.len();
+    let blocks = n / 64;
+    let zero_scaled = 0.0f64 * scale;
+    for (b, &word) in mask.iter().take(blocks).enumerate() {
+        let base = b * 64;
+        let (xc, oc) = (&x[base..base + 64], &mut out[base..base + 64]);
+        if word == 0 {
+            oc.fill(zero_scaled);
+        } else if word == u64::MAX {
+            for (o, &v) in oc.iter_mut().zip(xc) {
+                *o = v * scale;
+            }
+        } else {
+            for (t, (o, &v)) in oc.iter_mut().zip(xc).enumerate() {
+                *o = (if (word >> t) & 1 == 1 { v } else { 0.0 }) * scale;
+            }
+        }
+    }
+    for i in blocks * 64..n {
+        out[i] = (if bit(mask, i) { x[i] } else { 0.0 }) * scale;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tier 3: x86-64 AVX2 (feature "simd"; the crate's only unsafe code)
+// ---------------------------------------------------------------------------
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd {
+    //! 4-bit mask nibbles expand to 256-bit lane selects via
+    //! `broadcast + and + cmpeq`; `and_pd` then zeroes masked-out lanes
+    //! (producing the same `+0.0` the scalar select does) and a vector
+    //! accumulator realizes the canonical 4-lane sum directly.
+    #![allow(unsafe_code)]
+
+    use core::arch::x86_64::*;
+
+    /// Whether the AVX2 kernels can run here.
+    #[inline]
+    pub(super) fn available() -> bool {
+        is_x86_feature_detected!("avx2")
+    }
+
+    /// Safe entry: runtime-checks AVX2 then runs the vector sum.
+    pub(super) fn sum(x: &[f64], mask: &[u64]) -> Option<f64> {
+        if !available() {
+            return None;
+        }
+        // SAFETY: AVX2 confirmed by the runtime check above.
+        Some(unsafe { masked_sum_avx2(x, mask) })
+    }
+
+    /// Safe entry: runtime-checks AVX2 then runs the vector scale.
+    pub(super) fn scale(x: &[f64], mask: &[u64], factor: f64, out: &mut [f64]) -> bool {
+        if !available() {
+            return false;
+        }
+        // SAFETY: AVX2 confirmed by the runtime check above.
+        unsafe { masked_scale_avx2(x, mask, factor, out) };
+        true
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn masked_sum_avx2(x: &[f64], mask: &[u64]) -> f64 {
+        let n = x.len();
+        let blocks = n / 64;
+        let ptr = x.as_ptr();
+        // SAFETY (all intrinsics below): unaligned loads/stores with
+        // in-bounds pointers — every 4-element access at `base + 4k` with
+        // `k < 16` lies inside the 64-element block starting at `base`.
+        let mut acc = _mm256_setzero_pd();
+        let lane_bits = _mm256_set_epi64x(8, 4, 2, 1);
+        for (b, &word) in mask.iter().take(blocks).enumerate() {
+            if word == 0 {
+                continue;
+            }
+            let base = b * 64;
+            if word == u64::MAX {
+                for k in 0..16 {
+                    acc = _mm256_add_pd(acc, _mm256_loadu_pd(ptr.add(base + 4 * k)));
+                }
+            } else {
+                for k in 0..16 {
+                    let nib = _mm256_set1_epi64x(((word >> (4 * k)) & 0xF) as i64);
+                    let m = _mm256_cmpeq_epi64(_mm256_and_si256(nib, lane_bits), lane_bits);
+                    let v = _mm256_and_pd(
+                        _mm256_loadu_pd(ptr.add(base + 4 * k)),
+                        _mm256_castsi256_pd(m),
+                    );
+                    acc = _mm256_add_pd(acc, v);
+                }
+            }
+        }
+        let mut lanes = [0.0f64; 4];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+        for i in blocks * 64..n {
+            lanes[i & 3] += if (mask[i >> 6] >> (i & 63)) & 1 == 1 {
+                x[i]
+            } else {
+                0.0
+            };
+        }
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn masked_scale_avx2(x: &[f64], mask: &[u64], scale: f64, out: &mut [f64]) {
+        let n = x.len();
+        let blocks = n / 64;
+        let xp = x.as_ptr();
+        let op = out.as_mut_ptr();
+        // SAFETY: as in `masked_sum_avx2`; `out` has the same length as `x`.
+        let sv = _mm256_set1_pd(scale);
+        let lane_bits = _mm256_set_epi64x(8, 4, 2, 1);
+        let zero_scaled = 0.0f64 * scale;
+        for (b, &word) in mask.iter().take(blocks).enumerate() {
+            let base = b * 64;
+            if word == 0 {
+                for o in &mut out[base..base + 64] {
+                    *o = zero_scaled;
+                }
+            } else if word == u64::MAX {
+                for k in 0..16 {
+                    let v = _mm256_mul_pd(_mm256_loadu_pd(xp.add(base + 4 * k)), sv);
+                    _mm256_storeu_pd(op.add(base + 4 * k), v);
+                }
+            } else {
+                for k in 0..16 {
+                    let nib = _mm256_set1_epi64x(((word >> (4 * k)) & 0xF) as i64);
+                    let m = _mm256_cmpeq_epi64(_mm256_and_si256(nib, lane_bits), lane_bits);
+                    let sel = _mm256_and_pd(
+                        _mm256_loadu_pd(xp.add(base + 4 * k)),
+                        _mm256_castsi256_pd(m),
+                    );
+                    _mm256_storeu_pd(op.add(base + 4 * k), _mm256_mul_pd(sel, sv));
+                }
+            }
+        }
+        for i in blocks * 64..n {
+            out[i] = (if (mask[i >> 6] >> (i & 63)) & 1 == 1 {
+                x[i]
+            } else {
+                0.0
+            }) * scale;
+        }
+    }
+}
+
+/// SIMD-tier masked sum; returns `None` when no AVX2 unit is available so
+/// callers can fall back. Exposed for the differential tests; production
+/// code calls [`masked_sum`].
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub fn masked_sum_simd(x: &[f64], mask: &[u64]) -> Option<f64> {
+    check_mask_coverage(x.len(), mask);
+    simd::sum(x, mask)
+}
+
+/// SIMD-tier masked scale; returns `false` (leaving `out` untouched) when
+/// no AVX2 unit is available. Exposed for the differential tests.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or the mask is too short.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub fn masked_scale_simd(x: &[f64], mask: &[u64], scale: f64, out: &mut [f64]) -> bool {
+    assert_eq!(x.len(), out.len(), "masked scale length mismatch");
+    check_mask_coverage(x.len(), mask);
+    simd::scale(x, mask, scale, out)
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+/// Name of the kernel tier [`masked_sum`]/[`masked_scale`] resolve to on
+/// this build and machine (`"avx2"` or `"words"`); benches record it next
+/// to their numbers.
+pub fn active_kernel() -> &'static str {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::available() {
+        return "avx2";
+    }
+    "words"
+}
+
+/// Masked sum through the fastest tier available. Bitwise identical to
+/// [`masked_sum_scalar`] on every tier.
+///
+/// # Panics
+///
+/// Panics if the mask is too short.
+pub fn masked_sum(x: &[f64], mask: &[u64]) -> f64 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if x.len() >= SIMD_MIN_ELEMS {
+        if let Some(total) = masked_sum_simd(x, mask) {
+            return total;
+        }
+    }
+    masked_sum_words(x, mask)
+}
+
+/// Masked scale through the fastest tier available. Bitwise identical to
+/// [`masked_scale_scalar`] on every tier.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or the mask is too short.
+pub fn masked_scale(x: &[f64], mask: &[u64], scale: f64, out: &mut [f64]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if x.len() >= SIMD_MIN_ELEMS && masked_scale_simd(x, mask, scale, out) {
+        return;
+    }
+    masked_scale_words(x, mask, scale, out);
+}
+
+/// One whole Eq.-2 slot for one allocator, writing into caller-owned
+/// storage and never allocating: `out[j] = I_j · w_j · capacity / Σ I·w`.
+/// Returns `false` (zeroing `out`) when nothing can be allocated — zero or
+/// non-finite total weight, or non-positive capacity — and `true` when the
+/// full capacity was divided.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or the mask is too short.
+pub fn normalize_masked_into(
+    weights: &[f64],
+    mask: &[u64],
+    capacity: f64,
+    out: &mut [f64],
+) -> bool {
+    assert_eq!(weights.len(), out.len(), "normalize length mismatch");
+    let total = masked_sum(weights, mask);
+    // Written as negated comparisons on purpose: a NaN total (poisoned
+    // credit row) must take the zeroing branch, which `total <= 0.0` or a
+    // `partial_cmp` rewrite would silently stop doing.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(total > 0.0) || !(capacity > 0.0) || !total.is_finite() {
+        out.fill(0.0);
+        return false;
+    }
+    masked_scale(weights, mask, capacity / total, out);
+    true
+}
+
+/// Unmasked 4-lane sum (the canonical order with an all-ones mask); the
+/// engine's statistics pass and the runtimes' scratch-based share splits
+/// use it so their totals match the kernel spec.
+pub fn sum_lanes(x: &[f64]) -> f64 {
+    let mut acc = [0.0f64; LANES];
+    for (i, &v) in x.iter().enumerate() {
+        acc[i & 3] += v;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slab(len: usize, seed: u64) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(seed);
+                (h % 1000) as f64 / 7.0
+            })
+            .collect()
+    }
+
+    fn pattern_mask(len: usize, kind: usize) -> Vec<u64> {
+        let mut words = vec![0u64; words_for(len)];
+        for i in (0..len).filter(|&i| match kind {
+            0 => false,
+            1 => true,
+            2 => i % 3 == 0,
+            3 => i < len / 2,
+            _ => (i / 64) % 2 == 0,
+        }) {
+            words[i >> 6] |= 1u64 << (i & 63);
+        }
+        words
+    }
+
+    #[test]
+    fn word_tier_matches_scalar_bitwise() {
+        for len in [0usize, 1, 3, 4, 63, 64, 65, 127, 128, 200, 1000] {
+            let x = slab(len, 7);
+            for kind in 0..5 {
+                let mask = pattern_mask(len, kind);
+                let want = masked_sum_scalar(&x, &mask);
+                let got = masked_sum_words(&x, &mask);
+                assert_eq!(got.to_bits(), want.to_bits(), "sum len={len} kind={kind}");
+
+                let mut want_out = vec![f64::NAN; len];
+                let mut got_out = vec![f64::NAN; len];
+                masked_scale_scalar(&x, &mask, 0.37, &mut want_out);
+                masked_scale_words(&x, &mask, 0.37, &mut got_out);
+                for (a, b) in want_out.iter().zip(&got_out) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "scale len={len} kind={kind}");
+                }
+            }
+        }
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[test]
+    fn simd_tier_matches_scalar_bitwise() {
+        for len in [0usize, 4, 64, 65, 127, 128, 200, 1000, 4096] {
+            let x = slab(len, 13);
+            for kind in 0..5 {
+                let mask = pattern_mask(len, kind);
+                let want = masked_sum_scalar(&x, &mask);
+                if let Some(got) = masked_sum_simd(&x, &mask) {
+                    assert_eq!(got.to_bits(), want.to_bits(), "sum len={len} kind={kind}");
+                }
+                let mut want_out = vec![f64::NAN; len];
+                let mut got_out = vec![f64::NAN; len];
+                masked_scale_scalar(&x, &mask, 1.0 / 3.0, &mut want_out);
+                if masked_scale_simd(&x, &mask, 1.0 / 3.0, &mut got_out) {
+                    for (a, b) in want_out.iter().zip(&got_out) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "scale len={len} kind={kind}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_divides_full_capacity() {
+        let x = [3.0, 1.0, 4.0, 0.0, 2.0];
+        let mask = [0b10111u64]; // users 0, 1, 2, 4
+        let mut out = [f64::NAN; 5];
+        assert!(normalize_masked_into(&x, &mask, 100.0, &mut out));
+        assert_eq!(out[0], 30.0);
+        assert_eq!(out[1], 10.0);
+        assert_eq!(out[2], 40.0);
+        assert_eq!(out[3], 0.0);
+        assert_eq!(out[4], 20.0);
+    }
+
+    #[test]
+    fn normalize_degenerate_cases_zero_out() {
+        let x = [1.0, 2.0];
+        let mut out = [f64::NAN; 2];
+        assert!(!normalize_masked_into(&x, &[0u64], 100.0, &mut out));
+        assert_eq!(out, [0.0, 0.0]);
+        out = [f64::NAN; 2];
+        assert!(!normalize_masked_into(&x, &[0b11u64], 0.0, &mut out));
+        assert_eq!(out, [0.0, 0.0]);
+        out = [f64::NAN; 2];
+        assert!(!normalize_masked_into(
+            &[0.0, 0.0],
+            &[0b11u64],
+            5.0,
+            &mut out
+        ));
+        assert_eq!(out, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn sum_lanes_is_all_ones_masked_sum() {
+        for len in [0usize, 1, 5, 64, 333] {
+            let x = slab(len, 3);
+            let mask = vec![u64::MAX; words_for(len)];
+            assert_eq!(
+                sum_lanes(&x).to_bits(),
+                masked_sum_scalar(&x, &mask).to_bits(),
+                "len={len}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mask too short")]
+    fn short_mask_panics() {
+        masked_sum_scalar(&[1.0; 65], &[0u64]);
+    }
+}

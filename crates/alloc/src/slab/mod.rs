@@ -1,0 +1,139 @@
+//! Struct-of-arrays slab allocator engine — Eq. 2 at million-user scale.
+//!
+//! The original `rules.rs`/`ledger.rs` pair evaluates the paper's
+//! allocation rules over a dense `n × n` matrix with per-call `Vec`
+//! allocations, which caps fairness experiments at tens of peers. This
+//! module is the same math restructured as bulk array code:
+//!
+//! * [`mask`] — packed `u64` request bitmasks (`I_j(t)` for a whole slot);
+//! * [`kernels`] — the masked weighted-normalize inner loop (Eq. 2's
+//!   `out_j = I_j w_j · c/Σ I w`) as scalar / word-at-a-time / AVX2 tiers,
+//!   differentially pinned bitwise-identical;
+//! * [`SparseRow`] — a sorted `(u32 index, f64 value)` row, the O(active
+//!   pairs) storage behind [`ContributionLedger`](crate::ContributionLedger);
+//! * [`engine`] — [`SlotEngine`](engine::SlotEngine), the sharded
+//!   million-user slot simulator stepping independent peer shards in
+//!   parallel via `asymshare-par`.
+//!
+//! See `DESIGN.md` §10 for the slab layout and shard-boundary rationale.
+
+pub mod engine;
+pub mod kernels;
+pub mod mask;
+
+pub use engine::{EngineConfig, EngineReport, SlotEngine, SlotStats};
+pub use kernels::{active_kernel, masked_scale, masked_sum, normalize_masked_into, sum_lanes};
+pub use mask::{gather_mask, RequestMask};
+
+/// A sparse row: parallel sorted arrays of `u32` indices and `f64` values,
+/// the struct-of-arrays building block for O(active pairs) credit storage.
+/// Indices not present carry an implicit caller-supplied baseline value
+/// (the ledger's uniform initial credit), so a freshly seeded million-peer
+/// ledger stores nothing at all.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseRow {
+    idx: Vec<u32>,
+    val: Vec<f64>,
+}
+
+impl SparseRow {
+    /// An empty row.
+    pub fn new() -> SparseRow {
+        SparseRow::default()
+    }
+
+    /// Number of materialized entries.
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Whether no entries are materialized.
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// The materialized indices, ascending.
+    pub fn indices(&self) -> &[u32] {
+        &self.idx
+    }
+
+    /// The values parallel to [`indices`](Self::indices).
+    pub fn values(&self) -> &[f64] {
+        &self.val
+    }
+
+    /// The value at `i`, or `baseline` if `i` is not materialized.
+    #[inline]
+    pub fn get(&self, i: u32, baseline: f64) -> f64 {
+        match self.idx.binary_search(&i) {
+            Ok(pos) => self.val[pos],
+            Err(_) => baseline,
+        }
+    }
+
+    /// Adds `amount` to entry `i`, materializing it at `baseline` first if
+    /// absent.
+    #[inline]
+    pub fn add(&mut self, i: u32, baseline: f64, amount: f64) {
+        match self.idx.binary_search(&i) {
+            Ok(pos) => self.val[pos] += amount,
+            Err(pos) => {
+                self.idx.insert(pos, i);
+                self.val.insert(pos, baseline + amount);
+            }
+        }
+    }
+
+    /// Multiplies every materialized value by `factor` (the baseline is the
+    /// caller's to scale).
+    pub fn scale(&mut self, factor: f64) {
+        for v in &mut self.val {
+            *v *= factor;
+        }
+    }
+}
+
+/// Caller-owned scratch for the zero-allocation allocate path
+/// ([`allocate_into`](crate::allocate_into)): a reusable weight row and
+/// request mask that settle at their high-water marks after the first slot.
+#[derive(Debug, Clone, Default)]
+pub struct AllocScratch {
+    /// Dense per-user weight row (`w_j` for the active rule).
+    pub weights: Vec<f64>,
+    /// Packed request mask for the slot.
+    pub mask: RequestMask,
+}
+
+impl AllocScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> AllocScratch {
+        AllocScratch::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_row_baseline_and_materialization() {
+        let mut row = SparseRow::new();
+        assert_eq!(row.get(7, 1.5), 1.5, "absent entries read the baseline");
+        row.add(7, 1.5, 2.0);
+        assert_eq!(row.get(7, 1.5), 3.5, "baseline + amount on first touch");
+        row.add(3, 1.5, 0.5);
+        assert_eq!(row.indices(), &[3, 7], "kept sorted");
+        row.add(7, 1.5, 1.0);
+        assert_eq!(row.get(7, 1.5), 4.5);
+        assert_eq!(row.len(), 2);
+    }
+
+    #[test]
+    fn sparse_row_scale_touches_only_materialized() {
+        let mut row = SparseRow::new();
+        row.add(0, 2.0, 2.0);
+        row.scale(0.5);
+        assert_eq!(row.get(0, 2.0), 2.0);
+        assert_eq!(row.get(1, 2.0), 2.0, "baseline untouched by row scale");
+    }
+}

@@ -1,0 +1,336 @@
+//! Differential property tests for the slab allocator: the vectorized
+//! kernel tiers must be *bitwise* identical to the scalar reference, and
+//! the zero-allocation [`allocate_into`] path must agree with a
+//! straight-line reimplementation of the legacy per-slot allocator to
+//! floating-point tolerance (the kernels use a fixed 4-lane accumulator,
+//! the legacy loop a single accumulator, so sums differ in the last ulps).
+//!
+//! Also pinned here: the allocation invariant `Σ_j out[j] ≤ capacity`
+//! with equality exactly when some requester carries positive weight, and
+//! logical equivalence of the sparse [`ContributionLedger`] against a
+//! dense `n × n` shadow matrix under random credit/discount interleavings.
+
+use asymshare_alloc::slab::kernels::{
+    masked_scale_scalar, masked_scale_words, masked_sum_scalar, masked_sum_words,
+};
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+use asymshare_alloc::slab::kernels::{masked_scale_simd, masked_sum_simd};
+use asymshare_alloc::{
+    allocate, allocate_into, AllocScratch, AllocationInputs, ContributionLedger, RuleKind,
+};
+use proptest::prelude::*;
+
+/// Packs per-element request booleans into mask words the way the slab
+/// engine stores them (bit `j % 64` of word `j / 64`).
+fn pack_mask(bits: &[bool]) -> Vec<u64> {
+    let mut words = vec![0u64; bits.len().div_ceil(64)];
+    for (j, &b) in bits.iter().enumerate() {
+        if b {
+            words[j / 64] |= 1u64 << (j % 64);
+        }
+    }
+    words
+}
+
+/// The pre-slab allocator, re-derived from Eq. 2/3 as straight-line code:
+/// select weights by rule, zero non-requesters, single-accumulator sum,
+/// proportional split. Kept deliberately naive — it is the semantic oracle
+/// the optimized path is measured against.
+fn legacy_allocate(rule: RuleKind, inputs: &AllocationInputs<'_>) -> Vec<f64> {
+    let n = inputs.requesting.len();
+    let weights: Vec<f64> = (0..n)
+        .map(|j| {
+            if !inputs.requesting[j] {
+                return 0.0;
+            }
+            match rule {
+                RuleKind::PeerWise => inputs.ledger.cumulative(j, inputs.allocator),
+                RuleKind::GlobalProportional => inputs.declared[j].max(0.0),
+                RuleKind::EqualSplit => 1.0,
+            }
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    // Negated on purpose, mirroring the kernel: NaN must zero the row.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(total > 0.0) || !(inputs.capacity > 0.0) || !total.is_finite() {
+        return vec![0.0; n];
+    }
+    weights
+        .iter()
+        .map(|&w| inputs.capacity * w / total)
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    capacity: f64,
+    requesting: Vec<bool>,
+    declared: Vec<f64>,
+    /// Sparse credit entries `(from, to, amount)` applied to the ledger.
+    credits: Vec<(usize, usize, f64)>,
+    allocator: usize,
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (1usize..96).prop_flat_map(|n| {
+        (
+            // Roughly one instance in eight gets zero capacity, so the
+            // degenerate "nothing to divide" branch is always exercised.
+            0u8..8,
+            0.0f64..5_000.0,
+            proptest::collection::vec(any::<bool>(), n),
+            // Mix in negative declarations to exercise the mask-clearing
+            // equivalent of the legacy `.max(0.0)` clamp.
+            proptest::collection::vec(-200.0f64..2_000.0, n),
+            proptest::collection::vec((0..n, 0..n, 0.0f64..500.0), 0..32),
+            0..n,
+        )
+            .prop_map(
+                |(zero_cap, capacity, requesting, declared, credits, allocator)| Instance {
+                    capacity: if zero_cap == 0 { 0.0 } else { capacity },
+                    requesting,
+                    declared,
+                    credits,
+                    allocator,
+                },
+            )
+    })
+}
+
+fn build_ledger(inst: &Instance) -> ContributionLedger {
+    let mut ledger = ContributionLedger::new(inst.requesting.len(), 0.0);
+    for &(from, to, amount) in &inst.credits {
+        if from != to {
+            ledger.credit(from, to, amount);
+        }
+    }
+    ledger
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The word-at-a-time masked-sum tier is bitwise identical to the
+    /// 4-lane scalar reference on arbitrary values and mask patterns.
+    #[test]
+    fn masked_sum_word_tier_bitwise(
+        x in proptest::collection::vec(0.0f64..1e9, 0..300),
+        mask_seed in any::<u64>(),
+    ) {
+        let bits: Vec<bool> = (0..x.len())
+            .map(|j| (mask_seed.rotate_left(j as u32 % 64)) & 1 == 1)
+            .collect();
+        let mask = pack_mask(&bits);
+        let reference = masked_sum_scalar(&x, &mask);
+        prop_assert_eq!(masked_sum_words(&x, &mask).to_bits(), reference.to_bits());
+        #[cfg(feature = "simd")]
+        if let Some(simd) = masked_sum_simd(&x, &mask) {
+            prop_assert_eq!(simd.to_bits(), reference.to_bits());
+        }
+    }
+
+    /// Same bitwise pin for the masked-scale tiers, including the
+    /// all-zero-word and all-ones-word fast paths.
+    #[test]
+    fn masked_scale_word_tier_bitwise(
+        x in proptest::collection::vec(0.0f64..1e9, 0..300),
+        scale in 1e-6f64..1e6,
+        mask_seed in any::<u64>(),
+    ) {
+        let bits: Vec<bool> = (0..x.len())
+            .map(|j| (mask_seed >> (j % 64)) & 1 == 1)
+            .collect();
+        let mask = pack_mask(&bits);
+        let mut reference = vec![0.0f64; x.len()];
+        let mut words = vec![1.0f64; x.len()];
+        masked_scale_scalar(&x, &mask, scale, &mut reference);
+        masked_scale_words(&x, &mask, scale, &mut words);
+        let ref_bits: Vec<u64> = reference.iter().map(|v| v.to_bits()).collect();
+        let word_bits: Vec<u64> = words.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(&word_bits, &ref_bits);
+        #[cfg(feature = "simd")]
+        {
+            let mut simd = vec![2.0f64; x.len()];
+            if masked_scale_simd(&x, &mask, scale, &mut simd) {
+                let simd_bits: Vec<u64> = simd.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(&simd_bits, &ref_bits);
+            }
+        }
+    }
+
+    /// `allocate_into` (and hence the thin `allocate` wrapper) agrees with
+    /// the legacy oracle across all three rules, arbitrary request masks,
+    /// sparse credit histories, negative declarations, and degenerate
+    /// capacities — to relative FP tolerance, since the kernels commit to
+    /// a 4-lane accumulation order the legacy loop never had.
+    #[test]
+    fn allocate_into_matches_legacy_oracle(inst in arb_instance()) {
+        let ledger = build_ledger(&inst);
+        let inputs = AllocationInputs {
+            allocator: inst.allocator,
+            capacity: inst.capacity,
+            requesting: &inst.requesting,
+            declared: &inst.declared,
+            ledger: &ledger,
+        };
+        let mut scratch = AllocScratch::new();
+        for rule in [RuleKind::PeerWise, RuleKind::GlobalProportional, RuleKind::EqualSplit] {
+            let oracle = legacy_allocate(rule, &inputs);
+            let mut out = vec![f64::NAN; inst.requesting.len()];
+            let divided = allocate_into(rule, &inputs, &mut scratch, &mut out);
+            let wrapper = allocate(rule, &inputs);
+            for j in 0..out.len() {
+                let tol = 1e-9 * oracle[j].abs().max(1.0);
+                prop_assert!(
+                    (out[j] - oracle[j]).abs() <= tol,
+                    "{rule:?} user {j}: slab {} vs legacy {}",
+                    out[j], oracle[j]
+                );
+                prop_assert_eq!(out[j].to_bits(), wrapper[j].to_bits());
+            }
+            // `divided` reports whether capacity was split, which happens
+            // exactly when the oracle hands out positive bandwidth.
+            prop_assert_eq!(divided, oracle.iter().any(|&v| v > 0.0));
+        }
+    }
+
+    /// The allocation invariant: `Σ_j out[j] ≤ capacity`, with equality
+    /// (to FP tolerance) exactly when the rule found positive weight among
+    /// requesters — otherwise the row is identically zero.
+    #[test]
+    fn allocation_conserves_capacity(inst in arb_instance()) {
+        let ledger = build_ledger(&inst);
+        let inputs = AllocationInputs {
+            allocator: inst.allocator,
+            capacity: inst.capacity,
+            requesting: &inst.requesting,
+            declared: &inst.declared,
+            ledger: &ledger,
+        };
+        let mut scratch = AllocScratch::new();
+        for rule in [RuleKind::PeerWise, RuleKind::GlobalProportional, RuleKind::EqualSplit] {
+            let mut out = vec![0.0f64; inst.requesting.len()];
+            let divided = allocate_into(rule, &inputs, &mut scratch, &mut out);
+            let total: f64 = out.iter().sum();
+            let slack = 1e-9 * inst.capacity.max(1.0);
+            prop_assert!(total <= inst.capacity + slack, "{rule:?}: {total} > {}", inst.capacity);
+            prop_assert!(out.iter().all(|&v| v >= 0.0), "{rule:?}: negative allocation");
+            for (j, &req) in inst.requesting.iter().enumerate() {
+                if !req {
+                    prop_assert_eq!(out[j], 0.0, "{:?}: unrequested service to {}", rule, j);
+                }
+            }
+            if divided {
+                prop_assert!(
+                    (total - inst.capacity).abs() <= slack,
+                    "{rule:?}: divided but {total} != {}", inst.capacity
+                );
+            } else {
+                prop_assert!(out.iter().all(|&v| v == 0.0), "{rule:?}: partial division");
+            }
+        }
+    }
+
+    /// The sparse receiver-row ledger is logically identical to a dense
+    /// `n × n` matrix under arbitrary interleavings of credits and
+    /// discounts, and its memory stays proportional to the pairs touched.
+    #[test]
+    fn sparse_ledger_matches_dense_shadow(
+        n in 1usize..24,
+        initial in 0.0f64..10.0,
+        ops in proptest::collection::vec((any::<u16>(), any::<u16>(), 0.0f64..100.0, any::<bool>()), 0..64),
+    ) {
+        let mut ledger = ContributionLedger::new(n, initial);
+        let mut dense = vec![vec![initial; n]; n];
+        let mut touched = std::collections::HashSet::new();
+        for &(from, to, amount, is_discount) in &ops {
+            if is_discount {
+                // Discount factors in (0, 1]: reuse `amount` as a fraction.
+                let factor = 1.0 - (amount / 100.0) * 0.5;
+                ledger.discount(factor);
+                for row in &mut dense {
+                    for cell in row.iter_mut() {
+                        *cell *= factor;
+                    }
+                }
+            } else {
+                let from = from as usize % n;
+                let to = to as usize % n;
+                if from == to {
+                    continue;
+                }
+                ledger.credit(from, to, amount);
+                dense[from][to] += amount;
+                touched.insert((from, to));
+            }
+        }
+        for (from, dense_row) in dense.iter().enumerate() {
+            for (to, &cell) in dense_row.iter().enumerate() {
+                prop_assert_eq!(
+                    ledger.cumulative(from, to).to_bits(),
+                    cell.to_bits(),
+                    "cell ({}, {})", from, to
+                );
+            }
+        }
+        prop_assert!(ledger.active_pairs() <= touched.len());
+    }
+}
+
+#[test]
+fn empty_population_allocates_nothing() {
+    let ledger = ContributionLedger::new(0, 0.0);
+    let inputs = AllocationInputs {
+        allocator: 0,
+        capacity: 100.0,
+        requesting: &[],
+        declared: &[],
+        ledger: &ledger,
+    };
+    let mut out = [0.0f64; 0];
+    assert!(!allocate_into(
+        RuleKind::PeerWise,
+        &inputs,
+        &mut AllocScratch::new(),
+        &mut out
+    ));
+    assert!(allocate(RuleKind::EqualSplit, &inputs).is_empty());
+}
+
+#[test]
+fn zero_capacity_and_no_requesters_zero_out() {
+    let ledger = ContributionLedger::new(3, 1.0);
+    let declared = [10.0, 10.0, 10.0];
+    let mut scratch = AllocScratch::new();
+    let mut out = [f64::NAN; 3];
+    // Zero capacity: weights exist but there is nothing to divide.
+    assert!(!allocate_into(
+        RuleKind::PeerWise,
+        &AllocationInputs {
+            allocator: 0,
+            capacity: 0.0,
+            requesting: &[true, true, true],
+            declared: &declared,
+            ledger: &ledger,
+        },
+        &mut scratch,
+        &mut out
+    ));
+    assert_eq!(out, [0.0; 3]);
+    // No requesters: capacity exists but nobody asked.
+    let mut out = [f64::NAN; 3];
+    assert!(!allocate_into(
+        RuleKind::GlobalProportional,
+        &AllocationInputs {
+            allocator: 0,
+            capacity: 500.0,
+            requesting: &[false, false, false],
+            declared: &declared,
+            ledger: &ledger,
+        },
+        &mut scratch,
+        &mut out
+    ));
+    assert_eq!(out, [0.0; 3]);
+}

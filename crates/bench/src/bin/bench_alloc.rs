@@ -1,0 +1,179 @@
+//! Committed allocator baseline: slot throughput of the sharded slab
+//! engine (Eq. 2 over packed request masks and flat credit rows) at three
+//! user scales against 10K peers, written to `BENCH_alloc.json` so
+//! allocator regressions show up as a diff against the checked-in numbers.
+//!
+//! Each scale runs a seeded `SlotEngine` — demand sampling, the masked
+//! weighted-normalize kernels, the per-shard credit update, the ordered
+//! per-user merge, and the per-slot Jain statistic all inside the timed
+//! region — and reports slots/sec plus users/sec (slots/sec × users). A
+//! counting global allocator reports heap allocations per slot at steady
+//! state, pinning the "never allocates on the slot path" property (modulo
+//! scoped-thread spawns when the machine has more than one core). Run with
+//! `--quick` for one sample at reduced slot counts, from the repo root:
+//!
+//! ```text
+//! cargo run --release -p asymshare-bench --bin bench_alloc
+//! ```
+
+use asymshare_alloc::slab::active_kernel;
+use asymshare_alloc::{EngineConfig, SlotEngine};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `System` wrapped with an allocation counter, so the bench can report
+/// allocations per slot at steady state.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter is a plain atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const PEERS: usize = 10_000;
+const OUT_PATH: &str = "BENCH_alloc.json";
+
+/// One benchmark scale: user count and how many slots to time.
+struct Scale {
+    users: usize,
+    slots_full: u64,
+    slots_quick: u64,
+}
+
+const SCALES: [Scale; 3] = [
+    Scale {
+        users: 1_000,
+        slots_full: 256,
+        slots_quick: 64,
+    },
+    Scale {
+        users: 100_000,
+        slots_full: 32,
+        slots_quick: 8,
+    },
+    Scale {
+        users: 1_000_000,
+        slots_full: 8,
+        slots_quick: 2,
+    },
+];
+
+struct ScaleResult {
+    users: usize,
+    slots: u64,
+    edges: usize,
+    slots_per_sec: f64,
+    users_per_sec: f64,
+    mean_jain: f64,
+    allocs_per_slot: f64,
+}
+
+/// Committed-throughput statistic: the minimum over samples is conservative
+/// and position-aligned with a fresh single-sample `--quick` process.
+fn minimum(xs: Vec<f64>) -> f64 {
+    xs.into_iter().fold(f64::INFINITY, f64::min)
+}
+
+fn run_scale(scale: &Scale, quick: bool, samples: usize) -> ScaleResult {
+    let slots = if quick {
+        scale.slots_quick
+    } else {
+        scale.slots_full
+    };
+    let mut per_sample = Vec::with_capacity(samples);
+    let mut mean_jain = 1.0;
+    let mut edges = 0;
+    let mut allocs_per_slot = 0.0;
+    for sample in 0..samples {
+        let mut engine =
+            SlotEngine::new(EngineConfig::new(scale.users, PEERS).with_seed(0xBE + sample as u64));
+        edges = engine.edges();
+        // Warmup slots: scratch buffers grow to their high-water marks,
+        // branch history and page tables settle.
+        engine.run(2);
+        let allocs0 = ALLOCS.load(Ordering::Relaxed);
+        let report = engine.run(slots);
+        let allocs = ALLOCS.load(Ordering::Relaxed) - allocs0;
+        per_sample.push((report.slots_per_sec(), report.users_per_sec()));
+        mean_jain = report.mean_jain();
+        allocs_per_slot = allocs as f64 / slots as f64;
+    }
+    ScaleResult {
+        users: scale.users,
+        slots,
+        edges,
+        slots_per_sec: minimum(per_sample.iter().map(|s| s.0).collect()),
+        users_per_sec: minimum(per_sample.iter().map(|s| s.1).collect()),
+        mean_jain,
+        allocs_per_slot,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 1 } else { 3 };
+    println!(
+        "slab allocator bench: {PEERS} peers, kernel `{}`, {samples} sample(s) per scale",
+        active_kernel()
+    );
+
+    let mut results = Vec::new();
+    for scale in &SCALES {
+        let r = run_scale(scale, quick, samples);
+        println!(
+            "  {:>9} users x {PEERS} peers ({:>8} edges): {:>10.1} slots/s, {:>13.0} users/s, jain {:.3}, {:.1} allocs/slot",
+            r.users, r.edges, r.slots_per_sec, r.users_per_sec, r.mean_jain, r.allocs_per_slot
+        );
+        results.push(r);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"config\": {{");
+    let _ = writeln!(json, "    \"peers\": {PEERS},");
+    let _ = writeln!(json, "    \"edges_per_user\": 4,");
+    let _ = writeln!(json, "    \"rule\": \"PeerWise\",");
+    let _ = writeln!(json, "    \"kernel\": \"{}\",", active_kernel());
+    let _ = writeln!(json, "    \"samples\": {samples},");
+    let _ = writeln!(json, "    \"statistic\": \"min of samples\"");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"scales\": [");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"users\": {},", r.users);
+        let _ = writeln!(json, "      \"slots\": {},", r.slots);
+        let _ = writeln!(json, "      \"edges\": {},", r.edges);
+        let _ = writeln!(json, "      \"slots_per_sec\": {:.1},", r.slots_per_sec);
+        let _ = writeln!(json, "      \"users_per_sec\": {:.0},", r.users_per_sec);
+        let _ = writeln!(json, "      \"mean_jain\": {:.4},", r.mean_jain);
+        let _ = writeln!(json, "      \"allocs_per_slot\": {:.1}", r.allocs_per_slot);
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    std::fs::write(OUT_PATH, &json).expect("write BENCH_alloc.json");
+    println!("wrote {OUT_PATH}");
+}

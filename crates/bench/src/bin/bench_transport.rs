@@ -312,12 +312,14 @@ fn main() {
     for _ in 0..cycles {
         plain_runs.push(run_once(&owner, &batches, observed_net()).0.mb_per_s);
         let net = observed_net();
-        let monitor = HealthMonitor::spawn(&net, HealthConfig::default(), Duration::from_millis(50));
+        let monitor =
+            HealthMonitor::spawn(&net, HealthConfig::default(), Duration::from_millis(50));
         health_runs.push(run_once(&owner, &batches, net).0.mb_per_s);
         last_report = Some(monitor.shutdown());
         plain_runs.push(run_once(&owner, &batches, observed_net()).0.mb_per_s);
         let net = observed_net();
-        let monitor = HealthMonitor::spawn(&net, HealthConfig::default(), Duration::from_millis(50));
+        let monitor =
+            HealthMonitor::spawn(&net, HealthConfig::default(), Duration::from_millis(50));
         health_runs.push(run_once(&owner, &batches, net).0.mb_per_s);
         monitor.shutdown();
     }

@@ -419,6 +419,27 @@ fn render_top(network: &asymshare::rt::RtNetwork, elapsed: std::time::Duration) 
         "pool hit rate {hit_rate:.0}%   coalesce {coalesce:.1} frames/datagram   events dropped {}\n",
         network.events().dropped_events()
     ));
+    // Allocator throughput: Eq.-2 pass count and mean pass latency from
+    // the peer hosts (also exported verbatim on /metrics).
+    let passes = snap.counter("alloc.passes").unwrap_or(0);
+    let pass_us = snap
+        .histogram("alloc.pass_us")
+        .map(|h| {
+            if h.count > 0 {
+                h.sum as f64 / h.count as f64
+            } else {
+                0.0
+            }
+        })
+        .unwrap_or(0.0);
+    if passes > 0 {
+        out.push_str(&format!(
+            "alloc: {} Eq.-2 passes   mean pass {:.0} µs   ({:.0} passes/s sustained)\n",
+            passes,
+            pass_us,
+            passes as f64 / secs
+        ));
+    }
     match network.health_report() {
         Some(report) => {
             out.push_str(&format!(
@@ -708,8 +729,14 @@ mod tests {
 
     #[test]
     fn trace_demo_renders_waterfall() {
-        run(&s(&["trace", "--peers", "3", "--size", "32768", "--width", "48"])).unwrap();
-        run(&s(&["trace", "--peers", "3", "--size", "32768", "--faults"])).unwrap();
+        run(&s(&[
+            "trace", "--peers", "3", "--size", "32768", "--width", "48",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "trace", "--peers", "3", "--size", "32768", "--faults",
+        ]))
+        .unwrap();
         assert!(run(&s(&["trace", "--peers", "1"])).is_err());
         assert!(run(&s(&["trace", "--size", "0"])).is_err());
     }
@@ -717,7 +744,14 @@ mod tests {
     #[test]
     fn top_once_completes_with_listener() {
         run(&s(&[
-            "top", "--peers", "2", "--size", "32768", "--once", "--listen", "127.0.0.1:0",
+            "top",
+            "--peers",
+            "2",
+            "--size",
+            "32768",
+            "--once",
+            "--listen",
+            "127.0.0.1:0",
         ]))
         .unwrap();
         assert!(run(&s(&["top", "--peers", "1"])).is_err());

@@ -63,6 +63,8 @@ impl PeerHost {
                 let served_bytes = metrics.counter("rt.host.served_bytes");
                 let coalesce_frames = metrics.histogram("rt.host.coalesce_frames");
                 let debt_bytes = metrics.histogram("rt.host.debt_bytes");
+                let alloc_pass_us = metrics.histogram("alloc.pass_us");
+                let alloc_passes = metrics.counter("alloc.passes");
                 let events = net.events().clone();
                 // Fairness telemetry is time-gated so a millisecond tick
                 // does not flood the event ring.
@@ -71,6 +73,8 @@ impl PeerHost {
                 // Reused across ticks so steady-state serving allocates
                 // nothing; holds cheap message handles, not payload bytes.
                 let mut batch: Vec<Wire> = Vec::with_capacity(MAX_COALESCE);
+                // Eq.-2 weight row, likewise reused across ticks.
+                let mut weights: Vec<f64> = Vec::new();
                 loop {
                     if shutdown_rx.try_recv().is_ok() {
                         break;
@@ -113,14 +117,12 @@ impl PeerHost {
                     if available <= 0.0 {
                         continue;
                     }
-                    let weights: Vec<f64> = conns
-                        .iter()
-                        .map(|&c| {
-                            peer.session_user(c)
-                                .map(|key| peer.upload_weight(&key))
-                                .unwrap_or(0.0)
-                        })
-                        .collect();
+                    weights.clear();
+                    weights.extend(conns.iter().map(|&c| {
+                        peer.session_user(c)
+                            .map(|key| peer.upload_weight(&key))
+                            .unwrap_or(0.0)
+                    }));
                     let total: f64 = weights.iter().sum();
                     if total <= 0.0 {
                         continue;
@@ -187,6 +189,8 @@ impl PeerHost {
                             peer.disconnect(conn);
                         }
                     }
+                    alloc_passes.inc();
+                    alloc_pass_us.record(now.elapsed().as_micros() as u64);
                 }
                 peer
             })

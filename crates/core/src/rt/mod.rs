@@ -462,7 +462,10 @@ fn reassign(
         events.emit(
             "rt.heal",
             "reassign",
-            &[("target", target.into()), ("deprioritized", deprioritized.into())],
+            &[
+                ("target", target.into()),
+                ("deprioritized", deprioritized.into()),
+            ],
         );
     }
 }

@@ -100,14 +100,14 @@ mod tests {
     #[test]
     fn monitor_samples_and_scores() {
         let net = RtNetwork::with_observability(Registry::new(), EventSink::new());
-        let monitor = HealthMonitor::spawn(
-            &net,
-            HealthConfig::default(),
-            Duration::from_millis(10),
-        );
+        let monitor =
+            HealthMonitor::spawn(&net, HealthConfig::default(), Duration::from_millis(10));
         for _ in 0..8 {
-            net.events()
-                .emit("rt.download", "window", &[("peer", 9u64.into()), ("msgs", 50u64.into())]);
+            net.events().emit(
+                "rt.download",
+                "window",
+                &[("peer", 9u64.into()), ("msgs", 50u64.into())],
+            );
             std::thread::sleep(Duration::from_millis(12));
         }
         let report = monitor.shutdown();

@@ -343,12 +343,9 @@ impl RtNetwork {
                 .events
                 .emit_at(ts, "health", "alert", &alert.to_fields());
         }
-        self.obs.events.emit_at(
-            ts,
-            "health",
-            "window",
-            &[("alerts", alerts.len().into())],
-        );
+        self.obs
+            .events
+            .emit_at(ts, "health", "window", &[("alerts", alerts.len().into())]);
         for peer in h.engine.report().peers {
             self.obs
                 .metrics
@@ -886,8 +883,11 @@ mod tests {
         // Clean warmup windows: peer 41 sends healthy traffic.
         for _ in 0..6 {
             for _ in 0..20 {
-                net.events()
-                    .emit("rt.download", "window", &[("peer", 41u64.into()), ("msgs", 20u64.into())]);
+                net.events().emit(
+                    "rt.download",
+                    "window",
+                    &[("peer", 41u64.into()), ("msgs", 20u64.into())],
+                );
             }
             assert_eq!(net.evaluate_health(), Some(0));
         }

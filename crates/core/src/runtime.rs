@@ -20,7 +20,7 @@ use asymshare_netsim::{
 };
 use asymshare_obs::health::{HealthConfig, HealthEngine, HealthReport};
 use asymshare_obs::stream::EventCursor;
-use asymshare_obs::{Counter, EventSink, Histogram, Registry, Snapshot};
+use asymshare_obs::{Counter, EventSink, Gauge, Histogram, Registry, Snapshot};
 use asymshare_rlnc::{
     ChunkedEncoder, CodecError, DigestKind, EncodedMessage, FileId, FileManifest, MessageId,
 };
@@ -182,6 +182,14 @@ struct SimObs {
     digest_rejections: Counter,
     /// Per-slot per-connection Eq.-2 budgets, bytes.
     alloc_budget_bytes: Histogram,
+    /// Wall-clock microseconds per Eq.-2 allocation pass (phase 1 of a
+    /// slot) — pure instrumentation, simulated time never observes it.
+    alloc_pass_us: Histogram,
+    /// Allocator throughput: slots per wall-clock second, from the last
+    /// pass's duration.
+    alloc_slots_per_sec: Gauge,
+    /// Allocation passes completed.
+    alloc_slots: Counter,
     /// Request-to-serve latency of digest-replacement round trips, µs.
     replacement_rtt_us: Histogram,
 }
@@ -194,6 +202,9 @@ impl SimObs {
             corruptions: metrics.counter("sim.deliver.corruptions"),
             digest_rejections: metrics.counter("sim.deliver.digest_rejections"),
             alloc_budget_bytes: metrics.histogram("sim.alloc.budget_bytes"),
+            alloc_pass_us: metrics.histogram("alloc.pass_us"),
+            alloc_slots_per_sec: metrics.gauge("alloc.slots_per_sec"),
+            alloc_slots: metrics.counter("alloc.slots"),
             replacement_rtt_us: metrics.histogram("sim.deliver.replacement_rtt_us"),
             metrics,
             events: EventSink::new(),
@@ -226,6 +237,9 @@ pub struct SimRuntime {
     rng: ChaChaRng,
     obs: SimObs,
     health: Option<SimHealth>,
+    /// Scratch for the per-slot allocation pass: `(conn, session, weight)`
+    /// triples, reused so slots allocate nothing at steady state.
+    alloc_conns: Vec<(u64, usize, f64)>,
 }
 
 impl SimRuntime {
@@ -245,6 +259,7 @@ impl SimRuntime {
             rng: ChaChaRng::new([0xE7; 32], *b"sim-runtime!"),
             obs: SimObs::default(),
             health: None,
+            alloc_conns: Vec::new(),
         }
     }
 
@@ -698,10 +713,16 @@ impl SimRuntime {
 
     /// Slot phase 1: every peer re-divides its uplink per Eq. 2 and starts
     /// bulk message flows within the accumulated per-connection deficits.
+    ///
+    /// The connection list is persistent scratch (`alloc_conns`), so the
+    /// per-slot pass allocates nothing at steady state; the arithmetic is
+    /// untouched, keeping seeded schedules byte-identical.
     fn start_bulk_bursts(&mut self) {
+        let pass_start = std::time::Instant::now();
+        let mut conns = std::mem::take(&mut self.alloc_conns);
         for p_idx in 0..self.participants.len() {
             // Gather this peer's active serving connections and weights.
-            let mut conns: Vec<(u64, usize, f64)> = Vec::new(); // (conn, session, weight)
+            conns.clear(); // (conn, session, weight)
             for (s_idx, session) in self.sessions.iter().enumerate() {
                 if session.finished_at.is_some() {
                     continue;
@@ -733,7 +754,7 @@ impl SimRuntime {
             let cap_bytes_per_slot =
                 self.participants[p_idx].up_kbps * 1_000.0 / 8.0 * self.cfg.slot_secs;
             let ts = self.net.now().as_secs();
-            for (conn, s_idx, w) in conns {
+            for &(conn, s_idx, w) in &conns {
                 let share = if total_w > 0.0 { w / total_w } else { 0.0 };
                 let budget = cap_bytes_per_slot * share;
                 self.obs.alloc_budget_bytes.record(budget as u64);
@@ -756,6 +777,13 @@ impl SimRuntime {
                 self.pump(p_idx, s_idx, conn);
             }
         }
+        self.alloc_conns = conns;
+        self.obs.alloc_slots.inc();
+        let pass_us = pass_start.elapsed().as_micros() as u64;
+        self.obs.alloc_pass_us.record(pass_us);
+        self.obs
+            .alloc_slots_per_sec
+            .set(1e6 / pass_us.max(1) as f64);
     }
 
     /// Starts bulk message flows on one connection while the accumulated

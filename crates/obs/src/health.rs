@@ -139,7 +139,13 @@ impl Baseline {
     /// Tests `x` against the current baseline, then folds `x` in. Returns
     /// `(mean_before, z)` where `z` uses a floored standard deviation;
     /// `None` while warming up.
-    fn test_and_update(&mut self, x: f64, alpha: f64, warmup: u32, std_floor: f64) -> Option<(f64, f64)> {
+    fn test_and_update(
+        &mut self,
+        x: f64,
+        alpha: f64,
+        warmup: u32,
+        std_floor: f64,
+    ) -> Option<(f64, f64)> {
         let result = if self.n >= warmup {
             let std = self.var.sqrt().max(std_floor).max(0.25 * self.mean.abs());
             Some((self.mean, (x - self.mean) / std))
@@ -231,7 +237,11 @@ impl HealthReport {
     /// Serializes to one JSON object (used by the `/health` endpoint).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"status\": ");
-        out.push_str(if self.all_healthy() { "\"ok\"" } else { "\"sick\"" });
+        out.push_str(if self.all_healthy() {
+            "\"ok\""
+        } else {
+            "\"sick\""
+        });
         out.push_str(&format!(
             ", \"windows\": {}, \"alerts\": {}, \"peers\": [",
             self.windows, self.total_alerts
@@ -287,20 +297,28 @@ impl HealthEngine {
     }
 
     fn field_u64(event: &Event, name: &str) -> Option<u64> {
-        event.fields.iter().find(|(n, _)| *n == name).and_then(|(_, v)| match v {
-            Value::U64(x) => Some(*x),
-            Value::I64(x) if *x >= 0 => Some(*x as u64),
-            _ => None,
-        })
+        event
+            .fields
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| match v {
+                Value::U64(x) => Some(*x),
+                Value::I64(x) if *x >= 0 => Some(*x as u64),
+                _ => None,
+            })
     }
 
     fn field_f64(event: &Event, name: &str) -> Option<f64> {
-        event.fields.iter().find(|(n, _)| *n == name).and_then(|(_, v)| match v {
-            Value::F64(x) => Some(*x),
-            Value::U64(x) => Some(*x as f64),
-            Value::I64(x) => Some(*x as f64),
-            _ => None,
-        })
+        event
+            .fields
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| match v {
+                Value::F64(x) => Some(*x),
+                Value::U64(x) => Some(*x as f64),
+                Value::I64(x) => Some(*x as f64),
+                _ => None,
+            })
     }
 
     /// Feeds one event into the current window. Events without a `peer`

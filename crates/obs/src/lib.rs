@@ -750,6 +750,7 @@ impl EventSink {
     /// the emitter's timeline), stamped at `ts` — pass the current time so
     /// the event log stays monotonic even for lifecycles reconstructed
     /// after the fact. Returns the new span's id (0 when disabled).
+    #[allow(clippy::too_many_arguments)] // span geometry + identity are all scalars
     pub fn emit_span_at(
         &self,
         ts: f64,
@@ -1142,7 +1143,10 @@ mod tests {
         assert_eq!(find(closed, "start"), Some(Value::F64(2.0)));
         assert_eq!(find(closed, "dur_us"), Some(Value::U64(3_000_000)));
         assert_eq!(find(closed, "parent"), Some(Value::U64(root_id)));
-        assert_eq!(sink.emit_span_at(0.0, 0.0, 0.0, "c", "k", None, &[]), id + 1);
+        assert_eq!(
+            sink.emit_span_at(0.0, 0.0, 0.0, "c", "k", None, &[]),
+            id + 1
+        );
         assert_eq!(
             EventSink::disabled().emit_span_at(0.0, 0.0, 1.0, "c", "k", None, &[]),
             0

@@ -199,7 +199,15 @@ impl TraceTree {
         out
     }
 
-    fn render_node(&self, idx: usize, depth: usize, t0: f64, range: f64, width: usize, out: &mut String) {
+    fn render_node(
+        &self,
+        idx: usize,
+        depth: usize,
+        t0: f64,
+        range: f64,
+        width: usize,
+        out: &mut String,
+    ) {
         let n = &self.nodes[idx];
         let mut name = format!("{}{}", "  ".repeat(depth), n.kind);
         if !n.label.is_empty() {

@@ -84,6 +84,51 @@ where
     })
 }
 
+/// Runs `f` over disjoint contiguous sub-slices of `data` in parallel, one
+/// scoped thread per slice, splitting into at most `max_slices` pieces
+/// (further capped by [`max_threads`] and `data.len()`).
+///
+/// Each invocation gets the starting index of its slice within `data`, so
+/// position-dependent work (e.g. filling a bitmask keyed by global index, or
+/// stepping the allocator's peer shards) needs no extra bookkeeping. Because
+/// the slices are disjoint `&mut` borrows, the result is deterministic
+/// regardless of thread scheduling. A panic in any worker propagates after
+/// the scope joins.
+pub fn for_each_slice_mut<T, F>(data: &mut [T], max_slices: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    let workers = max_threads().min(max_slices).min(n);
+    if workers <= 1 {
+        if n > 0 {
+            f(0, data);
+        }
+        return;
+    }
+    let per_worker = n.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut rest = data;
+        let mut start = 0;
+        while !rest.is_empty() {
+            let take = per_worker.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let base = start;
+            handles.push(scope.spawn(move || f(base, head)));
+            start += take;
+            rest = tail;
+        }
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
 /// Applies `f` to every item of `items` in parallel, preserving order.
 pub fn map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
@@ -161,6 +206,31 @@ mod tests {
         assert_eq!(threads_from_env(Some(" 2 "), 8), 2);
         assert_eq!(threads_from_env(Some("0"), 8), 8, "zero is invalid");
         assert_eq!(threads_from_env(Some("lots"), 8), 8, "junk is ignored");
+    }
+
+    #[test]
+    fn for_each_slice_mut_covers_everything_once() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for slices in [1usize, 2, 3, 16, 1000] {
+                let mut data = vec![0u32; n];
+                for_each_slice_mut(&mut data, slices, |base, chunk| {
+                    for (off, v) in chunk.iter_mut().enumerate() {
+                        *v += (base + off) as u32 + 1;
+                    }
+                });
+                let want: Vec<u32> = (0..n as u32).map(|i| i + 1).collect();
+                assert_eq!(data, want, "n={n} slices={slices}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slice worker panicked")]
+    fn for_each_slice_mut_propagates_panics() {
+        // Unconditional so the propagation path is exercised whether the
+        // work runs inline (single core) or on scoped threads.
+        let mut data = vec![0u8; 64];
+        for_each_slice_mut(&mut data, 8, |_, _| panic!("slice worker panicked"));
     }
 
     #[test]

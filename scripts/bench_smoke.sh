@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Bench smoke check: rerun the committed benchmarks in --quick mode and fail
 # on malformed JSON output or a >30% regression against the checked-in
-# snapshots (BENCH_rlnc.json, BENCH_transport.json). This is a CI noise
-# guard, not a precision benchmark — the committed numbers themselves come
-# from full (median-of-5) runs on a quiet machine.
+# snapshots (BENCH_rlnc.json, BENCH_transport.json, BENCH_alloc.json). This
+# is a CI noise guard, not a precision benchmark — the committed numbers
+# themselves come from full (median/min-of-samples) runs on a quiet machine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,10 +11,11 @@ snapshot=$(mktemp -d)
 # The bench binaries overwrite the committed JSON in place; always restore
 # the committed snapshots afterwards so the tree stays clean.
 trap 'cp "$snapshot"/*.json . 2>/dev/null || true; rm -rf "$snapshot"' EXIT
-cp BENCH_rlnc.json BENCH_transport.json "$snapshot"/
+cp BENCH_rlnc.json BENCH_transport.json BENCH_alloc.json "$snapshot"/
 
 cargo run --release -p asymshare-bench --bin bench_baseline -- --quick
 cargo run --release -p asymshare-bench --bin bench_transport -- --quick
+cargo run --release --features simd -p asymshare-bench --bin bench_alloc -- --quick
 
 python3 - "$snapshot" <<'EOF'
 import json
@@ -39,6 +40,12 @@ CHECKS = [
     ("BENCH_rlnc.json", "decode_mb_per_s", lambda d: d["decode_mb_per_s"], "higher"),
     ("BENCH_transport.json", "after.mb_per_s", lambda d: d["after"]["mb_per_s"], "higher"),
     ("BENCH_transport.json", "after.allocs_per_msg", lambda d: d["after"]["allocs_per_msg"], "lower"),
+    # Slab allocator gates: slot throughput at the smallest scale (kernel
+    # dispatch + per-row overhead dominated) and aggregate user throughput at
+    # the largest scale (streaming bandwidth dominated). Both are min-of-
+    # samples in the committed file and a single sample in the quick rerun.
+    ("BENCH_alloc.json", "scales[0].slots_per_sec", lambda d: d["scales"][0]["slots_per_sec"], "higher"),
+    ("BENCH_alloc.json", "scales[-1].users_per_sec", lambda d: d["scales"][-1]["users_per_sec"], "higher"),
 ]
 
 # Observability columns both benches must now emit: their absence means a
@@ -54,9 +61,31 @@ REQUIRED_FIELDS = [
                               "health.peers_scored", "health.min_score"]),
     ("BENCH_rlnc.json", ["fairness.jain_index_bytes", "fairness.home_credit_min",
                          "fairness.home_credit_max", "fairness.slot_share_events"]),
+    ("BENCH_alloc.json", ["config.peers", "config.edges_per_user", "config.rule",
+                          "config.kernel", "config.samples", "config.statistic"]),
 ]
 
 failed = False
+
+# BENCH_alloc.json structural check: three committed scales, each with the
+# full column set. The dotted-path walker above cannot index lists, so the
+# scales array is validated here before the CHECKS lambdas index into it.
+ALLOC_SCALE_FIELDS = ["users", "slots", "edges", "slots_per_sec",
+                      "users_per_sec", "mean_jain", "allocs_per_slot"]
+alloc_fresh = load("BENCH_alloc.json")
+alloc_scales = alloc_fresh.get("scales")
+if not isinstance(alloc_scales, list) or len(alloc_scales) < 3:
+    print("BENCH_alloc.json must commit >= 3 scales [MISSING]")
+    failed = True
+    alloc_scales = []
+for i, entry in enumerate(alloc_scales):
+    for field in ALLOC_SCALE_FIELDS:
+        if field not in entry:
+            print(f"BENCH_alloc.json scales[{i}] missing field {field} [MISSING]")
+            failed = True
+if failed:
+    sys.exit(1)
+
 for name, paths in REQUIRED_FIELDS:
     fresh = load(name)
     for dotted in paths:

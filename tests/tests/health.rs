@@ -28,25 +28,34 @@ fn payload(n: usize, salt: u8) -> Vec<u8> {
 }
 
 fn field_u64(e: &Event, name: &str) -> Option<u64> {
-    e.fields.iter().find(|(n, _)| *n == name).and_then(|(_, v)| match v {
-        Value::U64(v) => Some(*v),
-        _ => None,
-    })
+    e.fields
+        .iter()
+        .find(|(n, _)| *n == name)
+        .and_then(|(_, v)| match v {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        })
 }
 
 fn field_f64(e: &Event, name: &str) -> Option<f64> {
-    e.fields.iter().find(|(n, _)| *n == name).and_then(|(_, v)| match v {
-        Value::F64(v) => Some(*v),
-        Value::U64(v) => Some(*v as f64),
-        _ => None,
-    })
+    e.fields
+        .iter()
+        .find(|(n, _)| *n == name)
+        .and_then(|(_, v)| match v {
+            Value::F64(v) => Some(*v),
+            Value::U64(v) => Some(*v as f64),
+            _ => None,
+        })
 }
 
 fn field_str(e: &Event, name: &str) -> Option<String> {
-    e.fields.iter().find(|(n, _)| *n == name).and_then(|(_, v)| match v {
-        Value::Str(v) => Some(v.clone()),
-        _ => None,
-    })
+    e.fields
+        .iter()
+        .find(|(n, _)| *n == name)
+        .and_then(|(_, v)| match v {
+            Value::Str(v) => Some(v.clone()),
+            _ => None,
+        })
 }
 
 /// Detector settings for the fault scenarios: short warmup so the clean
@@ -148,14 +157,25 @@ fn golden_alert_sequence_sim_vs_rt_replay() {
                     engine.observe_event(&ev);
                 }
                 for a in engine.evaluate(e.ts) {
-                    replayed.push((a.ts, a.peer, a.detector.to_owned(), a.value, a.baseline, a.z, a.score));
+                    replayed.push((
+                        a.ts,
+                        a.peer,
+                        a.detector.to_owned(),
+                        a.value,
+                        a.baseline,
+                        a.z,
+                        a.score,
+                    ));
                 }
             }
             continue;
         }
         sink.emit_at(e.ts, e.component, e.kind, &e.fields);
     }
-    assert_eq!(replayed, expected, "rt-style replay must pin the sim's alert sequence");
+    assert_eq!(
+        replayed, expected,
+        "rt-style replay must pin the sim's alert sequence"
+    );
 
     // The replayed engine's end state matches the sim's report too.
     let sim_report = rt.health_report().expect("health enabled");
@@ -211,9 +231,7 @@ fn health_engine_does_not_perturb_seeded_run() {
             rt.enable_health(HealthConfig::default());
         }
         let ids: Vec<_> = (0..4u8)
-            .map(|i| {
-                rt.add_participant(Identity::from_seed(&[b'p', i]), kbps(256.0), kbps(3000.0))
-            })
+            .map(|i| rt.add_participant(Identity::from_seed(&[b'p', i]), kbps(256.0), kbps(3000.0)))
             .collect();
         let data = payload(128 * 1024, 3);
         let (manifest, _) = rt.disseminate(ids[0], FileId(42), &data, &ids).unwrap();
@@ -264,11 +282,8 @@ fn metrics_listener_serves_live_rt_state() {
 
     let network = RtNetwork::with_observability(Registry::new(), EventSink::new());
     let server = MetricsServer::spawn(&network, "127.0.0.1:0").expect("bind listener");
-    let monitor = HealthMonitor::spawn(
-        &network,
-        HealthConfig::default(),
-        Duration::from_millis(10),
-    );
+    let monitor =
+        HealthMonitor::spawn(&network, HealthConfig::default(), Duration::from_millis(10));
 
     let owner = Identity::from_seed(b"health-http-owner");
     let data = payload(128 * 1024, 11);
@@ -327,8 +342,14 @@ fn metrics_listener_serves_live_rt_state() {
 
     let (head, body) = http_get(server.addr(), "/metrics");
     assert!(head.starts_with("HTTP/1.1 200"), "got: {head}");
-    assert!(body.contains("asymshare_rt_transport_recv_bytes"), "counter missing:\n{body}");
-    assert!(body.contains("_bucket{le=\""), "histogram le labels missing");
+    assert!(
+        body.contains("asymshare_rt_transport_recv_bytes"),
+        "counter missing:\n{body}"
+    );
+    assert!(
+        body.contains("_bucket{le=\""),
+        "histogram le labels missing"
+    );
     assert!(body.contains("le=\"+Inf\""), "+Inf bucket missing");
     assert!(
         body.contains("asymshare_health_score_p"),
@@ -452,9 +473,7 @@ fn parse_value(c: &[char], pos: &mut usize) -> Result<Json, String> {
         }
         Some(d) if *d == '-' || d.is_ascii_digit() => {
             let start = *pos;
-            while *pos < c.len()
-                && matches!(c[*pos], '0'..='9' | '-' | '+' | '.' | 'e' | 'E')
-            {
+            while *pos < c.len() && matches!(c[*pos], '0'..='9' | '-' | '+' | '.' | 'e' | 'E') {
                 *pos += 1;
             }
             let token: String = c[start..*pos].iter().collect();
