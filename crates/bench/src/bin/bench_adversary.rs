@@ -1,0 +1,243 @@
+//! Committed Byzantine-defense baseline: for each seeded adversary strategy,
+//! how fast the attack-attribution detectors fire, whether the response
+//! ladder quarantines the attacker, and how much goodput the re-planned
+//! download retains versus an honest run — written to `BENCH_adversary.json`
+//! so detection-latency or recovery regressions show up as a diff against
+//! the checked-in numbers.
+//!
+//! The scenario mirrors the `adversary` integration tests: four
+//! participants, participant 3 with a fat uplink turns Byzantine after a
+//! clean warmup phase. The honest baseline is the same download served by
+//! the three honest peers only — the capacity floor the ladder must recover
+//! to once the adversary is cut out. Everything runs on the deterministic
+//! slot simulator, so `--quick` and full runs produce identical numbers
+//! and the committed file regenerates bit-for-bit. From the repo root:
+//!
+//! ```text
+//! cargo run --release -p asymshare-bench --bin bench_adversary
+//! ```
+
+use asymshare::{DownloadReport, Identity, ParticipantId, RuntimeConfig, SimRuntime};
+use asymshare_netsim::{AdversaryStrategy, FaultPlan, LinkSpeed};
+use asymshare_obs::health::HealthConfig;
+use asymshare_obs::{Event, Value};
+use asymshare_rlnc::FileId;
+
+const FILE_BYTES: usize = 1536 * 1024;
+const K: usize = 4;
+const CHUNK_BYTES: usize = 16 * 1024;
+const HONEST_UP_KBPS: f64 = 128.0;
+const ADVERSARY_UP_KBPS: f64 = 512.0;
+const DOWN_KBPS: f64 = 3000.0;
+const WARMUP_SLOTS: u32 = 6;
+const SEED: u64 = 11;
+
+const OUT_PATH: &str = "BENCH_adversary.json";
+
+fn cfg() -> RuntimeConfig {
+    RuntimeConfig {
+        k: K,
+        chunk_size: CHUNK_BYTES,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Short warmup, no score recovery — same detector tuning as the
+/// `adversary` integration tests, so the committed latencies match what
+/// the tests bound.
+fn detector_cfg() -> HealthConfig {
+    HealthConfig {
+        warmup_windows: 3,
+        recovery_per_window: 0.0,
+        ..HealthConfig::default()
+    }
+}
+
+fn payload() -> Vec<u8> {
+    (0..FILE_BYTES).map(|i| ((i * 37) as u8) ^ 0xA5).collect()
+}
+
+fn field_u64(e: &Event, name: &str) -> Option<u64> {
+    e.fields
+        .iter()
+        .find(|(n, _)| *n == name)
+        .and_then(|(_, v)| match v {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        })
+}
+
+/// Build the four-participant runtime and disseminate the file. Returns the
+/// runtime, the participants, and the manifest-bearing download starter.
+fn build() -> (SimRuntime, Vec<ParticipantId>, asymshare_rlnc::FileManifest) {
+    let mut rt = SimRuntime::new(cfg());
+    rt.enable_health(detector_cfg());
+    let ids: Vec<_> = (0..4u8)
+        .map(|i| {
+            let up = if i == 3 {
+                ADVERSARY_UP_KBPS
+            } else {
+                HONEST_UP_KBPS
+            };
+            rt.add_participant(
+                Identity::from_seed(&[b'b', b'a', i]),
+                LinkSpeed::kbps(up),
+                LinkSpeed::kbps(DOWN_KBPS),
+            )
+        })
+        .collect();
+    let data = payload();
+    let (manifest, _) = rt
+        .disseminate(ids[0], FileId(181), &data, &ids)
+        .expect("disseminate");
+    (rt, ids, manifest)
+}
+
+/// Honest-capacity floor: the same download served by the three honest
+/// peers only (the adversary never participates). This is what the response
+/// ladder converges to after it cuts the attacker out, so recovery is
+/// measured against it.
+fn honest_baseline() -> DownloadReport {
+    let (mut rt, ids, manifest) = build();
+    let honest = [ids[0], ids[1], ids[2]];
+    let session = rt
+        .start_download(
+            ids[0],
+            manifest,
+            LinkSpeed::kbps(HONEST_UP_KBPS),
+            LinkSpeed::kbps(DOWN_KBPS),
+            &honest,
+        )
+        .expect("start");
+    rt.run_to_completion(session, 7200).expect("honest run")
+}
+
+struct AttackOutcome {
+    detection_slots: f64,
+    goodput_kbps: f64,
+    quarantined: bool,
+    attack_alerts: usize,
+}
+
+/// One full attack scenario: clean warmup, adversary switches on, download
+/// runs to completion through the detection + quarantine + re-plan ladder.
+fn attack_run(strategy: AdversaryStrategy) -> AttackOutcome {
+    let (mut rt, ids, manifest) = build();
+    let session = rt
+        .start_download(
+            ids[0],
+            manifest,
+            LinkSpeed::kbps(HONEST_UP_KBPS),
+            LinkSpeed::kbps(DOWN_KBPS),
+            &ids,
+        )
+        .expect("start");
+    rt.run_slots(u64::from(WARMUP_SLOTS));
+    assert!(
+        !rt.session_complete(session),
+        "scenario bug: download finished before the attack phase"
+    );
+    let evil = ids[3];
+    let attack_start = rt.now().as_secs();
+    let node = rt.participant_node(evil);
+    rt.set_fault_plan(FaultPlan::new(SEED).with_adversary(node, strategy));
+    let report = rt
+        .run_to_completion(session, 7200)
+        .expect("download survives the adversary");
+
+    let log = rt.event_log();
+    let first_verdict = log
+        .iter()
+        .find(|e| {
+            e.component == "health"
+                && e.kind == "attack"
+                && field_u64(e, "peer") == Some(evil.0 as u64)
+        })
+        .map(|e| e.ts)
+        .expect("every benched strategy must be detected");
+    let quarantined = log.iter().any(|e| {
+        e.component == "sim.heal"
+            && e.kind == "quarantine"
+            && field_u64(e, "peer") == Some(evil.0 as u64)
+    });
+    let attack_alerts = log
+        .iter()
+        .filter(|e| {
+            e.component == "health"
+                && e.kind == "attack"
+                && field_u64(e, "peer") == Some(evil.0 as u64)
+        })
+        .count();
+    AttackOutcome {
+        detection_slots: first_verdict - attack_start,
+        goodput_kbps: report.mean_rate_kbps,
+        quarantined,
+        attack_alerts,
+    }
+}
+
+fn main() {
+    // The simulator is deterministic, so quick and full runs are the same
+    // measurement; the flag exists for CLI symmetry with the other benches.
+    let _quick = std::env::args().any(|a| a == "--quick");
+
+    let strategies: [(&str, AdversaryStrategy); 4] = [
+        ("pollute", AdversaryStrategy::Pollute { prob: 0.9 }),
+        ("replay", AdversaryStrategy::Replay { prob: 0.8 }),
+        (
+            "selective",
+            AdversaryStrategy::SelectiveServe {
+                serve_fraction: 0.25,
+            },
+        ),
+        (
+            "inflate_credit",
+            AdversaryStrategy::InflateCredit { factor: 4.0 },
+        ),
+    ];
+
+    let honest = honest_baseline();
+    let honest_kbps = honest.mean_rate_kbps;
+    println!(
+        "honest baseline (3 peers x {HONEST_UP_KBPS:.0} kbps): {honest_kbps:.1} kbps, {:.1}s",
+        honest.duration_secs
+    );
+
+    let slot_secs = cfg().slot_secs;
+    let mut rows = Vec::new();
+    for (name, strategy) in strategies {
+        let out = attack_run(strategy);
+        let recovery = out.goodput_kbps / honest_kbps;
+        println!(
+            "  {name:<14} detected in {:.0} slot(s) ({:.0} ms), goodput {:.1} kbps \
+             (recovery {recovery:.2}), quarantined: {}, {} verdict(s)",
+            out.detection_slots,
+            out.detection_slots * slot_secs * 1000.0,
+            out.goodput_kbps,
+            out.quarantined,
+            out.attack_alerts,
+        );
+        rows.push((name, out, recovery));
+    }
+
+    let attacks_json: Vec<String> = rows
+        .iter()
+        .map(|(name, out, recovery)| {
+            format!(
+                "    \"{name}\": {{\n      \"detection_slots\": {:.0},\n      \"detection_ms\": {:.0},\n      \"goodput_kbps\": {:.1},\n      \"recovery_ratio\": {recovery:.3},\n      \"quarantined\": {},\n      \"attack_alerts\": {}\n    }}",
+                out.detection_slots,
+                out.detection_slots * slot_secs * 1000.0,
+                out.goodput_kbps,
+                out.quarantined,
+                out.attack_alerts,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"config\": {{\n    \"file_bytes\": {FILE_BYTES},\n    \"k\": {K},\n    \"chunk_bytes\": {CHUNK_BYTES},\n    \"honest_uplink_kbps\": {HONEST_UP_KBPS:.0},\n    \"adversary_uplink_kbps\": {ADVERSARY_UP_KBPS:.0},\n    \"warmup_slots\": {WARMUP_SLOTS},\n    \"slot_secs\": {slot_secs:.1},\n    \"fault_seed\": {SEED},\n    \"statistic\": \"deterministic sim, single run\"\n  }},\n  \"honest\": {{\n    \"goodput_kbps\": {honest_kbps:.1},\n    \"duration_secs\": {:.1}\n  }},\n  \"attacks\": {{\n{}\n  }}\n}}\n",
+        honest.duration_secs,
+        attacks_json.join(",\n"),
+    );
+    std::fs::write(OUT_PATH, json).expect("write adversary baseline");
+    println!("wrote {OUT_PATH}");
+}

@@ -36,6 +36,14 @@ pub enum SystemError {
     },
     /// A feedback report carried an invalid signature.
     BadFeedbackSignature,
+    /// A feedback report's window did not advance past the reporter's last
+    /// accepted one — a replayed (or badly reordered) report.
+    StaleFeedback {
+        /// The last accepted window end, seconds.
+        last: u64,
+        /// The replayed report's window end, seconds.
+        got: u64,
+    },
     /// Every candidate peer (including the home node) died or was
     /// exhausted before the download could complete.
     AllPeersUnavailable {
@@ -62,6 +70,10 @@ impl core::fmt::Display for SystemError {
             }
             SystemError::UnknownParty { who } => write!(f, "unknown party: {who}"),
             SystemError::BadFeedbackSignature => write!(f, "feedback report signature invalid"),
+            SystemError::StaleFeedback { last, got } => write!(
+                f,
+                "stale feedback report: window end {got} s does not advance past {last} s"
+            ),
             SystemError::AllPeersUnavailable { have, need } => write!(
                 f,
                 "all peers unavailable with {have}/{need} independent messages received"

@@ -45,6 +45,10 @@ pub struct Peer {
     credit_bytes: HashMap<KeyBytes, f64>,
     initial_credit: f64,
     sessions: HashMap<u64, PeerSession>,
+    /// Last accepted feedback window end per reporter: a signed report is
+    /// valid forever, so without this high-water mark anyone who captured
+    /// one could replay it to re-credit the same bytes indefinitely.
+    feedback_high_water: HashMap<KeyBytes, u64>,
 }
 
 #[derive(Debug)]
@@ -79,6 +83,7 @@ impl Peer {
             credit_bytes: HashMap::new(),
             initial_credit,
             sessions: HashMap::new(),
+            feedback_high_water: HashMap::new(),
         }
     }
 
@@ -276,6 +281,18 @@ impl Peer {
                         who: "feedback from non-subscriber".to_owned(),
                     });
                 }
+                // Replay protection: each reporter's windows must strictly
+                // advance; a re-sent (captured) report credits nothing.
+                if let Some(&last) = self.feedback_high_water.get(&report.reporter) {
+                    if report.window_end_secs <= last {
+                        return Err(SystemError::StaleFeedback {
+                            last,
+                            got: report.window_end_secs,
+                        });
+                    }
+                }
+                self.feedback_high_water
+                    .insert(report.reporter, report.window_end_secs);
                 let own = self.identity.public_key().to_bytes();
                 for entry in &report.entries {
                     if entry.contributor != own {
@@ -551,6 +568,37 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, SystemError::BadFeedbackSignature);
         assert_eq!(peer.upload_weight(&[9u8; 64]), 1.0);
+    }
+
+    #[test]
+    fn replayed_feedback_credits_nothing() {
+        use crate::protocol::{FeedbackEntry, FeedbackReport};
+        let (mut peer, _conn, user, mut r) = authed_peer_and_conn(9);
+        let other = [7u8; 64];
+        let entry = |bytes| {
+            vec![FeedbackEntry {
+                contributor: other,
+                bytes,
+            }]
+        };
+        let report = FeedbackReport::sign(user.auth_keys(), 60, entry(500), &mut r);
+        peer.on_message(2, Wire::Feedback(report.clone()), &mut r)
+            .unwrap();
+        assert_eq!(peer.upload_weight(&other), 1.0 + 500.0);
+        // The exact captured report replays for nothing.
+        let err = peer
+            .on_message(2, Wire::Feedback(report), &mut r)
+            .unwrap_err();
+        assert_eq!(err, SystemError::StaleFeedback { last: 60, got: 60 });
+        assert_eq!(peer.upload_weight(&other), 1.0 + 500.0);
+        // So does any report from an already-covered window.
+        let old = FeedbackReport::sign(user.auth_keys(), 30, entry(500), &mut r);
+        assert!(peer.on_message(2, Wire::Feedback(old), &mut r).is_err());
+        assert_eq!(peer.upload_weight(&other), 1.0 + 500.0);
+        // A genuinely newer window still credits.
+        let fresh = FeedbackReport::sign(user.auth_keys(), 61, entry(100), &mut r);
+        peer.on_message(2, Wire::Feedback(fresh), &mut r).unwrap();
+        assert_eq!(peer.upload_weight(&other), 1.0 + 600.0);
     }
 
     #[test]

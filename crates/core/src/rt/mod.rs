@@ -42,7 +42,7 @@ use crate::user::{ConnStage, User};
 use asymshare_crypto::chacha20::ChaChaRng;
 use asymshare_gf::Gf2p32;
 use asymshare_rlnc::{CodecError, FileManifest, MessageId};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Tuning knobs for the self-healing download loop.
 #[derive(Debug, Clone)]
@@ -120,8 +120,14 @@ pub fn download_file(
 /// reconnected with bounded exponential backoff; a peer that exhausts its
 /// retries (or whose address deregisters) is written off and its demand
 /// re-planned onto the survivors; a digest-rejected message triggers a
-/// [`Wire::ReplacementRequest`] instead of silently shrinking the batch.
-/// Recovery actions are tallied in the user's
+/// [`Wire::ReplacementRequest`] instead of silently shrinking the batch,
+/// rate-limited per `(peer, chunk)` with bounded exponential backoff so a
+/// polluting sender cannot provoke a request storm. When the network's
+/// health engine quarantines a peer (see
+/// [`RtNetwork::peer_quarantined`]), the loop stops its transmission,
+/// re-plans its demand onto honest survivors, and pauses its stall clock
+/// until the timed ban lapses — a Byzantine peer is excluded instead of
+/// endlessly retried. Recovery actions are tallied in the user's
 /// [`SessionStats`](crate::user::SessionStats).
 ///
 /// # Errors
@@ -160,6 +166,15 @@ pub fn download_file_with(
     let mut window_msgs: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
     let mut window_flushed = started;
     const WINDOW_FLUSH: Duration = Duration::from_millis(250);
+    // Replacement-request rate limit per (peer, chunk): next allowed
+    // instant plus how often the pair has fired; the backoff doubles per
+    // repeat (capped at 32×) so a polluting peer cannot amplify each
+    // rejected message into a fresh request.
+    const REPL_BACKOFF_BASE: Duration = Duration::from_millis(100);
+    let mut repl_limit: std::collections::HashMap<(u64, u32), (Instant, u32)> =
+        std::collections::HashMap::new();
+    // Peers currently serving a quarantine ban (response ladder state).
+    let mut quarantined: std::collections::HashSet<u64> = std::collections::HashSet::new();
     // Connect to every peer; the connection id is the peer's address so
     // both sides key their session state consistently.
     let mut tracks: Vec<PeerTrack> = peers
@@ -256,9 +271,10 @@ pub fn download_file_with(
                     }
                     // Digest-rejected message: corrupted or tampered in
                     // transit. Ask the sender for a replacement from the
-                    // same chunk and move on.
+                    // same chunk — through the per-(peer, chunk) rate
+                    // limiter — and move on. The rejected bytes never
+                    // count toward the sender's feedback credit.
                     Err(SystemError::Codec(CodecError::AuthenticationFailed { id })) => {
-                        user.stats_mut().replacements += 1;
                         digest_rejections.inc();
                         let chunk = FileManifest::chunk_of(MessageId(id));
                         events.emit(
@@ -266,24 +282,44 @@ pub fn download_file_with(
                             "digest_reject",
                             &[("peer", envelope.from.into()), ("chunk", chunk.into())],
                         );
-                        pending_repl.entry(chunk).or_insert_with(Instant::now);
-                        let request = Wire::ReplacementRequest { file_id, chunk };
-                        if !network.send(my_addr, envelope.from, &request) {
-                            write_off(user, &mut tracks, envelope.from, &events);
-                            reassign(
-                                network,
-                                my_addr,
-                                user,
-                                &tracks,
-                                &mut reassign_rr,
-                                file_id,
-                                &events,
+                        let now = Instant::now();
+                        let gate = repl_limit.entry((envelope.from, chunk)).or_insert((now, 0));
+                        if now >= gate.0 {
+                            gate.1 = gate.1.saturating_add(1);
+                            gate.0 = now + REPL_BACKOFF_BASE * (1u32 << (gate.1 - 1).min(5));
+                            user.stats_mut().replacements += 1;
+                            events.emit(
+                                "rt.download",
+                                "replacement_request",
+                                &[("peer", envelope.from.into()), ("chunk", chunk.into())],
                             );
+                            pending_repl.entry(chunk).or_insert(now);
+                            let request = Wire::ReplacementRequest { file_id, chunk };
+                            if !network.send(my_addr, envelope.from, &request) {
+                                write_off(user, &mut tracks, envelope.from, &events);
+                                reassign(
+                                    network,
+                                    my_addr,
+                                    user,
+                                    &tracks,
+                                    &mut reassign_rr,
+                                    file_id,
+                                    &events,
+                                );
+                            }
                         }
                     }
-                    // A reconnect replayed a message we already hold —
-                    // harmless redundancy, not an error.
-                    Err(SystemError::Codec(CodecError::DuplicateMessage { .. })) => {}
+                    // A reconnect (or a replaying adversary) re-sent a
+                    // message we already hold — harmless to the decoder,
+                    // but the health engine's replay detector counts the
+                    // per-peer duplicate rate.
+                    Err(SystemError::Codec(CodecError::DuplicateMessage { .. })) => {
+                        events.emit(
+                            "rt.download",
+                            "duplicate",
+                            &[("peer", envelope.from.into())],
+                        );
+                    }
                     // Every other error (decoder parameters, protocol
                     // state, MITM) is genuine and must surface.
                     Err(e) => return Err(e),
@@ -316,6 +352,48 @@ pub fn download_file_with(
                 tracks[i].dead = true;
                 continue;
             }
+            // Active response ladder: a peer the health engine has
+            // quarantined is stopped once, its demand re-planned onto
+            // honest survivors, and its stall clock paused — no retries
+            // are burned probing a banned peer. When the timed ban
+            // lapses, its sweep is restarted.
+            let addr = t.addr;
+            if network.peer_quarantined(addr) {
+                if quarantined.insert(addr) {
+                    user.stats_mut().quarantines += 1;
+                    let until = network.peer_quarantined_until(addr).unwrap_or(0.0);
+                    events.emit(
+                        "rt.heal",
+                        "quarantine",
+                        &[("peer", addr.into()), ("until", until.into())],
+                    );
+                    network.send(my_addr, addr, &Wire::StopTransmission { file_id });
+                    reassign(
+                        network,
+                        my_addr,
+                        user,
+                        &tracks,
+                        &mut reassign_rr,
+                        file_id,
+                        &events,
+                    );
+                }
+                let t = &mut tracks[i];
+                t.last_activity = now;
+                t.retries = 0;
+                continue;
+            }
+            if quarantined.remove(&addr) {
+                // Ban lapsed: probe the peer again with a fresh sweep
+                // (it keeps earning quarantine back if it still attacks).
+                if user.stage(addr) == Some(ConnStage::Downloading) {
+                    let _ = network.send(my_addr, addr, &Wire::FileRequest { file_id })
+                        && send_stops(network, my_addr, user, addr, file_id);
+                }
+                tracks[i].last_activity = now;
+                continue;
+            }
+            let t = &tracks[i];
             if now.duration_since(t.last_activity) <= options.stall_timeout || now < t.next_attempt
             {
                 continue;
@@ -383,8 +461,15 @@ pub fn download_file_with(
     // Close the last partial health window before reporting back.
     flush_windows(&mut window_msgs, &events);
     // Final feedback to the home peer (the off-line informational update).
-    let now_secs = started.elapsed().as_secs();
-    let report = user.make_feedback(now_secs, &mut rng);
+    // The window end doubles as the report's anti-replay counter on the
+    // peer side (each accepted report must strictly advance it), so use
+    // epoch microseconds rather than the download's elapsed seconds — two
+    // quick successive downloads must not collide, and a replayed report
+    // must never be accepted twice.
+    let window_end = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_micros() as u64);
+    let report = user.make_feedback(window_end, &mut rng);
     network.send(my_addr, home_peer, &Wire::Feedback(report));
     user.decode()
 }
@@ -444,15 +529,28 @@ fn reassign(
     if live.is_empty() {
         return;
     }
+    // Quarantined peers are excluded from the re-plan pool outright (they
+    // are under a timed ban); only if every survivor is banned does the
+    // full live pool still serve, so the download cannot strand itself.
+    let unbanned: Vec<u64> = live
+        .iter()
+        .copied()
+        .filter(|&addr| !network.peer_quarantined(addr))
+        .collect();
+    let base = if unbanned.is_empty() {
+        &live
+    } else {
+        &unbanned
+    };
     // Deprioritize (never ban) survivors the health engine currently marks
     // sick; if every survivor is sick, the full pool still serves. With no
     // engine installed nobody is sick, so the round-robin is unchanged.
-    let healthy: Vec<u64> = live
+    let healthy: Vec<u64> = base
         .iter()
         .copied()
         .filter(|&addr| !network.peer_is_sick(addr))
         .collect();
-    let pool = if healthy.is_empty() { &live } else { &healthy };
+    let pool = if healthy.is_empty() { base } else { &healthy };
     let deprioritized = (live.len() - pool.len()) as u64;
     let target = pool[*rr % pool.len()];
     *rr += 1;

@@ -11,6 +11,7 @@
 use crate::error::SystemError;
 use crate::protocol::{self, Wire};
 use crate::rt::pool::BufferPool;
+use asymshare_netsim::{adversary_draw, AdversaryStrategy};
 use asymshare_obs::health::{HealthConfig, HealthEngine, HealthReport};
 use asymshare_obs::stream::EventCursor;
 use asymshare_obs::{Counter, EventSink, Histogram, Registry, Snapshot};
@@ -254,6 +255,16 @@ struct RtHealth {
     cursor: EventCursor,
 }
 
+/// A Byzantine sender: its strategy plus a private draw sequence so every
+/// per-datagram decision replays deterministically for a given seed,
+/// independent of the link-fault RNG stream.
+#[derive(Debug)]
+struct AdvState {
+    strategy: AdversaryStrategy,
+    seed: u64,
+    seq: AtomicU64,
+}
+
 /// The in-process network: a registry of address → inbox senders.
 ///
 /// Cloning shares the registry (it is an `Arc` internally), so hosts and
@@ -262,6 +273,7 @@ struct RtHealth {
 pub struct RtNetwork {
     registry: Arc<RwLock<HashMap<u64, Sender<Envelope>>>>,
     fault: Arc<RwLock<Option<FaultState>>>,
+    adversaries: Arc<RwLock<HashMap<u64, AdvState>>>,
     pool: Arc<BufferPool>,
     obs: TransportObs,
     health: Arc<Mutex<Option<RtHealth>>>,
@@ -343,6 +355,11 @@ impl RtNetwork {
                 .events
                 .emit_at(ts, "health", "alert", &alert.to_fields());
         }
+        for attack in h.engine.last_attacks() {
+            self.obs
+                .events
+                .emit_at(ts, "health", "attack", &attack.to_fields());
+        }
         self.obs
             .events
             .emit_at(ts, "health", "window", &[("alerts", alerts.len().into())]);
@@ -419,6 +436,59 @@ impl RtNetwork {
     /// discarded.
     pub fn clear_faults(&self) {
         *self.fault.write() = None;
+    }
+
+    /// Marks `addr` as a Byzantine sender: every datagram it originates is
+    /// filtered through `strategy`, with decisions drawn deterministically
+    /// from `seed` and a private send sequence so seeded runs replay
+    /// exactly and the honest link-fault RNG stream is never consumed.
+    /// Replaces any previous strategy for the address.
+    ///
+    /// `InflateCredit` is accepted but inert at this layer: in the
+    /// threaded runtime, credit moves only inside signed `Feedback`
+    /// reports the transport cannot forge, so inflation is modeled in the
+    /// simulator (which owns the ledger directly). See DESIGN.md §11.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy's knobs are out of range.
+    pub fn install_adversary(&self, addr: u64, strategy: AdversaryStrategy, seed: u64) {
+        strategy.validate();
+        self.adversaries.write().insert(
+            addr,
+            AdvState {
+                strategy,
+                seed,
+                seq: AtomicU64::new(0),
+            },
+        );
+    }
+
+    /// Removes every installed adversary strategy.
+    pub fn clear_adversaries(&self) {
+        self.adversaries.write().clear();
+    }
+
+    /// Whether `addr` is currently quarantined by the health engine's
+    /// attack attribution (a timed ban on the event-sink timeline).
+    /// `false` with no engine installed, so callers can consult it
+    /// unconditionally.
+    pub fn peer_quarantined(&self, addr: u64) -> bool {
+        self.health
+            .lock()
+            .expect("health lock")
+            .as_ref()
+            .is_some_and(|h| h.engine.is_quarantined(addr, self.obs.events.now_secs()))
+    }
+
+    /// When `addr`'s quarantine lifts on the event-sink timeline, if it
+    /// has ever been quarantined.
+    pub fn peer_quarantined_until(&self, addr: u64) -> Option<f64> {
+        self.health
+            .lock()
+            .expect("health lock")
+            .as_ref()
+            .and_then(|h| h.engine.quarantined_until(addr))
     }
 
     /// Counters of faults realized so far (zero if no plan installed).
@@ -509,6 +579,42 @@ impl RtNetwork {
         for frame in frames {
             frame.encode_into(&mut buf);
         }
+        // A Byzantine sender filters its own datagrams before the link's
+        // faults apply. Nothing is counted or emitted here — a real attacker
+        // does not announce itself; detection happens at the receiver.
+        let mut copies = 1usize;
+        if let Some(adv) = self.adversaries.read().get(&from) {
+            let seq = adv.seq.fetch_add(1, Ordering::Relaxed);
+            let salt = from.wrapping_mul(0x9E37_79B9).wrapping_add(seq);
+            match adv.strategy {
+                AdversaryStrategy::SelectiveServe { serve_fraction } => {
+                    // Withhold whole data-bearing datagrams; control frames
+                    // pass so the peer still looks alive and cooperative.
+                    if payload_bytes(&buf) > 0 && adversary_draw(adv.seed, salt) >= serve_fraction {
+                        self.pool.recycle(buf);
+                        return true; // withheld: reads as silence, not error
+                    }
+                }
+                AdversaryStrategy::Pollute { prob } => {
+                    if adversary_draw(adv.seed, salt) < prob {
+                        let mut rng =
+                            SplitMix64(adv.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                        corrupt_in_place(&mut buf, &mut rng);
+                    }
+                }
+                AdversaryStrategy::Replay { prob } => {
+                    // Serve the same coded bytes again: stale information
+                    // dressed up as fresh service.
+                    if payload_bytes(&buf) > 0 && adversary_draw(adv.seed, salt) < prob {
+                        copies = 2;
+                    }
+                }
+                // Inflation cannot be expressed at this layer: rt credit
+                // moves only inside signed Feedback reports (see
+                // `install_adversary`).
+                AdversaryStrategy::InflateCredit { .. } => {}
+            }
+        }
         let guard = self.fault.read();
         if let Some(fault) = guard.as_ref() {
             let mut rng = fault.rng.lock().expect("fault rng lock");
@@ -539,27 +645,34 @@ impl RtNetwork {
                 drop(rng);
                 if !extra.is_zero() {
                     fault.delayed.fetch_add(1, Ordering::Relaxed);
-                    fault.held.lock().expect("delay queue lock").push((
-                        Instant::now() + extra,
-                        to,
-                        Envelope {
-                            from,
-                            bytes: Bytes::from(buf),
-                        },
-                    ));
+                    let bytes = Bytes::from(buf);
+                    let mut held = fault.held.lock().expect("delay queue lock");
+                    for _ in 0..copies {
+                        held.push((
+                            Instant::now() + extra,
+                            to,
+                            Envelope {
+                                from,
+                                bytes: bytes.clone(),
+                            },
+                        ));
+                    }
                     return true;
                 }
             }
         }
         drop(guard);
+        let bytes = Bytes::from(buf);
         if let Some(tx) = self.registry.read().get(&to) {
-            self.obs.recv_bytes.add(buf.len() as u64);
-            let _ = tx.send(Envelope {
-                from,
-                bytes: Bytes::from(buf),
-            });
+            for _ in 0..copies {
+                self.obs.recv_bytes.add(bytes.len() as u64);
+                let _ = tx.send(Envelope {
+                    from,
+                    bytes: bytes.clone(),
+                });
+            }
         } else {
-            self.pool.recycle(buf);
+            self.pool.recycle_bytes(bytes);
         }
         true
     }
@@ -571,17 +684,7 @@ impl RtNetwork {
 /// in place: corruption costs no extra copy. Returns `false`, drawing no
 /// positional randoms, when the batch carries no payload bytes.
 fn corrupt_in_place(buf: &mut [u8], rng: &mut SplitMix64) -> bool {
-    let mut total = 0usize;
-    let mut off = 0usize;
-    while off < buf.len() {
-        let Some((frame_len, span)) = protocol::scan_frame(&buf[off..]) else {
-            break;
-        };
-        if let Some((_, payload_len)) = span {
-            total += payload_len;
-        }
-        off += frame_len;
-    }
+    let total = payload_bytes(buf);
     if total == 0 {
         return false;
     }
@@ -602,6 +705,23 @@ fn corrupt_in_place(buf: &mut [u8], rng: &mut SplitMix64) -> bool {
         off += frame_len;
     }
     unreachable!("target lies within the batch's payload bytes")
+}
+
+/// Total coded-payload bytes across the (possibly coalesced) frame batch in
+/// `buf` — zero for control-only batches.
+fn payload_bytes(buf: &[u8]) -> usize {
+    let mut total = 0usize;
+    let mut off = 0usize;
+    while off < buf.len() {
+        let Some((frame_len, span)) = protocol::scan_frame(&buf[off..]) else {
+            break;
+        };
+        if let Some((_, payload_len)) = span {
+            total += payload_len;
+        }
+        off += frame_len;
+    }
+    total
 }
 
 #[cfg(test)]
@@ -921,6 +1041,93 @@ mod tests {
         assert_eq!(net.evaluate_health(), None);
         assert!(net.health_report().is_none());
         assert!(!net.peer_is_sick(1));
+    }
+
+    #[test]
+    fn adversary_pollute_flips_payload_bits_silently() {
+        use asymshare_rlnc::{EncodedMessage, FileId, MessageId};
+        let net = RtNetwork::with_observability(Registry::new(), EventSink::new());
+        let inbox = net.register(50);
+        net.install_adversary(51, AdversaryStrategy::Pollute { prob: 1.0 }, 7);
+        let msg = EncodedMessage::new(FileId(1), MessageId(0), vec![0x55; 48]);
+        assert!(net.send(51, 50, &Wire::MessageData(msg.clone())));
+        let e = inbox.try_recv().unwrap();
+        let Wire::MessageData(got) = e.decode().expect("framing intact") else {
+            panic!("still a data frame");
+        };
+        assert_ne!(got.payload(), msg.payload(), "payload polluted");
+        // The attacker leaves no trace at the transport: no fault counters,
+        // no corruption events — only the receiver's digest check can tell.
+        assert_eq!(net.fault_stats(), FaultStats::default());
+        assert!(net
+            .events()
+            .events()
+            .iter()
+            .all(|ev| ev.kind != "corruption"));
+        // Control frames pass unharmed.
+        net.send(51, 50, &Wire::FileRequest { file_id: 9 });
+        let e = inbox.try_recv().unwrap();
+        assert_eq!(e.decode().unwrap(), Wire::FileRequest { file_id: 9 });
+    }
+
+    #[test]
+    fn adversary_replay_duplicates_data_datagrams() {
+        use asymshare_rlnc::{EncodedMessage, FileId, MessageId};
+        let net = RtNetwork::new();
+        let inbox = net.register(60);
+        net.install_adversary(61, AdversaryStrategy::Replay { prob: 1.0 }, 3);
+        let msg = EncodedMessage::new(FileId(1), MessageId(4), vec![0xAB; 32]);
+        assert!(net.send(61, 60, &Wire::MessageData(msg.clone())));
+        let first = inbox.try_recv().expect("original");
+        let second = inbox.try_recv().expect("replayed copy");
+        assert_eq!(first.bytes, second.bytes, "identical stale bytes");
+        assert!(inbox.try_recv().is_none());
+        // Control frames are not replayed (nothing stale to re-serve).
+        net.send(61, 60, &Wire::FileRequest { file_id: 2 });
+        assert!(inbox.try_recv().is_some());
+        assert!(inbox.try_recv().is_none());
+    }
+
+    #[test]
+    fn adversary_selective_withholds_data_but_passes_control() {
+        use asymshare_rlnc::{EncodedMessage, FileId, MessageId};
+        let net = RtNetwork::new();
+        let inbox = net.register(70);
+        net.install_adversary(
+            71,
+            AdversaryStrategy::SelectiveServe {
+                serve_fraction: 0.0,
+            },
+            5,
+        );
+        let msg = EncodedMessage::new(FileId(1), MessageId(0), vec![1u8; 16]);
+        assert!(
+            net.send(71, 70, &Wire::MessageData(msg)),
+            "address resolves"
+        );
+        assert!(inbox.try_recv().is_none(), "data withheld");
+        net.send(71, 70, &Wire::StopTransmission { file_id: 1 });
+        assert!(inbox.try_recv().is_some(), "control still flows");
+        net.clear_adversaries();
+        let msg = EncodedMessage::new(FileId(1), MessageId(1), vec![2u8; 16]);
+        assert!(net.send(71, 70, &Wire::MessageData(msg)));
+        assert!(inbox.try_recv().is_some(), "honest again once cleared");
+    }
+
+    #[test]
+    fn adversary_inflate_credit_is_inert_on_the_wire() {
+        use asymshare_rlnc::{EncodedMessage, FileId, MessageId};
+        let net = RtNetwork::new();
+        let inbox = net.register(80);
+        net.install_adversary(81, AdversaryStrategy::InflateCredit { factor: 4.0 }, 2);
+        let msg = EncodedMessage::new(FileId(1), MessageId(0), vec![9u8; 24]);
+        assert!(net.send(81, 80, &Wire::MessageData(msg.clone())));
+        let e = inbox.try_recv().unwrap();
+        let Wire::MessageData(got) = e.decode().unwrap() else {
+            panic!("data frame");
+        };
+        assert_eq!(got.payload(), msg.payload(), "bytes untouched");
+        assert!(inbox.try_recv().is_none(), "no duplication either");
     }
 
     #[test]

@@ -16,7 +16,8 @@ use crate::user::{ConnStage, SessionStats, User};
 use asymshare_crypto::chacha20::ChaChaRng;
 use asymshare_gf::{FieldKind, Gf2p32};
 use asymshare_netsim::{
-    Event, EventKind, FaultPlan, FaultStats, LinkSpeed, NodeId, SimNet, SimTime,
+    adversary_draw, AdversaryStrategy, Event, EventKind, FaultPlan, FaultStats, LinkSpeed, NodeId,
+    SimNet, SimTime,
 };
 use asymshare_obs::health::{HealthConfig, HealthEngine, HealthReport};
 use asymshare_obs::stream::EventCursor;
@@ -24,7 +25,12 @@ use asymshare_obs::{Counter, EventSink, Gauge, Histogram, Registry, Snapshot};
 use asymshare_rlnc::{
     ChunkedEncoder, CodecError, DigestKind, EncodedMessage, FileId, FileManifest, MessageId,
 };
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Base delay between replacement requests for the same `(conn, chunk)`;
+/// doubles per consecutive request up to `2^5` so a polluting peer cannot
+/// amplify one victim into unbounded replacement traffic.
+const REPL_BACKOFF_BASE_SECS: f64 = 0.5;
 
 /// Runtime tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -115,6 +121,12 @@ struct Participant {
     deficits: HashMap<u64, f64>,
     /// Number of bulk flows currently in flight per connection.
     inflight: HashMap<u64, usize>,
+    /// Last data message sent per connection — the stale copy a replaying
+    /// adversary re-serves instead of fresh coded messages.
+    last_sent: HashMap<u64, EncodedMessage>,
+    /// Per-connection adversary decision counter, so seeded draws replay
+    /// identically without consuming the shared fault RNG.
+    adv_seq: HashMap<u64, u64>,
 }
 
 struct Session {
@@ -131,6 +143,9 @@ struct Session {
     started_at: SimTime,
     finished_at: Option<SimTime>,
     bytes_by_peer: HashMap<usize, u64>,
+    /// Replacement-request rate limiter: `(conn, chunk)` → (next allowed
+    /// instant, consecutive requests so far).
+    repl_limit: HashMap<(u64, u32), (f64, u32)>,
     /// Lifecycle instants for the trace timeline (filled only while the
     /// event sink is enabled; emitted as closed spans at completion).
     trace: SessionTrace,
@@ -222,6 +237,10 @@ struct SimHealth {
     /// as `sim.deliver`/`window` events at slot end so the engine (and any
     /// replay of the log) sees identical inputs.
     slot_msgs: HashMap<usize, u64>,
+    /// Peers whose quarantine entry the runtime has already reacted to
+    /// (stop + re-plan); cleared when the ban expires so a repeat offense
+    /// triggers the ladder again.
+    quarantine_seen: BTreeSet<u64>,
 }
 
 /// The simulated deployment.
@@ -240,6 +259,14 @@ pub struct SimRuntime {
     /// Scratch for the per-slot allocation pass: `(conn, session, weight)`
     /// triples, reused so slots allocate nothing at steady state.
     alloc_conns: Vec<(u64, usize, f64)>,
+    /// Byzantine participants and their scripted strategies, lifted from
+    /// the installed fault plan.
+    adversaries: HashMap<usize, AdversaryStrategy>,
+    /// Seed the adversary decision hashes replay from (the fault plan's).
+    adv_seed: u64,
+    /// `(session, chunk)` pairs the owner has already re-disseminated, so
+    /// the starvation check reacts to each shortage at most once.
+    redisseminated: HashSet<(usize, u32)>,
 }
 
 impl SimRuntime {
@@ -260,6 +287,9 @@ impl SimRuntime {
             obs: SimObs::default(),
             health: None,
             alloc_conns: Vec::new(),
+            adversaries: HashMap::new(),
+            adv_seed: 0,
+            redisseminated: HashSet::new(),
         }
     }
 
@@ -290,6 +320,7 @@ impl SimRuntime {
             engine: HealthEngine::new(cfg),
             cursor: EventCursor::new(&self.obs.events),
             slot_msgs: HashMap::new(),
+            quarantine_seen: BTreeSet::new(),
         });
     }
 
@@ -399,6 +430,8 @@ impl SimRuntime {
             up_kbps: up.as_kbps(),
             deficits: HashMap::new(),
             inflight: HashMap::new(),
+            last_sent: HashMap::new(),
+            adv_seq: HashMap::new(),
         });
         let id = ParticipantId(self.participants.len() - 1);
         // Everyone subscribes everyone registered so far (the "system
@@ -436,13 +469,28 @@ impl SimRuntime {
     }
 
     /// Installs a deterministic fault plan (loss, corruption, jitter,
-    /// outages) on the underlying network simulator.
+    /// outages, Byzantine strategies) on the underlying network simulator.
+    /// Adversary assignments are realized at the protocol layer here: their
+    /// decisions hash off the plan's seed independently of the link-fault
+    /// RNG, so adding an adversary never shifts honest faults.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.adv_seed = plan.seed();
+        self.adversaries.clear();
+        for (node, strategy) in plan.adversaries() {
+            if let Some(p_idx) = self
+                .participants
+                .iter()
+                .position(|p| p.node.index() == node)
+            {
+                self.adversaries.insert(p_idx, strategy);
+            }
+        }
         self.net.set_fault_plan(plan);
     }
 
     /// Removes any installed fault plan; subsequent traffic is clean.
     pub fn clear_fault_plan(&mut self) {
+        self.adversaries.clear();
         self.net.clear_fault_plan();
     }
 
@@ -606,6 +654,7 @@ impl SimRuntime {
             started_at: now,
             finished_at: None,
             bytes_by_peer: HashMap::new(),
+            repl_limit: HashMap::new(),
             trace,
         });
         Ok(SessionId(session_idx))
@@ -734,6 +783,14 @@ impl SimRuntime {
                     if session.health.get(&conn).is_some_and(|h| h.dead) {
                         continue;
                     }
+                    // A quarantined peer gets no Eq.-2 budget at all for
+                    // the duration of its ban.
+                    if self.health.as_ref().is_some_and(|h| {
+                        h.engine
+                            .is_quarantined(pid as u64, self.net.now().as_secs())
+                    }) {
+                        continue;
+                    }
                     let peer = &self.participants[p_idx].peer;
                     if peer.serving(conn).is_none() || !peer.has_pending(conn) {
                         continue;
@@ -796,6 +853,16 @@ impl SimRuntime {
         if self.sessions[s_idx].finished_at.is_some() {
             return;
         }
+        let adversary = self.adversaries.get(&p_idx).copied();
+        // A selectively-serving adversary withholds the whole slot: the
+        // Eq.-2 budget was granted (it has pending work), yet nothing
+        // moves — the starvation signature the health engine attributes.
+        if let Some(AdversaryStrategy::SelectiveServe { serve_fraction }) = adversary {
+            let salt = self.slot.wrapping_mul(1_000_003).wrapping_add(conn);
+            if adversary_draw(self.adv_seed, salt) >= serve_fraction {
+                return;
+            }
+        }
         loop {
             if *self.participants[p_idx].inflight.entry(conn).or_insert(0) >= MAX_INFLIGHT {
                 break;
@@ -811,8 +878,44 @@ impl SimRuntime {
             if deficit_now < msg as f64 {
                 break;
             }
-            let Some(message) = self.participants[p_idx].peer.next_message(conn) else {
-                break;
+            // A replaying adversary re-serves its previous message instead
+            // of fresh ones: the frame is authentic (digest passes) but the
+            // decoder has seen the id, so the bytes buy no progress.
+            let mut message: Option<EncodedMessage> = None;
+            if let Some(AdversaryStrategy::Replay { prob }) = adversary {
+                let seq = {
+                    let e = self.participants[p_idx].adv_seq.entry(conn).or_insert(0);
+                    *e += 1;
+                    *e
+                };
+                let salt = conn.wrapping_mul(0x9E37_79B9).wrapping_add(seq);
+                if adversary_draw(self.adv_seed, salt) < prob {
+                    message = self.participants[p_idx].last_sent.get(&conn).cloned();
+                }
+            }
+            let message = match message {
+                Some(stale) => stale, // fresh queue does not advance
+                None => {
+                    let Some(m) = self.participants[p_idx].peer.next_message(conn) else {
+                        break;
+                    };
+                    if matches!(adversary, Some(AdversaryStrategy::Replay { .. })) {
+                        self.participants[p_idx].last_sent.insert(conn, m.clone());
+                    }
+                    m
+                }
+            };
+            // A polluting adversary tampers with the payload before it
+            // leaves: the frame stays well-formed, so only the downstream
+            // digest check can tell (no `corruption` event — the attacker
+            // does not announce itself).
+            let wire = match adversary {
+                Some(AdversaryStrategy::Pollute { prob })
+                    if adversary_draw(self.adv_seed, message.message_id().0) < prob =>
+                {
+                    corrupt_message(&message).unwrap_or(Wire::MessageData(message))
+                }
+                _ => Wire::MessageData(message),
             };
             *self.participants[p_idx].deficits.get_mut(&conn).unwrap() -= msg as f64;
             *self.participants[p_idx].inflight.get_mut(&conn).unwrap() += 1;
@@ -821,7 +924,7 @@ impl SimRuntime {
                     session: s_idx,
                     conn,
                 },
-                wire: Some(Wire::MessageData(message)),
+                wire: Some(wire),
                 msg: None,
                 bulk_from: Some((p_idx, conn)),
             });
@@ -1014,17 +1117,14 @@ impl SimRuntime {
                     }
                     (false, wire) => wire,
                 };
-                // Account data bytes per contributing peer.
+                // Arrival-time bookkeeping (trace spans, replacement round
+                // trips). Byte and window accounting happens below, after
+                // the digest check: rejected bytes never count as
+                // contribution and never earn ledger credit.
+                let mut data_meta: Option<(usize, u64)> = None;
                 if let Wire::MessageData(msg) = &wire {
                     if let Some(&p_idx) = self.sessions[session].conns.get(&conn) {
-                        let len = wire.encoded_len() as u64;
-                        *self.sessions[session]
-                            .bytes_by_peer
-                            .entry(p_idx)
-                            .or_insert(0) += len;
-                        if let Some(h) = &mut self.health {
-                            *h.slot_msgs.entry(p_idx).or_insert(0) += 1;
-                        }
+                        data_meta = Some((p_idx, wire.encoded_len() as u64));
                         if self.obs.events.is_enabled() {
                             let ts = self.net.now().as_secs();
                             let chunk = FileManifest::chunk_of(msg.message_id());
@@ -1066,24 +1166,47 @@ impl SimRuntime {
                         .insert(conn, now.as_secs());
                 }
                 let was_complete = self.sessions[session].user.is_complete();
-                let replies =
-                    match self.sessions[session]
-                        .user
-                        .on_message(conn, wire, &mut self.rng)
-                    {
-                        Ok(replies) => replies,
-                        Err(SystemError::Codec(CodecError::AuthenticationFailed { id })) => {
-                            // Digest-rejected message: ask the sender for a
-                            // different one covering the same chunk.
+                let result = self.sessions[session]
+                    .user
+                    .on_message(conn, wire, &mut self.rng);
+                let accepted = result.is_ok();
+                let replies = match result {
+                    Ok(replies) => replies,
+                    Err(SystemError::Codec(CodecError::AuthenticationFailed { id })) => {
+                        // Digest-rejected message: record the rejection
+                        // (the attribution detectors feed off it) and —
+                        // within the per-(conn, chunk) rate limit — ask
+                        // the sender for a different message covering
+                        // the same chunk.
+                        let chunk = FileManifest::chunk_of(MessageId(id));
+                        self.obs.digest_rejections.inc();
+                        let peer = self.sessions[session]
+                            .conns
+                            .get(&conn)
+                            .map_or(u64::MAX, |&p| p as u64);
+                        let ts = now.as_secs();
+                        self.obs.events.emit_at(
+                            ts,
+                            "sim.deliver",
+                            "digest_reject",
+                            &[
+                                ("peer", peer.into()),
+                                ("session", session.into()),
+                                ("conn", conn.into()),
+                                ("chunk", chunk.into()),
+                            ],
+                        );
+                        let limit = self.sessions[session]
+                            .repl_limit
+                            .entry((conn, chunk))
+                            .or_insert((f64::NEG_INFINITY, 0));
+                        if ts >= limit.0 {
+                            limit.1 = limit.1.saturating_add(1);
+                            limit.0 =
+                                ts + REPL_BACKOFF_BASE_SECS * (1u32 << (limit.1 - 1).min(5)) as f64;
                             self.sessions[session].user.stats_mut().replacements += 1;
-                            let chunk = FileManifest::chunk_of(MessageId(id));
-                            self.obs.digest_rejections.inc();
-                            let peer = self.sessions[session]
-                                .conns
-                                .get(&conn)
-                                .map_or(u64::MAX, |&p| p as u64);
                             self.obs.events.emit_at(
-                                now.as_secs(),
+                                ts,
                                 "sim.deliver",
                                 "replacement_request",
                                 &[
@@ -1098,7 +1221,7 @@ impl SimRuntime {
                                     .trace
                                     .pending_repl
                                     .entry((conn, chunk))
-                                    .or_insert(now.as_secs());
+                                    .or_insert(ts);
                             }
                             let request = Wire::ReplacementRequest {
                                 file_id: self.sessions[session].user.file_id(),
@@ -1121,10 +1244,61 @@ impl SimRuntime {
                                     },
                                 );
                             }
-                            Vec::new()
                         }
-                        Err(_) => Vec::new(),
-                    };
+                        Vec::new()
+                    }
+                    Err(SystemError::Codec(CodecError::DuplicateMessage { .. })) => {
+                        // Already-seen message id: authentic bytes that
+                        // buy no progress — the replay detector's raw
+                        // signal.
+                        let peer = self.sessions[session]
+                            .conns
+                            .get(&conn)
+                            .map_or(u64::MAX, |&p| p as u64);
+                        self.obs.events.emit_at(
+                            now.as_secs(),
+                            "sim.deliver",
+                            "duplicate",
+                            &[
+                                ("peer", peer.into()),
+                                ("session", session.into()),
+                                ("conn", conn.into()),
+                            ],
+                        );
+                        Vec::new()
+                    }
+                    Err(_) => Vec::new(),
+                };
+                // Contribution accounting for the digest-accepted message.
+                if accepted {
+                    if let Some((p_idx, len)) = data_meta {
+                        *self.sessions[session]
+                            .bytes_by_peer
+                            .entry(p_idx)
+                            .or_insert(0) += len;
+                        if let Some(h) = &mut self.health {
+                            *h.slot_msgs.entry(p_idx).or_insert(0) += 1;
+                        }
+                        // A credit-inflating adversary claims `factor`×
+                        // extra contribution directly at the downloader's
+                        // home ledger, on top of whatever honest feedback
+                        // will credit — the served-vs-credited divergence
+                        // the balance detector watches.
+                        if let Some(AdversaryStrategy::InflateCredit { factor }) =
+                            self.adversaries.get(&p_idx).copied()
+                        {
+                            let key = self.participants[p_idx]
+                                .peer
+                                .identity()
+                                .public_key()
+                                .to_bytes();
+                            let home = self.sessions[session].home;
+                            self.participants[home]
+                                .peer
+                                .credit_direct(key, factor * len as f64);
+                        }
+                    }
+                }
                 if self.obs.events.is_enabled() {
                     // Record newly completed chunks at the instant they
                     // finish, so chunk spans end when decoding did.
@@ -1180,6 +1354,22 @@ impl SimRuntime {
             let mut conns: Vec<u64> = session.health.keys().copied().collect();
             conns.sort_unstable(); // deterministic recovery order
             for conn in conns {
+                // A quarantined peer is neither nudged nor written off: its
+                // ban is timed, and the stall clock resumes on expiry (the
+                // next stalled pass re-requests the file).
+                if let Some(hh) = &self.health {
+                    let banned = self.sessions[s_idx]
+                        .conns
+                        .get(&conn)
+                        .is_some_and(|&p| hh.engine.is_quarantined(p as u64, now.as_secs()));
+                    if banned {
+                        if let Some(h) = self.sessions[s_idx].health.get_mut(&conn) {
+                            h.last_activity = now;
+                            h.retries = 0;
+                        }
+                        continue;
+                    }
+                }
                 let h = &self.sessions[s_idx].health[&conn];
                 if h.dead
                     || (now - h.last_activity).as_secs() < self.cfg.stall_timeout_secs
@@ -1300,13 +1490,27 @@ impl SimRuntime {
         live.sort_unstable();
         let pool: Vec<u64> = match &self.health {
             Some(h) => {
-                let healthy: Vec<u64> = live
+                // Quarantined peers are excluded outright (falling back to
+                // the full live set only if every survivor is banned), then
+                // sick peers are deprioritized within what remains.
+                let ts = self.net.now().as_secs();
+                let unbanned: Vec<u64> = live
+                    .iter()
+                    .copied()
+                    .filter(|c| !h.engine.is_quarantined(session.conns[c] as u64, ts))
+                    .collect();
+                let base = if unbanned.is_empty() {
+                    live.clone()
+                } else {
+                    unbanned
+                };
+                let healthy: Vec<u64> = base
                     .iter()
                     .copied()
                     .filter(|c| !h.engine.is_sick(session.conns[c] as u64))
                     .collect();
                 if healthy.is_empty() {
-                    live.clone()
+                    base
                 } else {
                     healthy
                 }
@@ -1392,6 +1596,11 @@ impl SimRuntime {
                 .events
                 .emit_at(ts, "health", "alert", &alert.to_fields());
         }
+        for attack in h.engine.last_attacks() {
+            self.obs
+                .events
+                .emit_at(ts, "health", "attack", &attack.to_fields());
+        }
         self.obs.events.emit_at(
             ts,
             "health",
@@ -1404,7 +1613,167 @@ impl SimRuntime {
                 .gauge(&format!("health.score.p{}", peer.peer))
                 .set(peer.score);
         }
+        // Detect quarantine *entries* — expired bans fall out of the seen
+        // set so a repeat offense runs the ladder again.
+        h.quarantine_seen
+            .retain(|&p| h.engine.is_quarantined(p, ts));
+        let mut entered: Vec<u64> = Vec::new();
+        for attack in h.engine.last_attacks() {
+            if attack.quarantined_until.is_some() && h.quarantine_seen.insert(attack.peer) {
+                entered.push(attack.peer);
+            }
+        }
         self.health = Some(h);
+        for peer in entered {
+            self.react_to_quarantine(peer as usize, ts);
+        }
+    }
+
+    /// The active response to a peer entering quarantine: every unfinished
+    /// session it serves stops its transmission, re-plans the demand onto
+    /// an honest survivor, and checks whether the owner must re-disseminate
+    /// chunks whose surviving honest coded-message supply dropped below
+    /// rank.
+    fn react_to_quarantine(&mut self, p_idx: usize, ts: f64) {
+        let until = self
+            .health
+            .as_ref()
+            .and_then(|h| h.engine.quarantined_until(p_idx as u64))
+            .unwrap_or(ts);
+        for s_idx in 0..self.sessions.len() {
+            if self.sessions[s_idx].finished_at.is_some() || self.sessions[s_idx].user.is_complete()
+            {
+                continue;
+            }
+            let Some(conn) = self.sessions[s_idx]
+                .conns
+                .iter()
+                .find(|(_, &p)| p == p_idx)
+                .map(|(&c, _)| c)
+            else {
+                continue;
+            };
+            self.sessions[s_idx].user.stats_mut().quarantines += 1;
+            self.obs.events.emit_at(
+                ts,
+                "sim.heal",
+                "quarantine",
+                &[
+                    ("peer", p_idx.into()),
+                    ("session", s_idx.into()),
+                    ("conn", conn.into()),
+                    ("until", until.into()),
+                ],
+            );
+            // Silence the attacker for the length of the ban.
+            let file_id = self.sessions[s_idx].user.file_id();
+            let remote = self.sessions[s_idx].remote_node;
+            let node = self.participants[p_idx].node;
+            self.send_control(
+                remote,
+                node,
+                Pending {
+                    endpoint: Endpoint::ToPeer {
+                        participant: p_idx,
+                        conn,
+                    },
+                    wire: Some(Wire::StopTransmission { file_id }),
+                    msg: None,
+                    bulk_from: None,
+                },
+            );
+            self.reassign(s_idx);
+            self.redisseminate_if_starved(s_idx, ts);
+        }
+    }
+
+    /// Owner re-dissemination: when the honest, live coded-message supply
+    /// for an incomplete chunk has fallen below rank `k`, the owner
+    /// deposits its own coded copies of that chunk with an honest serving
+    /// peer (once per `(session, chunk)`), restoring decodability without
+    /// trusting the quarantined source.
+    fn redisseminate_if_starved(&mut self, s_idx: usize, ts: f64) {
+        let file_id = FileId(self.sessions[s_idx].user.file_id());
+        let k = self.cfg.k;
+        let banned = |health: &Option<SimHealth>, p: usize| {
+            health
+                .as_ref()
+                .is_some_and(|h| h.engine.is_quarantined(p as u64, ts))
+        };
+        let session = &self.sessions[s_idx];
+        let mut honest: Vec<usize> = session
+            .conns
+            .iter()
+            .filter(|(&c, _)| !session.health.get(&c).is_some_and(|h| h.dead))
+            .map(|(_, &p)| p)
+            .filter(|&p| !banned(&self.health, p))
+            .collect();
+        honest.sort_unstable();
+        honest.dedup();
+        if honest.is_empty() {
+            return;
+        }
+        let mut supply: BTreeMap<u32, usize> = BTreeMap::new();
+        for &p in &honest {
+            for m in self.participants[p].peer.store().messages(file_id) {
+                *supply
+                    .entry(FileManifest::chunk_of(m.message_id()))
+                    .or_insert(0) += 1;
+            }
+        }
+        let completed: HashSet<u32> = session.user.completed_chunks().into_iter().collect();
+        let chunk_count = session.user.chunk_count();
+        let home = session.home;
+        for chunk in 0..chunk_count {
+            if completed.contains(&chunk) || supply.get(&chunk).copied().unwrap_or(0) >= k {
+                continue;
+            }
+            if !self.redisseminated.insert((s_idx, chunk)) {
+                continue;
+            }
+            let msgs: Vec<EncodedMessage> = self.participants[home]
+                .peer
+                .store()
+                .messages(file_id)
+                .iter()
+                .filter(|m| FileManifest::chunk_of(m.message_id()) == chunk)
+                .cloned()
+                .collect();
+            let Some(&target) = honest.iter().find(|&&p| p != home) else {
+                continue;
+            };
+            if msgs.is_empty() {
+                continue;
+            }
+            self.obs.events.emit_at(
+                ts,
+                "sim.heal",
+                "redisseminate",
+                &[
+                    ("session", s_idx.into()),
+                    ("chunk", chunk.into()),
+                    ("target", target.into()),
+                    ("messages", msgs.len().into()),
+                ],
+            );
+            for m in msgs {
+                let size = Wire::message_data_frame_len(&m) as u64;
+                let tag = self.alloc_tag(Pending {
+                    endpoint: Endpoint::StoreDeposit {
+                        participant: target,
+                    },
+                    wire: None,
+                    msg: Some(m),
+                    bulk_from: None,
+                });
+                self.net.start_flow(
+                    self.participants[home].node,
+                    self.participants[target].node,
+                    size,
+                    tag,
+                );
+            }
+        }
     }
 
     /// Emits one `sim.credit`/`balance` event per serving participant:

@@ -34,6 +34,9 @@ pub struct SessionStats {
     pub reassignments: u64,
     /// Replacement requests sent for digest-rejected messages.
     pub replacements: u64,
+    /// Times a serving peer of this session entered quarantine after an
+    /// attack verdict.
+    pub quarantines: u64,
     /// Cumulative payload bytes per contributing peer (unlike the feedback
     /// window tallies, never reset).
     pub bytes_by_peer: HashMap<KeyBytes, u64>,
@@ -78,6 +81,10 @@ pub struct User<F: Field> {
     // diverge between otherwise-identical sessions.
     conns: BTreeMap<u64, Conn>,
     received_from: HashMap<KeyBytes, u64>,
+    /// Digest-rejected bytes per peer in the current feedback window —
+    /// debited from that peer's entry when the report is built, so garbage
+    /// never nets Eq.-2 credit.
+    rejected_from: HashMap<KeyBytes, u64>,
     innovative: u64,
     redundant: u64,
     stats: SessionStats,
@@ -99,6 +106,7 @@ impl<F: Field> User<F> {
             decoder,
             conns: BTreeMap::new(),
             received_from: HashMap::new(),
+            rejected_from: HashMap::new(),
             innovative: 0,
             redundant: 0,
             stats: SessionStats::default(),
@@ -213,7 +221,10 @@ impl<F: Field> User<F> {
                     Ok(innovative) => innovative,
                     Err(e) => {
                         match &e {
-                            CodecError::AuthenticationFailed { .. } => self.stats.corruptions += 1,
+                            CodecError::AuthenticationFailed { .. } => {
+                                self.stats.corruptions += 1;
+                                *self.rejected_from.entry(peer_key).or_insert(0) += wire_len;
+                            }
                             CodecError::DuplicateMessage { .. } => self.stats.duplicates += 1,
                             _ => {}
                         }
@@ -307,12 +318,18 @@ impl<F: Field> User<F> {
     }
 
     /// Builds the signed periodic feedback report for the home peer and
-    /// resets the window counters.
+    /// resets the window counters. Digest-rejected bytes are debited from
+    /// the offender's window entry (saturating at zero): a peer that pushed
+    /// garbage alongside good messages nets credit only for the difference.
     pub fn make_feedback(&mut self, window_end_secs: u64, rng: &mut ChaChaRng) -> FeedbackReport {
+        let mut rejected = std::mem::take(&mut self.rejected_from);
         let entries: Vec<FeedbackEntry> = self
             .received_from
             .drain()
-            .map(|(contributor, bytes)| FeedbackEntry { contributor, bytes })
+            .map(|(contributor, bytes)| FeedbackEntry {
+                contributor,
+                bytes: bytes.saturating_sub(rejected.remove(&contributor).unwrap_or(0)),
+            })
             .collect();
         FeedbackReport::sign(self.identity.auth_keys(), window_end_secs, entries, rng)
     }
@@ -355,6 +372,17 @@ impl<F: Field> User<F> {
     /// Independent messages required to decode the whole file.
     pub fn messages_needed(&self) -> usize {
         self.decoder.messages_needed()
+    }
+
+    /// Number of chunks in the file being downloaded.
+    pub fn chunk_count(&self) -> u32 {
+        self.decoder.manifest().chunk_count()
+    }
+
+    /// Digest-rejected bytes per peer in the current feedback window (the
+    /// debit side of the next report).
+    pub fn window_rejected_bytes(&self) -> &HashMap<KeyBytes, u64> {
+        &self.rejected_from
     }
 }
 

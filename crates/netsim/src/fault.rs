@@ -48,6 +48,105 @@ impl LinkFault {
     }
 }
 
+/// A deterministic malicious-peer behaviour assigned to one node.
+///
+/// Strategies model the Byzantine attacks of the threat model (DESIGN.md
+/// §11): the node still speaks the protocol — frames parse, handshakes
+/// succeed — but the *content* or *schedule* of what it serves is hostile.
+/// The runtimes realize the strategy at their serving/delivery layer; the
+/// flow simulator itself stays attack-agnostic, exactly as it stays
+/// loss-agnostic.
+///
+/// Every per-message decision is derived from an order-independent hash of
+/// `(plan seed, message identity)` via [`adversary_draw`], never from the
+/// shared fault RNG stream, so installing an adversary perturbs *nothing*
+/// about honest peers' loss/corruption/jitter draws and a given plan
+/// replays byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdversaryStrategy {
+    /// Payload pollution: serve well-formed frames whose coded payload was
+    /// tampered with probability `prob` — valid framing, garbage data that
+    /// fails the owner's MD5 digest at the receiver.
+    Pollute {
+        /// Probability in `[0, 1]` that a served message is polluted.
+        prob: f64,
+    },
+    /// Stale serving: with probability `prob`, re-serve the previously sent
+    /// message instead of a fresh one — the receiver sees replayed
+    /// duplicates that decode to nothing new.
+    Replay {
+        /// Probability in `[0, 1]` that a send is a replay of the last one.
+        prob: f64,
+    },
+    /// Selective serving: accept requests, but actually deliver only
+    /// `serve_fraction` of the messages owed — the rest are silently
+    /// withheld while the sender still occupies a connection slot.
+    SelectiveServe {
+        /// Fraction in `[0, 1]` of owed messages actually served.
+        serve_fraction: f64,
+    },
+    /// Eq.-2 credit inflation: claim contribution for bytes the victim
+    /// rejected or never received, inflating the ledger by `factor` times
+    /// the genuinely attempted bytes.
+    InflateCredit {
+        /// Multiplier (≥ 0) on attempted bytes claimed as extra credit.
+        factor: f64,
+    },
+}
+
+impl AdversaryStrategy {
+    /// Asserts the strategy's knobs are in range. Called on installation by
+    /// both the netsim fault plan and the threaded transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics for probabilities or fractions outside `[0, 1]`, or a
+    /// non-finite / negative inflation factor.
+    pub fn validate(&self) {
+        match *self {
+            AdversaryStrategy::Pollute { prob } | AdversaryStrategy::Replay { prob } => {
+                assert!(
+                    (0.0..=1.0).contains(&prob),
+                    "adversary probability must lie in [0, 1]"
+                );
+            }
+            AdversaryStrategy::SelectiveServe { serve_fraction } => {
+                assert!(
+                    (0.0..=1.0).contains(&serve_fraction),
+                    "serve fraction must lie in [0, 1]"
+                );
+            }
+            AdversaryStrategy::InflateCredit { factor } => {
+                assert!(
+                    factor.is_finite() && factor >= 0.0,
+                    "credit inflation factor must be finite and non-negative"
+                );
+            }
+        }
+    }
+
+    /// Short stable name of the strategy, used in events and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversaryStrategy::Pollute { .. } => "pollute",
+            AdversaryStrategy::Replay { .. } => "replay",
+            AdversaryStrategy::SelectiveServe { .. } => "selective",
+            AdversaryStrategy::InflateCredit { .. } => "inflate_credit",
+        }
+    }
+}
+
+/// An order-independent uniform draw in `[0, 1)` keyed by `(seed, salt)`.
+///
+/// Adversary decisions use this instead of the plan's sequential fault RNG:
+/// hashing `(seed, message identity)` makes each decision independent of
+/// evaluation order, so an adversarial node changes only its own behaviour
+/// — honest peers' fault draws, and therefore the honest schedule, replay
+/// untouched.
+pub fn adversary_draw(seed: u64, salt: u64) -> f64 {
+    SplitMix64::new(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_f64()
+}
+
 /// A scheduled node outage: the node's uplink and downlink are zero for
 /// `[from_secs, until_secs)`. An infinite `until_secs` models churn — the
 /// node leaves and never comes back.
@@ -97,6 +196,7 @@ pub struct FaultPlan {
     default: LinkFault,
     per_node: HashMap<usize, LinkFault>,
     outages: Vec<Outage>,
+    adversaries: HashMap<usize, AdversaryStrategy>,
 }
 
 impl FaultPlan {
@@ -186,6 +286,28 @@ impl FaultPlan {
         self.with_outage(node, at_secs, f64::INFINITY)
     }
 
+    /// Marks `node` as a malicious peer following `strategy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range strategy parameters.
+    #[must_use]
+    pub fn with_adversary(mut self, node: NodeId, strategy: AdversaryStrategy) -> FaultPlan {
+        strategy.validate();
+        self.adversaries.insert(node.index(), strategy);
+        self
+    }
+
+    /// The adversary strategy assigned to `node`, if any.
+    pub fn adversary_for(&self, node: NodeId) -> Option<AdversaryStrategy> {
+        self.adversaries.get(&node.index()).copied()
+    }
+
+    /// All `(node index, strategy)` adversary assignments in the plan.
+    pub fn adversaries(&self) -> impl Iterator<Item = (usize, AdversaryStrategy)> + '_ {
+        self.adversaries.iter().map(|(&n, &s)| (n, s))
+    }
+
     /// The RNG seed the plan replays from.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -204,6 +326,7 @@ impl FaultPlan {
         self.default.is_noop()
             && self.per_node.values().all(LinkFault::is_noop)
             && self.outages.is_empty()
+            && self.adversaries.is_empty()
     }
 
     /// Whether `node` is inside an outage window at time `now`.
@@ -310,5 +433,51 @@ mod tests {
     #[should_panic(expected = "probabilities must lie in [0, 1]")]
     fn invalid_probability_panics() {
         let _ = FaultPlan::new(0).with_loss(1.5);
+    }
+
+    #[test]
+    fn adversary_assignment_and_noop() {
+        let node = NodeId(2);
+        let plan = FaultPlan::new(9).with_adversary(node, AdversaryStrategy::Pollute { prob: 0.5 });
+        assert_eq!(
+            plan.adversary_for(node),
+            Some(AdversaryStrategy::Pollute { prob: 0.5 })
+        );
+        assert_eq!(plan.adversary_for(NodeId(0)), None);
+        assert!(
+            !plan.is_noop(),
+            "an adversary makes the plan non-trivial even with clean links"
+        );
+        assert_eq!(plan.adversaries().count(), 1);
+        assert_eq!(
+            AdversaryStrategy::InflateCredit { factor: 2.0 }.name(),
+            "inflate_credit"
+        );
+    }
+
+    #[test]
+    fn adversary_draw_is_order_independent_and_uniformish() {
+        // Same (seed, salt) always yields the same draw, regardless of any
+        // other draws made before it — the property that keeps honest
+        // schedules untouched by adversary decisions.
+        let a = adversary_draw(7, 1234);
+        let _ = adversary_draw(7, 999); // unrelated draw in between
+        assert_eq!(adversary_draw(7, 1234), a);
+        assert_ne!(adversary_draw(8, 1234), a, "seed-sensitive");
+        let draws: Vec<f64> = (0..1000).map(|i| adversary_draw(7, i)).collect();
+        assert!(draws.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "serve fraction must lie in [0, 1]")]
+    fn invalid_serve_fraction_panics() {
+        let _ = FaultPlan::new(0).with_adversary(
+            NodeId(0),
+            AdversaryStrategy::SelectiveServe {
+                serve_fraction: 2.0,
+            },
+        );
     }
 }

@@ -37,7 +37,7 @@ mod net;
 mod node;
 mod time;
 
-pub use fault::{FaultPlan, FaultStats, LinkFault, Outage};
+pub use fault::{adversary_draw, AdversaryStrategy, FaultPlan, FaultStats, LinkFault, Outage};
 pub use flow::{FlowId, FlowProgress};
 pub use net::{Event, EventKind, NetTotals, SimNet};
 pub use node::{LinkSpeed, NodeId, NodeStats};

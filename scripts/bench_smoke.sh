@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Bench smoke check: rerun the committed benchmarks in --quick mode and fail
 # on malformed JSON output or a >30% regression against the checked-in
-# snapshots (BENCH_rlnc.json, BENCH_transport.json, BENCH_alloc.json). This
-# is a CI noise guard, not a precision benchmark — the committed numbers
-# themselves come from full (median/min-of-samples) runs on a quiet machine.
+# snapshots (BENCH_rlnc.json, BENCH_transport.json, BENCH_alloc.json,
+# BENCH_adversary.json). This is a CI noise guard, not a precision benchmark
+# — the committed numbers themselves come from full (median/min-of-samples)
+# runs on a quiet machine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,11 +12,12 @@ snapshot=$(mktemp -d)
 # The bench binaries overwrite the committed JSON in place; always restore
 # the committed snapshots afterwards so the tree stays clean.
 trap 'cp "$snapshot"/*.json . 2>/dev/null || true; rm -rf "$snapshot"' EXIT
-cp BENCH_rlnc.json BENCH_transport.json BENCH_alloc.json "$snapshot"/
+cp BENCH_rlnc.json BENCH_transport.json BENCH_alloc.json BENCH_adversary.json "$snapshot"/
 
 cargo run --release -p asymshare-bench --bin bench_baseline -- --quick
 cargo run --release -p asymshare-bench --bin bench_transport -- --quick
 cargo run --release --features simd -p asymshare-bench --bin bench_alloc -- --quick
+cargo run --release -p asymshare-bench --bin bench_adversary -- --quick
 
 python3 - "$snapshot" <<'EOF'
 import json
@@ -63,6 +65,8 @@ REQUIRED_FIELDS = [
                          "fairness.home_credit_max", "fairness.slot_share_events"]),
     ("BENCH_alloc.json", ["config.peers", "config.edges_per_user", "config.rule",
                           "config.kernel", "config.samples", "config.statistic"]),
+    ("BENCH_adversary.json", ["config.fault_seed", "config.warmup_slots",
+                              "honest.goodput_kbps", "honest.duration_secs"]),
 ]
 
 failed = False
@@ -122,6 +126,47 @@ if committed_health > 5.0:
 else:
     print(f"BENCH_transport.json health.overhead_pct: committed {committed_health}% "
           f"(quick rerun {fresh_health}%, informational) [ok]")
+# Byzantine-defense gates. The adversary bench runs on the deterministic
+# slot simulator, so the quick rerun reproduces the committed numbers
+# exactly on an unchanged tree; the gates catch behavioral drift, not
+# machine noise. Per strategy: the attacker must still be detected (within
+# 30% of the committed latency, with a one-slot absolute slack for integer
+# granularity), must still end up quarantined, and the re-planned download
+# must retain >= 80% of the honest-capacity goodput floor.
+ADVERSARY_STRATEGIES = ["pollute", "replay", "selective", "inflate_credit"]
+ADVERSARY_ROW_FIELDS = ["detection_slots", "detection_ms", "goodput_kbps",
+                        "recovery_ratio", "quarantined", "attack_alerts"]
+adv_committed = load(f"{snap}/BENCH_adversary.json").get("attacks", {})
+adv_fresh = load("BENCH_adversary.json").get("attacks", {})
+for strategy in ADVERSARY_STRATEGIES:
+    committed_row = adv_committed.get(strategy)
+    fresh_row = adv_fresh.get(strategy)
+    if not isinstance(fresh_row, dict) or not isinstance(committed_row, dict):
+        print(f"BENCH_adversary.json attacks.{strategy}: missing row [MISSING]")
+        failed = True
+        continue
+    missing = [f for f in ADVERSARY_ROW_FIELDS if f not in fresh_row]
+    if missing:
+        print(f"BENCH_adversary.json attacks.{strategy} missing fields {missing} [MISSING]")
+        failed = True
+        continue
+    committed_slots = committed_row["detection_slots"]
+    fresh_slots = fresh_row["detection_slots"]
+    regressed = fresh_slots > committed_slots * (1 + TOLERANCE) and fresh_slots - committed_slots > 1.0
+    status = "REGRESSED" if regressed else "ok"
+    print(f"BENCH_adversary.json attacks.{strategy}.detection_slots: "
+          f"committed {committed_slots}, quick rerun {fresh_slots} [{status}]")
+    failed = failed or regressed
+    if not fresh_row["quarantined"]:
+        print(f"BENCH_adversary.json attacks.{strategy}.quarantined: false [REGRESSED]")
+        failed = True
+    recovery = fresh_row["recovery_ratio"]
+    if recovery < 0.8:
+        print(f"BENCH_adversary.json attacks.{strategy}.recovery_ratio: {recovery} < 0.8 [REGRESSED]")
+        failed = True
+    else:
+        print(f"BENCH_adversary.json attacks.{strategy}.recovery_ratio: {recovery} [ok]")
+
 for name, label, get, direction in CHECKS:
     committed = get(load(f"{snap}/{name}"))
     fresh = get(load(name))
