@@ -1,0 +1,284 @@
+//! Committed reactor baseline: event-loop runtime throughput vs the
+//! thread-per-peer baseline, written to `BENCH_rt.json` so runtime
+//! regressions show up as a diff against the checked-in numbers.
+//!
+//! Two sections:
+//!
+//! * **parity** — the exact `bench_transport` workload (3 peers serving
+//!   their full 8 MiB stocks, unshaped) on both runtimes. The reactor must
+//!   stay within 10% of the threaded data-plane number committed in
+//!   `BENCH_transport.json`: one event-loop worker may not tax the
+//!   small-fan-out case the threaded design is good at.
+//! * **scaling** — completed-download throughput while the runtime hosts
+//!   3, 64, and 512 peers (three serving a fixed stock, the rest idle but
+//!   *hosted*, as in a real swarm where most subscriptions are quiet).
+//!   Each threaded host burns a wakeup every tick even when idle, so on a
+//!   one-core runner 512 hosts demand more CPU than the machine has and
+//!   starve the download; the reactor parks its one worker and its idle
+//!   peers cost nothing. The committed speedup at 64+ peers gates at ≥ 4x.
+//!
+//! Run with `--quick` for one sample per point, from the repo root:
+//!
+//! ```text
+//! cargo run --release -p asymshare-bench --bin bench_rt
+//! ```
+
+use asymshare::rt::{PeerHost, Reactor, ReactorConfig, RtNetwork, WindowConfig};
+use asymshare::{Identity, Peer, Prover, Wire};
+use asymshare_crypto::chacha20::ChaChaRng;
+use asymshare_gf::{FieldKind, Gf2p32};
+use asymshare_rlnc::{ChunkedEncoder, DigestKind, EncodedMessage, FileId};
+use std::time::{Duration, Instant};
+
+/// Parity section: `bench_transport`'s exact workload.
+const PARITY_FILE_BYTES: usize = 8 << 20;
+/// Scaling section: a smaller stock so the starved threaded points still
+/// finish in CI time.
+const SCALING_FILE_BYTES: usize = 3 << 20;
+const CHUNK_BYTES: usize = 256 << 10;
+const K: usize = 8;
+const SERVING_PEERS: usize = 3;
+const SCALES: [usize; 3] = [3, 128, 512];
+
+/// Threaded hosts tick at the same 200 µs the transport bench uses: in the
+/// thread-per-peer design every host needs a fine tick to serve promptly,
+/// which is exactly the per-peer cost the reactor amortizes away.
+const HOST_TICK: Duration = Duration::from_micros(200);
+
+const OUT_PATH: &str = "BENCH_rt.json";
+
+fn minimum(xs: Vec<f64>) -> f64 {
+    xs.into_iter().fold(f64::INFINITY, f64::min)
+}
+
+fn build_batches(owner: &Identity, file_bytes: usize) -> Vec<Vec<EncodedMessage>> {
+    let data: Vec<u8> = (0..file_bytes).map(|i| (i * 131 % 251) as u8).collect();
+    let mut enc = ChunkedEncoder::<Gf2p32>::with_chunk_size(
+        FieldKind::Gf2p32,
+        K,
+        DigestKind::Md5,
+        owner.coding_secret().clone(),
+        FileId(7),
+        &data,
+        CHUNK_BYTES,
+    )
+    .expect("encoder");
+    enc.encode_for_peers(SERVING_PEERS).expect("batches")
+}
+
+/// A reactor tuned for an unshaped in-process link: a deep window floor and
+/// a short retirement floor so AIMD slow-start never caps the measured data
+/// plane (an 8 MiB stock is only 256 frames — on a real RTT the adaptive
+/// floor is the point, here it would just measure the ramp).
+fn bench_reactor_config() -> ReactorConfig {
+    ReactorConfig {
+        workers: 1,
+        tick: Duration::from_micros(100),
+        window: WindowConfig {
+            min_frames: 256,
+            max_frames: 512,
+            retire_after: Duration::from_micros(100),
+            ..WindowConfig::default()
+        },
+    }
+}
+
+fn make_peer(owner: &Identity, i: usize, batch: Option<&[EncodedMessage]>) -> Peer {
+    let identity = Identity::from_seed(&[b'b', b'r', (i % 251) as u8, (i / 251) as u8]);
+    let mut peer = Peer::new(identity, 1_000.0);
+    peer.add_subscriber(owner.public_key().to_bytes());
+    if let Some(batch) = batch {
+        for m in batch {
+            peer.store_mut().insert(m.clone());
+        }
+    }
+    peer
+}
+
+enum Runtime {
+    Threaded(Vec<PeerHost>),
+    Reactor(Box<Reactor>),
+}
+
+impl Runtime {
+    fn shutdown(self) {
+        match self {
+            Runtime::Threaded(hosts) => {
+                for host in hosts {
+                    host.shutdown();
+                }
+            }
+            Runtime::Reactor(reactor) => {
+                reactor.shutdown();
+            }
+        }
+    }
+}
+
+/// Hosts `total_peers` on the chosen runtime (the first `SERVING_PEERS`
+/// hold `batches`, the rest are idle), streams every stocked message to a
+/// sink, and returns payload MB/s over the streaming section.
+fn run_once(
+    owner: &Identity,
+    batches: &[Vec<EncodedMessage>],
+    total_peers: usize,
+    threaded: bool,
+) -> f64 {
+    let network = RtNetwork::new();
+    let runtime = if threaded {
+        let hosts = (0..total_peers)
+            .map(|i| {
+                let peer = make_peer(owner, i, batches.get(i).map(Vec::as_slice));
+                PeerHost::spawn(&network, 100 + i as u64, peer, u64::MAX / 2, HOST_TICK)
+            })
+            .collect();
+        Runtime::Threaded(hosts)
+    } else {
+        let mut reactor = Box::new(Reactor::new(&network, bench_reactor_config()));
+        for i in 0..total_peers {
+            let peer = make_peer(owner, i, batches.get(i).map(Vec::as_slice));
+            reactor.add_peer(100 + i as u64, peer, u64::MAX / 2);
+        }
+        Runtime::Reactor(reactor)
+    };
+    let serving_addrs: Vec<u64> = (0..SERVING_PEERS).map(|i| 100 + i as u64).collect();
+
+    let my_addr = 1u64;
+    let inbox = network.register(my_addr);
+    let mut rng = ChaChaRng::new([0xB9; 32], *b"bench-react!");
+    let mut provers: Vec<(u64, Prover)> = serving_addrs
+        .iter()
+        .map(|&addr| {
+            let mut p = Prover::new(owner.auth_keys().clone());
+            let commit = p.start(&mut rng);
+            assert!(network.send(my_addr, addr, &commit));
+            (addr, p)
+        })
+        .collect();
+    let mut pending = provers.len();
+    while pending > 0 {
+        let envelope = inbox
+            .recv_timeout(Duration::from_secs(30))
+            .expect("handshake reply");
+        let wire = envelope.decode().expect("parse");
+        let (_, prover) = provers
+            .iter_mut()
+            .find(|(a, _)| *a == envelope.from)
+            .expect("known peer");
+        match wire {
+            Wire::AuthChallenge { .. } => {
+                let response = prover.on_challenge(&wire).expect("challenge");
+                assert!(network.send(my_addr, envelope.from, &response));
+            }
+            Wire::AuthResult { ok, .. } => {
+                assert!(ok, "peer accepted");
+                pending -= 1;
+            }
+            other => panic!("unexpected handshake reply: {other:?}"),
+        }
+    }
+    for &addr in &serving_addrs {
+        assert!(network.send(my_addr, addr, &Wire::FileRequest { file_id: 7 }));
+    }
+
+    let expect_msgs: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let expect_bytes: u64 = batches
+        .iter()
+        .flatten()
+        .map(|m| m.payload().len() as u64)
+        .sum();
+    let t0 = Instant::now();
+    let mut got_msgs = 0u64;
+    let mut got_bytes = 0u64;
+    while got_msgs < expect_msgs {
+        let envelope = inbox
+            .recv_timeout(Duration::from_secs(60))
+            .expect("message stream");
+        for frame in envelope.decode_all() {
+            if let Wire::MessageData(msg) = frame.expect("parse frame") {
+                got_msgs += 1;
+                got_bytes += msg.payload().len() as u64;
+            }
+        }
+        network.recycle_envelope(envelope);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(got_bytes, expect_bytes, "every payload byte arrived");
+    runtime.shutdown();
+    got_bytes as f64 / 1e6 / elapsed
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 1 } else { 3 };
+    let owner = Identity::from_seed(b"bench-rt-owner");
+
+    // Parity: the transport bench's workload on both runtimes.
+    let parity_batches = build_batches(&owner, PARITY_FILE_BYTES);
+    let parity_msgs: usize = parity_batches.iter().map(Vec::len).sum();
+    println!(
+        "parity: {SERVING_PEERS} x {} MiB ({parity_msgs} messages), {samples} sample(s) per runtime...",
+        PARITY_FILE_BYTES >> 20
+    );
+    // Discarded warmup (thread spawn, page faults, CPU ramp).
+    let _ = run_once(&owner, &parity_batches, SERVING_PEERS, true);
+    let _ = run_once(&owner, &parity_batches, SERVING_PEERS, false);
+    let threaded_mb_per_s = minimum(
+        (0..samples)
+            .map(|_| run_once(&owner, &parity_batches, SERVING_PEERS, true))
+            .collect(),
+    );
+    let reactor_mb_per_s = minimum(
+        (0..samples)
+            .map(|_| run_once(&owner, &parity_batches, SERVING_PEERS, false))
+            .collect(),
+    );
+    let parity_ratio = reactor_mb_per_s / threaded_mb_per_s;
+    println!(
+        "  threaded {threaded_mb_per_s:.0} MB/s, reactor {reactor_mb_per_s:.0} MB/s \
+         (ratio {parity_ratio:.2})"
+    );
+
+    // Scaling: fixed serving stock, growing hosted-peer count.
+    let scaling_batches = build_batches(&owner, SCALING_FILE_BYTES);
+    let scaling_msgs: usize = scaling_batches.iter().map(Vec::len).sum();
+    println!(
+        "scaling: {SERVING_PEERS} serving x {} MiB ({scaling_msgs} messages), idle-hosted fan-out at {SCALES:?}...",
+        SCALING_FILE_BYTES >> 20
+    );
+    let mut scaling = Vec::new();
+    for &n in &SCALES {
+        let threaded = minimum(
+            (0..samples)
+                .map(|_| run_once(&owner, &scaling_batches, n, true))
+                .collect(),
+        );
+        let reactor = minimum(
+            (0..samples)
+                .map(|_| run_once(&owner, &scaling_batches, n, false))
+                .collect(),
+        );
+        let speedup = reactor / threaded;
+        println!(
+            "  {n:>4} peers: threaded {threaded:.0} MB/s, reactor {reactor:.0} MB/s \
+             (speedup {speedup:.1}x)"
+        );
+        scaling.push((n, threaded, reactor, speedup));
+    }
+
+    let scaling_json: Vec<String> = scaling
+        .iter()
+        .map(|(n, threaded, reactor, speedup)| {
+            format!(
+                "    {{\n      \"peers\": {n},\n      \"threaded_mb_per_s\": {threaded:.0},\n      \"reactor_mb_per_s\": {reactor:.0},\n      \"speedup\": {speedup:.2}\n    }}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"config\": {{\n    \"serving_peers\": {SERVING_PEERS},\n    \"parity_file_bytes\": {PARITY_FILE_BYTES},\n    \"scaling_file_bytes\": {SCALING_FILE_BYTES},\n    \"chunk_bytes\": {CHUNK_BYTES},\n    \"k\": {K},\n    \"host_tick_us\": {},\n    \"samples\": {samples},\n    \"statistic\": \"min of samples\"\n  }},\n  \"parity\": {{\n    \"threaded_mb_per_s\": {threaded_mb_per_s:.0},\n    \"reactor_mb_per_s\": {reactor_mb_per_s:.0},\n    \"ratio\": {parity_ratio:.2}\n  }},\n  \"scaling\": [\n{}\n  ]\n}}\n",
+        HOST_TICK.as_micros(),
+        scaling_json.join(",\n")
+    );
+    std::fs::write(OUT_PATH, json).expect("write reactor baseline");
+    println!("wrote {OUT_PATH}");
+}

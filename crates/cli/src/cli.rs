@@ -15,7 +15,7 @@ pub const USAGE: &str = "usage:
   asymshare inspect --manifest <path>
   asymshare metrics [--peers N] [--size BYTES] [--json] [--events FILE]
   asymshare trace   [--peers N] [--size BYTES] [--width COLS] [--faults]
-  asymshare top     [--peers N] [--size BYTES] [--listen ADDR] [--once]";
+  asymshare top     [--peers N] [--size BYTES] [--listen ADDR] [--once] [--reactor]";
 
 /// Entry point; returns a user-facing error string on failure.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -423,6 +423,27 @@ fn render_top(network: &asymshare::rt::RtNetwork, elapsed: std::time::Duration) 
         "pool hit rate {hit_rate:.0}%   coalesce {coalesce:.1} frames/datagram   events dropped {}\n",
         network.events().dropped_events()
     ));
+    // Reactor runtime line: only present under `--reactor` (the threaded
+    // baseline never touches these counters).
+    let reactor_passes = snap.counter("rt.reactor.passes").unwrap_or(0);
+    if reactor_passes > 0 {
+        let depth = snap
+            .histogram("rt.reactor.queue_depth")
+            .map(|h| {
+                if h.count > 0 {
+                    h.sum as f64 / h.count as f64
+                } else {
+                    0.0
+                }
+            })
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "reactor: {} frames in {} serve passes   queue depth {depth:.1} mean   {} backpressure yield(s)\n",
+            snap.counter("rt.reactor.served_frames").unwrap_or(0),
+            reactor_passes,
+            snap.counter("rt.reactor.backpressure_yields").unwrap_or(0),
+        ));
+    }
     // Allocator throughput: Eq.-2 pass count and mean pass latency from
     // the peer hosts (also exported verbatim on /metrics).
     let passes = snap.counter("alloc.passes").unwrap_or(0);
@@ -461,8 +482,15 @@ fn render_top(network: &asymshare::rt::RtNetwork, elapsed: std::time::Duration) 
                 } else {
                     "DEGRADED"
                 };
+                // Adaptive send window, published by the reactor as a
+                // per-peer gauge (a quarantined peer shows win 0 — its
+                // window is closed, not merely narrowed).
+                let win = snap
+                    .gauge(&format!("rt.window.p{}", p.peer))
+                    .map(|w| format!("  win {:>3}", w as u64))
+                    .unwrap_or_default();
                 out.push_str(&format!(
-                    "  peer {:>4}  [{:<20}] {:>5.1} {}  {} alert(s)",
+                    "  peer {:>4}  [{:<20}] {:>5.1} {}{win}  {} alert(s)",
                     p.peer,
                     "#".repeat(bar_len),
                     p.score,
@@ -488,7 +516,7 @@ fn render_top(network: &asymshare::rt::RtNetwork, elapsed: std::time::Duration) 
 fn top(args: &[String]) -> Result<(), String> {
     use asymshare::rt::{
         download_file_with, DownloadOptions, FaultPlan, HealthMonitor, MetricsServer, PeerHost,
-        RtNetwork,
+        Reactor, ReactorConfig, RtNetwork,
     };
     use asymshare::{Identity, Peer, User};
     use asymshare_obs::health::HealthConfig;
@@ -510,6 +538,7 @@ fn top(args: &[String]) -> Result<(), String> {
         return Err("--size must be between 1 byte and 16 MiB".to_owned());
     }
     let once = args.iter().any(|a| a == "--once");
+    let use_reactor = args.iter().any(|a| a == "--reactor");
 
     let network = RtNetwork::with_observability(Registry::new(), EventSink::new());
     let server = match flag_value(args, "--listen") {
@@ -542,6 +571,7 @@ fn top(args: &[String]) -> Result<(), String> {
     let batches = enc.encode_for_peers(peers).map_err(|e| e.to_string())?;
     let manifest = enc.manifest().clone();
     let mut hosts = Vec::new();
+    let mut reactor = use_reactor.then(|| Reactor::new(&network, ReactorConfig::default()));
     let mut peer_addrs = Vec::new();
     for (i, batch) in batches.into_iter().enumerate() {
         let identity = Identity::from_seed(&[b't', b'p', i as u8]);
@@ -552,13 +582,17 @@ fn top(args: &[String]) -> Result<(), String> {
             peer.store_mut().insert(m);
         }
         let addr = 100 + i as u64;
-        hosts.push(PeerHost::spawn(
-            &network,
-            addr,
-            peer,
-            1 << 20,
-            Duration::from_millis(5),
-        ));
+        if let Some(r) = reactor.as_mut() {
+            r.add_peer(addr, peer, 1 << 20);
+        } else {
+            hosts.push(PeerHost::spawn(
+                &network,
+                addr,
+                peer,
+                1 << 20,
+                Duration::from_millis(5),
+            ));
+        }
         peer_addrs.push((addr, key));
     }
     network.install_faults(FaultPlan::new(7).with_loss(0.03).with_corruption(0.02));
@@ -594,6 +628,10 @@ fn top(args: &[String]) -> Result<(), String> {
     }
     let outcome = download.join().expect("download thread panicked");
     let report = monitor.shutdown();
+    if let Some(r) = reactor {
+        // Shut down before the final frame so the window gauges flush.
+        r.shutdown();
+    }
     print!("{}", render_top(&network, started.elapsed()));
     for host in hosts {
         host.shutdown();
@@ -772,6 +810,20 @@ mod tests {
         ]))
         .unwrap();
         assert!(run(&s(&["top", "--peers", "1"])).is_err());
+    }
+
+    #[test]
+    fn top_once_on_the_reactor_runtime() {
+        run(&s(&[
+            "top",
+            "--peers",
+            "2",
+            "--size",
+            "32768",
+            "--once",
+            "--reactor",
+        ]))
+        .unwrap();
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::session::Verifier;
 use crate::store::MessageStore;
 use asymshare_crypto::chacha20::ChaChaRng;
 use asymshare_crypto::schnorr::PublicKey;
-use asymshare_rlnc::{EncodedMessage, FileId};
+use asymshare_rlnc::{EncodedMessage, FileId, MessageId};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Chunk index encoded in a message id (high 32 bits; see
@@ -56,6 +56,11 @@ struct PeerSession {
     verifier: Verifier,
     verified: Option<PublicKey>,
     serving: Option<FileId>,
+    /// The file `order` was planned for. Outlives `serving` (which a
+    /// [`Wire::StopTransmission`] clears) so the planned schedule stays
+    /// inspectable after the transfer ends — see
+    /// [`Peer::transfer_schedule`].
+    order_file: Option<FileId>,
     /// Store indices in serving order: chunks permuted by a per-peer offset
     /// and stride so concurrent peers sweep the file in decorrelated orders
     /// (minimizing cross-peer redundancy at the user), messages in stored
@@ -172,6 +177,7 @@ impl Peer {
                     verifier: Verifier::new(),
                     verified: None,
                     serving: None,
+                    order_file: None,
                     order: Vec::new(),
                     served: 0,
                     stopped_chunks: HashSet::new(),
@@ -224,6 +230,7 @@ impl Peer {
                     return Err(SystemError::UnknownFile { file_id });
                 }
                 session.serving = Some(FileId(file_id));
+                session.order_file = Some(FileId(file_id));
                 session.served = 0;
                 session.stopped_chunks.clear();
                 session.resend.clear();
@@ -377,6 +384,26 @@ impl Peer {
             visited += 1;
         }
         order
+    }
+
+    /// The message ids `conn`'s last [`Wire::FileRequest`] planned to
+    /// send, in planned order — the transfer schedule. Pure in the peer's
+    /// public key, the connection id, and the store's insertion order, so
+    /// the sim and rt runtimes must agree on it byte-for-byte for matching
+    /// `(key, conn, store)` triples; the golden schedule-identity test
+    /// pins exactly that. Unlike [`serving`](Peer::serving) it survives a
+    /// [`Wire::StopTransmission`], so it can be read after the download.
+    pub fn transfer_schedule(&self, conn: u64) -> Option<Vec<MessageId>> {
+        let session = self.sessions.get(&conn)?;
+        let file = session.order_file?;
+        let msgs = self.store.messages(file);
+        Some(
+            session
+                .order
+                .iter()
+                .map(|&idx| msgs[idx].message_id())
+                .collect(),
+        )
     }
 
     /// Whether `conn` has more stored messages to send.

@@ -1,12 +1,19 @@
 //! The threaded real-time runtime — the paper's §VI-A future work
 //! ("implement the proposed system in a dynamic real-time environment").
 //!
-//! Peers run as OS threads exchanging *serialized* wire messages over an
-//! in-process transport, with token-bucket uplink shaping standing in for
-//! the physical link. This exercises everything the simulated runtime does
-//! — handshakes, Eq.-2 serving, chunk stops, feedback — plus real
-//! concurrency, real (de)serialization on every hop, and wall-clock rate
-//! limiting.
+//! Peers exchange *serialized* wire messages over an in-process transport,
+//! with token-bucket uplink shaping standing in for the physical link.
+//! This exercises everything the simulated runtime does — handshakes,
+//! Eq.-2 serving, chunk stops, feedback — plus real concurrency, real
+//! (de)serialization on every hop, and wall-clock rate limiting.
+//!
+//! Two hosting runtimes share the same [`Peer`](crate::Peer) state
+//! machine: the original thread-per-peer [`PeerHost`] (one blocking OS
+//! thread per hosted peer) and the event-loop [`Reactor`], which serves
+//! hundreds of peers per worker thread behind adaptive per-connection
+//! in-flight windows ([`AdaptiveWindow`]). Prefer the reactor for any
+//! fan-out beyond a handful of peers; `PeerHost` remains as the simple
+//! baseline the benchmarks compare against.
 //!
 //! # Example
 //!
@@ -27,14 +34,18 @@ mod limiter;
 mod metrics_http;
 mod monitor;
 mod pool;
+mod reactor;
 mod transport;
+mod window;
 
 pub use host::{PeerHost, MAX_COALESCE};
 pub use limiter::TokenBucket;
 pub use metrics_http::MetricsServer;
 pub use monitor::HealthMonitor;
 pub use pool::{BufferPool, PoolStats};
+pub use reactor::{Reactor, ReactorConfig};
 pub use transport::{Envelope, FaultPlan, FaultStats, FrameIter, RtNetwork};
+pub use window::{AdaptiveWindow, WindowConfig};
 
 use crate::error::SystemError;
 use crate::protocol::Wire;
@@ -212,7 +223,23 @@ pub fn download_file_with(
                 need: user.messages_needed(),
             }));
         }
-        if let Some(envelope) = inbox.recv_timeout(remaining.min(Duration::from_millis(50))) {
+        // Adaptive poll: while no recovery action can possibly fire — every
+        // live peer is either quarantined (its window is closed) or inside
+        // its retry backoff — sleep toward the earliest recovery deadline
+        // instead of busy re-polling at the base cadence. An arriving
+        // datagram still wakes `recv_timeout` immediately, so extending the
+        // sleep never delays real traffic; the extra wall-clock spent
+        // honoring backoff is surfaced as `SessionStats::backoff_wait_us`.
+        const BASE_POLL: Duration = Duration::from_millis(50);
+        let poll =
+            heal_poll(&tracks, &quarantined, now, BASE_POLL, options.stall_timeout).min(remaining);
+        let wait_started = Instant::now();
+        let received = inbox.recv_timeout(poll);
+        if poll > BASE_POLL {
+            let extra = wait_started.elapsed().saturating_sub(BASE_POLL);
+            user.stats_mut().backoff_wait_us += extra.as_micros() as u64;
+        }
+        if let Some(envelope) = received {
             if let Some(t) = tracks.iter_mut().find(|t| t.addr == envelope.from) {
                 // Any traffic — even redundant re-sends — proves the peer
                 // is alive, so its retry budget refills.
@@ -472,6 +499,40 @@ pub fn download_file_with(
     let report = user.make_feedback(window_end, &mut rng);
     network.send(my_addr, home_peer, &Wire::Feedback(report));
     user.decode()
+}
+
+/// Picks the inbox poll duration for the self-healing loop: the base
+/// cadence while any live, unbanned peer could need recovery right now,
+/// otherwise the time until the earliest recovery deadline (a peer's stall
+/// deadline or scheduled retry), capped at `cap` so lapsing quarantine
+/// bans are still re-checked. With every live peer banned (windows
+/// closed), the loop waits the full cap rather than spinning.
+fn heal_poll(
+    tracks: &[PeerTrack],
+    quarantined: &std::collections::HashSet<u64>,
+    now: Instant,
+    base: Duration,
+    cap: Duration,
+) -> Duration {
+    let mut next: Option<Instant> = None;
+    for t in tracks.iter().filter(|t| !t.dead) {
+        if quarantined.contains(&t.addr) {
+            // Banned: nothing to probe until the ban lapses (re-checked
+            // at the cap).
+            continue;
+        }
+        // A recovery action fires once the peer is both past its stall
+        // deadline and past its retry backoff.
+        let due = (t.last_activity + cap).max(t.next_attempt);
+        if due <= now {
+            return base;
+        }
+        next = Some(next.map_or(due, |n| n.min(due)));
+    }
+    match next {
+        Some(due) => due.duration_since(now).clamp(base, cap),
+        None => cap,
+    }
 }
 
 /// Emits the accumulated per-peer message counts as `rt.download`/`window`

@@ -8,14 +8,15 @@
 //! per frame.
 
 use bytes::Bytes;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Buffers retained per pool. Each in-flight send holds one buffer, so this
-/// bounds pool memory at roughly `MAX_SLOTS x` the largest frame batch; the
-/// serving loop's coalescing bound keeps batches small, and excess buffers
-/// are simply dropped to the allocator.
-const MAX_SLOTS: usize = 32;
+/// Default buffers retained per pool — sized for the threaded runtime's
+/// shallow per-send pipelines. The reactor resizes the cap from the sum of
+/// its per-peer window limits via [`BufferPool::set_capacity`], since each
+/// in-flight frame batch holds one buffer and deep windows would otherwise
+/// thrash the free list.
+const DEFAULT_CAPACITY: usize = 32;
 
 /// Point-in-time traffic counters for one [`BufferPool`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -28,22 +29,55 @@ pub struct PoolStats {
     pub recycled: u64,
     /// Buffers dropped because the free list was full.
     pub dropped: u64,
+    /// Current free-list cap (see [`BufferPool::set_capacity`]).
+    pub capacity: u64,
 }
 
 /// A bounded free-list of byte buffers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct BufferPool {
     slots: Mutex<Vec<Vec<u8>>>,
+    capacity: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
     recycled: AtomicU64,
     dropped: AtomicU64,
 }
 
+impl Default for BufferPool {
+    fn default() -> BufferPool {
+        BufferPool {
+            slots: Mutex::new(Vec::new()),
+            capacity: AtomicUsize::new(DEFAULT_CAPACITY),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+}
+
 impl BufferPool {
-    /// An empty pool.
+    /// An empty pool with the default free-list cap.
     pub fn new() -> BufferPool {
         BufferPool::default()
+    }
+
+    /// The current free-list cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Resizes the free-list cap (floored at one slot). Shrinking releases
+    /// surplus idle buffers to the allocator immediately; in-flight buffers
+    /// are unaffected and simply dropped on recycle once over the new cap.
+    pub fn set_capacity(&self, cap: usize) {
+        let cap = cap.max(1);
+        self.capacity.store(cap, Ordering::Relaxed);
+        let mut slots = self.slots.lock().expect("pool lock");
+        if slots.len() > cap {
+            slots.truncate(cap);
+        }
     }
 
     /// Takes a cleared buffer with at least `min_capacity` bytes reserved,
@@ -66,8 +100,9 @@ impl BufferPool {
 
     /// Returns a buffer to the pool (dropped if the pool is full).
     pub fn recycle(&self, buf: Vec<u8>) {
+        let cap = self.capacity();
         let mut slots = self.slots.lock().expect("pool lock");
-        if slots.len() < MAX_SLOTS {
+        if slots.len() < cap {
             slots.push(buf);
             self.recycled.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -96,6 +131,7 @@ impl BufferPool {
             misses: self.misses.load(Ordering::Relaxed),
             recycled: self.recycled.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
+            capacity: self.capacity() as u64,
         }
     }
 }
@@ -133,13 +169,38 @@ mod tests {
     #[test]
     fn pool_is_bounded() {
         let pool = BufferPool::new();
-        for _ in 0..2 * MAX_SLOTS {
+        let cap = pool.capacity();
+        assert_eq!(cap, 32, "default cap matches the threaded runtime");
+        for _ in 0..2 * cap {
             pool.recycle(Vec::with_capacity(8));
         }
-        assert_eq!(pool.idle(), MAX_SLOTS);
+        assert_eq!(pool.idle(), cap);
         let stats = pool.stats();
-        assert_eq!(stats.recycled, MAX_SLOTS as u64);
-        assert_eq!(stats.dropped, MAX_SLOTS as u64);
+        assert_eq!(stats.recycled, cap as u64);
+        assert_eq!(stats.dropped, cap as u64);
+        assert_eq!(stats.capacity, cap as u64);
+    }
+
+    #[test]
+    fn capacity_is_reconfigurable() {
+        let pool = BufferPool::new();
+        pool.set_capacity(4);
+        for _ in 0..8 {
+            pool.recycle(Vec::with_capacity(8));
+        }
+        assert_eq!(pool.idle(), 4, "shrunk cap bounds the free list");
+        // Widening admits more buffers (deep reactor windows).
+        pool.set_capacity(64);
+        for _ in 0..100 {
+            pool.recycle(Vec::with_capacity(8));
+        }
+        assert_eq!(pool.idle(), 64);
+        // Shrinking releases surplus idle buffers immediately.
+        pool.set_capacity(2);
+        assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.stats().capacity, 2);
+        pool.set_capacity(0);
+        assert_eq!(pool.capacity(), 1, "cap floored at one slot");
     }
 
     #[test]

@@ -1,0 +1,914 @@
+//! The event-loop reactor: many peers served by one (or a few) worker
+//! threads instead of one OS thread each.
+//!
+//! Each worker owns a shard of peers and blocks on a single shared
+//! *completion queue* — every peer address in the shard is registered onto
+//! the same channel ([`RtNetwork::register_queue`]), so one `recv` wakes
+//! the loop for any inbound datagram and an idle shard costs one parked
+//! thread regardless of peer count. A cycle is:
+//!
+//! 1. **Completion drain** — route every queued [`Envelope`] to its peer's
+//!    protocol state machine (`Peer::on_message`).
+//! 2. **Signal drain** — consume the obs event stream through an
+//!    [`EventCursor`] and fold transport drops, digest rejections, and
+//!    replacement RTT samples into the per-connection
+//!    [`AdaptiveWindow`]s; poll the health engine's quarantine verdicts,
+//!    which close a peer's windows instead of killing a thread.
+//! 3. **Serve** — split each peer's token-bucket budget across its
+//!    connections by Eq.-2 weights, stage up to `window.available()`
+//!    frames per connection on its submission queue, and flush the queues
+//!    as coalesced datagrams. A full window stages nothing and leaves its
+//!    bucket tokens unspent — backpressure *is* the yield; no thread ever
+//!    blocks on a slow peer.
+//!
+//! The windows are the runtime's congestion control: they widen on clean
+//! retirements and narrow AIMD-style on the loss/rejection/RTT-inflation
+//! signals the obs/health layer already measures (see
+//! [`window`](super::window) module docs) — the reactor adds no private
+//! acknowledgement bookkeeping. With observability disabled there are no
+//! signals, and the windows simply grow to their ceiling and act as pacing
+//! bounds.
+//!
+//! Serving semantics (handshake handling, Eq.-2 splits, sweep order,
+//! replacement queues) are byte-identical to [`PeerHost`](super::PeerHost):
+//! both drive the same pure [`Peer`] state machine, which is what the
+//! sim-vs-rt golden schedule test pins.
+
+use super::host::MAX_COALESCE;
+use super::limiter::TokenBucket;
+use super::transport::{Envelope, RtNetwork};
+use super::window::{AdaptiveWindow, WindowConfig};
+use crate::peer::Peer;
+use crate::protocol::Wire;
+use asymshare_crypto::chacha20::ChaChaRng;
+use asymshare_obs::stream::EventCursor;
+use asymshare_obs::{Counter, Event, EventSink, Gauge, Histogram, Value};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often each worker re-polls the health engine's quarantine verdicts.
+const QUARANTINE_POLL: Duration = Duration::from_millis(50);
+/// How often each worker refreshes its `rt.window.p{addr}` gauges and
+/// queue-depth histogram (also flushed once at shutdown).
+const GAUGE_EVERY: Duration = Duration::from_millis(100);
+/// Fairness telemetry cadence, matching the threaded host.
+const SHARE_EMIT_EVERY: Duration = Duration::from_millis(250);
+/// Free-list cap bounds for the window-derived pool sizing.
+const POOL_MIN_SLOTS: usize = 32;
+const POOL_MAX_SLOTS: usize = 4096;
+
+/// Tuning knobs for a [`Reactor`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Event-loop worker threads; peers are sharded round-robin. One
+    /// worker serves hundreds of peers — raise this only when serving is
+    /// CPU-bound on serialization.
+    pub workers: usize,
+    /// Idle park duration, bounding scheduling latency when no traffic
+    /// arrives (an inbound datagram wakes the loop immediately).
+    pub tick: Duration,
+    /// Per-connection adaptive window knobs.
+    pub window: WindowConfig,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            workers: 1,
+            tick: Duration::from_millis(1),
+            window: WindowConfig::default(),
+        }
+    }
+}
+
+/// Control-plane messages from the [`Reactor`] handle to a worker.
+enum Ctrl {
+    AddPeer {
+        addr: u64,
+        // Boxed: a Peer is hundreds of bytes and Shutdown carries nothing.
+        peer: Box<Peer>,
+        upload_bytes_per_sec: u64,
+    },
+    Shutdown,
+}
+
+/// Per-connection serving state: the adaptive window, the submission
+/// queue, in-flight batches awaiting retirement, and signals drained from
+/// the event stream but not yet applied (applied once per serve pass, so a
+/// burst costs one multiplicative decrease, not one per event).
+struct ConnState {
+    window: AdaptiveWindow,
+    staged: Vec<Wire>,
+    in_flight: VecDeque<(Instant, u32)>,
+    pending_losses: u32,
+    pending_rejects: u32,
+    pending_rtt: Vec<f64>,
+}
+
+impl ConnState {
+    fn new(cfg: WindowConfig, quarantined: bool) -> ConnState {
+        let mut window = AdaptiveWindow::new(cfg);
+        if quarantined {
+            window.close();
+        }
+        ConnState {
+            window,
+            staged: Vec::new(),
+            in_flight: VecDeque::new(),
+            pending_losses: 0,
+            pending_rejects: 0,
+            pending_rtt: Vec::new(),
+        }
+    }
+}
+
+/// One hosted peer on a worker's shard.
+struct Slot {
+    addr: u64,
+    peer: Peer,
+    rng: ChaChaRng,
+    bucket: TokenBucket,
+    conns: HashMap<u64, ConnState>,
+    quarantined: bool,
+    last_share_emit: Option<Instant>,
+    win_gauge: Gauge,
+}
+
+/// Pre-resolved observability handles for one worker (inert when the
+/// network has no registry/sink attached).
+struct WorkerObs {
+    events: EventSink,
+    served_frames: Counter,
+    served_bytes: Counter,
+    backpressure: Counter,
+    loss_signals: Counter,
+    reject_signals: Counter,
+    window_narrows: Counter,
+    coalesce_frames: Histogram,
+    queue_depth: Histogram,
+    pass_us: Histogram,
+    passes: Counter,
+}
+
+impl WorkerObs {
+    fn new(net: &RtNetwork) -> WorkerObs {
+        let metrics = net.metrics();
+        WorkerObs {
+            events: net.events().clone(),
+            served_frames: metrics.counter("rt.reactor.served_frames"),
+            served_bytes: metrics.counter("rt.reactor.served_bytes"),
+            backpressure: metrics.counter("rt.reactor.backpressure_yields"),
+            loss_signals: metrics.counter("rt.reactor.loss_signals"),
+            reject_signals: metrics.counter("rt.reactor.reject_signals"),
+            window_narrows: metrics.counter("rt.reactor.window_narrows"),
+            coalesce_frames: metrics.histogram("rt.reactor.coalesce_frames"),
+            queue_depth: metrics.histogram("rt.reactor.queue_depth"),
+            pass_us: metrics.histogram("rt.reactor.pass_us"),
+            passes: metrics.counter("rt.reactor.passes"),
+        }
+    }
+}
+
+/// A small-pool event-loop runtime hosting many [`Peer`]s (see module
+/// docs). Dropping the handle shuts the workers down; prefer
+/// [`shutdown`](Reactor::shutdown) to get the peers (and their final
+/// ledgers) back.
+pub struct Reactor {
+    network: RtNetwork,
+    workers: Vec<Worker>,
+    cfg: ReactorConfig,
+    addrs: Vec<u64>,
+    next_worker: usize,
+}
+
+struct Worker {
+    ctrl: Sender<Ctrl>,
+    ingress: Sender<Envelope>,
+    handle: Option<JoinHandle<Vec<(u64, Peer)>>>,
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("workers", &self.workers.len())
+            .field("peers", &self.addrs.len())
+            .finish()
+    }
+}
+
+impl Reactor {
+    /// Spawns the worker pool (initially hosting no peers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers` is zero or the window config is
+    /// inconsistent.
+    pub fn new(network: &RtNetwork, cfg: ReactorConfig) -> Reactor {
+        assert!(cfg.workers >= 1, "a reactor needs at least one worker");
+        cfg.window.validate();
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let (ctrl_tx, ctrl_rx) = unbounded::<Ctrl>();
+                let (ingress_tx, ingress_rx) = unbounded::<Envelope>();
+                let net = network.clone();
+                let cfg = cfg.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("asymshare-reactor-{i}"))
+                    .spawn(move || run_worker(net, cfg, ctrl_rx, ingress_rx))
+                    .expect("spawn reactor worker thread");
+                Worker {
+                    ctrl: ctrl_tx,
+                    ingress: ingress_tx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Reactor {
+            network: network.clone(),
+            workers,
+            cfg,
+            addrs: Vec::new(),
+            next_worker: 0,
+        }
+    }
+
+    /// Adds a peer to the least-recently-assigned worker's shard.
+    /// `upload_bytes_per_sec` shapes the uplink exactly as in
+    /// [`PeerHost::spawn`](super::PeerHost::spawn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is already registered on the network.
+    pub fn add_peer(&mut self, addr: u64, peer: Peer, upload_bytes_per_sec: u64) {
+        let worker = &self.workers[self.next_worker % self.workers.len()];
+        self.next_worker += 1;
+        self.network.register_queue(addr, worker.ingress.clone());
+        let sent = worker.ctrl.send(Ctrl::AddPeer {
+            addr,
+            peer: Box::new(peer),
+            upload_bytes_per_sec,
+        });
+        assert!(sent.is_ok(), "reactor worker alive");
+        self.addrs.push(addr);
+        // Deep windows would thrash a fixed-size frame pool: one buffer is
+        // held per in-flight datagram, so size the free list from the sum
+        // of per-peer window limits (in datagrams, i.e. frames over the
+        // coalescing bound), within sane bounds.
+        let frames = self.addrs.len() * self.cfg.window.max_frames as usize;
+        let cap = (frames / MAX_COALESCE).clamp(POOL_MIN_SLOTS, POOL_MAX_SLOTS);
+        self.network.buffer_pool().set_capacity(cap);
+    }
+
+    /// Peers currently hosted.
+    pub fn peer_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Stops the workers and returns every hosted peer (with its final
+    /// ledger/store), sorted by address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    pub fn shutdown(mut self) -> Vec<(u64, Peer)> {
+        let mut peers = Vec::new();
+        for worker in &self.workers {
+            let _ = worker.ctrl.send(Ctrl::Shutdown);
+        }
+        for worker in &mut self.workers {
+            let handle = worker.handle.take().expect("handle present");
+            peers.extend(handle.join().expect("reactor worker panicked"));
+        }
+        for addr in self.addrs.drain(..) {
+            self.network.unregister(addr);
+        }
+        peers.sort_by_key(|(addr, _)| *addr);
+        peers
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        for worker in &self.workers {
+            let _ = worker.ctrl.send(Ctrl::Shutdown);
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+        for addr in self.addrs.drain(..) {
+            self.network.unregister(addr);
+        }
+    }
+}
+
+fn field_u64(event: &Event, name: &str) -> Option<u64> {
+    event
+        .fields
+        .iter()
+        .find(|(n, _)| *n == name)
+        .and_then(|(_, v)| match v {
+            Value::U64(x) => Some(*x),
+            Value::I64(x) => u64::try_from(*x).ok(),
+            Value::F64(x) => Some(*x as u64),
+            _ => None,
+        })
+}
+
+fn field_f64(event: &Event, name: &str) -> Option<f64> {
+    event
+        .fields
+        .iter()
+        .find(|(n, _)| *n == name)
+        .and_then(|(_, v)| match v {
+            Value::F64(x) => Some(*x),
+            Value::U64(x) => Some(*x as f64),
+            Value::I64(x) => Some(*x as f64),
+            _ => None,
+        })
+}
+
+/// The worker's event loop (see module docs for the cycle structure).
+fn run_worker(
+    net: RtNetwork,
+    cfg: ReactorConfig,
+    ctrl_rx: Receiver<Ctrl>,
+    ingress_rx: Receiver<Envelope>,
+) -> Vec<(u64, Peer)> {
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut by_addr: HashMap<u64, usize> = HashMap::new();
+    let obs = WorkerObs::new(&net);
+    // The signal path exists only when the network records events; with
+    // observability off the cursor never drains and windows see no signals.
+    let mut cursor = obs
+        .events
+        .is_enabled()
+        .then(|| EventCursor::new(&obs.events));
+    let mut last_quarantine_poll = Instant::now();
+    let mut last_gauge_flush = Instant::now();
+    let mut idle = false;
+    loop {
+        while let Ok(ctrl) = ctrl_rx.try_recv() {
+            match ctrl {
+                Ctrl::AddPeer {
+                    addr,
+                    peer,
+                    upload_bytes_per_sec,
+                } => {
+                    let rate = upload_bytes_per_sec as f64;
+                    let mut nonce = [0u8; 12];
+                    nonce[..8].copy_from_slice(&addr.to_le_bytes());
+                    by_addr.insert(addr, slots.len());
+                    slots.push(Slot {
+                        addr,
+                        peer: *peer,
+                        rng: ChaChaRng::new([0x7F; 32], nonce),
+                        bucket: TokenBucket::new(rate, (rate * 0.1).max(65_536.0), Instant::now()),
+                        conns: HashMap::new(),
+                        quarantined: false,
+                        last_share_emit: None,
+                        win_gauge: net.metrics().gauge(&format!("rt.window.p{addr}")),
+                    });
+                }
+                Ctrl::Shutdown => {
+                    flush_gauges(&mut slots, &obs, &cfg);
+                    return slots.into_iter().map(|s| (s.addr, s.peer)).collect();
+                }
+            }
+        }
+        net.pump();
+        let mut progressed = false;
+        // Completion drain: park on the shared queue only when the
+        // previous cycle was fully idle, so active serving never sleeps
+        // and an idle shard costs one parked thread.
+        let mut next = if idle {
+            ingress_rx.recv_timeout(cfg.tick).ok()
+        } else {
+            ingress_rx.try_recv().ok()
+        };
+        while let Some(envelope) = next {
+            progressed = true;
+            if let Some(&i) = by_addr.get(&envelope.to) {
+                deliver(&mut slots[i], &net, envelope);
+            }
+            next = ingress_rx.try_recv().ok();
+        }
+        // Signal drain: obs events → window adaptation inputs.
+        if let Some(cursor) = cursor.as_mut() {
+            for event in cursor.drain() {
+                route_signal(&mut slots, &by_addr, &event);
+            }
+        }
+        let now = Instant::now();
+        if now.duration_since(last_quarantine_poll) >= QUARANTINE_POLL {
+            last_quarantine_poll = now;
+            poll_quarantine(&mut slots, &net, &obs);
+        }
+        for slot in &mut slots {
+            progressed |= serve_slot(slot, &net, &cfg, now, &obs);
+        }
+        if now.duration_since(last_gauge_flush) >= GAUGE_EVERY {
+            last_gauge_flush = now;
+            flush_gauges(&mut slots, &obs, &cfg);
+        }
+        idle = !progressed;
+    }
+}
+
+/// Routes one inbound datagram through a slot's protocol state machine.
+fn deliver(slot: &mut Slot, net: &RtNetwork, envelope: Envelope) {
+    for frame in envelope.decode_all() {
+        let Ok(wire) = frame else {
+            break;
+        };
+        match slot.peer.on_message(envelope.from, wire, &mut slot.rng) {
+            Ok(replies) => {
+                for reply in replies {
+                    if !net.send(slot.addr, envelope.from, &reply) {
+                        // The user vanished mid-handshake.
+                        slot.peer.disconnect(envelope.from);
+                        slot.conns.remove(&envelope.from);
+                        break;
+                    }
+                }
+            }
+            Err(_) => {
+                // Protocol violation: drop the session.
+                slot.peer.disconnect(envelope.from);
+                slot.conns.remove(&envelope.from);
+            }
+        }
+    }
+    net.recycle_envelope(envelope);
+}
+
+/// Folds one obs event into the owning slot's pending window signals.
+/// Unknown peers (other workers' shards, the download side) are ignored.
+fn route_signal(slots: &mut [Slot], by_addr: &HashMap<u64, usize>, event: &Event) {
+    let Some(peer) = field_u64(event, "peer") else {
+        return;
+    };
+    let Some(&i) = by_addr.get(&peer) else {
+        return;
+    };
+    let slot = &mut slots[i];
+    match (event.component, event.kind) {
+        // A transport drop carries the destination: that connection's
+        // datagram died on the link.
+        ("rt.transport", "drop") => {
+            let conn = field_u64(event, "to").unwrap_or(peer);
+            if let Some(st) = slot.conns.get_mut(&conn) {
+                st.pending_losses += 1;
+            }
+        }
+        // The downloader rejected one of our payloads (corruption or
+        // pollution); it does not say on which connection, so every
+        // connection of the peer narrows — conservative and simple.
+        ("rt.download", "digest_reject") => {
+            for st in slot.conns.values_mut() {
+                st.pending_rejects += 1;
+            }
+        }
+        // Replacement round-trips are the only end-to-end RTT samples the
+        // obs layer measures; feed the EWMA ladder.
+        ("rt.download", "replacement_served") => {
+            if let Some(rtt) = field_f64(event, "rtt_us") {
+                for st in slot.conns.values_mut() {
+                    st.pending_rtt.push(rtt);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Applies quarantine/heal verdicts: a banned peer's windows close (its
+/// demand is re-planned by the download loop's response ladder); a healed
+/// peer reopens at the window floor and re-earns its depth.
+fn poll_quarantine(slots: &mut [Slot], net: &RtNetwork, obs: &WorkerObs) {
+    for slot in slots {
+        let banned = net.peer_quarantined(slot.addr);
+        if banned && !slot.quarantined {
+            slot.quarantined = true;
+            for st in slot.conns.values_mut() {
+                st.window.close();
+            }
+            obs.events
+                .emit("rt.reactor", "window_closed", &[("peer", slot.addr.into())]);
+        } else if !banned && slot.quarantined {
+            slot.quarantined = false;
+            for st in slot.conns.values_mut() {
+                st.window.reopen();
+                st.in_flight.clear();
+            }
+            obs.events.emit(
+                "rt.reactor",
+                "window_reopened",
+                &[("peer", slot.addr.into())],
+            );
+        }
+    }
+}
+
+/// One serve pass over a slot: apply pending signals, retire aged
+/// batches, split the bucket budget by Eq.-2 weights, stage up to each
+/// window's headroom, and flush the submission queues as coalesced
+/// datagrams. Returns whether anything was sent.
+fn serve_slot(
+    slot: &mut Slot,
+    net: &RtNetwork,
+    cfg: &ReactorConfig,
+    now: Instant,
+    obs: &WorkerObs,
+) -> bool {
+    let Slot {
+        addr,
+        peer,
+        bucket,
+        conns,
+        quarantined,
+        last_share_emit,
+        ..
+    } = slot;
+    let addr = *addr;
+    let active = peer.active_conns();
+    // Window state machines tick even for momentarily inactive sessions
+    // (signals may arrive between sweeps).
+    for st in conns.values_mut() {
+        apply_signals(st, obs);
+        let horizon = st.window.retire_after();
+        while let Some(&(sent_at, n)) = st.in_flight.front() {
+            if now.duration_since(sent_at) >= horizon {
+                st.in_flight.pop_front();
+                st.window.retire_clean(n);
+            } else {
+                break;
+            }
+        }
+    }
+    if active.is_empty() || *quarantined {
+        return false;
+    }
+    let available = bucket.available(now);
+    if available <= 0.0 {
+        return false;
+    }
+    let weights: Vec<f64> = active
+        .iter()
+        .map(|&c| {
+            peer.session_user(c)
+                .map(|key| peer.upload_weight(&key))
+                .unwrap_or(0.0)
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return false;
+    }
+    if obs.events.is_enabled()
+        && last_share_emit.is_none_or(|t| now.duration_since(t) >= SHARE_EMIT_EVERY)
+    {
+        *last_share_emit = Some(now);
+        for (&conn, &w) in active.iter().zip(&weights) {
+            obs.events.emit(
+                "rt.reactor",
+                "slot_share",
+                &[
+                    ("peer", addr.into()),
+                    ("conn", conn.into()),
+                    ("budget_bytes", (available * w / total).into()),
+                ],
+            );
+        }
+    }
+    let mut served_any = false;
+    let mut dead: Vec<u64> = Vec::new();
+    for (&conn, &w) in active.iter().zip(&weights) {
+        let st = conns
+            .entry(conn)
+            .or_insert_with(|| ConnState::new(cfg.window, *quarantined));
+        let headroom = st.window.available();
+        if headroom == 0 {
+            // Bounded in-flight window full: yield. The quota stays in the
+            // token bucket, so the uplink capacity this connection skipped
+            // is not burned — it carries to the next pass.
+            obs.backpressure.inc();
+            continue;
+        }
+        let mut quota = available * w / total;
+        let mut staged = 0u32;
+        while quota > 0.0 && staged < headroom {
+            let Some(msg) = peer.next_message(conn) else {
+                break;
+            };
+            let size = Wire::message_data_frame_len(&msg) as f64;
+            bucket.take_with_debt(size, now);
+            quota -= size;
+            staged += 1;
+            obs.served_frames.inc();
+            obs.served_bytes.add(size as u64);
+            st.staged.push(Wire::MessageData(msg));
+        }
+        if st.staged.is_empty() {
+            continue;
+        }
+        // Flush the submission queue as coalesced datagrams.
+        obs.queue_depth.record(st.staged.len() as u64);
+        let mut alive = true;
+        for batch in st.staged.chunks(MAX_COALESCE) {
+            obs.coalesce_frames.record(batch.len() as u64);
+            alive = net.send_frames(addr, conn, batch);
+            if !alive {
+                break;
+            }
+            let n = batch.len() as u32;
+            st.window.submit(n);
+            st.in_flight.push_back((now, n));
+        }
+        st.staged.clear();
+        served_any = true;
+        if !alive {
+            // The downloader deregistered: stop burning uplink on it.
+            dead.push(conn);
+        }
+    }
+    for conn in dead {
+        peer.disconnect(conn);
+        conns.remove(&conn);
+    }
+    obs.passes.inc();
+    obs.pass_us.record(now.elapsed().as_micros() as u64);
+    served_any
+}
+
+/// Applies the signals drained since the last pass: one multiplicative
+/// decrease per loss burst and per rejection burst (each lost datagram
+/// also retires its oldest in-flight batch without clean credit), plus
+/// the RTT ladder.
+fn apply_signals(st: &mut ConnState, obs: &WorkerObs) {
+    if st.pending_losses > 0 {
+        obs.loss_signals.add(st.pending_losses as u64);
+        for _ in 0..st.pending_losses {
+            if let Some((_, n)) = st.in_flight.pop_front() {
+                st.window.retire(n);
+            }
+        }
+        st.pending_losses = 0;
+        st.window.on_loss();
+        obs.window_narrows.inc();
+    }
+    if st.pending_rejects > 0 {
+        obs.reject_signals.add(st.pending_rejects as u64);
+        st.pending_rejects = 0;
+        st.window.on_reject();
+        obs.window_narrows.inc();
+    }
+    for rtt in st.pending_rtt.drain(..) {
+        if st.window.observe_rtt(rtt) {
+            obs.window_narrows.inc();
+        }
+    }
+}
+
+/// Refreshes the per-peer window gauges (`rt.window.p{addr}` — the widest
+/// connection window, or the configured floor before any session opens).
+fn flush_gauges(slots: &mut [Slot], obs: &WorkerObs, cfg: &ReactorConfig) {
+    let _ = obs;
+    for slot in slots {
+        let widest = slot
+            .conns
+            .values()
+            .map(|st| st.window.size())
+            .max()
+            .unwrap_or(cfg.window.min_frames);
+        let widest = if slot.quarantined { 0 } else { widest };
+        slot.win_gauge.set(widest as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::Identity;
+    use crate::rt::{download_file, download_file_with, DownloadOptions, FaultPlan};
+    use crate::user::User;
+    use asymshare_gf::{FieldKind, Gf2p32};
+    use asymshare_obs::{EventSink, Registry};
+    use asymshare_rlnc::{ChunkedEncoder, DigestKind, FileId};
+
+    fn build_file(
+        owner: &Identity,
+        n_peers: usize,
+        len: usize,
+    ) -> (
+        Vec<Vec<asymshare_rlnc::EncodedMessage>>,
+        asymshare_rlnc::FileManifest,
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| (i * 59 % 251) as u8).collect();
+        let mut enc = ChunkedEncoder::<Gf2p32>::with_chunk_size(
+            FieldKind::Gf2p32,
+            4,
+            DigestKind::Md5,
+            owner.coding_secret().clone(),
+            FileId(6),
+            &data,
+            16 * 1024,
+        )
+        .unwrap();
+        let batches = enc.encode_for_peers(n_peers).unwrap();
+        (batches, enc.manifest().clone())
+    }
+
+    fn spawn_fleet(
+        network: &RtNetwork,
+        owner: &Identity,
+        batches: Vec<Vec<asymshare_rlnc::EncodedMessage>>,
+        base_addr: u64,
+        seed_tag: u8,
+    ) -> (Reactor, Vec<(u64, [u8; 64])>) {
+        let mut reactor = Reactor::new(network, ReactorConfig::default());
+        let mut peer_addrs = Vec::new();
+        for (i, batch) in batches.into_iter().enumerate() {
+            let identity = Identity::from_seed(&[b'x', seed_tag, i as u8]);
+            let key = identity.public_key().to_bytes();
+            let mut peer = Peer::new(identity, 1_000.0);
+            peer.add_subscriber(owner.public_key().to_bytes());
+            for m in batch {
+                peer.store_mut().insert(m);
+            }
+            let addr = base_addr + i as u64;
+            reactor.add_peer(addr, peer, 4 << 20);
+            peer_addrs.push((addr, key));
+        }
+        (reactor, peer_addrs)
+    }
+
+    fn fault_seed() -> u64 {
+        std::env::var("ASYMSHARE_FAULT_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42)
+    }
+
+    #[test]
+    fn reactor_download_from_three_peers() {
+        let network = RtNetwork::new();
+        let owner = Identity::from_seed(b"reactor-owner");
+        let (batches, manifest) = build_file(&owner, 3, 96 * 1024);
+        let (reactor, peer_addrs) = spawn_fleet(&network, &owner, batches, 900, 1);
+        assert_eq!(reactor.peer_count(), 3);
+        let mut user = User::<Gf2p32>::new(owner, manifest).unwrap();
+        let data = download_file(
+            &network,
+            1,
+            &mut user,
+            &peer_addrs,
+            peer_addrs[0].0,
+            Duration::from_secs(30),
+        )
+        .expect("download completes");
+        let expect: Vec<u8> = (0..96 * 1024).map(|i| (i * 59 % 251) as u8).collect();
+        assert_eq!(data, expect);
+        let peers = reactor.shutdown();
+        assert_eq!(peers.len(), 3);
+        assert_eq!(peers[0].0, 900, "peers come back sorted by address");
+    }
+
+    #[test]
+    fn windows_widen_on_a_clean_link() {
+        let network = RtNetwork::with_observability(Registry::new(), EventSink::new());
+        let owner = Identity::from_seed(b"reactor-clean");
+        let (batches, manifest) = build_file(&owner, 3, 192 * 1024);
+        let (reactor, peer_addrs) = spawn_fleet(&network, &owner, batches, 910, 2);
+        let mut user = User::<Gf2p32>::new(owner, manifest).unwrap();
+        download_file(
+            &network,
+            2,
+            &mut user,
+            &peer_addrs,
+            peer_addrs[0].0,
+            Duration::from_secs(30),
+        )
+        .expect("download completes");
+        reactor.shutdown();
+        let snap = network.metrics_snapshot();
+        let min = WindowConfig::default().min_frames as f64;
+        for (addr, _) in &peer_addrs {
+            let win = snap
+                .gauge(&format!("rt.window.p{addr}"))
+                .expect("window gauge flushed at shutdown");
+            assert!(
+                win > min,
+                "clean link must widen beyond the floor, p{addr} = {win}"
+            );
+        }
+        assert_eq!(snap.counter("rt.reactor.loss_signals"), Some(0));
+        let depth = snap.histogram("rt.reactor.queue_depth").unwrap();
+        assert!(depth.count > 0, "submission queues were exercised");
+    }
+
+    #[test]
+    fn lossy_link_narrows_windows_and_still_completes() {
+        let network = RtNetwork::with_observability(Registry::new(), EventSink::new());
+        let owner = Identity::from_seed(b"reactor-lossy");
+        // Coalescing packs the whole file into a handful of datagrams, so
+        // the workload must be big (many datagrams) and the loss heavy for
+        // the data path itself to observe drops under every CI fault seed.
+        let (batches, manifest) = build_file(&owner, 3, 384 * 1024);
+        let (reactor, peer_addrs) = spawn_fleet(&network, &owner, batches, 920, 3);
+        network.install_faults(
+            FaultPlan::new(fault_seed())
+                .with_loss(0.25)
+                .with_corruption(0.02),
+        );
+        let mut user = User::<Gf2p32>::new(owner, manifest).unwrap();
+        let data = download_file_with(
+            &network,
+            3,
+            &mut user,
+            &peer_addrs,
+            peer_addrs[0].0,
+            DownloadOptions {
+                timeout: Duration::from_secs(60),
+                stall_timeout: Duration::from_millis(300),
+                retry_backoff: Duration::from_millis(100),
+                max_peer_retries: 10,
+            },
+        )
+        .expect("download heals through loss and corruption");
+        let expect: Vec<u8> = (0..384 * 1024).map(|i| (i * 59 % 251) as u8).collect();
+        assert_eq!(data, expect);
+        assert!(network.fault_stats().dropped > 0, "losses were injected");
+        reactor.shutdown();
+        let snap = network.metrics_snapshot();
+        let losses = snap.counter("rt.reactor.loss_signals").unwrap_or(0);
+        let narrows = snap.counter("rt.reactor.window_narrows").unwrap_or(0);
+        assert!(losses > 0, "drop events reached the reactor's windows");
+        assert!(narrows > 0, "loss bursts narrowed at least one window");
+    }
+
+    #[test]
+    fn pool_capacity_tracks_window_limits() {
+        let network = RtNetwork::new();
+        let owner = Identity::from_seed(b"reactor-pool");
+        assert_eq!(network.buffer_pool().capacity(), 32);
+        let mut reactor = Reactor::new(&network, ReactorConfig::default());
+        for i in 0..64u64 {
+            let identity = Identity::from_seed(&[b'p', b'o', i as u8]);
+            let mut peer = Peer::new(identity, 1_000.0);
+            peer.add_subscriber(owner.public_key().to_bytes());
+            reactor.add_peer(2000 + i, peer, 1 << 20);
+        }
+        // 64 peers x 64-frame windows / 8-frame datagrams = 512 buffers.
+        assert_eq!(network.buffer_pool().capacity(), 512);
+        reactor.shutdown();
+        assert!(!network.is_registered(2000), "shutdown unregisters peers");
+    }
+
+    #[test]
+    fn backpressure_counts_when_windows_fill() {
+        // A tiny window against an unshaped bucket must yield rather than
+        // stall: the backpressure counter proves the skip path ran.
+        let network = RtNetwork::with_observability(Registry::new(), EventSink::new());
+        let owner = Identity::from_seed(b"reactor-bp");
+        let (batches, manifest) = build_file(&owner, 1, 192 * 1024);
+        let mut reactor = Reactor::new(
+            &network,
+            ReactorConfig {
+                window: WindowConfig {
+                    min_frames: 1,
+                    max_frames: 1,
+                    ..WindowConfig::default()
+                },
+                ..ReactorConfig::default()
+            },
+        );
+        let identity = Identity::from_seed(b"reactor-bp-peer");
+        let key = identity.public_key().to_bytes();
+        let mut peer = Peer::new(identity, 1_000.0);
+        peer.add_subscriber(owner.public_key().to_bytes());
+        for m in batches.into_iter().next().unwrap() {
+            peer.store_mut().insert(m);
+        }
+        reactor.add_peer(950, peer, 64 << 20);
+        let mut user = User::<Gf2p32>::new(owner, manifest).unwrap();
+        download_file(
+            &network,
+            5,
+            &mut user,
+            &[(950, key)],
+            950,
+            Duration::from_secs(30),
+        )
+        .expect("download completes even at window floor");
+        reactor.shutdown();
+        let snap = network.metrics_snapshot();
+        assert!(
+            snap.counter("rt.reactor.backpressure_yields").unwrap_or(0) > 0,
+            "a one-frame window against a fat bucket must backpressure"
+        );
+    }
+}

@@ -136,11 +136,16 @@ impl FaultState {
     }
 }
 
-/// A delivered message: sender address plus serialized wire bytes.
+/// A delivered message: sender and destination addresses plus serialized
+/// wire bytes. The destination matters to shared-queue receivers (the
+/// reactor registers many peer addresses onto one completion queue and
+/// routes each delivery by `to`); dedicated inboxes can ignore it.
 #[derive(Debug, Clone)]
 pub struct Envelope {
     /// Sender address.
     pub from: u64,
+    /// Destination address.
+    pub to: u64,
     /// Serialized [`Wire`] bytes.
     pub bytes: Bytes,
 }
@@ -315,6 +320,7 @@ impl RtNetwork {
             metrics.gauge("rt.pool.misses").set(stats.misses as f64);
             metrics.gauge("rt.pool.recycled").set(stats.recycled as f64);
             metrics.gauge("rt.pool.dropped").set(stats.dropped as f64);
+            metrics.gauge("rt.pool.capacity").set(stats.capacity as f64);
             metrics.gauge("rt.pool.idle").set(self.pool.idle() as f64);
         }
         metrics.snapshot()
@@ -413,6 +419,19 @@ impl RtNetwork {
         let previous = self.registry.write().insert(addr, tx);
         assert!(previous.is_none(), "address {addr} already registered");
         Inbox { rx }
+    }
+
+    /// Registers `addr` onto an externally supplied sender, so many
+    /// addresses can share one completion queue (the reactor's event loop
+    /// blocks on a single receiver for every peer it hosts and routes each
+    /// [`Envelope`] by its `to` field).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is already registered.
+    pub(crate) fn register_queue(&self, addr: u64, tx: Sender<Envelope>) {
+        let previous = self.registry.write().insert(addr, tx);
+        assert!(previous.is_none(), "address {addr} already registered");
     }
 
     /// Removes an address (its inbox stops receiving).
@@ -653,6 +672,7 @@ impl RtNetwork {
                             to,
                             Envelope {
                                 from,
+                                to,
                                 bytes: bytes.clone(),
                             },
                         ));
@@ -668,6 +688,7 @@ impl RtNetwork {
                 self.obs.recv_bytes.add(bytes.len() as u64);
                 let _ = tx.send(Envelope {
                     from,
+                    to,
                     bytes: bytes.clone(),
                 });
             }

@@ -37,6 +37,10 @@ pub struct SessionStats {
     /// Times a serving peer of this session entered quarantine after an
     /// attack verdict.
     pub quarantines: u64,
+    /// Extra wall-clock (µs) the download loop spent sleeping past its
+    /// base poll cadence because every live peer was quarantined or inside
+    /// its retry backoff — honored backoff instead of busy re-polling.
+    pub backoff_wait_us: u64,
     /// Cumulative payload bytes per contributing peer (unlike the feedback
     /// window tallies, never reset).
     pub bytes_by_peer: HashMap<KeyBytes, u64>,

@@ -2,9 +2,9 @@
 # Bench smoke check: rerun the committed benchmarks in --quick mode and fail
 # on malformed JSON output or a >30% regression against the checked-in
 # snapshots (BENCH_rlnc.json, BENCH_transport.json, BENCH_alloc.json,
-# BENCH_adversary.json). This is a CI noise guard, not a precision benchmark
-# — the committed numbers themselves come from full (median/min-of-samples)
-# runs on a quiet machine.
+# BENCH_adversary.json, BENCH_rt.json). This is a CI noise guard, not a
+# precision benchmark — the committed numbers themselves come from full
+# (median/min-of-samples) runs on a quiet machine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,12 +12,14 @@ snapshot=$(mktemp -d)
 # The bench binaries overwrite the committed JSON in place; always restore
 # the committed snapshots afterwards so the tree stays clean.
 trap 'cp "$snapshot"/*.json . 2>/dev/null || true; rm -rf "$snapshot"' EXIT
-cp BENCH_rlnc.json BENCH_transport.json BENCH_alloc.json BENCH_adversary.json "$snapshot"/
+cp BENCH_rlnc.json BENCH_transport.json BENCH_alloc.json BENCH_adversary.json \
+   BENCH_rt.json "$snapshot"/
 
 cargo run --release -p asymshare-bench --bin bench_baseline -- --quick
 cargo run --release -p asymshare-bench --bin bench_transport -- --quick
 cargo run --release --features simd -p asymshare-bench --bin bench_alloc -- --quick
 cargo run --release -p asymshare-bench --bin bench_adversary -- --quick
+cargo run --release -p asymshare-bench --bin bench_rt -- --quick
 
 python3 - "$snapshot" <<'EOF'
 import json
@@ -48,6 +50,11 @@ CHECKS = [
     # samples in the committed file and a single sample in the quick rerun.
     ("BENCH_alloc.json", "scales[0].slots_per_sec", lambda d: d["scales"][0]["slots_per_sec"], "higher"),
     ("BENCH_alloc.json", "scales[-1].users_per_sec", lambda d: d["scales"][-1]["users_per_sec"], "higher"),
+    # Reactor gates on absolute throughput only: the speedup column divides
+    # by the starved threaded run, which is far too noisy for a quick rerun
+    # (the speedup invariants are checked against the committed file below).
+    ("BENCH_rt.json", "parity.reactor_mb_per_s", lambda d: d["parity"]["reactor_mb_per_s"], "higher"),
+    ("BENCH_rt.json", "scaling[-1].reactor_mb_per_s", lambda d: d["scaling"][-1]["reactor_mb_per_s"], "higher"),
 ]
 
 # Observability columns both benches must now emit: their absence means a
@@ -67,6 +74,10 @@ REQUIRED_FIELDS = [
                           "config.kernel", "config.samples", "config.statistic"]),
     ("BENCH_adversary.json", ["config.fault_seed", "config.warmup_slots",
                               "honest.goodput_kbps", "honest.duration_secs"]),
+    ("BENCH_rt.json", ["config.serving_peers", "config.host_tick_us",
+                       "config.samples", "config.statistic",
+                       "parity.threaded_mb_per_s", "parity.reactor_mb_per_s",
+                       "parity.ratio"]),
 ]
 
 failed = False
@@ -89,6 +100,49 @@ for i, entry in enumerate(alloc_scales):
             failed = True
 if failed:
     sys.exit(1)
+
+# BENCH_rt.json structural check: the scaling sweep must commit >= 3 peer
+# counts with the full column set (same list-index limitation as the alloc
+# scales above), and the committed numbers must hold the reactor's two
+# headline invariants — the event loop does not tax the small fan-out the
+# thread-per-peer design is good at (within 10% of the threaded transport
+# baseline), and it beats the threaded runtime's completed-download
+# throughput by >= 4x once the runtime hosts 64+ peers.
+RT_SCALE_FIELDS = ["peers", "threaded_mb_per_s", "reactor_mb_per_s", "speedup"]
+rt_fresh = load("BENCH_rt.json")
+rt_scales = rt_fresh.get("scaling")
+if not isinstance(rt_scales, list) or len(rt_scales) < 3:
+    print("BENCH_rt.json must commit >= 3 scaling points [MISSING]")
+    failed = True
+    rt_scales = []
+for i, entry in enumerate(rt_scales):
+    for field in RT_SCALE_FIELDS:
+        if field not in entry:
+            print(f"BENCH_rt.json scaling[{i}] missing field {field} [MISSING]")
+            failed = True
+if failed:
+    sys.exit(1)
+
+rt_committed = load(f"{snap}/BENCH_rt.json")
+transport_baseline = load(f"{snap}/BENCH_transport.json")["after"]["mb_per_s"]
+parity_committed = rt_committed["parity"]["reactor_mb_per_s"]
+if parity_committed < 0.9 * transport_baseline:
+    print(f"BENCH_rt.json parity.reactor_mb_per_s: committed {parity_committed} "
+          f"< 90% of threaded transport baseline {transport_baseline} [REGRESSED]")
+    failed = True
+else:
+    print(f"BENCH_rt.json parity.reactor_mb_per_s: committed {parity_committed} "
+          f"vs threaded transport baseline {transport_baseline} [ok]")
+for entry in rt_committed["scaling"]:
+    if entry["peers"] < 64:
+        continue
+    if entry["speedup"] < 4.0:
+        print(f"BENCH_rt.json scaling {entry['peers']} peers: committed speedup "
+              f"{entry['speedup']} < 4.0 [REGRESSED]")
+        failed = True
+    else:
+        print(f"BENCH_rt.json scaling {entry['peers']} peers: committed speedup "
+              f"{entry['speedup']}x [ok]")
 
 for name, paths in REQUIRED_FIELDS:
     fresh = load(name)

@@ -1,0 +1,196 @@
+//! Golden twin tests for the event-loop reactor: the deterministic sim
+//! runtime and the real-time reactor must plan *identical* transfer
+//! schedules for the same `(peer key, connection id, store)` triples, even
+//! under seeded lossy fault plans — loss perturbs delivery and healing,
+//! never the plan. This pins the fairness-critical serving order across
+//! both runtimes, so reactor changes cannot silently diverge from the
+//! model the paper's results were produced on.
+
+use asymshare::rt::{
+    download_file_with, DownloadOptions, FaultPlan as RtFaultPlan, Reactor, ReactorConfig,
+    RtNetwork,
+};
+use asymshare::{Identity, Peer, RuntimeConfig, SimRuntime, User};
+use asymshare_gf::{FieldKind, Gf2p32};
+use asymshare_netsim::{FaultPlan as SimFaultPlan, LinkSpeed};
+use asymshare_rlnc::{ChunkedEncoder, DigestKind, EncodedMessage, FileId, FileManifest, MessageId};
+use std::time::Duration;
+
+/// CI sweeps this via the `ASYMSHARE_FAULT_SEED` matrix.
+fn fault_seed() -> u64 {
+    std::env::var("ASYMSHARE_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+const FILE_LEN: usize = 64 * 1024;
+const N_PEERS: usize = 3;
+
+/// One batch that decodes on its own, deposited identically on every
+/// serving peer in both runtimes (store insertion order is part of the
+/// schedule's seed, so it must match exactly).
+fn build_batch(owner: &Identity) -> (Vec<EncodedMessage>, FileManifest) {
+    let data: Vec<u8> = (0..FILE_LEN).map(|i| (i * 73 % 251) as u8).collect();
+    let mut enc = ChunkedEncoder::<Gf2p32>::with_chunk_size(
+        FieldKind::Gf2p32,
+        4,
+        DigestKind::Md5,
+        owner.coding_secret().clone(),
+        FileId(11),
+        &data,
+        16 * 1024,
+    )
+    .unwrap();
+    let batches = enc.encode_for_peers(1).unwrap();
+    (batches.into_iter().next().unwrap(), enc.manifest().clone())
+}
+
+fn expected_data() -> Vec<u8> {
+    (0..FILE_LEN).map(|i| (i * 73 % 251) as u8).collect()
+}
+
+fn peer_identity(i: usize) -> Identity {
+    Identity::from_seed(&[b'G', b'S', i as u8])
+}
+
+/// Sim half: three single-peer downloads under a lossy plan. The global
+/// connection counter starts at 0, so download `i` runs on connection `i`.
+fn sim_schedules(seed: u64) -> Vec<Vec<MessageId>> {
+    let owner = Identity::from_seed(b"golden-owner");
+    let (batch, manifest) = build_batch(&owner);
+    let mut sim = SimRuntime::new(RuntimeConfig {
+        k: 4,
+        chunk_size: 16 * 1024,
+        stall_timeout_secs: 3.0,
+        retry_backoff_secs: 1.0,
+        max_peer_retries: 20,
+        ..RuntimeConfig::default()
+    });
+    let owner_id = sim.add_participant(owner, LinkSpeed::kbps(2000.0), LinkSpeed::kbps(20_000.0));
+    let peers: Vec<_> = (0..N_PEERS)
+        .map(|i| {
+            sim.add_participant(
+                peer_identity(i),
+                LinkSpeed::kbps(2000.0),
+                LinkSpeed::kbps(20_000.0),
+            )
+        })
+        .collect();
+    for &pid in &peers {
+        for m in &batch {
+            sim.peer_mut(pid).store_mut().insert(m.clone());
+        }
+    }
+    sim.set_fault_plan(SimFaultPlan::new(seed).with_loss(0.1).with_corruption(0.02));
+    let sessions: Vec<_> = peers
+        .iter()
+        .map(|&pid| {
+            sim.start_download(
+                owner_id,
+                manifest.clone(),
+                LinkSpeed::kbps(2000.0),
+                LinkSpeed::kbps(20_000.0),
+                &[pid],
+            )
+            .unwrap()
+        })
+        .collect();
+    let expect = expected_data();
+    for session in sessions {
+        let report = sim
+            .run_to_completion(session, 10_000)
+            .expect("sim download completes under loss");
+        assert_eq!(report.data, expect, "sim decodes the original bytes");
+    }
+    peers
+        .iter()
+        .enumerate()
+        .map(|(i, &pid)| {
+            sim.peer_mut(pid)
+                .transfer_schedule(i as u64)
+                .expect("sim peer planned a schedule")
+        })
+        .collect()
+}
+
+/// Reactor half: the same three peers hosted on one event-loop worker,
+/// downloaded one at a time from user addresses 0, 1, 2 — the peer-side
+/// connection id is the user's address, matching the sim's connection
+/// counter.
+fn reactor_schedules(seed: u64) -> Vec<Vec<MessageId>> {
+    let owner = Identity::from_seed(b"golden-owner");
+    let (batch, manifest) = build_batch(&owner);
+    let network = RtNetwork::new();
+    let mut reactor = Reactor::new(&network, ReactorConfig::default());
+    let mut peer_addrs = Vec::new();
+    for i in 0..N_PEERS {
+        let identity = peer_identity(i);
+        let key = identity.public_key().to_bytes();
+        let mut peer = Peer::new(identity, 1_000.0);
+        peer.add_subscriber(owner.public_key().to_bytes());
+        for m in &batch {
+            peer.store_mut().insert(m.clone());
+        }
+        let addr = 800 + i as u64;
+        reactor.add_peer(addr, peer, 4 << 20);
+        peer_addrs.push((addr, key));
+    }
+    network.install_faults(RtFaultPlan::new(seed).with_loss(0.1).with_corruption(0.02));
+    let expect = expected_data();
+    for (i, &(addr, key)) in peer_addrs.iter().enumerate() {
+        let mut user = User::<Gf2p32>::new(owner.clone(), manifest.clone()).unwrap();
+        let data = download_file_with(
+            &network,
+            i as u64,
+            &mut user,
+            &[(addr, key)],
+            addr,
+            DownloadOptions {
+                timeout: Duration::from_secs(60),
+                stall_timeout: Duration::from_millis(300),
+                retry_backoff: Duration::from_millis(100),
+                max_peer_retries: 20,
+            },
+        )
+        .expect("reactor download completes under loss");
+        assert_eq!(data, expect, "reactor decodes the original bytes");
+    }
+    let peers = reactor.shutdown();
+    (0..N_PEERS)
+        .map(|i| {
+            let (_, peer) = peers
+                .iter()
+                .find(|(addr, _)| *addr == 800 + i as u64)
+                .expect("peer returned by shutdown");
+            peer.transfer_schedule(i as u64)
+                .expect("reactor peer planned a schedule")
+        })
+        .collect()
+}
+
+/// The golden invariant: same key, same connection id, same store order ⇒
+/// byte-identical planned transfer schedule in both runtimes, under the
+/// same seeded fault plan — and both runtimes decode the original file.
+#[test]
+fn sim_and_reactor_plan_identical_schedules_under_loss() {
+    let seed = fault_seed();
+    let sim = sim_schedules(seed);
+    let rt = reactor_schedules(seed);
+    assert_eq!(sim.len(), rt.len());
+    for (i, (s, r)) in sim.iter().zip(&rt).enumerate() {
+        assert!(!s.is_empty(), "peer {i} planned a non-empty schedule");
+        assert_eq!(
+            s, r,
+            "peer {i}: sim and reactor planned different transfer schedules"
+        );
+    }
+    // The three peers hold identical stores but distinct keys, so their
+    // schedules must differ from each other — the per-peer decorrelation
+    // the sweep permutation exists for. (Guards against a regression where
+    // schedules are trivially equal because the permutation collapsed.)
+    assert!(
+        sim[0] != sim[1] || sim[1] != sim[2],
+        "distinct keys/conns should decorrelate sweeps"
+    );
+}
