@@ -1,0 +1,183 @@
+//! Committed adaptive chunk-sizing baseline: completion time over the
+//! heterogeneous swarm with the static 1 MiB chunk vs profile-steered
+//! sizing, written to `BENCH_profile.json`.
+//!
+//! The workload is the [`asymshare_workloads::hetero`] swarm — 3 DSL +
+//! 3 fiber + 2 flaky-mobile peers — serving a remote download over the
+//! deterministic flow simulator. Two arms, identical seeds and faults:
+//!
+//! * **static** — `adaptive_sizing` off; every file is encoded at the
+//!   configured 1 MiB chunk regardless of who serves it.
+//! * **adaptive** — `adaptive_sizing` on; warmup rounds let the runtime
+//!   profile each peer's serving goodput and loss, walking the ladder
+//!   (fiber up, DSL down, flaky mobile forced down), after which the
+//!   measured round encodes at the rung the weakest profiled peer
+//!   sustains and plans fetches fastest-peer-first.
+//!
+//! Both arms run on the seeded simulator, so the committed numbers
+//! reproduce exactly on an unchanged tree — the smoke gate checks the
+//! heterogeneous win, not machine noise. `--quick` is accepted for
+//! harness uniformity (the workload is already CI-sized).
+//!
+//! ```text
+//! cargo run --release -p asymshare-bench --bin bench_profile
+//! ```
+
+use asymshare::{Identity, ParticipantId, RuntimeConfig, SimRuntime};
+use asymshare_netsim::{FaultPlan, LinkFault, LinkSpeed};
+use asymshare_rlnc::FileId;
+use asymshare_workloads::hetero;
+
+const K: usize = 8;
+/// Warmup rounds for the adaptive arm: enough transfer samples for every
+/// ladder walk to settle (3 stable transfers per rung move, up to 4 moves).
+const WARMUP_ROUNDS: u64 = 12;
+/// Small warmup payload: one default chunk — each round exists to sample
+/// per-peer goodput/loss, not to move data.
+const WARMUP_FILE_BYTES: usize = 1 << 20;
+/// Measured payload.
+const MEASURE_FILE_BYTES: usize = 8 << 20;
+/// Remote downloader's access link (kbps): asymmetric, wide downlink.
+const REMOTE_UP_KBPS: f64 = 1_000.0;
+const REMOTE_DOWN_KBPS: f64 = 100_000.0;
+const MAX_SLOTS: u64 = 100_000;
+
+const OUT_PATH: &str = "BENCH_profile.json";
+
+fn fault_seed() -> u64 {
+    std::env::var("ASYMSHARE_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// The hetero swarm on a fresh deployment: one participant per member,
+/// per-node loss on the flaky-mobile last miles.
+fn build_runtime(adaptive: bool, seed: u64) -> (SimRuntime, Vec<ParticipantId>) {
+    let mut rt = SimRuntime::new(RuntimeConfig {
+        k: K,
+        adaptive_sizing: adaptive,
+        ..RuntimeConfig::default()
+    });
+    let members = hetero::swarm_members();
+    let ids: Vec<ParticipantId> = members
+        .iter()
+        .enumerate()
+        .map(|(i, class)| {
+            rt.add_participant(
+                Identity::from_seed(&[b'h', b'p', i as u8]),
+                LinkSpeed::kbps(class.link.up_kbps),
+                LinkSpeed::kbps(class.link.down_kbps),
+            )
+        })
+        .collect();
+    let mut plan = FaultPlan::new(seed);
+    for (id, class) in ids.iter().zip(&members) {
+        if class.loss_prob > 0.0 {
+            plan = plan.with_node_fault(
+                rt.participant_node(*id),
+                LinkFault {
+                    loss_prob: class.loss_prob,
+                    ..LinkFault::default()
+                },
+            );
+        }
+    }
+    rt.set_fault_plan(plan);
+    (rt, ids)
+}
+
+fn payload(file_id: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| {
+            ((i as u64)
+                .wrapping_mul(2_654_435_761)
+                .wrapping_add(file_id * 97)
+                % 251) as u8
+        })
+        .collect()
+}
+
+/// One disseminate-then-download round; returns (dissemination secs,
+/// download secs, manifest chunk bytes).
+fn round(
+    rt: &mut SimRuntime,
+    owner: ParticipantId,
+    ids: &[ParticipantId],
+    file_id: u64,
+    len: usize,
+) -> (f64, f64, usize) {
+    let data = payload(file_id, len);
+    let (manifest, diss_secs) = rt
+        .disseminate(owner, FileId(file_id), &data, ids)
+        .expect("disseminate");
+    let chunk = manifest.chunk_size();
+    let session = rt
+        .start_download(
+            owner,
+            manifest,
+            LinkSpeed::kbps(REMOTE_UP_KBPS),
+            LinkSpeed::kbps(REMOTE_DOWN_KBPS),
+            ids,
+        )
+        .expect("start download");
+    let report = rt
+        .run_to_completion(session, MAX_SLOTS)
+        .expect("download completes");
+    assert_eq!(report.data, data, "decoded payload matches");
+    (diss_secs, report.duration_secs, chunk)
+}
+
+/// Runs one arm: warmup rounds (profile learning for the adaptive arm,
+/// identical work for the static arm so both measured rounds start from
+/// the same credit ledgers), then the measured round.
+fn run_arm(adaptive: bool, seed: u64) -> (f64, f64, usize, Vec<usize>) {
+    let (mut rt, ids) = build_runtime(adaptive, seed);
+    // Owner is the first fiber member: fast dissemination uplink.
+    let owner = ids[hetero::DSL.count];
+    for r in 0..WARMUP_ROUNDS {
+        round(&mut rt, owner, &ids, 100 + r, WARMUP_FILE_BYTES);
+    }
+    let (diss, dl, chunk) = round(&mut rt, owner, &ids, 999, MEASURE_FILE_BYTES);
+    let rungs = ids
+        .iter()
+        .map(|id| {
+            let key = rt.peer_mut(*id).identity().public_key().to_bytes();
+            rt.profiles().profile(&key).map_or(0, |p| p.rung())
+        })
+        .collect();
+    (diss, dl, chunk, rungs)
+}
+
+fn main() {
+    // Accepted for harness uniformity: the seeded sim reproduces exactly,
+    // so quick and full runs are the same workload.
+    let _quick = std::env::args().any(|a| a == "--quick");
+    let seed = fault_seed();
+    println!(
+        "hetero swarm ({} peers: 3 DSL + 3 fiber + 2 flaky mobile), seed {seed}, \
+         {WARMUP_ROUNDS} warmup rounds + 1 measured {} MiB round per arm...",
+        hetero::swarm_size(),
+        MEASURE_FILE_BYTES >> 20
+    );
+    let (static_diss, static_dl, static_chunk, _) = run_arm(false, seed);
+    println!(
+        "  static:   chunk {:>7} B, disseminate {static_diss:.1}s, download {static_dl:.1}s",
+        static_chunk
+    );
+    let (adapt_diss, adapt_dl, adapt_chunk, rungs) = run_arm(true, seed);
+    println!(
+        "  adaptive: chunk {:>7} B, disseminate {adapt_diss:.1}s, download {adapt_dl:.1}s",
+        adapt_chunk
+    );
+    let speedup = static_dl / adapt_dl;
+    println!("  download speedup {speedup:.2}x, settled rungs {rungs:?}");
+
+    let rungs_json: Vec<String> = rungs.iter().map(|r| r.to_string()).collect();
+    let json = format!(
+        "{{\n  \"config\": {{\n    \"fault_seed\": {seed},\n    \"k\": {K},\n    \"swarm\": \"3 DSL + 3 fiber + 2 flaky mobile\",\n    \"warmup_rounds\": {WARMUP_ROUNDS},\n    \"warmup_file_bytes\": {WARMUP_FILE_BYTES},\n    \"measure_file_bytes\": {MEASURE_FILE_BYTES},\n    \"remote_up_kbps\": {REMOTE_UP_KBPS},\n    \"remote_down_kbps\": {REMOTE_DOWN_KBPS},\n    \"statistic\": \"deterministic seeded sim\"\n  }},\n  \"static\": {{\n    \"chunk_bytes\": {static_chunk},\n    \"disseminate_secs\": {static_diss:.2},\n    \"download_secs\": {static_dl:.2}\n  }},\n  \"adaptive\": {{\n    \"chunk_bytes\": {adapt_chunk},\n    \"disseminate_secs\": {adapt_diss:.2},\n    \"download_secs\": {adapt_dl:.2},\n    \"settled_rungs\": [{}]\n  }},\n  \"download_speedup\": {speedup:.2}\n}}\n",
+        rungs_json.join(", ")
+    );
+    std::fs::write(OUT_PATH, json).expect("write profile baseline");
+    println!("wrote {OUT_PATH}");
+}

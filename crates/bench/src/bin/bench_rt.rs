@@ -80,6 +80,7 @@ fn bench_reactor_config() -> ReactorConfig {
             retire_after: Duration::from_micros(100),
             ..WindowConfig::default()
         },
+        ..ReactorConfig::default()
     }
 }
 

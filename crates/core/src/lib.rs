@@ -69,6 +69,7 @@
 mod error;
 mod identity;
 mod peer;
+mod profile;
 mod protocol;
 pub mod rt;
 mod runtime;
@@ -79,6 +80,7 @@ mod user;
 pub use error::SystemError;
 pub use identity::Identity;
 pub use peer::{KeyBytes, Peer};
+pub use profile::{LadderMove, PeerProfile, ProfileConfig, ProfileStore};
 pub use protocol::{FeedbackEntry, FeedbackReport, Wire};
 pub use runtime::{DownloadReport, ParticipantId, RuntimeConfig, SessionId, SimRuntime};
 pub use session::{Prover, Verifier};

@@ -39,12 +39,14 @@ use super::limiter::TokenBucket;
 use super::transport::{Envelope, RtNetwork};
 use super::window::{AdaptiveWindow, WindowConfig};
 use crate::peer::Peer;
+use crate::profile::{ProfileConfig, ProfileStore};
 use crate::protocol::Wire;
 use asymshare_crypto::chacha20::ChaChaRng;
 use asymshare_obs::stream::EventCursor;
 use asymshare_obs::{Counter, Event, EventSink, Gauge, Histogram, Value};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -55,6 +57,9 @@ const QUARANTINE_POLL: Duration = Duration::from_millis(50);
 const GAUGE_EVERY: Duration = Duration::from_millis(100);
 /// Fairness telemetry cadence, matching the threaded host.
 const SHARE_EMIT_EVERY: Duration = Duration::from_millis(250);
+/// How often each worker folds its per-peer serving accumulators into the
+/// shared [`ProfileStore`] as one transfer sample (also once at shutdown).
+const PROFILE_EVERY: Duration = Duration::from_secs(1);
 /// Free-list cap bounds for the window-derived pool sizing.
 const POOL_MIN_SLOTS: usize = 32;
 const POOL_MAX_SLOTS: usize = 4096;
@@ -71,6 +76,8 @@ pub struct ReactorConfig {
     pub tick: Duration,
     /// Per-connection adaptive window knobs.
     pub window: WindowConfig,
+    /// Ladder-steering knobs for the peer profiles the workers accumulate.
+    pub profile: ProfileConfig,
 }
 
 impl Default for ReactorConfig {
@@ -79,6 +86,7 @@ impl Default for ReactorConfig {
             workers: 1,
             tick: Duration::from_millis(1),
             window: WindowConfig::default(),
+            profile: ProfileConfig::default(),
         }
     }
 }
@@ -105,6 +113,10 @@ struct ConnState {
     pending_losses: u32,
     pending_rejects: u32,
     pending_rtt: Vec<f64>,
+    /// Underflow count already pushed to the `rt.window.retire_underflow`
+    /// counter (the window's tally is lifetime-monotonic; this tracks the
+    /// delta still unreported).
+    reported_underflows: u64,
 }
 
 impl ConnState {
@@ -120,6 +132,7 @@ impl ConnState {
             pending_losses: 0,
             pending_rejects: 0,
             pending_rtt: Vec::new(),
+            reported_underflows: 0,
         }
     }
 }
@@ -134,6 +147,32 @@ struct Slot {
     quarantined: bool,
     last_share_emit: Option<Instant>,
     win_gauge: Gauge,
+    prof: ProfAccum,
+    prof_gauge: Gauge,
+}
+
+/// Serving accumulators between profile flushes: one flush folds these
+/// into the shared [`ProfileStore`] as a single transfer sample.
+struct ProfAccum {
+    since: Instant,
+    bytes: u64,
+    frames: u64,
+    lost: u64,
+    rtt_sum: f64,
+    rtt_n: u64,
+}
+
+impl ProfAccum {
+    fn new(now: Instant) -> ProfAccum {
+        ProfAccum {
+            since: now,
+            bytes: 0,
+            frames: 0,
+            lost: 0,
+            rtt_sum: 0.0,
+            rtt_n: 0,
+        }
+    }
 }
 
 /// Pre-resolved observability handles for one worker (inert when the
@@ -146,6 +185,7 @@ struct WorkerObs {
     loss_signals: Counter,
     reject_signals: Counter,
     window_narrows: Counter,
+    retire_underflow: Counter,
     coalesce_frames: Histogram,
     queue_depth: Histogram,
     pass_us: Histogram,
@@ -163,6 +203,7 @@ impl WorkerObs {
             loss_signals: metrics.counter("rt.reactor.loss_signals"),
             reject_signals: metrics.counter("rt.reactor.reject_signals"),
             window_narrows: metrics.counter("rt.reactor.window_narrows"),
+            retire_underflow: metrics.counter("rt.window.retire_underflow"),
             coalesce_frames: metrics.histogram("rt.reactor.coalesce_frames"),
             queue_depth: metrics.histogram("rt.reactor.queue_depth"),
             pass_us: metrics.histogram("rt.reactor.pass_us"),
@@ -181,6 +222,10 @@ pub struct Reactor {
     cfg: ReactorConfig,
     addrs: Vec<u64>,
     next_worker: usize,
+    /// Shared peer profiles: every worker folds one transfer sample per
+    /// hosted peer per [`PROFILE_EVERY`] window (serving goodput, frame
+    /// loss, replacement RTT) into this store.
+    profiles: Arc<Mutex<ProfileStore>>,
 }
 
 struct Worker {
@@ -208,15 +253,18 @@ impl Reactor {
     pub fn new(network: &RtNetwork, cfg: ReactorConfig) -> Reactor {
         assert!(cfg.workers >= 1, "a reactor needs at least one worker");
         cfg.window.validate();
+        cfg.profile.validate();
+        let profiles = Arc::new(Mutex::new(ProfileStore::new()));
         let workers = (0..cfg.workers)
             .map(|i| {
                 let (ctrl_tx, ctrl_rx) = unbounded::<Ctrl>();
                 let (ingress_tx, ingress_rx) = unbounded::<Envelope>();
                 let net = network.clone();
                 let cfg = cfg.clone();
+                let profiles = Arc::clone(&profiles);
                 let handle = std::thread::Builder::new()
                     .name(format!("asymshare-reactor-{i}"))
-                    .spawn(move || run_worker(net, cfg, ctrl_rx, ingress_rx))
+                    .spawn(move || run_worker(net, cfg, ctrl_rx, ingress_rx, profiles))
                     .expect("spawn reactor worker thread");
                 Worker {
                     ctrl: ctrl_tx,
@@ -231,6 +279,7 @@ impl Reactor {
             cfg,
             addrs: Vec::new(),
             next_worker: 0,
+            profiles,
         }
     }
 
@@ -264,6 +313,18 @@ impl Reactor {
     /// Peers currently hosted.
     pub fn peer_count(&self) -> usize {
         self.addrs.len()
+    }
+
+    /// A point-in-time copy of the shared peer profiles (serving goodput,
+    /// loss and RTT EWMAs, current ladder rung per hosted peer key).
+    pub fn profiles(&self) -> ProfileStore {
+        self.profiles.lock().expect("profile store lock").clone()
+    }
+
+    /// Seeds the shared profile store (e.g. from
+    /// [`ProfileStore::load`]) so this deployment starts warm.
+    pub fn seed_profiles(&self, store: ProfileStore) {
+        *self.profiles.lock().expect("profile store lock") = store;
     }
 
     /// Stops the workers and returns every hosted peer (with its final
@@ -337,6 +398,7 @@ fn run_worker(
     cfg: ReactorConfig,
     ctrl_rx: Receiver<Ctrl>,
     ingress_rx: Receiver<Envelope>,
+    profiles: Arc<Mutex<ProfileStore>>,
 ) -> Vec<(u64, Peer)> {
     let mut slots: Vec<Slot> = Vec::new();
     let mut by_addr: HashMap<u64, usize> = HashMap::new();
@@ -349,6 +411,7 @@ fn run_worker(
         .then(|| EventCursor::new(&obs.events));
     let mut last_quarantine_poll = Instant::now();
     let mut last_gauge_flush = Instant::now();
+    let mut last_profile_flush = Instant::now();
     let mut idle = false;
     loop {
         while let Ok(ctrl) = ctrl_rx.try_recv() {
@@ -362,19 +425,23 @@ fn run_worker(
                     let mut nonce = [0u8; 12];
                     nonce[..8].copy_from_slice(&addr.to_le_bytes());
                     by_addr.insert(addr, slots.len());
+                    let now = Instant::now();
                     slots.push(Slot {
                         addr,
                         peer: *peer,
                         rng: ChaChaRng::new([0x7F; 32], nonce),
-                        bucket: TokenBucket::new(rate, (rate * 0.1).max(65_536.0), Instant::now()),
+                        bucket: TokenBucket::new(rate, (rate * 0.1).max(65_536.0), now),
                         conns: HashMap::new(),
                         quarantined: false,
                         last_share_emit: None,
                         win_gauge: net.metrics().gauge(&format!("rt.window.p{addr}")),
+                        prof: ProfAccum::new(now),
+                        prof_gauge: net.metrics().gauge(&format!("rt.profile.p{addr}")),
                     });
                 }
                 Ctrl::Shutdown => {
                     flush_gauges(&mut slots, &obs, &cfg);
+                    flush_profiles(&mut slots, &profiles, &cfg.profile, Instant::now());
                     return slots.into_iter().map(|s| (s.addr, s.peer)).collect();
                 }
             }
@@ -413,6 +480,10 @@ fn run_worker(
         if now.duration_since(last_gauge_flush) >= GAUGE_EVERY {
             last_gauge_flush = now;
             flush_gauges(&mut slots, &obs, &cfg);
+        }
+        if now.duration_since(last_profile_flush) >= PROFILE_EVERY {
+            last_profile_flush = now;
+            flush_profiles(&mut slots, &profiles, &cfg.profile, now);
         }
         idle = !progressed;
     }
@@ -531,6 +602,7 @@ fn serve_slot(
         conns,
         quarantined,
         last_share_emit,
+        prof,
         ..
     } = slot;
     let addr = *addr;
@@ -538,6 +610,15 @@ fn serve_slot(
     // Window state machines tick even for momentarily inactive sessions
     // (signals may arrive between sweeps).
     for st in conns.values_mut() {
+        // Profile accumulation sees the same signals the windows do.
+        // Rejections count as losses for the profile: polluted frames
+        // bought no goodput. RTT samples are duplicated across the peer's
+        // connections by `route_signal`, so averaging stays unbiased.
+        prof.lost += (st.pending_losses + st.pending_rejects) as u64;
+        for &rtt in &st.pending_rtt {
+            prof.rtt_sum += rtt;
+            prof.rtt_n += 1;
+        }
         apply_signals(st, obs);
         let horizon = st.window.retire_after();
         while let Some(&(sent_at, n)) = st.in_flight.front() {
@@ -610,6 +691,8 @@ fn serve_slot(
             staged += 1;
             obs.served_frames.inc();
             obs.served_bytes.add(size as u64);
+            prof.bytes += size as u64;
+            prof.frames += 1;
             st.staged.push(Wire::MessageData(msg));
         }
         if st.staged.is_empty() {
@@ -671,6 +754,14 @@ fn apply_signals(st: &mut ConnState, obs: &WorkerObs) {
             obs.window_narrows.inc();
         }
     }
+    // Surface double-retire accounting mismatches the window detected
+    // since the last pass (release builds count; debug builds assert).
+    let underflows = st.window.retire_underflows();
+    if underflows > st.reported_underflows {
+        obs.retire_underflow
+            .add(underflows - st.reported_underflows);
+        st.reported_underflows = underflows;
+    }
 }
 
 /// Refreshes the per-peer window gauges (`rt.window.p{addr}` — the widest
@@ -686,6 +777,35 @@ fn flush_gauges(slots: &mut [Slot], obs: &WorkerObs, cfg: &ReactorConfig) {
             .unwrap_or(cfg.window.min_frames);
         let widest = if slot.quarantined { 0 } else { widest };
         slot.win_gauge.set(widest as f64);
+    }
+}
+
+/// Folds each slot's serving accumulators into the shared profile store as
+/// one transfer sample and refreshes its `rt.profile.p{addr}` rung gauge.
+/// Idle windows (nothing served, nothing lost) contribute no sample — a
+/// quiet peer's EWMA must not decay toward zero goodput.
+fn flush_profiles(
+    slots: &mut [Slot],
+    store: &Arc<Mutex<ProfileStore>>,
+    cfg: &ProfileConfig,
+    now: Instant,
+) {
+    for slot in slots {
+        let total = slot.prof.frames + slot.prof.lost;
+        if total == 0 {
+            slot.prof.since = now;
+            continue;
+        }
+        let secs = now.duration_since(slot.prof.since).as_secs_f64();
+        let rtt = (slot.prof.rtt_n > 0).then(|| slot.prof.rtt_sum / slot.prof.rtt_n as f64);
+        let key = slot.peer.identity().public_key().to_bytes();
+        let rung = {
+            let mut store = store.lock().expect("profile store lock");
+            store.record_transfer(cfg, &key, slot.prof.bytes, secs, slot.prof.lost, total, rtt);
+            store.profile(&key).map_or(0, |p| p.rung())
+        };
+        slot.prof_gauge.set(rung as f64);
+        slot.prof = ProfAccum::new(now);
     }
 }
 

@@ -96,6 +96,10 @@ pub struct AdaptiveWindow {
     /// Lifetime adaptation tallies, surfaced as reactor gauges.
     widens: u64,
     narrows: u64,
+    /// Retirements that exceeded the in-flight count (a double-retired
+    /// completion batch). Previously masked by `saturating_sub`; now
+    /// counted and surfaced as `rt.window.retire_underflow`.
+    retire_underflows: u64,
 }
 
 impl AdaptiveWindow {
@@ -115,6 +119,7 @@ impl AdaptiveWindow {
             rtt_floor_us: None,
             widens: 0,
             narrows: 0,
+            retire_underflows: 0,
         }
     }
 
@@ -154,6 +159,12 @@ impl AdaptiveWindow {
         (self.widens, self.narrows)
     }
 
+    /// Retirements that tried to retire more frames than were in flight
+    /// (a double-retired completion batch — an accounting bug upstream).
+    pub fn retire_underflows(&self) -> u64 {
+        self.retire_underflows
+    }
+
     /// Records `n` frames handed to the transport.
     pub fn submit(&mut self, n: u32) {
         self.in_flight = self.in_flight.saturating_add(n);
@@ -161,8 +172,25 @@ impl AdaptiveWindow {
 
     /// Retires `n` in-flight frames without adapting (used when a loss
     /// signal already accounted for the batch).
+    ///
+    /// Retiring more than is in flight means a completion batch was
+    /// counted twice. The old `saturating_sub` silently masked that; the
+    /// window now tallies the mismatch (see
+    /// [`retire_underflows`](Self::retire_underflows)) so the reactor can
+    /// surface it, and asserts in debug builds so tests catch the
+    /// double-retire at its source.
     pub fn retire(&mut self, n: u32) {
-        self.in_flight = self.in_flight.saturating_sub(n);
+        if n > self.in_flight {
+            debug_assert!(
+                false,
+                "retire({n}) exceeds in-flight {} — completion batch retired twice",
+                self.in_flight
+            );
+            self.retire_underflows += 1;
+            self.in_flight = 0;
+        } else {
+            self.in_flight -= n;
+        }
     }
 
     /// Retires `n` frames as a clean completion: additive increase.
@@ -176,6 +204,9 @@ impl AdaptiveWindow {
 
     fn decrease(&mut self) {
         let next = (self.size as f64 * self.cfg.decrease_factor).floor() as u32;
+        // The floored product of a small window and a small factor lands
+        // at 0; the clamp keeps every decrease at or above the configured
+        // floor so a penalized peer trickles instead of starving.
         let next = next.max(self.cfg.min_frames);
         if next < self.size {
             self.narrows += 1;
@@ -328,6 +359,56 @@ mod tests {
     }
 
     #[test]
+    fn decrease_never_lands_below_floor() {
+        // Even an aggressive factor from the floor itself stays clamped:
+        // floor(2 * 0.1) = 0 would otherwise zero the window for good.
+        let mut w = AdaptiveWindow::new(WindowConfig {
+            decrease_factor: 0.1,
+            ..WindowConfig::default()
+        });
+        for _ in 0..5 {
+            w.on_loss();
+            assert_eq!(w.size(), 2, "decrease clamped at min_frames");
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "retired twice")]
+    fn double_retire_asserts_in_debug() {
+        let mut w = AdaptiveWindow::new(WindowConfig::default());
+        w.submit(2);
+        w.retire(2);
+        w.retire(1); // nothing left in flight: double-retire
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn double_retire_counts_in_release() {
+        let mut w = AdaptiveWindow::new(WindowConfig::default());
+        w.submit(2);
+        w.retire(2);
+        assert_eq!(w.retire_underflows(), 0);
+        w.retire(1);
+        assert_eq!(w.retire_underflows(), 1, "mismatch surfaced, not masked");
+        assert_eq!(w.in_flight(), 0);
+        w.submit(3);
+        w.retire(5);
+        assert_eq!(w.retire_underflows(), 2);
+        assert_eq!(w.in_flight(), 0, "in-flight clamped, never wraps");
+    }
+
+    #[test]
+    fn exact_retire_does_not_count_underflow() {
+        let mut w = AdaptiveWindow::new(WindowConfig::default());
+        w.submit(2);
+        w.retire(1);
+        w.retire_clean(1);
+        assert_eq!(w.retire_underflows(), 0);
+        assert_eq!(w.in_flight(), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "max_frames below min_frames")]
     fn inconsistent_config_panics() {
         AdaptiveWindow::new(WindowConfig {
@@ -377,8 +458,11 @@ mod tests {
             for sig in sigs {
                 match sig {
                     Sig::Submit(n) => w.submit(n.min(w.available())),
-                    Sig::RetireClean(n) => w.retire_clean(n),
-                    Sig::Retire(n) => w.retire(n),
+                    // Retirement is clamped to what is actually in flight:
+                    // over-retiring is an upstream accounting bug that the
+                    // window now debug-asserts on (pinned separately).
+                    Sig::RetireClean(n) => w.retire_clean(n.min(w.in_flight())),
+                    Sig::Retire(n) => w.retire(n.min(w.in_flight())),
                     Sig::Loss => w.on_loss(),
                     Sig::Reject => w.on_reject(),
                     Sig::Rtt(us) => { w.observe_rtt(us); }

@@ -11,6 +11,7 @@
 use crate::error::SystemError;
 use crate::identity::Identity;
 use crate::peer::{KeyBytes, Peer};
+use crate::profile::{ProfileConfig, ProfileStore};
 use crate::protocol::Wire;
 use crate::user::{ConnStage, SessionStats, User};
 use asymshare_crypto::chacha20::ChaChaRng;
@@ -57,6 +58,11 @@ pub struct RuntimeConfig {
     /// Consecutive fruitless recoveries before a connection is written off
     /// and its demand re-planned onto a surviving peer.
     pub max_peer_retries: u32,
+    /// Steer chunk sizing and fetch planning from persisted peer profiles.
+    /// Off by default so seeded schedules stay byte-identical; when on,
+    /// dissemination picks the ladder rung the weakest target peer can
+    /// sustain and downloads contact the fastest profiled peers first.
+    pub adaptive_sizing: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -71,6 +77,7 @@ impl Default for RuntimeConfig {
             stall_timeout_secs: 10.0,
             retry_backoff_secs: 2.0,
             max_peer_retries: 3,
+            adaptive_sizing: false,
         }
     }
 }
@@ -143,6 +150,12 @@ struct Session {
     started_at: SimTime,
     finished_at: Option<SimTime>,
     bytes_by_peer: HashMap<usize, u64>,
+    /// Digest-accepted data messages per serving participant — the
+    /// "delivered" side of the profile loss ratio.
+    msgs_by_peer: HashMap<usize, u64>,
+    /// Data flows lost in transit per serving participant — the "lost"
+    /// side of the profile loss ratio.
+    drops_by_peer: HashMap<usize, u64>,
     /// Replacement-request rate limiter: `(conn, chunk)` → (next allowed
     /// instant, consecutive requests so far).
     repl_limit: HashMap<(u64, u32), (f64, u32)>,
@@ -267,6 +280,12 @@ pub struct SimRuntime {
     /// `(session, chunk)` pairs the owner has already re-disseminated, so
     /// the starvation check reacts to each shortage at most once.
     redisseminated: HashSet<(usize, u32)>,
+    /// Per-peer EWMA link profiles, fed one sample per (peer, session) at
+    /// download completion. Always collected (pure bookkeeping — no
+    /// randomness, no simulated time); only *consulted* for chunk sizing
+    /// and fetch planning when [`RuntimeConfig::adaptive_sizing`] is set.
+    profiles: ProfileStore,
+    profile_cfg: ProfileConfig,
 }
 
 impl SimRuntime {
@@ -290,12 +309,52 @@ impl SimRuntime {
             adversaries: HashMap::new(),
             adv_seed: 0,
             redisseminated: HashSet::new(),
+            profiles: ProfileStore::new(),
+            profile_cfg: ProfileConfig::default(),
         }
     }
 
     /// The configuration this deployment runs under.
     pub fn config(&self) -> &RuntimeConfig {
         &self.cfg
+    }
+
+    /// The peer profiles accumulated from completed downloads so far.
+    pub fn profiles(&self) -> &ProfileStore {
+        &self.profiles
+    }
+
+    /// Mutable profile access — e.g. to seed warm profiles from a prior
+    /// deployment before the first download.
+    pub fn profiles_mut(&mut self) -> &mut ProfileStore {
+        &mut self.profiles
+    }
+
+    /// Replaces the ladder-steering knobs (validated on use).
+    pub fn set_profile_config(&mut self, cfg: ProfileConfig) {
+        cfg.validate();
+        self.profile_cfg = cfg;
+    }
+
+    /// Loads persisted peer profiles from `path` (missing file = cold
+    /// start with an empty store).
+    ///
+    /// # Errors
+    ///
+    /// I/O or format errors other than "file not found".
+    pub fn load_profiles(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        self.profiles = ProfileStore::load(path)?;
+        Ok(())
+    }
+
+    /// Persists the current peer profiles to `path` (write-temp-then-
+    /// rename, so a crash never leaves a torn store).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the write or rename.
+    pub fn save_profiles(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.profiles.save(path)
     }
 
     /// Turns on metrics and event tracing for this deployment. Events carry
@@ -370,6 +429,14 @@ impl SimRuntime {
                 metrics
                     .gauge(&format!("sim.store.p{i}.bytes"))
                     .set(p.peer.store().total_bytes() as f64);
+                if let Some(prof) = self.profiles.profile(&keys[i]) {
+                    metrics
+                        .gauge(&format!("sim.profile.p{i}.rung"))
+                        .set(prof.rung() as f64);
+                    metrics
+                        .gauge(&format!("sim.profile.p{i}.kbps"))
+                        .set(prof.throughput_bps().unwrap_or(0.0) * 8.0 / 1_000.0);
+                }
             }
             for (i, s) in self.sessions.iter().enumerate() {
                 metrics
@@ -535,6 +602,26 @@ impl SimRuntime {
             .identity()
             .coding_secret()
             .clone();
+        // Adaptive sizing: encode at the ladder rung the weakest profiled
+        // target can sustain; the size rides the manifest, so downloaders
+        // need no negotiation. With the flag off this is exactly the
+        // configured size and the schedule is byte-identical to before.
+        let chunk_size = if self.cfg.adaptive_sizing {
+            let target_keys: Vec<KeyBytes> = targets
+                .iter()
+                .map(|t| {
+                    self.participants[t.0]
+                        .peer
+                        .identity()
+                        .public_key()
+                        .to_bytes()
+                })
+                .collect();
+            self.profiles
+                .preferred_chunk_size(&target_keys, self.cfg.chunk_size)
+        } else {
+            self.cfg.chunk_size
+        };
         let mut enc = ChunkedEncoder::<Gf2p32>::with_chunk_size(
             FieldKind::Gf2p32,
             self.cfg.k,
@@ -542,7 +629,7 @@ impl SimRuntime {
             secret,
             file_id,
             data,
-            self.cfg.chunk_size,
+            chunk_size,
         )?;
         let start = self.net.now();
         let batches = enc.encode_for_peers(targets.len())?;
@@ -597,9 +684,32 @@ impl SimRuntime {
         let identity = self.participants[owner.0].peer.identity().clone();
         let mut user = User::<Gf2p32>::new(identity, manifest)?;
         let remote_node = self.net.add_node(remote_up, remote_down);
+        // Adaptive planning: contact profiled-fastest peers first, so they
+        // get the lowest conn ids and the earliest flow starts. Unprofiled
+        // peers keep their caller-given order (or all of them do, when the
+        // flag is off — preserving seeded schedules exactly).
+        let planned: Vec<ParticipantId> = if self.cfg.adaptive_sizing {
+            let keys: Vec<KeyBytes> = peers
+                .iter()
+                .map(|p| {
+                    self.participants[p.0]
+                        .peer
+                        .identity()
+                        .public_key()
+                        .to_bytes()
+                })
+                .collect();
+            self.profiles
+                .plan_order(&keys)
+                .into_iter()
+                .map(|i| peers[i])
+                .collect()
+        } else {
+            peers.to_vec()
+        };
         let mut conns = BTreeMap::new();
         let session_idx = self.sessions.len();
-        for &pid in peers {
+        for &pid in &planned {
             let conn = self.next_conn;
             self.next_conn += 1;
             conns.insert(conn, pid.0);
@@ -654,6 +764,8 @@ impl SimRuntime {
             started_at: now,
             finished_at: None,
             bytes_by_peer: HashMap::new(),
+            msgs_by_peer: HashMap::new(),
+            drops_by_peer: HashMap::new(),
             repl_limit: HashMap::new(),
             trace,
         });
@@ -1009,6 +1121,12 @@ impl SimRuntime {
             self.obs.drops.inc();
             if let Endpoint::ToUser { session, conn } = pending.endpoint {
                 self.sessions[session].user.stats_mut().drops += 1;
+                if let Some(&p_idx) = self.sessions[session].conns.get(&conn) {
+                    *self.sessions[session]
+                        .drops_by_peer
+                        .entry(p_idx)
+                        .or_insert(0) += 1;
+                }
                 if self.obs.events.is_enabled() {
                     if let Some(&p_idx) = self.sessions[session].conns.get(&conn) {
                         self.obs.events.emit_at(
@@ -1276,6 +1394,10 @@ impl SimRuntime {
                             .bytes_by_peer
                             .entry(p_idx)
                             .or_insert(0) += len;
+                        *self.sessions[session]
+                            .msgs_by_peer
+                            .entry(p_idx)
+                            .or_insert(0) += 1;
                         if let Some(h) = &mut self.health {
                             *h.slot_msgs.entry(p_idx).or_insert(0) += 1;
                         }
@@ -1311,6 +1433,7 @@ impl SimRuntime {
                 }
                 if !was_complete && self.sessions[session].user.is_complete() {
                     self.sessions[session].finished_at = Some(self.net.now());
+                    self.record_session_profiles(session);
                     if self.obs.events.is_enabled() {
                         self.emit_trace_spans(session);
                     }
@@ -1337,6 +1460,65 @@ impl SimRuntime {
             }
         }
         self.repump(refill);
+    }
+
+    /// Folds one transfer sample per serving participant into the profile
+    /// store when a session completes: goodput = accepted bytes over the
+    /// session's wall-clock, loss = in-transit drops over attempted data
+    /// messages. Pure bookkeeping — draws no randomness and never touches
+    /// simulated time — so collecting profiles perturbs nothing.
+    fn record_session_profiles(&mut self, session: usize) {
+        let (duration, samples) = {
+            let s = &self.sessions[session];
+            let finished = s.finished_at.unwrap_or_else(|| self.net.now());
+            let duration = (finished - s.started_at).as_secs().max(1e-9);
+            let mut peers: Vec<usize> = s.conns.values().copied().collect();
+            peers.sort_unstable();
+            peers.dedup();
+            let samples: Vec<(usize, u64, u64, u64)> = peers
+                .into_iter()
+                .map(|p| {
+                    let bytes = s.bytes_by_peer.get(&p).copied().unwrap_or(0);
+                    let msgs = s.msgs_by_peer.get(&p).copied().unwrap_or(0);
+                    let drops = s.drops_by_peer.get(&p).copied().unwrap_or(0);
+                    (p, bytes, msgs, drops)
+                })
+                .collect();
+            (duration, samples)
+        };
+        for (p_idx, bytes, msgs, drops) in samples {
+            if msgs + drops == 0 {
+                continue; // never served data; nothing to profile
+            }
+            let key = self.participants[p_idx]
+                .peer
+                .identity()
+                .public_key()
+                .to_bytes();
+            let mv = self.profiles.record_transfer(
+                &self.profile_cfg,
+                &key,
+                bytes,
+                duration,
+                drops,
+                msgs + drops,
+                None, // the sim has no per-message RTT probe
+            );
+            if self.obs.events.is_enabled() {
+                let rung = self.profiles.profile(&key).map_or(0, |p| p.rung());
+                self.obs.events.emit_at(
+                    self.net.now().as_secs(),
+                    "sim.profile",
+                    "transfer",
+                    &[
+                        ("peer", p_idx.into()),
+                        ("session", session.into()),
+                        ("rung", rung.into()),
+                        ("move", (mv as usize).into()),
+                    ],
+                );
+            }
+        }
     }
 
     /// Per-slot self-healing pass: every live connection that has gone

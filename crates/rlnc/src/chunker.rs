@@ -21,6 +21,11 @@ use asymshare_gf::{Field, FieldKind};
 /// The standard chunk size: 1 MB.
 pub const CHUNK_SIZE: usize = crate::params::MEGABYTE;
 
+/// Largest `k` a manifest parsed from the wire may declare. Table I tops
+/// out at 256; 65536 leaves generous headroom while keeping the per-chunk
+/// decoder matrix (`O(k²)`) bounded against adversarial headers.
+const MAX_WIRE_K: usize = 1 << 16;
+
 /// Everything a downloader needs to fetch and decode a chunked file —
 /// except the secret key, which travels separately (it *is* the privacy).
 ///
@@ -48,26 +53,35 @@ impl FileManifest {
         self.total_len
     }
 
-    /// Number of chunks.
-    pub fn chunk_count(&self) -> u32 {
-        (self.total_len.div_ceil(self.chunk_size)).max(1) as u32
+    /// The chunk size this file was encoded at, in bytes. Carried by the
+    /// manifest wire format, so adaptive sizing needs no negotiation: the
+    /// downloader decodes at whatever rung the owner encoded.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
     }
 
-    /// Plaintext length of chunk `index`.
+    /// Number of chunks. An empty file has zero chunks — there is no
+    /// degenerate phantom chunk whose length would compute to zero.
+    pub fn chunk_count(&self) -> u32 {
+        self.total_len.div_ceil(self.chunk_size) as u32
+    }
+
+    /// Plaintext length of chunk `index`: full `chunk_size` for every chunk
+    /// except a shorter final tail when `total_len` is not an exact
+    /// multiple. Exact-multiple files get `chunk_size` for the last chunk
+    /// too (never the degenerate `total_len % chunk_size == 0`).
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError::ChunkOutOfRange`] for an invalid index.
+    /// Returns [`CodecError::ChunkOutOfRange`] for an invalid index (every
+    /// index, for an empty file).
     pub fn chunk_len(&self, index: u32) -> Result<usize, CodecError> {
         let count = self.chunk_count();
         if index >= count {
             return Err(CodecError::ChunkOutOfRange { index, count });
         }
-        if index + 1 < count || self.total_len.is_multiple_of(self.chunk_size) {
-            Ok(self.chunk_size)
-        } else {
-            Ok(self.total_len % self.chunk_size)
-        }
+        let start = index as usize * self.chunk_size;
+        Ok((self.total_len - start).min(self.chunk_size))
     }
 
     /// Coding parameters of chunk `index` (derived, not stored: both sides
@@ -158,6 +172,45 @@ impl FileManifest {
             return Err(CodecError::Malformed {
                 reason: "manifest with zero chunk size or k".to_owned(),
             });
+        }
+        // Adversarial-header hardening: every size below feeds an
+        // allocation (chunk decoders, symbol buffers), so bound them to
+        // what an honest encoder can produce *before* building anything.
+        if total_len == 0 {
+            return Err(CodecError::Malformed {
+                reason: "manifest for an empty file".to_owned(),
+            });
+        }
+        if chunk_size > crate::ladder::ChunkLadder::MAX {
+            return Err(CodecError::Malformed {
+                reason: format!(
+                    "manifest chunk size {chunk_size} exceeds ladder maximum {}",
+                    crate::ladder::ChunkLadder::MAX
+                ),
+            });
+        }
+        if k > MAX_WIRE_K {
+            return Err(CodecError::Malformed {
+                reason: format!("manifest k {k} exceeds maximum {MAX_WIRE_K}"),
+            });
+        }
+        let count = total_len.div_ceil(chunk_size);
+        if u32::try_from(count).is_err() {
+            return Err(CodecError::Malformed {
+                reason: format!("manifest implies {count} chunks (exceeds u32 range)"),
+            });
+        }
+        // Cross-check the declared geometry: chunk_size · chunk_count must
+        // cover total_len without overflowing (guaranteed for the derived
+        // count, but the multiply is the overflow-prone path an adversary
+        // aims at, so prove it with checked arithmetic).
+        match chunk_size.checked_mul(count) {
+            Some(span) if span >= total_len => {}
+            _ => {
+                return Err(CodecError::Malformed {
+                    reason: "manifest chunk geometry does not cover total length".to_owned(),
+                });
+            }
         }
         if auth.file_id() != file_id {
             return Err(CodecError::Malformed {
@@ -701,5 +754,173 @@ mod tests {
         let err = ChunkedDecoder::<asymshare_gf::Gf256>::new(enc.manifest().clone(), secret())
             .unwrap_err();
         assert!(matches!(err, CodecError::FieldMismatch { .. }));
+    }
+
+    /// A manifest constructed field-by-field (the encoder refuses empty
+    /// data, so the degenerate lengths can only arise from a hand-built or
+    /// wire-parsed manifest).
+    fn raw_manifest(total_len: usize, chunk_size: usize) -> FileManifest {
+        FileManifest {
+            file_id: FileId(11),
+            total_len,
+            chunk_size,
+            field: FieldKind::Gf2p32,
+            k: 4,
+            auth: AuthManifest::new(FileId(11), DigestKind::Md5),
+        }
+    }
+
+    #[test]
+    fn empty_file_has_zero_chunks() {
+        // Regression: `.max(1)` used to report one phantom chunk for an
+        // empty file, and its "length" was the degenerate 0 % chunk_size.
+        let m = raw_manifest(0, 4096);
+        assert_eq!(m.chunk_count(), 0);
+        assert_eq!(m.messages_needed(), 0);
+        let err = m.chunk_len(0).unwrap_err();
+        assert!(matches!(
+            err,
+            CodecError::ChunkOutOfRange { index: 0, count: 0 }
+        ));
+    }
+
+    #[test]
+    fn single_exact_chunk_length() {
+        // len == chunk_size: exactly one chunk of full length, never the
+        // `total_len % chunk_size == 0` branch artifact.
+        let m = raw_manifest(4096, 4096);
+        assert_eq!(m.chunk_count(), 1);
+        assert_eq!(m.chunk_len(0).unwrap(), 4096);
+        assert!(m.chunk_len(1).is_err());
+    }
+
+    #[test]
+    fn exact_multiple_last_chunk_is_full() {
+        // len == n·chunk_size for several n: every chunk, including the
+        // last, reports the full chunk size and they sum to the total.
+        for n in 1..=5usize {
+            let m = raw_manifest(n * 2048, 2048);
+            assert_eq!(m.chunk_count() as usize, n);
+            let mut sum = 0usize;
+            for i in 0..m.chunk_count() {
+                let len = m.chunk_len(i).unwrap();
+                assert_eq!(len, 2048, "n={n} chunk {i}");
+                sum += len;
+            }
+            assert_eq!(sum, n * 2048);
+        }
+    }
+
+    #[test]
+    fn chunk_lengths_always_sum_to_total() {
+        for total in [1usize, 100, 2047, 2048, 2049, 4096, 5000, 10_000] {
+            let m = raw_manifest(total, 2048);
+            let sum: usize = (0..m.chunk_count()).map(|i| m.chunk_len(i).unwrap()).sum();
+            assert_eq!(sum, total, "total {total}");
+        }
+    }
+
+    fn wire_manifest_bytes() -> Vec<u8> {
+        let data = file(5000);
+        let mut enc = encoder(&data, 2048);
+        let _ = enc.encode_for_peers(1).unwrap();
+        enc.manifest().to_bytes()
+    }
+
+    /// Patches one little-endian u64 header field in serialized manifest
+    /// bytes (offsets per `to_bytes`: file_id 8, total_len 16, chunk_size
+    /// 24, k 33).
+    fn patch_u64(bytes: &mut [u8], offset: usize, value: u64) {
+        bytes[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    #[test]
+    fn decode_rejects_adversarial_headers() {
+        let bytes = wire_manifest_bytes();
+        assert!(FileManifest::from_bytes(&bytes).is_ok());
+
+        // Zero total length.
+        let mut b = bytes.clone();
+        patch_u64(&mut b, 16, 0);
+        assert!(FileManifest::from_bytes(&b).is_err());
+
+        // Chunk size above the ladder maximum (a 2^63 chunk would size a
+        // single allocation at half the address space).
+        let mut b = bytes.clone();
+        patch_u64(&mut b, 24, (crate::ladder::ChunkLadder::MAX as u64) * 2);
+        assert!(FileManifest::from_bytes(&b).is_err());
+        let mut b = bytes.clone();
+        patch_u64(&mut b, 24, u64::MAX);
+        assert!(FileManifest::from_bytes(&b).is_err());
+
+        // k beyond the wire cap (k² decoder matrix).
+        let mut b = bytes.clone();
+        patch_u64(&mut b, 33, u64::MAX);
+        assert!(FileManifest::from_bytes(&b).is_err());
+
+        // Geometry whose chunk count overflows u32: total_len u64::MAX
+        // with a tiny (still in-ladder) chunk size.
+        let mut b = bytes.clone();
+        patch_u64(&mut b, 16, u64::MAX);
+        patch_u64(&mut b, 24, 64 << 10);
+        assert!(FileManifest::from_bytes(&b).is_err());
+
+        // Ladder-max chunk size with a sane total still parses.
+        let mut b = bytes.clone();
+        patch_u64(&mut b, 24, crate::ladder::ChunkLadder::MAX as u64);
+        assert!(FileManifest::from_bytes(&b).is_ok());
+    }
+
+    mod adversarial {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            /// `from_bytes` faces attacker-controlled bytes: mutate a valid
+            /// manifest at random positions — it must never panic, and any
+            /// manifest it accepts must have bounded, self-consistent
+            /// geometry (mirrors the `scan_frame` adversarial proptests).
+            #[test]
+            fn mutated_manifest_bytes_never_panic(
+                flips in proptest::collection::vec((0usize..4096, any::<u8>()), 1..16),
+                do_cut in any::<bool>(),
+                cut in 0usize..4096,
+            ) {
+                let mut bytes = wire_manifest_bytes();
+                for (pos, xor) in flips {
+                    let len = bytes.len();
+                    bytes[pos % len] ^= xor;
+                }
+                if do_cut {
+                    bytes.truncate(cut % (bytes.len() + 1));
+                }
+                if let Ok(m) = FileManifest::from_bytes(&bytes) {
+                    prop_assert!(m.total_len() > 0);
+                    prop_assert!(m.chunk_size <= crate::ladder::ChunkLadder::MAX);
+                    prop_assert!(m.k <= super::super::MAX_WIRE_K);
+                    let count = m.chunk_count();
+                    let mut sum = 0usize;
+                    for i in 0..count {
+                        let len = m.chunk_len(i).unwrap();
+                        prop_assert!(len >= 1 && len <= m.chunk_size);
+                        sum += len;
+                    }
+                    prop_assert_eq!(sum, m.total_len());
+                }
+            }
+
+            /// Raw random buffers (no valid prefix at all) are equally safe.
+            #[test]
+            fn random_manifest_bytes_never_panic(
+                bytes in proptest::collection::vec(any::<u8>(), 0..512),
+            ) {
+                if let Ok(m) = FileManifest::from_bytes(&bytes) {
+                    prop_assert!(m.total_len() > 0);
+                    prop_assert!(m.chunk_size <= crate::ladder::ChunkLadder::MAX);
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,150 @@
+//! The chunk-size ladder: the discrete set of message sizes the adaptive
+//! sizing layer is allowed to choose from.
+//!
+//! The paper fixes chunks at 1 MB (§III-D); the reproduction keeps that as
+//! the *default rung* but lets per-peer profiles walk a power-of-two ladder
+//! between 64 KiB and 4 MiB, one rung at a time. Constraining sizes to a
+//! small shared ladder keeps three properties the free-form alternative
+//! loses:
+//!
+//! * **Wire safety** — a manifest parsed from untrusted bytes can cap
+//!   `chunk_size` at [`ChunkLadder::MAX`] *before* any allocation sized
+//!   from it.
+//! * **Determinism** — ladder moves are integer rung steps, so seeded
+//!   profile trajectories replay exactly; there is no float-derived size.
+//! * **Store friendliness** — peers holding messages for many owners see a
+//!   handful of payload sizes instead of a continuum, which keeps buffer
+//!   pools and the Eq.-2 fairness quantization error well-behaved.
+
+/// The discrete chunk-size ladder (see module docs).
+///
+/// Rungs are the power-of-two sizes from 64 KiB to 4 MiB inclusive. The
+/// paper's standard 1 MB chunk ([`crate::CHUNK_SIZE`]) sits at
+/// [`ChunkLadder::DEFAULT_RUNG`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkLadder;
+
+impl ChunkLadder {
+    /// The allowed chunk sizes, ascending.
+    pub const RUNGS: [usize; 7] = [
+        64 << 10,
+        128 << 10,
+        256 << 10,
+        512 << 10,
+        1 << 20,
+        2 << 20,
+        4 << 20,
+    ];
+
+    /// Smallest allowed chunk size (64 KiB).
+    pub const MIN: usize = Self::RUNGS[0];
+
+    /// Largest allowed chunk size (4 MiB). Manifest decoding rejects any
+    /// wire `chunk_size` above this before allocating.
+    pub const MAX: usize = Self::RUNGS[Self::RUNGS.len() - 1];
+
+    /// Index of the paper's standard 1 MB chunk within [`RUNGS`](Self::RUNGS).
+    pub const DEFAULT_RUNG: usize = 4;
+
+    /// Number of rungs.
+    pub const COUNT: usize = Self::RUNGS.len();
+
+    /// The size at `rung`, clamped to the top of the ladder.
+    pub fn size_at(rung: usize) -> usize {
+        Self::RUNGS[rung.min(Self::COUNT - 1)]
+    }
+
+    /// The rung holding `size`: exact matches map to their rung, other
+    /// sizes to the largest rung not exceeding them (or rung 0 below the
+    /// ladder).
+    pub fn rung_of(size: usize) -> usize {
+        Self::RUNGS.iter().rposition(|&r| r <= size).unwrap_or(0)
+    }
+
+    /// Whether `size` is exactly one of the ladder rungs.
+    pub fn is_rung(size: usize) -> bool {
+        Self::RUNGS.contains(&size)
+    }
+
+    /// Snaps an arbitrary size onto the ladder (largest rung ≤ `size`,
+    /// clamped to [`MIN`](Self::MIN)).
+    pub fn clamp(size: usize) -> usize {
+        Self::size_at(Self::rung_of(size))
+    }
+
+    /// The rung whose single-chunk transfer takes closest to
+    /// `target_secs` at `bytes_per_sec` — the ladder's steering target
+    /// (Snippet-3 pattern: size chunks so one transfer lands near a fixed
+    /// wall-clock budget regardless of link speed).
+    pub fn rung_for_rate(bytes_per_sec: f64, target_secs: f64) -> usize {
+        if !bytes_per_sec.is_finite() || bytes_per_sec <= 0.0 {
+            return 0;
+        }
+        let want = bytes_per_sec * target_secs;
+        let mut best = 0usize;
+        let mut best_err = f64::INFINITY;
+        for (i, &r) in Self::RUNGS.iter().enumerate() {
+            // Compare in log space so 2x-too-big and 2x-too-small tie.
+            let err = (r as f64 / want).ln().abs();
+            if err < best_err {
+                best_err = err;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rungs_are_ascending_powers_of_two() {
+        for w in ChunkLadder::RUNGS.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+        assert_eq!(ChunkLadder::MIN, 64 << 10);
+        assert_eq!(ChunkLadder::MAX, 4 << 20);
+        assert_eq!(
+            ChunkLadder::RUNGS[ChunkLadder::DEFAULT_RUNG],
+            crate::CHUNK_SIZE
+        );
+    }
+
+    #[test]
+    fn rung_of_maps_exact_and_between() {
+        for (i, &r) in ChunkLadder::RUNGS.iter().enumerate() {
+            assert_eq!(ChunkLadder::rung_of(r), i);
+        }
+        assert_eq!(ChunkLadder::rung_of(1), 0); // below the ladder
+        assert_eq!(ChunkLadder::rung_of((64 << 10) + 1), 0);
+        assert_eq!(ChunkLadder::rung_of((1 << 20) - 1), 3);
+        assert_eq!(ChunkLadder::rung_of(usize::MAX), ChunkLadder::COUNT - 1);
+    }
+
+    #[test]
+    fn clamp_snaps_to_ladder() {
+        assert_eq!(ChunkLadder::clamp(0), ChunkLadder::MIN);
+        assert_eq!(ChunkLadder::clamp(3 << 20), 2 << 20);
+        assert_eq!(ChunkLadder::clamp(usize::MAX), ChunkLadder::MAX);
+        assert!(ChunkLadder::is_rung(ChunkLadder::clamp(777_777)));
+    }
+
+    #[test]
+    fn rate_steering_tracks_link_speed() {
+        // DSL-class 48 KB/s uplink, 3 s target → ~144 KB → 128 KiB rung.
+        assert_eq!(
+            ChunkLadder::size_at(ChunkLadder::rung_for_rate(48_000.0, 3.0)),
+            128 << 10
+        );
+        // Fiber-class 12.5 MB/s → 37.5 MB wanted → capped at 4 MiB.
+        assert_eq!(
+            ChunkLadder::size_at(ChunkLadder::rung_for_rate(12_500_000.0, 3.0)),
+            ChunkLadder::MAX
+        );
+        // Dead link → floor.
+        assert_eq!(ChunkLadder::rung_for_rate(0.0, 3.0), 0);
+        assert_eq!(ChunkLadder::rung_for_rate(f64::NAN, 3.0), 0);
+    }
+}

@@ -48,6 +48,7 @@ mod coeffs;
 mod decoder;
 mod encoder;
 mod error;
+mod ladder;
 mod message;
 mod params;
 mod progressive;
@@ -58,6 +59,7 @@ pub use coeffs::RowGenerator;
 pub use decoder::BlockDecoder;
 pub use encoder::{EncodeScratch, Encoder};
 pub use error::CodecError;
+pub use ladder::ChunkLadder;
 pub use message::{EncodedMessage, FileId, MessageId};
 pub use params::{table_one_entry, CodingParams, TableOneRow, MEGABYTE};
 pub use progressive::ProgressiveDecoder;

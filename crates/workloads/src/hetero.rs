@@ -1,0 +1,129 @@
+//! The heterogeneous-swarm workload behind the adaptive chunk-sizing
+//! evaluation: a peer set spanning three real access classes whose
+//! sustainable chunk sizes differ by an order of magnitude.
+//!
+//! The paper's simulator assumes a homogeneous cable swarm; real swarms
+//! mix links. A static 1 MiB chunk is a poor fit for both ends of that
+//! mix — a DSL uplink needs ~22 s to push one coded message of a 1 MiB /
+//! k=8 chunk (stalling the downloader's scheduler on every slow peer),
+//! while a fiber uplink could fill far larger chunks and amortize
+//! per-message overhead. The profile ladder steers each class toward the
+//! rung whose single-transfer time matches the steering target; this
+//! module pins the class definitions so benches and tests agree on them.
+
+use crate::catalog::AccessLink;
+use asymshare_rlnc::ChunkLadder;
+
+/// One peer class in the heterogeneous swarm: an access link, the loss
+/// its last-mile injects, and how many swarm members it contributes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeerClass {
+    /// The access link this class rides.
+    pub link: AccessLink,
+    /// Per-flow loss probability on this class's last mile.
+    pub loss_prob: f64,
+    /// Members of this class in [`HETERO_SWARM`].
+    pub count: usize,
+}
+
+/// Residential ADSL: 384 kbps up / 4 Mbps down, clean last mile.
+pub const DSL: PeerClass = PeerClass {
+    link: AccessLink {
+        name: "residential DSL",
+        up_kbps: 384.0,
+        down_kbps: 4_000.0,
+    },
+    loss_prob: 0.0,
+    count: 3,
+};
+
+/// Symmetric-ish fiber: 20 Mbps up / 100 Mbps down, clean last mile.
+pub const FIBER: PeerClass = PeerClass {
+    link: AccessLink {
+        name: "fiber",
+        up_kbps: 20_000.0,
+        down_kbps: 100_000.0,
+    },
+    loss_prob: 0.0,
+    count: 3,
+};
+
+/// A fixed-wireless/mobile peer: decent nominal rate but a lossy last
+/// mile that forces the ladder down regardless of throughput.
+pub const FLAKY_MOBILE: PeerClass = PeerClass {
+    link: AccessLink {
+        name: "flaky mobile",
+        up_kbps: 2_000.0,
+        down_kbps: 20_000.0,
+    },
+    loss_prob: 0.12,
+    count: 2,
+};
+
+/// The standard heterogeneous swarm mix: 3 DSL + 3 fiber + 2 flaky
+/// mobile peers.
+pub const HETERO_SWARM: [PeerClass; 3] = [DSL, FIBER, FLAKY_MOBILE];
+
+/// Total swarm membership across every class.
+pub fn swarm_size() -> usize {
+    HETERO_SWARM.iter().map(|c| c.count).sum()
+}
+
+/// Expands the swarm mix into one entry per member, in class order
+/// (DSL members first, then fiber, then flaky mobile) — the canonical
+/// registration order for benches and tests.
+pub fn swarm_members() -> Vec<PeerClass> {
+    let mut members = Vec::with_capacity(swarm_size());
+    for class in HETERO_SWARM {
+        for _ in 0..class.count {
+            members.push(class);
+        }
+    }
+    members
+}
+
+/// The ladder rung a clean link of this class should settle at: the rung
+/// whose chunk transfers in about `target_secs` at the class's uplink
+/// rate. Lossy classes settle *below* this (forced downgrades win over
+/// throughput steering).
+pub fn steady_state_rung(class: &PeerClass, target_secs: f64) -> usize {
+    ChunkLadder::rung_for_rate(class.link.up_kbps * 1_000.0 / 8.0, target_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swarm_mix_is_three_dsl_three_fiber_two_mobile() {
+        assert_eq!(swarm_size(), 8);
+        let members = swarm_members();
+        assert_eq!(members.len(), 8);
+        assert_eq!(members.iter().filter(|c| **c == DSL).count(), 3);
+        assert_eq!(members.iter().filter(|c| **c == FIBER).count(), 3);
+        assert_eq!(members.iter().filter(|c| **c == FLAKY_MOBILE).count(), 2);
+    }
+
+    #[test]
+    fn classes_span_the_ladder() {
+        // At the default 3 s steering target the clean classes straddle
+        // the 1 MiB default: DSL wants a rung well below it, fiber well
+        // above — the gap adaptive sizing exploits.
+        let dsl = steady_state_rung(&DSL, 3.0);
+        let fiber = steady_state_rung(&FIBER, 3.0);
+        assert!(
+            ChunkLadder::size_at(dsl) < ChunkLadder::size_at(ChunkLadder::DEFAULT_RUNG),
+            "DSL settles below the 1 MiB default (rung {dsl})"
+        );
+        assert!(
+            ChunkLadder::size_at(fiber) > ChunkLadder::size_at(ChunkLadder::DEFAULT_RUNG),
+            "fiber settles above the 1 MiB default (rung {fiber})"
+        );
+    }
+
+    #[test]
+    fn only_the_mobile_class_is_lossy() {
+        let lossy: Vec<bool> = HETERO_SWARM.iter().map(|c| c.loss_prob > 0.0).collect();
+        assert_eq!(lossy, [false, false, true], "only flaky mobile drops");
+    }
+}

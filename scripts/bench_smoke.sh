@@ -2,7 +2,8 @@
 # Bench smoke check: rerun the committed benchmarks in --quick mode and fail
 # on malformed JSON output or a >30% regression against the checked-in
 # snapshots (BENCH_rlnc.json, BENCH_transport.json, BENCH_alloc.json,
-# BENCH_adversary.json, BENCH_rt.json). This is a CI noise guard, not a
+# BENCH_adversary.json, BENCH_rt.json, BENCH_profile.json). This is a CI
+# noise guard, not a
 # precision benchmark — the committed numbers themselves come from full
 # (median/min-of-samples) runs on a quiet machine.
 set -euo pipefail
@@ -13,13 +14,14 @@ snapshot=$(mktemp -d)
 # the committed snapshots afterwards so the tree stays clean.
 trap 'cp "$snapshot"/*.json . 2>/dev/null || true; rm -rf "$snapshot"' EXIT
 cp BENCH_rlnc.json BENCH_transport.json BENCH_alloc.json BENCH_adversary.json \
-   BENCH_rt.json "$snapshot"/
+   BENCH_rt.json BENCH_profile.json "$snapshot"/
 
 cargo run --release -p asymshare-bench --bin bench_baseline -- --quick
 cargo run --release -p asymshare-bench --bin bench_transport -- --quick
 cargo run --release --features simd -p asymshare-bench --bin bench_alloc -- --quick
 cargo run --release -p asymshare-bench --bin bench_adversary -- --quick
 cargo run --release -p asymshare-bench --bin bench_rt -- --quick
+cargo run --release -p asymshare-bench --bin bench_profile -- --quick
 
 python3 - "$snapshot" <<'EOF'
 import json
@@ -78,6 +80,10 @@ REQUIRED_FIELDS = [
                        "config.samples", "config.statistic",
                        "parity.threaded_mb_per_s", "parity.reactor_mb_per_s",
                        "parity.ratio"]),
+    ("BENCH_profile.json", ["config.fault_seed", "config.warmup_rounds",
+                            "static.chunk_bytes", "static.download_secs",
+                            "adaptive.chunk_bytes", "adaptive.download_secs",
+                            "adaptive.settled_rungs", "download_speedup"]),
 ]
 
 failed = False
@@ -220,6 +226,34 @@ for strategy in ADVERSARY_STRATEGIES:
         failed = True
     else:
         print(f"BENCH_adversary.json attacks.{strategy}.recovery_ratio: {recovery} [ok]")
+
+# Adaptive-sizing gates. bench_profile runs on the deterministic seeded
+# simulator, so like the adversary bench the quick rerun reproduces the
+# committed numbers exactly on an unchanged tree — the 30% tolerance only
+# absorbs intentional retunes of the sim or ladder, not machine noise.
+# The headline invariant reads the *committed* file: on the heterogeneous
+# swarm, profile-steered sizing must beat the static 1 MiB chunk.
+prof_committed = load(f"{snap}/BENCH_profile.json")
+prof_fresh = load("BENCH_profile.json")
+committed_speedup = prof_committed["download_speedup"]
+if committed_speedup <= 1.0:
+    print(f"BENCH_profile.json download_speedup: committed {committed_speedup} "
+          f"<= 1.0 — adaptive sizing no longer wins on the hetero swarm [REGRESSED]")
+    failed = True
+else:
+    print(f"BENCH_profile.json download_speedup: committed {committed_speedup}x [ok]")
+fresh_speedup = prof_fresh["download_speedup"]
+if fresh_speedup < committed_speedup * (1 - TOLERANCE):
+    print(f"BENCH_profile.json download_speedup: committed {committed_speedup}, "
+          f"quick rerun {fresh_speedup} [REGRESSED]")
+    failed = True
+else:
+    print(f"BENCH_profile.json download_speedup: committed {committed_speedup}, "
+          f"quick rerun {fresh_speedup} [ok]")
+rungs = prof_fresh["adaptive"]["settled_rungs"]
+if not isinstance(rungs, list) or not rungs:
+    print("BENCH_profile.json adaptive.settled_rungs must be a non-empty list [MISSING]")
+    failed = True
 
 for name, label, get, direction in CHECKS:
     committed = get(load(f"{snap}/{name}"))

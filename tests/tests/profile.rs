@@ -1,0 +1,334 @@
+//! Peer-profile integration tests: persistence across store close/reopen,
+//! deterministic ladder trajectories for a fixed seed, agreement between
+//! the two runtimes' profile collection, and the hard safety rail —
+//! seeded schedules with adaptation *disabled* are byte-identical whether
+//! or not a warmed profile store is present.
+
+use asymshare::rt::{download_file, Reactor, ReactorConfig, RtNetwork};
+use asymshare::{
+    Identity, ParticipantId, Peer, ProfileConfig, ProfileStore, RuntimeConfig, SimRuntime, User,
+};
+use asymshare_gf::{FieldKind, Gf2p32};
+use asymshare_netsim::{FaultPlan, LinkFault, LinkSpeed};
+use asymshare_obs::{EventSink, Registry};
+use asymshare_rlnc::{ChunkLadder, ChunkedEncoder, DigestKind, FileId};
+use std::time::Duration;
+
+/// CI sweeps this via the `ASYMSHARE_FAULT_SEED` matrix.
+fn fault_seed() -> u64 {
+    std::env::var("ASYMSHARE_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// A small three-class swarm: slow-clean, fast-clean, fast-lossy.
+fn build_swarm(adaptive: bool, seed: u64) -> (SimRuntime, Vec<ParticipantId>) {
+    let mut rt = SimRuntime::new(RuntimeConfig {
+        k: 4,
+        chunk_size: 64 * 1024,
+        adaptive_sizing: adaptive,
+        ..RuntimeConfig::default()
+    });
+    let links = [
+        (384.0, 4_000.0, 0.0),      // DSL-class
+        (20_000.0, 100_000.0, 0.0), // fiber-class
+        (2_000.0, 20_000.0, 0.15),  // flaky mobile
+    ];
+    let ids: Vec<ParticipantId> = links
+        .iter()
+        .enumerate()
+        .map(|(i, &(up, down, _))| {
+            rt.add_participant(
+                Identity::from_seed(&[b'p', b'f', i as u8]),
+                LinkSpeed::kbps(up),
+                LinkSpeed::kbps(down),
+            )
+        })
+        .collect();
+    let mut plan = FaultPlan::new(seed);
+    for (id, &(_, _, loss)) in ids.iter().zip(&links) {
+        if loss > 0.0 {
+            plan = plan.with_node_fault(
+                rt.participant_node(*id),
+                LinkFault {
+                    loss_prob: loss,
+                    ..LinkFault::default()
+                },
+            );
+        }
+    }
+    rt.set_fault_plan(plan);
+    (rt, ids)
+}
+
+fn one_round(rt: &mut SimRuntime, ids: &[ParticipantId], peers: &[ParticipantId], file: u64) {
+    let owner = ids[1]; // the fiber-class peer owns the files
+    let data: Vec<u8> = (0..384 * 1024)
+        .map(|i| ((i as u64 * 31 + file) % 251) as u8)
+        .collect();
+    let (manifest, _) = rt
+        .disseminate(owner, FileId(file), &data, ids)
+        .expect("disseminate");
+    let session = rt
+        .start_download(
+            owner,
+            manifest,
+            LinkSpeed::kbps(1_000.0),
+            LinkSpeed::kbps(50_000.0),
+            peers,
+        )
+        .expect("start download");
+    let report = rt.run_to_completion(session, 100_000).expect("completes");
+    assert_eq!(report.data, data);
+}
+
+/// Runs `rounds` disseminate+download rounds, folding profile samples per
+/// serving peer. Each round is an all-peers download plus a solo download
+/// from the slow DSL peer: in the shared round the fast peers finish the
+/// session before the 384 kbps uplink lands a single message, so only the
+/// solo round is guaranteed to sample it (any single batch is decodable —
+/// `encode_for_peers` gives every peer k messages per chunk).
+fn warm(rt: &mut SimRuntime, ids: &[ParticipantId], rounds: u64) {
+    for r in 0..rounds {
+        one_round(rt, ids, ids, 500 + r);
+        one_round(rt, ids, &ids[0..1], 700 + r);
+    }
+}
+
+#[test]
+fn profiles_survive_store_close_and_reopen() {
+    let seed = fault_seed();
+    let (mut rt, ids) = build_swarm(false, seed);
+    warm(&mut rt, &ids, 5);
+    assert_eq!(rt.profiles().len(), 3, "every serving peer was profiled");
+
+    let path = std::env::temp_dir().join(format!(
+        "asymshare-profile-roundtrip-{}-{seed}.bin",
+        std::process::id()
+    ));
+    rt.save_profiles(&path).expect("save");
+
+    // A fresh deployment (new session) reloads the same store.
+    let (mut rt2, _) = build_swarm(false, seed);
+    rt2.load_profiles(&path).expect("load");
+    assert_eq!(
+        rt2.profiles(),
+        rt.profiles(),
+        "reopened store is field-for-field identical"
+    );
+    std::fs::remove_file(&path).ok();
+
+    // And a missing file is a cold start, not an error.
+    let (mut rt3, _) = build_swarm(false, seed);
+    rt3.load_profiles(&path)
+        .expect("missing file is empty store");
+    assert!(rt3.profiles().is_empty());
+}
+
+#[test]
+fn ladder_trajectories_are_deterministic_for_a_fixed_seed() {
+    let seed = fault_seed();
+    let run = || {
+        let (mut rt, ids) = build_swarm(false, seed);
+        warm(&mut rt, &ids, 6);
+        rt.profiles().to_bytes()
+    };
+    assert_eq!(
+        run(),
+        run(),
+        "same seed, same workload: byte-identical profile stores"
+    );
+}
+
+#[test]
+fn lossy_peer_is_forced_below_clean_peers() {
+    let seed = fault_seed();
+    let (mut rt, ids) = build_swarm(false, seed);
+    warm(&mut rt, &ids, 6);
+    let mut rung = |i: usize| {
+        let key = rt.peer_mut(ids[i]).identity().public_key().to_bytes();
+        rt.profiles().profile(&key).expect("profiled").rung()
+    };
+    let (dsl, fiber, mobile) = (rung(0), rung(1), rung(2));
+    assert!(
+        mobile < ChunkLadder::DEFAULT_RUNG && mobile < fiber,
+        "sustained loss forces the mobile peer off the default rung and \
+         below the clean fiber peer (dsl {dsl}, fiber {fiber}, mobile {mobile})"
+    );
+    assert!(
+        fiber >= ChunkLadder::DEFAULT_RUNG,
+        "a clean fast peer never downgrades (fiber {fiber})"
+    );
+    assert!(
+        dsl <= fiber,
+        "throughput steering keeps the slow clean peer at or below the \
+         fast one (dsl {dsl}, fiber {fiber})"
+    );
+}
+
+#[test]
+fn adaptive_manifest_carries_the_preferred_size() {
+    let seed = fault_seed();
+    let (mut rt, ids) = build_swarm(true, seed);
+    warm(&mut rt, &ids, 6);
+    let keys: Vec<_> = ids
+        .iter()
+        .map(|&id| rt.peer_mut(id).identity().public_key().to_bytes())
+        .collect();
+    let preferred = rt
+        .profiles()
+        .preferred_chunk_size(&keys, rt.config().chunk_size);
+    let owner = ids[1];
+    let data = vec![7u8; 256 * 1024];
+    let (manifest, _) = rt
+        .disseminate(owner, FileId(900), &data, &ids)
+        .expect("disseminate");
+    assert_eq!(
+        manifest.chunk_size(),
+        preferred,
+        "the manifest carries the ladder decision — no negotiation"
+    );
+    assert!(ChunkLadder::is_rung(manifest.chunk_size()));
+}
+
+/// The hard rail: with `adaptive_sizing` off, a warmed profile store must
+/// not perturb one byte of a seeded run — profiles are collected, never
+/// consulted.
+#[test]
+fn disabled_adaptation_leaves_seeded_schedules_byte_identical() {
+    let seed = fault_seed();
+    // Arm A: cold store. Arm B: store warmed from a *prior* deployment.
+    let warmed = {
+        let (mut rt, ids) = build_swarm(false, seed);
+        warm(&mut rt, &ids, 4);
+        rt.profiles().clone()
+    };
+    let run = |seed_store: Option<ProfileStore>| {
+        let (mut rt, ids) = build_swarm(false, seed);
+        if let Some(store) = seed_store {
+            *rt.profiles_mut() = store;
+        }
+        let owner = ids[1];
+        let data: Vec<u8> = (0..192 * 1024).map(|i| (i * 131 % 251) as u8).collect();
+        let (manifest, diss) = rt
+            .disseminate(owner, FileId(901), &data, &ids)
+            .expect("disseminate");
+        let session = rt
+            .start_download(
+                owner,
+                manifest,
+                LinkSpeed::kbps(1_000.0),
+                LinkSpeed::kbps(50_000.0),
+                &ids,
+            )
+            .expect("start download");
+        let report = rt.run_to_completion(session, 10_000).expect("completes");
+        (
+            diss,
+            report.duration_secs,
+            report.per_peer_bytes.clone(),
+            report.innovative,
+            report.redundant,
+            report.stats.drops,
+            report.data,
+        )
+    };
+    assert_eq!(
+        run(None),
+        run(Some(warmed)),
+        "a warmed store with the flag off changes nothing"
+    );
+}
+
+/// Both runtimes feed the same profile module: an identical sample
+/// sequence must settle on the identical store, so sim-derived ladder
+/// decisions transfer to the reactor deployment and back.
+#[test]
+fn identical_samples_agree_across_runtime_boundaries() {
+    let cfg = ProfileConfig::default();
+    let keys: Vec<[u8; 64]> = (0..3u8).map(|i| [i + 1; 64]).collect();
+    let samples = [
+        (0usize, 48_000u64, 1.0f64, 0u64, 40u64),
+        (1, 2_500_000, 1.0, 0, 40),
+        (2, 250_000, 1.0, 6, 40),
+    ];
+    let feed = |store: &mut ProfileStore| {
+        for _ in 0..8 {
+            for &(k, bytes, secs, lost, total) in &samples {
+                store.record_transfer(&cfg, &keys[k], bytes, secs, lost, total, None);
+            }
+        }
+    };
+    let mut sim_side = ProfileStore::new();
+    let mut rt_side = ProfileStore::new();
+    feed(&mut sim_side);
+    feed(&mut rt_side);
+    assert_eq!(sim_side.to_bytes(), rt_side.to_bytes());
+    assert_eq!(
+        sim_side.preferred_chunk_size(&keys, ChunkLadder::size_at(ChunkLadder::DEFAULT_RUNG)),
+        rt_side.preferred_chunk_size(&keys, ChunkLadder::size_at(ChunkLadder::DEFAULT_RUNG)),
+    );
+}
+
+/// The reactor's serving loop profiles its hosted peers: after a real
+/// download every serving peer has transfer samples and a ladder rung.
+#[test]
+fn reactor_collects_profiles_while_serving() {
+    let network = RtNetwork::with_observability(Registry::new(), EventSink::new());
+    let owner = Identity::from_seed(b"profile-reactor-owner");
+    let data: Vec<u8> = (0..96 * 1024).map(|i| (i * 59 % 251) as u8).collect();
+    let mut enc = ChunkedEncoder::<Gf2p32>::with_chunk_size(
+        FieldKind::Gf2p32,
+        4,
+        DigestKind::Md5,
+        owner.coding_secret().clone(),
+        FileId(31),
+        &data,
+        16 * 1024,
+    )
+    .unwrap();
+    let batches = enc.encode_for_peers(3).unwrap();
+    let manifest = enc.manifest().clone();
+
+    let mut reactor = Reactor::new(&network, ReactorConfig::default());
+    let mut peer_addrs = Vec::new();
+    for (i, batch) in batches.into_iter().enumerate() {
+        let identity = Identity::from_seed(&[b'p', b'r', i as u8]);
+        let key = identity.public_key().to_bytes();
+        let mut peer = Peer::new(identity, 1_000.0);
+        peer.add_subscriber(owner.public_key().to_bytes());
+        for m in batch {
+            peer.store_mut().insert(m);
+        }
+        let addr = 700 + i as u64;
+        reactor.add_peer(addr, peer, 4 << 20);
+        peer_addrs.push((addr, key));
+    }
+    let mut user = User::<Gf2p32>::new(owner, manifest).unwrap();
+    let got = download_file(
+        &network,
+        1,
+        &mut user,
+        &peer_addrs,
+        peer_addrs[0].0,
+        Duration::from_secs(30),
+    )
+    .expect("download completes");
+    assert_eq!(got, data);
+    // The worker folds its accumulators into the shared store once per
+    // second; wait out one flush interval before sampling.
+    std::thread::sleep(Duration::from_millis(1_300));
+    let profiles = reactor.profiles();
+    reactor.shutdown();
+    assert_eq!(profiles.len(), 3, "every serving peer was profiled");
+    for (key, profile) in profiles.iter() {
+        assert!(
+            profile.transfers() > 0,
+            "peer {:02x?} has at least one sample",
+            &key[..4]
+        );
+        assert!(profile.throughput_bps().unwrap_or(0.0) > 0.0);
+        assert!(profile.rung() < ChunkLadder::COUNT);
+    }
+}
